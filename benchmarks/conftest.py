@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+The benchmarks regenerate the paper's tables and figures at a reduced but
+representative scale and print the resulting rows/series, so running
+``pytest benchmarks/ --benchmark-only`` both times the harness and leaves the
+reproduced numbers in the captured output.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))
+
+from repro.experiments import ExperimentScale  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """Scale used by the figure benchmarks (small enough for minutes-long runs)."""
+    return ExperimentScale(branch_count=8_000, warmup_branches=800, seed=21)

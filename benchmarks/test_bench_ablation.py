@@ -1,0 +1,13 @@
+"""Benchmark of the design-choice ablation (remapping / encryption / re-randomization)."""
+
+from repro.experiments import ExperimentScale
+from repro.experiments.ablation import format_ablation, run_ablation
+
+
+def test_bench_ablation(benchmark):
+    scale = ExperimentScale(branch_count=6_000, warmup_branches=600, seed=21)
+    result = benchmark.pedantic(lambda: run_ablation(scale), rounds=1, iterations=1)
+    print("\nAblation — contribution of each STBPU mechanism:")
+    print(format_ablation(result))
+    assert result.row("unprotected").spectre_v2_rate > 0.9
+    assert result.row("full STBPU").spectre_v2_rate == 0.0

@@ -1,0 +1,41 @@
+"""Benchmark of the executable attack simulations (the Section VI narrative):
+every attack against the unprotected BPU vs the same attack against STBPU."""
+
+from repro.bpu.protections import make_unprotected_baseline
+from repro.core.stbpu import make_stbpu_skl
+from repro.security.attacks import (
+    BTBEvictionSideChannel,
+    BTBReuseSideChannel,
+    PHTReuseSideChannel,
+    SpectreRSBInjection,
+    SpectreV2Injection,
+    TransientTrojanAttack,
+)
+
+_ATTACKS = [
+    (BTBReuseSideChannel, dict(trials=80)),
+    (PHTReuseSideChannel, dict(secret_bits=64)),
+    (SpectreV2Injection, dict(attempts=120)),
+    (SpectreRSBInjection, dict(attempts=120)),
+    (TransientTrojanAttack, dict(trials=80)),
+    (BTBEvictionSideChannel, dict(trials=30)),
+]
+
+
+def _run_all():
+    outcomes = []
+    for attack_class, kwargs in _ATTACKS:
+        unprotected = attack_class(make_unprotected_baseline(), seed=9).run(**kwargs)
+        protected = attack_class(make_stbpu_skl(seed=9), seed=9).run(**kwargs)
+        outcomes.append((unprotected, protected))
+    return outcomes
+
+
+def test_bench_attack_suite(benchmark):
+    outcomes = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    print("\nCollision-based attacks: unprotected BPU vs STBPU")
+    print(f"{'attack':38s} {'unprotected':>12s} {'stbpu':>8s}")
+    for unprotected, protected in outcomes:
+        print(f"{unprotected.name:38s} {unprotected.success_metric:12.3f} "
+              f"{protected.success_metric:8.3f}")
+        assert unprotected.success_metric >= protected.success_metric

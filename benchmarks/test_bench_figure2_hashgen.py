@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 2: the R1 remapping-function construction."""
+
+from repro.experiments import format_figure2, run_figure2
+
+
+def test_bench_figure2_remap_generation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure2(attempts_per_function=6, uniformity_samples=2_000,
+                            avalanche_samples=40),
+        rounds=1, iterations=1,
+    )
+    print("\nFigure 2 — R1 remapping function construction:")
+    print(format_figure2(result))
+    assert result.reference_single_cycle
+    assert result.reference_critical_path <= 45

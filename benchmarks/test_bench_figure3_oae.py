@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 3: OAE accuracy of the five protection models.
+
+The full figure covers all 35 workloads; the benchmark uses a representative
+subset (SPEC compute-bound, SPEC branch-heavy, and three system-interaction
+heavy applications) so it completes in minutes while preserving the ordering
+the paper reports: baseline ≥ STBPU > conservative > µcode protections.
+"""
+
+from repro.experiments import format_figure3, run_figure3
+
+REPRESENTATIVE_WORKLOADS = [
+    "505.mcf", "503.bwaves", "541.leela", "523.xalancbmk",
+    "apache2_prefork_c128", "mysql_64con_50s", "chrome-1jetstream",
+]
+
+
+def test_bench_figure3_oae_accuracy(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_figure3(bench_scale, workloads=REPRESENTATIVE_WORKLOADS),
+        rounds=1, iterations=1,
+    )
+    print("\nFigure 3 — OAE accuracy normalized to the unprotected baseline:")
+    print(format_figure3(result))
+    averages = result.averages()
+    print("\npaper averages: STBPU 0.99, conservative 0.88, ucode2 0.82, ucode1 0.77")
+    assert averages["ST_SKLCond"] > averages["ucode_protection_1"]
+    assert averages["ST_SKLCond"] > averages["ucode_protection_2"]
+    assert averages["ST_SKLCond"] > 0.96

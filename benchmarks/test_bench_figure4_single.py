@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 4: single-workload prediction-rate reductions
+and normalized IPC for the four ST designs."""
+
+from repro.experiments import ExperimentScale, format_figure4, run_figure4
+
+WORKLOAD_SUBSET = ("549.fotonik3d", "505.mcf", "541.leela", "503.bwaves", "557.xz")
+
+
+def test_bench_figure4_single_workloads(benchmark):
+    scale = ExperimentScale(branch_count=6_000, warmup_branches=600, seed=21)
+    result = benchmark.pedantic(
+        lambda: run_figure4(scale, workloads=WORKLOAD_SUBSET),
+        rounds=1, iterations=1,
+    )
+    print("\nFigure 4 — ST designs vs unprotected counterparts (single workload):")
+    print(format_figure4(result))
+    print("paper averages: direction reduction <= 1.1%, target reduction <= 1.8%, "
+          "normalized IPC 0.969-1.066")
+    for predictor in result.predictors():
+        assert abs(result.average_direction_reduction(predictor)) < 0.06
+        assert 0.85 < result.average_normalized_ipc(predictor) < 1.15

@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 5: SMT workload-pair evaluation of the ST designs."""
+
+from repro.experiments import ExperimentScale, format_figure5, run_figure5
+
+PAIR_SUBSET = (
+    ("503.bwaves", "549.fotonik3d"),
+    ("548.exchange2", "505.mcf"),
+    ("519.lbm", "557.xz"),
+    ("541.leela", "508.namd"),
+)
+
+
+def test_bench_figure5_smt_pairs(benchmark):
+    scale = ExperimentScale(branch_count=5_000, warmup_branches=500, seed=21)
+    result = benchmark.pedantic(
+        lambda: run_figure5(scale, pairs=PAIR_SUBSET,
+                            predictors=["SKLCond", "TAGE_SC_L_8KB"]),
+        rounds=1, iterations=1,
+    )
+    print("\nFigure 5 — ST designs vs unprotected counterparts (SMT pairs):")
+    print(format_figure5(result))
+    print("paper averages: direction reduction 1.3-3.8%, target reduction 0.4-3.7%, "
+          "normalized Hmean IPC 0.951-1.009")
+    for predictor in result.predictors():
+        assert 0.8 < result.average_normalized_hmean_ipc(predictor) < 1.15

@@ -1,0 +1,43 @@
+"""Benchmarks regenerating Table I, Table II, Table IV and the Section VI-A.5
+threshold numbers."""
+
+from repro.experiments import (
+    format_thresholds,
+    run_table1,
+    run_table2,
+    run_table4,
+    run_thresholds,
+)
+
+
+def test_bench_table1_attack_surface(benchmark):
+    rows = benchmark(run_table1)
+    assert len(rows) == 12
+    print("\nTable I — collision-based attack surface:")
+    for row in rows:
+        print(f"  {row['structure']:>3s} {row['collision']:<15s} {row['locus']:<4s} "
+              f"possible={row['possible']:<3s} mitigation={row['mitigation']}")
+
+
+def test_bench_table2_remap_io(benchmark):
+    rows = benchmark(run_table2)
+    assert {row["function"] for row in rows} == {"R1", "R2", "R3", "R4", "Rt", "Rp"}
+    print("\nTable II — remapping function I/O bits (baseline vs STBPU):")
+    for row in rows:
+        print(f"  {row['function']:>2s}: baseline {row['baseline_input_bits']:>3d} bits -> "
+              f"STBPU {row['stbpu_input_bits']:>3d} bits -> {row['output']}")
+
+
+def test_bench_table4_simulation_config(benchmark):
+    table = benchmark(run_table4)
+    assert table["btb_entries"] == 4096
+    print("\nTable IV — simulated core configuration:")
+    for key, value in table.items():
+        print(f"  {key}: {value}")
+
+
+def test_bench_section6_thresholds(benchmark):
+    report = benchmark(run_thresholds)
+    print("\nSection VI-A.5 / VII-A — attack complexities and thresholds:")
+    print(format_thresholds(report))
+    assert report.misprediction_threshold_r005 > 0

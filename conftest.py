@@ -1,0 +1,16 @@
+"""Repository-level pytest configuration.
+
+Ensures the in-tree ``src`` layout is importable even when the package has not
+been pip-installed (useful in offline environments where editable installs
+cannot build wheels).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))

@@ -1,0 +1,43 @@
+"""Spectre v2 / SpectreRSB mitigation demo.
+
+Runs the branch-target-injection attacks from the paper's Table I against the
+unprotected predictor and against STBPU, showing that the attacker steers the
+victim's speculation into its gadget on the unprotected design and never does
+under STBPU (the planted target decrypts to a garbage address).
+
+Run with: ``python examples/spectre_v2_mitigation.py``
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bpu import make_unprotected_baseline
+from repro.core import make_stbpu_skl
+from repro.security.attacks import SpectreRSBInjection, SpectreV2Injection, TransientTrojanAttack
+
+
+def run_attack(name, attack_class, **kwargs) -> None:
+    unprotected = attack_class(make_unprotected_baseline(), seed=7).run(**kwargs)
+    protected = attack_class(make_stbpu_skl(seed=7), seed=7).run(**kwargs)
+    print(f"\n{name}")
+    print(f"  unprotected BPU: gadget-speculation rate {unprotected.success_metric:.3f} "
+          f"(success: {unprotected.success})")
+    print(f"  STBPU          : gadget-speculation rate {protected.success_metric:.3f} "
+          f"(success: {protected.success}), "
+          f"attacker mispredictions observed: {protected.observation.attacker_mispredictions}")
+
+
+def main() -> None:
+    print("Branch target injection attacks: unprotected BPU vs STBPU")
+    run_attack("Spectre v2 (BTB poisoning across processes)", SpectreV2Injection, attempts=300)
+    run_attack("SpectreRSB (return stack poisoning)", SpectreRSBInjection, attempts=300)
+    run_attack("Transient trojan (same-address-space aliasing)", TransientTrojanAttack, trials=200)
+    print("\nUnder STBPU the victim decrypts planted targets with its own phi, so the "
+          "speculative destination is effectively random; hitting a chosen gadget would "
+          "take ~2^31 attempts, far beyond the re-randomization threshold.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so the
+package can also be installed with ``python setup.py develop`` in offline
+environments that lack the ``wheel`` package required for PEP 660 editable
+installs.
+"""
+
+from setuptools import setup
+
+setup()

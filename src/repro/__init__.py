@@ -1,0 +1,26 @@
+"""STBPU reproduction package.
+
+This package is a from-scratch Python reproduction of "STBPU: A Reasonably
+Secure Branch Prediction Unit" (DSN 2022).  It contains:
+
+* ``repro.bpu`` — a functional model of a Skylake-style branch prediction
+  unit (BTB, PHT, RSB, GHR/BHB) plus TAGE-SC-L and Perceptron predictors and
+  microcode-protection baselines,
+* ``repro.core`` — the STBPU mechanisms themselves: secret tokens, keyed
+  remapping functions, XOR target encryption, event monitoring and
+  re-randomization,
+* ``repro.hashgen`` — the automated remapping-function generator from
+  Section V of the paper,
+* ``repro.security`` — the analytical security model and executable attack
+  simulations from Section VI,
+* ``repro.trace`` — synthetic branch-trace workloads standing in for the
+  paper's Intel PT captures,
+* ``repro.sim`` — the trace-driven BPU simulator and a cycle-approximate
+  out-of-order CPU model standing in for gem5,
+* ``repro.experiments`` — drivers that regenerate every table and figure in
+  the paper's evaluation.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,168 @@
+"""Branch target buffer (BTB).
+
+An 8-way, 4096-entry set-associative cache of branch targets (paper
+Section II-A).  Each entry stores a compressed tag, an offset, and the 32
+least-significant bits of the target (optionally encrypted by the installed
+:class:`~repro.bpu.mapping.TargetCodec`).  Two addressing modes are
+supported: mode 1 keys on the branch address only, mode 2 additionally mixes
+in the branch history buffer and is used for indirect branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bpu.common import StructureSizes
+from repro.bpu.mapping import (
+    BTBLookupKey,
+    BaselineMappingProvider,
+    IdentityTargetCodec,
+    MappingProvider,
+    TargetCodec,
+)
+
+
+@dataclass(slots=True)
+class BTBEntry:
+    """One way of a BTB set."""
+
+    valid: bool = False
+    tag: int = 0
+    offset: int = 0
+    stored_target: int = 0
+    lru_stamp: int = 0
+
+
+@dataclass(slots=True)
+class BTBLookupResult:
+    """Outcome of a BTB probe."""
+
+    hit: bool
+    predicted_target: int | None
+    key: BTBLookupKey
+
+
+@dataclass(slots=True)
+class BTBUpdateResult:
+    """Outcome of installing/refreshing an entry."""
+
+    evicted_valid_entry: bool
+    replaced_same_branch: bool
+
+
+class BranchTargetBuffer:
+    """Set-associative target cache with LRU replacement.
+
+    Args:
+        sizes: Structure dimensions; defaults to the Skylake baseline
+            (512 sets x 8 ways).
+        mapping: Address-mapping provider (baseline or STBPU-keyed).
+        codec: Stored-target codec (identity or XOR encryption).
+        capacity_scale: Fractional capacity multiplier used by the
+            *conservative* protection model, which stores full 48-bit
+            addresses and therefore fits fewer entries in the same hardware
+            budget.  A value of 0.5 halves the number of sets.
+    """
+
+    def __init__(
+        self,
+        sizes: StructureSizes | None = None,
+        mapping: MappingProvider | None = None,
+        codec: TargetCodec | None = None,
+        capacity_scale: float = 1.0,
+    ):
+        self.sizes = sizes if sizes is not None else StructureSizes()
+        self.mapping = mapping if mapping is not None else BaselineMappingProvider(self.sizes)
+        self.codec = codec if codec is not None else IdentityTargetCodec()
+        if not 0.0 < capacity_scale <= 1.0:
+            raise ValueError("capacity_scale must be in (0, 1]")
+        self._set_count = max(1, int(self.sizes.btb_sets * capacity_scale))
+        self._ways = self.sizes.btb_ways
+        self._sets: list[list[BTBEntry]] = [
+            [BTBEntry() for _ in range(self._ways)] for _ in range(self._set_count)
+        ]
+        self._access_clock = 0
+        self.eviction_count = 0
+
+    # ------------------------------------------------------------------ admin
+
+    @property
+    def set_count(self) -> int:
+        return self._set_count
+
+    @property
+    def way_count(self) -> int:
+        return self._ways
+
+    @property
+    def entry_count(self) -> int:
+        return self._set_count * self._ways
+
+    def flush(self) -> int:
+        """Invalidate every entry; returns the number of valid entries dropped."""
+        dropped = 0
+        for entries in self._sets:
+            for entry in entries:
+                if entry.valid:
+                    dropped += 1
+                entry.valid = False
+        return dropped
+
+    def valid_entry_count(self) -> int:
+        return sum(1 for entries in self._sets for entry in entries if entry.valid)
+
+    def occupied_sets(self) -> int:
+        return sum(1 for entries in self._sets if any(e.valid for e in entries))
+
+    # ---------------------------------------------------------------- lookups
+
+    def _key(self, ip: int, bhb: int | None) -> BTBLookupKey:
+        if bhb is None:
+            key = self.mapping.btb_mode1(ip)
+        else:
+            key = self.mapping.btb_mode2(ip, bhb)
+        # The mapping provider may have been built for the nominal set count;
+        # clamp the index into this instance's (possibly reduced) set array.
+        return BTBLookupKey(index=key.index % self._set_count, tag=key.tag, offset=key.offset)
+
+    def lookup(self, ip: int, bhb: int | None = None) -> BTBLookupResult:
+        """Probe the BTB.  ``bhb`` selects addressing mode 2 when provided."""
+        self._access_clock += 1
+        key = self._key(ip, bhb)
+        for entry in self._sets[key.index]:
+            if entry.valid and entry.tag == key.tag and entry.offset == key.offset:
+                entry.lru_stamp = self._access_clock
+                predicted = self.codec.extend(entry.stored_target, ip)
+                return BTBLookupResult(hit=True, predicted_target=predicted, key=key)
+        return BTBLookupResult(hit=False, predicted_target=None, key=key)
+
+    def update(self, ip: int, target: int, bhb: int | None = None) -> BTBUpdateResult:
+        """Install or refresh the entry for ``ip`` with resolved ``target``."""
+        self._access_clock += 1
+        key = self._key(ip, bhb)
+        entries = self._sets[key.index]
+
+        for entry in entries:
+            if entry.valid and entry.tag == key.tag and entry.offset == key.offset:
+                entry.stored_target = self.codec.encode(target)
+                entry.lru_stamp = self._access_clock
+                return BTBUpdateResult(evicted_valid_entry=False, replaced_same_branch=True)
+
+        victim = min(entries, key=lambda e: (e.valid, e.lru_stamp))
+        evicted = victim.valid
+        if evicted:
+            self.eviction_count += 1
+        victim.valid = True
+        victim.tag = key.tag
+        victim.offset = key.offset
+        victim.stored_target = self.codec.encode(target)
+        victim.lru_stamp = self._access_clock
+        return BTBUpdateResult(evicted_valid_entry=evicted, replaced_same_branch=False)
+
+    def contains(self, ip: int, bhb: int | None = None) -> bool:
+        """Non-destructive membership test (does not touch LRU state)."""
+        key = self._key(ip, bhb)
+        return any(
+            entry.valid and entry.tag == key.tag and entry.offset == key.offset
+            for entry in self._sets[key.index]
+        )

@@ -1,0 +1,235 @@
+"""Composite BPU model: direction predictor + BTB + RSB + history registers.
+
+This is the full front-end predictor the simulators drive.  A direction
+component (SKLCond hybrid, TAGE-SC-L, or Perceptron) predicts conditional
+branches; the BTB predicts targets (mode 1 for direct/conditional branches,
+mode 2 with the BHB for indirect branches); the RSB predicts returns, falling
+back to the indirect path on underflow.  The composite also performs all the
+training/update traffic and reports the micro-events (mispredictions, BTB
+evictions, RSB underflows) that both the evaluation metrics and the STBPU
+monitoring hardware consume.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.bpu.btb import BranchTargetBuffer
+from repro.bpu.common import (
+    AccessResult,
+    BranchPredictorModel,
+    Prediction,
+    StructureSizes,
+)
+from repro.bpu.history import HistoryState
+from repro.bpu.mapping import (
+    BaselineMappingProvider,
+    IdentityTargetCodec,
+    MappingProvider,
+    TargetCodec,
+)
+from repro.bpu.pht import SKLConditionalPredictor
+from repro.bpu.rsb import ReturnStackBuffer
+from repro.trace.branch import BranchRecord, BranchType, PrivilegeMode
+
+
+class DirectionComponent(Protocol):
+    """Minimal interface a conditional direction predictor must provide."""
+
+    name: str
+
+    def predict(self, ip: int, history: HistoryState) -> object: ...
+
+    def update(self, prediction: object, taken: bool, ip: int = 0) -> None: ...
+
+    def flush(self) -> None: ...
+
+
+class CompositeBPU(BranchPredictorModel):
+    """A complete, unprotected branch prediction unit.
+
+    Args:
+        direction: Conditional direction component (SKLCond, TAGE, Perceptron).
+        sizes: Structure dimensions.
+        mapping: Address-mapping provider shared by the BTB and the direction
+            component's own mapping (callers usually construct both with the
+            same provider).
+        codec: Stored-target codec shared by BTB and RSB.
+        name: Model label used in experiment output.
+        btb_capacity_scale: Fractional BTB capacity, used by the conservative
+            protection model.
+    """
+
+    def __init__(
+        self,
+        direction: DirectionComponent,
+        sizes: StructureSizes | None = None,
+        mapping: MappingProvider | None = None,
+        codec: TargetCodec | None = None,
+        name: str | None = None,
+        btb_capacity_scale: float = 1.0,
+    ):
+        self.sizes = sizes if sizes is not None else StructureSizes()
+        self.mapping = mapping if mapping is not None else BaselineMappingProvider(self.sizes)
+        self.codec = codec if codec is not None else IdentityTargetCodec()
+        self.direction = direction
+        self.btb = BranchTargetBuffer(
+            self.sizes, self.mapping, self.codec, capacity_scale=btb_capacity_scale
+        )
+        self.rsb = ReturnStackBuffer(self.sizes.rsb_entries, self.codec)
+        self.history = HistoryState()
+        self.history.ghr.bits = self.sizes.ghr_bits
+        self.history.bhb.bits = self.sizes.bhb_bits
+        self.name = name if name is not None else f"composite-{direction.name}"
+
+    # ------------------------------------------------------------------ access
+
+    def access(self, branch: BranchRecord) -> AccessResult:
+        prediction, direction_state, rsb_underflow = self._predict(branch)
+        result = self._resolve(branch, prediction, rsb_underflow)
+        self._train(branch, prediction, direction_state)
+        return result
+
+    def _predict(self, branch: BranchRecord) -> tuple[Prediction, object | None, bool]:
+        branch_type = branch.branch_type
+        rsb_underflow = False
+        direction_state: object | None = None
+
+        if branch_type.is_conditional:
+            direction_state = self.direction.predict(branch.ip, self.history)
+            predicted_taken = direction_state.taken
+            if predicted_taken:
+                lookup = self.btb.lookup(branch.ip)
+                if lookup.hit:
+                    return (
+                        Prediction(True, lookup.predicted_target, "btb-mode1"),
+                        direction_state,
+                        False,
+                    )
+                return Prediction(True, None, "static"), direction_state, False
+            return Prediction(False, branch.fall_through, "static"), direction_state, False
+
+        if branch_type in (BranchType.DIRECT_JUMP, BranchType.DIRECT_CALL):
+            lookup = self.btb.lookup(branch.ip)
+            if lookup.hit:
+                return Prediction(True, lookup.predicted_target, "btb-mode1"), None, False
+            return Prediction(True, None, "static"), None, False
+
+        if branch_type in (BranchType.INDIRECT_JUMP, BranchType.INDIRECT_CALL):
+            lookup = self.btb.lookup(branch.ip, self.history.bhb.snapshot())
+            if lookup.hit:
+                return Prediction(True, lookup.predicted_target, "btb-mode2"), None, False
+            fallback = self.btb.lookup(branch.ip)
+            if fallback.hit:
+                return Prediction(True, fallback.predicted_target, "btb-mode1"), None, False
+            return Prediction(True, None, "static"), None, False
+
+        # Returns: RSB first, indirect predictor (BTB mode 2) on underflow.
+        pop = self.rsb.pop(branch.ip)
+        if not pop.underflow:
+            return Prediction(True, pop.predicted_target, "rsb"), None, False
+        rsb_underflow = True
+        lookup = self.btb.lookup(branch.ip, self.history.bhb.snapshot())
+        if lookup.hit:
+            return Prediction(True, lookup.predicted_target, "btb-mode2"), None, rsb_underflow
+        return Prediction(True, None, "static"), None, rsb_underflow
+
+    def _resolve(
+        self, branch: BranchRecord, prediction: Prediction, rsb_underflow: bool
+    ) -> AccessResult:
+        if branch.branch_type.is_conditional:
+            direction_correct = prediction.taken == branch.taken
+        else:
+            direction_correct = True
+
+        if branch.taken:
+            target_correct = prediction.target is not None and prediction.target == branch.target
+        else:
+            # A not-taken branch needs no target prediction; fall-through is implied.
+            target_correct = True
+
+        effective_correct = direction_correct and target_correct
+        return AccessResult(
+            prediction=prediction,
+            direction_correct=direction_correct,
+            target_correct=target_correct,
+            effective_correct=effective_correct,
+            btb_hit=prediction.source.startswith("btb"),
+            btb_eviction=False,  # filled in by _train
+            rsb_underflow=rsb_underflow,
+            mispredicted=not effective_correct,
+        )
+
+    def _train(
+        self, branch: BranchRecord, prediction: Prediction, direction_state: object | None
+    ) -> None:
+        del prediction
+        branch_type = branch.branch_type
+
+        if branch_type.is_conditional and direction_state is not None:
+            self.direction.update(direction_state, branch.taken, ip=branch.ip)
+            self.history.record_conditional(branch.taken)
+
+        if branch.taken:
+            self._last_update = self._update_btb(branch)
+            if branch_type.is_direct:
+                # Taken direct branches/calls feed the BHB (paper Section II-A).
+                self.history.record_taken_branch(branch.ip, branch.target)
+        else:
+            self._last_update = None
+
+        if branch_type.is_call:
+            self.rsb.push(branch.fall_through)
+
+    def _update_btb(self, branch: BranchRecord):
+        if branch.branch_type.is_indirect and not branch.branch_type.is_return:
+            return self.btb.update(branch.ip, branch.target, self.history.bhb.snapshot())
+        if branch.branch_type.is_return:
+            # Returns are only installed via the indirect path (RSB is primary).
+            return self.btb.update(branch.ip, branch.target, self.history.bhb.snapshot())
+        return self.btb.update(branch.ip, branch.target)
+
+    def access_with_events(self, branch: BranchRecord) -> AccessResult:
+        """Like :meth:`access` but folds the BTB-eviction event into the result."""
+        before = self.btb.eviction_count
+        result = self.access(branch)
+        result.btb_eviction = self.btb.eviction_count > before
+        result.mispredicted = not result.effective_correct
+        return result
+
+    # ------------------------------------------------------------------- admin
+
+    def reset(self) -> None:
+        self.direction.flush()
+        self.btb.flush()
+        self.rsb.flush()
+        self.history.clear()
+
+    def flush_predictor_state(self) -> int:
+        """Flush everything (IBPB-style); returns number of BTB entries dropped."""
+        dropped = self.btb.flush()
+        self.rsb.flush()
+        self.direction.flush()
+        self.history.clear()
+        return dropped
+
+
+def make_skl_composite(
+    sizes: StructureSizes | None = None,
+    mapping: MappingProvider | None = None,
+    codec: TargetCodec | None = None,
+    name: str = "SKL-baseline",
+    btb_capacity_scale: float = 1.0,
+) -> CompositeBPU:
+    """Build the baseline Skylake-style composite predictor."""
+    sizes = sizes if sizes is not None else StructureSizes()
+    mapping = mapping if mapping is not None else BaselineMappingProvider(sizes)
+    direction = SKLConditionalPredictor(sizes, mapping)
+    return CompositeBPU(
+        direction,
+        sizes=sizes,
+        mapping=mapping,
+        codec=codec,
+        name=name,
+        btb_capacity_scale=btb_capacity_scale,
+    )

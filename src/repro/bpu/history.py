@@ -1,0 +1,113 @@
+"""Global history register (GHR) and branch history buffer (BHB).
+
+Both are shift registers (paper Section II-A):
+
+* the GHR records the taken/not-taken outcomes of recent conditional branches
+  and feeds the 2-level PHT addressing mode as well as TAGE/Perceptron
+  histories, and
+* the BHB accumulates branch *context* — on every taken direct branch or call
+  the branch and target addresses are folded (XOR) into the register — and is
+  used by the indirect predictor (BTB addressing mode 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class GlobalHistoryRegister:
+    """Fixed-width shift register of conditional-branch outcomes."""
+
+    bits: int = 18
+    value: int = 0
+
+    def push(self, taken: bool) -> None:
+        """Shift in the newest outcome (1 = taken)."""
+        self.value = ((self.value << 1) | int(taken)) & ((1 << self.bits) - 1)
+
+    def snapshot(self) -> int:
+        return self.value
+
+    def restore(self, value: int) -> None:
+        self.value = value & ((1 << self.bits) - 1)
+
+    def clear(self) -> None:
+        self.value = 0
+
+
+@dataclass(slots=True)
+class BranchHistoryBuffer:
+    """Branch-context register updated by folding executed branch addresses.
+
+    The update rule follows the public reverse engineering of Intel's BHB
+    (shift by two, XOR in selected source/target address bits), generalised to
+    a parameterised width.
+    """
+
+    bits: int = 58
+    value: int = 0
+
+    def push(self, ip: int, target: int) -> None:
+        mask = (1 << self.bits) - 1
+        mixed = (ip & 0x3F_FFFF) ^ ((target & 0x3F_FFFF) << 1)
+        self.value = (((self.value << 2) & mask) ^ mixed) & mask
+
+    def snapshot(self) -> int:
+        return self.value
+
+    def restore(self, value: int) -> None:
+        self.value = value & ((1 << self.bits) - 1)
+
+    def clear(self) -> None:
+        self.value = 0
+
+
+@dataclass(slots=True)
+class FoldedHistory:
+    """Circularly-folded view of a long global history, as used by TAGE.
+
+    TAGE tables use history lengths much longer than their index width; the
+    standard implementation keeps an incrementally folded value.  For clarity
+    (and because our histories are at most a few hundred bits) we re-fold from
+    an explicit outcome list on demand.
+    """
+
+    history_length: int
+    folded_bits: int
+
+    def fold(self, outcomes: list[bool]) -> int:
+        """Fold the most recent ``history_length`` outcomes to ``folded_bits`` bits."""
+        if self.folded_bits <= 0:
+            return 0
+        value = 0
+        recent = outcomes[-self.history_length:] if self.history_length else []
+        for position, outcome in enumerate(recent):
+            if outcome:
+                value ^= 1 << (position % self.folded_bits)
+        return value
+
+
+@dataclass(slots=True)
+class HistoryState:
+    """Bundle of all speculative-history registers owned by one hardware thread."""
+
+    ghr: GlobalHistoryRegister = field(default_factory=GlobalHistoryRegister)
+    bhb: BranchHistoryBuffer = field(default_factory=BranchHistoryBuffer)
+    #: Unbounded outcome list backing the long TAGE/Perceptron histories.
+    outcomes: list[bool] = field(default_factory=list)
+    max_outcomes: int = 1024
+
+    def record_conditional(self, taken: bool) -> None:
+        self.ghr.push(taken)
+        self.outcomes.append(taken)
+        if len(self.outcomes) > self.max_outcomes:
+            del self.outcomes[: len(self.outcomes) - self.max_outcomes]
+
+    def record_taken_branch(self, ip: int, target: int) -> None:
+        self.bhb.push(ip, target)
+
+    def clear(self) -> None:
+        self.ghr.clear()
+        self.bhb.clear()
+        self.outcomes.clear()

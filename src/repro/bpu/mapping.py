@@ -1,0 +1,175 @@
+"""Address-mapping providers and stored-target codecs.
+
+The baseline BPU locates entries with deterministic compression functions of
+the (truncated) branch address — the functions labelled 1–5 in Figure 1 of the
+paper.  STBPU replaces them with keyed remappings ``R1..R4, Rt, Rp`` and
+encrypts stored targets.  To keep the prediction logic untouched (the paper's
+central design property), every predictor structure asks a
+:class:`MappingProvider` for its index/tag/offset bits and a
+:class:`TargetCodec` to encode/decode stored targets, and the STBPU layer
+swaps in keyed implementations of both.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.bpu.common import StructureSizes, fold_bits
+from repro.trace.branch import STORED_TARGET_BITS, STORED_TARGET_MASK
+
+#: Number of low virtual-address bits the *baseline* hardware actually uses
+#: (the paper notes only 30 of the 48 bits are utilised, enabling
+#: same-address-space collisions).
+BASELINE_ADDRESS_BITS = 32
+
+
+@dataclass(frozen=True, slots=True)
+class BTBLookupKey:
+    """Index / tag / offset triple used to locate a BTB entry."""
+
+    index: int
+    tag: int
+    offset: int
+
+    @property
+    def match_field(self) -> tuple[int, int]:
+        """The (tag, offset) pair compared after the set has been selected."""
+        return (self.tag, self.offset)
+
+
+class MappingProvider(abc.ABC):
+    """Computes the structure-addressing bits for every BPU lookup."""
+
+    def __init__(self, sizes: StructureSizes | None = None):
+        self.sizes = sizes if sizes is not None else StructureSizes()
+
+    @abc.abstractmethod
+    def btb_mode1(self, ip: int) -> BTBLookupKey:
+        """BTB addressing mode 1: index/tag/offset from the branch ip only."""
+
+    @abc.abstractmethod
+    def btb_mode2(self, ip: int, bhb: int) -> BTBLookupKey:
+        """BTB addressing mode 2: ip plus branch-history buffer (indirect branches)."""
+
+    @abc.abstractmethod
+    def pht_index_1level(self, ip: int) -> int:
+        """PHT addressing mode i: simple per-address index."""
+
+    @abc.abstractmethod
+    def pht_index_2level(self, ip: int, ghr: int) -> int:
+        """PHT addressing mode ii: gshare-style address ⊕ global-history index."""
+
+    @abc.abstractmethod
+    def tage_index(self, ip: int, folded_history: int, table: int, index_bits: int) -> int:
+        """Index into TAGE tagged table ``table`` (geometric history lengths)."""
+
+    @abc.abstractmethod
+    def tage_tag(self, ip: int, folded_history: int, table: int, tag_bits: int) -> int:
+        """Partial tag for TAGE tagged table ``table``."""
+
+    @abc.abstractmethod
+    def perceptron_index(self, ip: int, table_size: int) -> int:
+        """Row selection for the perceptron weight table."""
+
+
+class TargetCodec(abc.ABC):
+    """Encodes targets before they are stored in the BTB/RSB and decodes them
+    on the way out (function 5 in Figure 1)."""
+
+    @abc.abstractmethod
+    def encode(self, target: int) -> int:
+        """Map a 32-bit target slice to the value actually stored."""
+
+    @abc.abstractmethod
+    def decode(self, stored: int) -> int:
+        """Map a stored 32-bit value back to a target slice."""
+
+    def extend(self, stored: int, ip: int) -> int:
+        """Rebuild a 48-bit predicted target from a stored entry and the branch ip.
+
+        The baseline combines the 16 upper bits of the branch instruction
+        pointer with the 32 decoded low bits (paper Section II-A).
+        """
+        high = ip >> STORED_TARGET_BITS
+        return (high << STORED_TARGET_BITS) | (self.decode(stored) & STORED_TARGET_MASK)
+
+
+class BaselineMappingProvider(MappingProvider):
+    """Deterministic XOR-folding maps modelling the unprotected Skylake BPU.
+
+    Only :data:`BASELINE_ADDRESS_BITS` low bits of the virtual address feed
+    the functions, reproducing the truncation that makes same-address-space
+    collisions possible.
+    """
+
+    def _truncate(self, ip: int) -> int:
+        return ip & ((1 << BASELINE_ADDRESS_BITS) - 1)
+
+    def btb_mode1(self, ip: int) -> BTBLookupKey:
+        sizes = self.sizes
+        ip = self._truncate(ip)
+        offset = ip & ((1 << sizes.btb_offset_bits) - 1)
+        index = (ip >> sizes.btb_offset_bits) & (sizes.btb_sets - 1)
+        tag_source = ip >> (sizes.btb_offset_bits + sizes.btb_index_bits)
+        tag = fold_bits(tag_source, BASELINE_ADDRESS_BITS, sizes.btb_tag_bits)
+        return BTBLookupKey(index=index, tag=tag, offset=offset)
+
+    def btb_mode2(self, ip: int, bhb: int) -> BTBLookupKey:
+        sizes = self.sizes
+        base = self.btb_mode1(ip)
+        history_tag = fold_bits(bhb, sizes.bhb_bits, sizes.btb_tag_bits)
+        history_index = fold_bits(bhb, sizes.bhb_bits, sizes.btb_index_bits)
+        return BTBLookupKey(
+            index=(base.index ^ history_index) & (sizes.btb_sets - 1),
+            tag=(base.tag ^ history_tag) & ((1 << sizes.btb_tag_bits) - 1),
+            offset=base.offset,
+        )
+
+    def pht_index_1level(self, ip: int) -> int:
+        sizes = self.sizes
+        return fold_bits(self._truncate(ip) >> 1, BASELINE_ADDRESS_BITS, sizes.pht_index_bits)
+
+    def pht_index_2level(self, ip: int, ghr: int) -> int:
+        sizes = self.sizes
+        base = self.pht_index_1level(ip)
+        history = fold_bits(ghr, sizes.ghr_bits, sizes.pht_index_bits)
+        return (base ^ history) & (sizes.pht_entries - 1)
+
+    def tage_index(self, ip: int, folded_history: int, table: int, index_bits: int) -> int:
+        ip = self._truncate(ip)
+        mixed = ip ^ (ip >> index_bits) ^ folded_history ^ (table * 0x9E5)
+        return mixed & ((1 << index_bits) - 1)
+
+    def tage_tag(self, ip: int, folded_history: int, table: int, tag_bits: int) -> int:
+        ip = self._truncate(ip)
+        mixed = ip ^ (folded_history << 1) ^ (table * 0x1F3)
+        return fold_bits(mixed, BASELINE_ADDRESS_BITS, tag_bits)
+
+    def perceptron_index(self, ip: int, table_size: int) -> int:
+        return fold_bits(self._truncate(ip) >> 2, BASELINE_ADDRESS_BITS,
+                         (table_size - 1).bit_length()) % table_size
+
+
+class FullAddressMappingProvider(BaselineMappingProvider):
+    """Mapping provider for the paper's *conservative* protection model.
+
+    The conservative model stores full, untruncated 48-bit addresses so that
+    no two distinct branches can alias inside a structure.  We model this by
+    feeding all 48 bits into the index/tag functions and disabling tag
+    folding; its capacity cost is modelled separately in
+    :mod:`repro.bpu.protections`.
+    """
+
+    def _truncate(self, ip: int) -> int:
+        return ip
+
+
+class IdentityTargetCodec(TargetCodec):
+    """Baseline stored-target handling: the 32 low target bits are stored verbatim."""
+
+    def encode(self, target: int) -> int:
+        return target & STORED_TARGET_MASK
+
+    def decode(self, stored: int) -> int:
+        return stored & STORED_TARGET_MASK

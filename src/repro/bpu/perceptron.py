@@ -1,0 +1,102 @@
+"""Perceptron conditional direction predictor (Jiménez & Lin, HPCA 2001).
+
+The predictor keeps a table of weight vectors.  A branch selects one row
+(through the installed :class:`~repro.bpu.mapping.MappingProvider`, so the
+STBPU keyed remapping ``Rp`` applies transparently), computes the dot product
+of the weights with the recent global-history outcomes (encoded ±1), and
+predicts taken when the sum is non-negative.  Training updates the weights on
+a misprediction or whenever the magnitude of the sum is below the
+length-dependent threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bpu.common import StructureSizes
+from repro.bpu.history import HistoryState
+from repro.bpu.mapping import BaselineMappingProvider, MappingProvider
+
+
+@dataclass(frozen=True, slots=True)
+class PerceptronConfig:
+    """Size parameters of the perceptron predictor."""
+
+    name: str = "PerceptronBP"
+    table_size: int = 1024
+    history_length: int = 32
+    weight_bits: int = 8
+
+    @property
+    def threshold(self) -> int:
+        """Optimal training threshold from the original paper: 1.93*h + 14."""
+        return int(1.93 * self.history_length + 14)
+
+    @property
+    def weight_limit(self) -> int:
+        return (1 << (self.weight_bits - 1)) - 1
+
+
+DEFAULT_PERCEPTRON = PerceptronConfig()
+
+
+@dataclass(slots=True)
+class PerceptronPrediction:
+    """Prediction state threaded from predict to update."""
+
+    taken: bool
+    row: int
+    total: int
+    history_bits: tuple[int, ...]
+
+
+class PerceptronPredictor:
+    """Table-of-perceptrons direction predictor."""
+
+    def __init__(
+        self,
+        config: PerceptronConfig = DEFAULT_PERCEPTRON,
+        mapping: MappingProvider | None = None,
+        sizes: StructureSizes | None = None,
+    ):
+        self.config = config
+        self.name = config.name
+        self.sizes = sizes if sizes is not None else StructureSizes()
+        self.mapping = mapping if mapping is not None else BaselineMappingProvider(self.sizes)
+        # weights[row][0] is the bias weight; the rest pair with history bits.
+        self._weights = [
+            [0] * (config.history_length + 1) for _ in range(config.table_size)
+        ]
+
+    def _history_bits(self, history: HistoryState) -> tuple[int, ...]:
+        outcomes = history.outcomes[-self.config.history_length:]
+        bits = [1 if taken else -1 for taken in outcomes]
+        # Pad older (missing) history with "not taken" so the vector length is fixed.
+        padding = [-1] * (self.config.history_length - len(bits))
+        return tuple(padding + bits)
+
+    def predict(self, ip: int, history: HistoryState) -> PerceptronPrediction:
+        row = self.mapping.perceptron_index(ip, self.config.table_size)
+        weights = self._weights[row]
+        bits = self._history_bits(history)
+        total = weights[0] + sum(w * x for w, x in zip(weights[1:], bits))
+        return PerceptronPrediction(taken=total >= 0, row=row, total=total, history_bits=bits)
+
+    def update(self, prediction: PerceptronPrediction, taken: bool, ip: int = 0) -> None:
+        del ip
+        config = self.config
+        needs_training = (prediction.taken != taken) or (abs(prediction.total) <= config.threshold)
+        if not needs_training:
+            return
+        weights = self._weights[prediction.row]
+        direction = 1 if taken else -1
+        limit = config.weight_limit
+        weights[0] = max(-limit - 1, min(limit, weights[0] + direction))
+        for position, bit in enumerate(prediction.history_bits, start=1):
+            delta = direction * bit
+            weights[position] = max(-limit - 1, min(limit, weights[position] + delta))
+
+    def flush(self) -> None:
+        for row in self._weights:
+            for index in range(len(row)):
+                row[index] = 0

@@ -1,0 +1,129 @@
+"""Pattern history table (PHT) and the baseline conditional direction predictor.
+
+The paper's baseline models the conditional predictor found in Intel Skylake
+as a gshare-like structure with two addressing modes over a 16k-entry table of
+2-bit saturating counters: a simple 1-level per-address mode and a 2-level
+mode that hashes in the global history register.  We implement that as a
+hybrid of a bimodal (1-level) array and a gshare (2-level) array with a
+per-branch choice table — the standard generalisation of such designs — which
+we refer to throughout the code as ``SKLCond``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bpu.common import StructureSizes
+from repro.bpu.history import HistoryState
+from repro.bpu.mapping import BaselineMappingProvider, MappingProvider
+
+
+@dataclass(slots=True)
+class SaturatingCounter:
+    """An n-bit saturating counter finite-state machine."""
+
+    bits: int = 2
+    value: int = 1  # weakly not-taken
+
+    @property
+    def maximum(self) -> int:
+        return (1 << self.bits) - 1
+
+    @property
+    def taken(self) -> bool:
+        return self.value > self.maximum // 2
+
+    def update(self, taken: bool) -> None:
+        if taken:
+            self.value = min(self.maximum, self.value + 1)
+        else:
+            self.value = max(0, self.value - 1)
+
+
+class PatternHistoryTable:
+    """A flat array of saturating counters addressed by an externally computed index."""
+
+    def __init__(self, entries: int, counter_bits: int = 2, initial: int | None = None):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self.counter_bits = counter_bits
+        maximum = (1 << counter_bits) - 1
+        start = initial if initial is not None else maximum // 2
+        self._counters = [SaturatingCounter(counter_bits, start) for _ in range(entries)]
+
+    def predict(self, index: int) -> bool:
+        return self._counters[index % self.entries].taken
+
+    def counter_value(self, index: int) -> int:
+        return self._counters[index % self.entries].value
+
+    def update(self, index: int, taken: bool) -> None:
+        self._counters[index % self.entries].update(taken)
+
+    def flush(self) -> None:
+        maximum = (1 << self.counter_bits) - 1
+        for counter in self._counters:
+            counter.value = maximum // 2
+
+
+@dataclass(slots=True)
+class DirectionPrediction:
+    """Direction prediction plus which component produced it."""
+
+    taken: bool
+    used_two_level: bool
+    one_level_index: int
+    two_level_index: int
+
+
+class SKLConditionalPredictor:
+    """Hybrid 1-level / 2-level (gshare) conditional direction predictor.
+
+    This is the ``SKLCond`` baseline referenced by the paper's gem5
+    evaluation.  A choice table selects, per branch address, whether the
+    1-level or 2-level component supplies the prediction; both components are
+    trained on every resolved branch (with the usual bias toward the selected
+    component in the chooser update).
+    """
+
+    name = "SKLCond"
+
+    def __init__(
+        self,
+        sizes: StructureSizes | None = None,
+        mapping: MappingProvider | None = None,
+    ):
+        self.sizes = sizes if sizes is not None else StructureSizes()
+        self.mapping = mapping if mapping is not None else BaselineMappingProvider(self.sizes)
+        entries = self.sizes.pht_entries
+        self.one_level = PatternHistoryTable(entries, self.sizes.pht_counter_bits)
+        self.two_level = PatternHistoryTable(entries, self.sizes.pht_counter_bits)
+        self.chooser = PatternHistoryTable(entries, 2, initial=1)  # weakly prefer 1-level
+
+    def predict(self, ip: int, history: HistoryState) -> DirectionPrediction:
+        one_index = self.mapping.pht_index_1level(ip)
+        two_index = self.mapping.pht_index_2level(ip, history.ghr.snapshot())
+        use_two_level = self.chooser.predict(one_index)
+        taken = self.two_level.predict(two_index) if use_two_level else self.one_level.predict(one_index)
+        return DirectionPrediction(
+            taken=taken,
+            used_two_level=use_two_level,
+            one_level_index=one_index,
+            two_level_index=two_index,
+        )
+
+    def update(self, prediction: DirectionPrediction, taken: bool, ip: int = 0) -> None:
+        del ip
+        one_correct = self.one_level.predict(prediction.one_level_index) == taken
+        two_correct = self.two_level.predict(prediction.two_level_index) == taken
+        if one_correct != two_correct:
+            # Train the chooser toward whichever component was right.
+            self.chooser.update(prediction.one_level_index, two_correct)
+        self.one_level.update(prediction.one_level_index, taken)
+        self.two_level.update(prediction.two_level_index, taken)
+
+    def flush(self) -> None:
+        self.one_level.flush()
+        self.two_level.flush()
+        self.chooser.flush()

@@ -1,0 +1,70 @@
+"""Return stack buffer (RSB).
+
+A fixed-size (16-entry) hardware stack of return addresses (paper
+Section II-A).  Calls push the address of the instruction following the call;
+returns pop.  Only 32 target bits are stored, and like the BTB they flow
+through the installed :class:`~repro.bpu.mapping.TargetCodec`, so STBPU's XOR
+encryption applies here too.  When the RSB underflows, return prediction falls
+back to the indirect predictor (handled by the composite model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bpu.mapping import IdentityTargetCodec, TargetCodec
+
+
+@dataclass(slots=True)
+class RSBPopResult:
+    """Outcome of popping the RSB for a return instruction."""
+
+    underflow: bool
+    predicted_target: int | None
+
+
+class ReturnStackBuffer:
+    """Bounded hardware return-address stack.
+
+    The RSB is modelled as a circular stack: pushing beyond capacity
+    overwrites the oldest entry (so deep call chains lose outer frames), and
+    popping an empty stack reports an underflow.
+    """
+
+    def __init__(self, entries: int = 16, codec: TargetCodec | None = None):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.capacity = entries
+        self.codec = codec if codec is not None else IdentityTargetCodec()
+        self._stack: list[int] = []
+        self.overflow_count = 0
+        self.underflow_count = 0
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def push(self, return_address: int) -> None:
+        """Push the return address of a call (stored encoded)."""
+        if len(self._stack) >= self.capacity:
+            # Oldest entry is overwritten, mirroring a circular hardware stack.
+            self._stack.pop(0)
+            self.overflow_count += 1
+        self._stack.append(self.codec.encode(return_address))
+
+    def pop(self, return_ip: int) -> RSBPopResult:
+        """Pop a predicted return target for the return instruction at ``return_ip``."""
+        if not self._stack:
+            self.underflow_count += 1
+            return RSBPopResult(underflow=True, predicted_target=None)
+        stored = self._stack.pop()
+        predicted = self.codec.extend(stored, return_ip)
+        return RSBPopResult(underflow=False, predicted_target=predicted)
+
+    def peek(self) -> int | None:
+        """Return the top stored (encoded) value without popping, for tests."""
+        return self._stack[-1] if self._stack else None
+
+    def flush(self) -> int:
+        dropped = len(self._stack)
+        self._stack.clear()
+        return dropped

@@ -1,0 +1,436 @@
+"""TAGE-SC-L conditional direction predictor.
+
+The paper demonstrates that STBPU composes with advanced predictors by
+protecting TAGE-SC-L (8KB and 64KB configurations, Seznec's championship
+predictor) and the Perceptron predictor.  This module implements a faithful
+functional TAGE-SC-L:
+
+* a bimodal base predictor,
+* several partially tagged tables indexed with geometrically increasing
+  global-history lengths (the TAGE core),
+* a loop predictor (the "L") that captures constant-trip-count loops, and
+* a small statistical corrector (the "SC") that can override the TAGE
+  prediction when history-biased counters disagree confidently.
+
+All index and tag computations are delegated to the installed
+:class:`~repro.bpu.mapping.MappingProvider`, which is how the STBPU keyed
+remapping ``Rt`` is applied without touching the prediction algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bpu.common import StructureSizes
+from repro.bpu.history import FoldedHistory, HistoryState
+from repro.bpu.mapping import BaselineMappingProvider, MappingProvider
+
+
+@dataclass(frozen=True, slots=True)
+class TAGEConfig:
+    """Size/shape parameters of one TAGE-SC-L instance."""
+
+    name: str
+    bimodal_entries: int
+    tagged_table_entries: tuple[int, ...]
+    tag_bits: tuple[int, ...]
+    history_lengths: tuple[int, ...]
+    counter_bits: int = 3
+    useful_bits: int = 2
+    use_loop_predictor: bool = True
+    use_statistical_corrector: bool = True
+    loop_entries: int = 64
+    sc_table_entries: int = 1024
+    sc_history_lengths: tuple[int, ...] = (3, 7, 15)
+    useful_reset_period: int = 256 * 1024
+
+    def __post_init__(self) -> None:
+        lengths = (len(self.tagged_table_entries), len(self.tag_bits), len(self.history_lengths))
+        if len(set(lengths)) != 1:
+            raise ValueError("tagged table parameter tuples must have equal lengths")
+
+    @property
+    def table_count(self) -> int:
+        return len(self.tagged_table_entries)
+
+
+#: 8KB TAGE-SC-L configuration (paper: ``TAGE_SC_L_8KB``).
+TAGE_SC_L_8KB = TAGEConfig(
+    name="TAGE_SC_L_8KB",
+    bimodal_entries=1 << 12,
+    tagged_table_entries=(512, 512, 512, 512, 512, 512),
+    tag_bits=(7, 7, 8, 8, 9, 9),
+    history_lengths=(4, 9, 19, 40, 85, 180),
+    loop_entries=32,
+    sc_table_entries=512,
+)
+
+#: 64KB TAGE-SC-L configuration (paper: ``TAGE_SC_L_64KB``).
+TAGE_SC_L_64KB = TAGEConfig(
+    name="TAGE_SC_L_64KB",
+    bimodal_entries=1 << 14,
+    tagged_table_entries=(1024,) * 12,
+    tag_bits=(8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13),
+    history_lengths=(4, 7, 13, 23, 41, 73, 129, 229, 407, 640, 768, 1024),
+    loop_entries=64,
+    sc_table_entries=1024,
+)
+
+
+@dataclass(slots=True)
+class _TaggedEntry:
+    valid: bool = False
+    tag: int = 0
+    counter: int = 0  # signed prediction counter, range [-4, 3] for 3 bits
+    useful: int = 0
+
+
+class _IncrementalFold:
+    """Circularly folded history register maintained incrementally.
+
+    This is the standard TAGE implementation trick: instead of re-hashing the
+    whole (possibly 1000-bit) global history on every prediction, each table
+    keeps a ``folded_bits``-wide register updated in O(1) when one outcome
+    enters the history and one leaves it.
+    """
+
+    __slots__ = ("history_length", "folded_bits", "value")
+
+    def __init__(self, history_length: int, folded_bits: int):
+        self.history_length = history_length
+        self.folded_bits = max(1, folded_bits)
+        self.value = 0
+
+    def update(self, new_bit: int, old_bit: int) -> None:
+        mask = (1 << self.folded_bits) - 1
+        value = (self.value << 1) | new_bit
+        value ^= old_bit << (self.history_length % self.folded_bits)
+        value ^= value >> self.folded_bits
+        self.value = value & mask
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+@dataclass(slots=True)
+class _LoopEntry:
+    tag: int = 0
+    past_iterations: int = 0
+    current_iterations: int = 0
+    confidence: int = 0
+    valid: bool = False
+
+
+@dataclass(slots=True)
+class TAGEPrediction:
+    """Prediction state threaded from :meth:`TAGEPredictor.predict` to ``update``."""
+
+    taken: bool
+    provider_table: int | None
+    provider_index: int
+    alt_taken: bool
+    alt_table: int | None
+    alt_index: int
+    bimodal_index: int
+    tagged_indices: tuple[int, ...]
+    tagged_tags: tuple[int, ...]
+    tage_taken: bool
+    loop_hit: bool = False
+    loop_taken: bool = False
+    loop_index: int = 0
+    sc_sum: int = 0
+    sc_used: bool = False
+    sc_indices: tuple[int, ...] = ()
+
+
+class TAGEPredictor:
+    """Functional TAGE-SC-L direction predictor."""
+
+    def __init__(
+        self,
+        config: TAGEConfig = TAGE_SC_L_64KB,
+        mapping: MappingProvider | None = None,
+        sizes: StructureSizes | None = None,
+    ):
+        self.config = config
+        self.name = config.name
+        self.sizes = sizes if sizes is not None else StructureSizes()
+        self.mapping = mapping if mapping is not None else BaselineMappingProvider(self.sizes)
+        self._bimodal = [0] * config.bimodal_entries  # 2-bit counters stored as 0..3
+        self._tables: list[list[_TaggedEntry]] = [
+            [_TaggedEntry() for _ in range(entries)] for entries in config.tagged_table_entries
+        ]
+        self._index_folds = [
+            _IncrementalFold(h, (entries - 1).bit_length())
+            for h, entries in zip(config.history_lengths, config.tagged_table_entries)
+        ]
+        self._tag_folds = [
+            _IncrementalFold(h, bits)
+            for h, bits in zip(config.history_lengths, config.tag_bits)
+        ]
+        self._max_history = max(config.history_lengths)
+        #: Private global-history bit list (newest at the end), bounded in length.
+        self._ghist: list[int] = []
+        self._use_alt_on_na = 8  # 4-bit counter, midpoint
+        self._loop_table = [_LoopEntry() for _ in range(config.loop_entries)]
+        self._sc_tables = [
+            [0] * config.sc_table_entries for _ in config.sc_history_lengths
+        ]
+        self._sc_threshold = 6
+        self._access_count = 0
+
+    # ----------------------------------------------------------------- helpers
+
+    def _bimodal_index(self, ip: int) -> int:
+        return self.mapping.pht_index_1level(ip) % self.config.bimodal_entries
+
+    def _counter_limits(self) -> tuple[int, int]:
+        bits = self.config.counter_bits
+        return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+
+    def _compute_indices(self, ip: int, history: HistoryState) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        del history  # TAGE keeps its own folded history registers.
+        indices = []
+        tags = []
+        for table, entries in enumerate(self.config.tagged_table_entries):
+            folded_index = self._index_folds[table].value
+            folded_tag = self._tag_folds[table].value
+            index_bits = (entries - 1).bit_length()
+            index = self.mapping.tage_index(ip, folded_index, table, index_bits) % entries
+            tag = self.mapping.tage_tag(ip, folded_tag, table, self.config.tag_bits[table])
+            indices.append(index)
+            tags.append(tag)
+        return tuple(indices), tuple(tags)
+
+    def _push_history(self, taken: bool) -> None:
+        """Advance the private global history and every folded register by one bit."""
+        new_bit = int(taken)
+        history = self._ghist
+        history.append(new_bit)
+        length = len(history)
+        for index_fold, tag_fold in zip(self._index_folds, self._tag_folds):
+            depth = index_fold.history_length
+            old_bit = history[length - 1 - depth] if length > depth else 0
+            index_fold.update(new_bit, old_bit)
+            tag_fold.update(new_bit, old_bit)
+        if length > self._max_history + 64:
+            del history[: length - self._max_history]
+
+    # ----------------------------------------------------------------- predict
+
+    def predict(self, ip: int, history: HistoryState) -> TAGEPrediction:
+        self._access_count += 1
+        config = self.config
+        bimodal_index = self._bimodal_index(ip)
+        bimodal_taken = self._bimodal[bimodal_index] >= 2
+        indices, tags = self._compute_indices(ip, history)
+
+        provider_table: int | None = None
+        alt_table: int | None = None
+        for table in range(config.table_count - 1, -1, -1):
+            entry = self._tables[table][indices[table]]
+            if entry.valid and entry.tag == tags[table]:
+                if provider_table is None:
+                    provider_table = table
+                elif alt_table is None:
+                    alt_table = table
+                    break
+
+        if provider_table is not None:
+            provider_entry = self._tables[provider_table][indices[provider_table]]
+            provider_taken = provider_entry.counter >= 0
+            if alt_table is not None:
+                alt_entry = self._tables[alt_table][indices[alt_table]]
+                alt_taken = alt_entry.counter >= 0
+                alt_index = indices[alt_table]
+            else:
+                alt_taken = bimodal_taken
+                alt_index = bimodal_index
+            # Newly allocated, weak entries are less trustworthy than the alternate.
+            weak = provider_entry.counter in (-1, 0) and provider_entry.useful == 0
+            if weak and self._use_alt_on_na >= 8:
+                tage_taken = alt_taken
+            else:
+                tage_taken = provider_taken
+            provider_index = indices[provider_table]
+        else:
+            tage_taken = bimodal_taken
+            alt_taken = bimodal_taken
+            alt_index = bimodal_index
+            provider_index = bimodal_index
+
+        prediction = TAGEPrediction(
+            taken=tage_taken,
+            provider_table=provider_table,
+            provider_index=provider_index,
+            alt_taken=alt_taken,
+            alt_table=alt_table,
+            alt_index=alt_index,
+            bimodal_index=bimodal_index,
+            tagged_indices=indices,
+            tagged_tags=tags,
+            tage_taken=tage_taken,
+        )
+
+        if config.use_loop_predictor:
+            self._apply_loop_predictor(ip, prediction)
+        if config.use_statistical_corrector:
+            self._apply_statistical_corrector(ip, history, prediction)
+        return prediction
+
+    def _loop_index(self, ip: int) -> int:
+        return (ip >> 2) % self.config.loop_entries
+
+    def _apply_loop_predictor(self, ip: int, prediction: TAGEPrediction) -> None:
+        index = self._loop_index(ip)
+        entry = self._loop_table[index]
+        prediction.loop_index = index
+        tag = (ip >> 8) & 0x3FF
+        if entry.valid and entry.tag == tag and entry.confidence >= 3:
+            prediction.loop_hit = True
+            prediction.loop_taken = entry.current_iterations + 1 < entry.past_iterations
+            prediction.taken = prediction.loop_taken
+
+    def _sc_index(self, ip: int, history: HistoryState, component: int) -> int:
+        length = self.config.sc_history_lengths[component]
+        folded = FoldedHistory(length, 10).fold(history.outcomes)
+        mixed = (ip >> 2) ^ (folded * 3) ^ (component * 0x61)
+        return mixed % self.config.sc_table_entries
+
+    def _apply_statistical_corrector(
+        self, ip: int, history: HistoryState, prediction: TAGEPrediction
+    ) -> None:
+        indices = tuple(
+            self._sc_index(ip, history, component)
+            for component in range(len(self.config.sc_history_lengths))
+        )
+        prediction.sc_indices = indices
+        total = sum(
+            table[index] for table, index in zip(self._sc_tables, indices)
+        )
+        bias = 1 if prediction.taken else -1
+        total += 2 * bias
+        prediction.sc_sum = total
+        if abs(total) >= self._sc_threshold and (total >= 0) != prediction.taken:
+            prediction.sc_used = True
+            prediction.taken = total >= 0
+
+    # ------------------------------------------------------------------ update
+
+    def update(self, prediction: TAGEPrediction, taken: bool, ip: int = 0) -> None:
+        config = self.config
+        low, high = self._counter_limits()
+
+        # Loop predictor update.
+        if config.use_loop_predictor:
+            self._update_loop_predictor(ip, prediction, taken)
+
+        # Statistical corrector update (trained when it participated or was close).
+        if config.use_statistical_corrector and prediction.sc_indices:
+            if prediction.sc_used or abs(prediction.sc_sum) < self._sc_threshold * 2:
+                direction = 1 if taken else -1
+                for table, index in zip(self._sc_tables, prediction.sc_indices):
+                    table[index] = max(-31, min(31, table[index] + direction))
+
+        # use_alt_on_na bookkeeping.
+        if prediction.provider_table is not None:
+            provider_entry = self._tables[prediction.provider_table][prediction.provider_index]
+            weak = provider_entry.counter in (-1, 0) and provider_entry.useful == 0
+            if weak and prediction.tage_taken != prediction.alt_taken:
+                if prediction.alt_taken == taken:
+                    self._use_alt_on_na = min(15, self._use_alt_on_na + 1)
+                else:
+                    self._use_alt_on_na = max(0, self._use_alt_on_na - 1)
+
+        # Provider counter update.
+        if prediction.provider_table is not None:
+            entry = self._tables[prediction.provider_table][prediction.provider_index]
+            entry.counter = self._update_signed(entry.counter, taken, low, high)
+            if prediction.tage_taken != prediction.alt_taken:
+                if prediction.tage_taken == taken:
+                    entry.useful = min((1 << config.useful_bits) - 1, entry.useful + 1)
+                else:
+                    entry.useful = max(0, entry.useful - 1)
+        else:
+            value = self._bimodal[prediction.bimodal_index]
+            self._bimodal[prediction.bimodal_index] = (
+                min(3, value + 1) if taken else max(0, value - 1)
+            )
+
+        # Allocation of a new entry on a TAGE misprediction.
+        if prediction.tage_taken != taken:
+            self._allocate(prediction, taken)
+
+        # Periodic graceful reset of useful counters.
+        if self._access_count % config.useful_reset_period == 0:
+            for table in self._tables:
+                for entry in table:
+                    entry.useful >>= 1
+
+        # Advance the private speculative history by this branch's outcome.
+        self._push_history(taken)
+
+    @staticmethod
+    def _update_signed(counter: int, taken: bool, low: int, high: int) -> int:
+        return min(high, counter + 1) if taken else max(low, counter - 1)
+
+    def _allocate(self, prediction: TAGEPrediction, taken: bool) -> None:
+        start = (prediction.provider_table + 1) if prediction.provider_table is not None else 0
+        for table in range(start, self.config.table_count):
+            entry = self._tables[table][prediction.tagged_indices[table]]
+            if not entry.valid or entry.useful == 0:
+                entry.valid = True
+                entry.tag = prediction.tagged_tags[table]
+                entry.counter = 0 if taken else -1
+                entry.useful = 0
+                return
+        # No free entry: decay usefulness along the allocation path.
+        for table in range(start, self.config.table_count):
+            entry = self._tables[table][prediction.tagged_indices[table]]
+            entry.useful = max(0, entry.useful - 1)
+
+    def _update_loop_predictor(self, ip: int, prediction: TAGEPrediction, taken: bool) -> None:
+        entry = self._loop_table[prediction.loop_index]
+        tag = (ip >> 8) & 0x3FF
+        if entry.valid and entry.tag == tag:
+            if taken:
+                entry.current_iterations += 1
+            else:
+                if entry.current_iterations == entry.past_iterations:
+                    entry.confidence = min(7, entry.confidence + 1)
+                else:
+                    entry.past_iterations = entry.current_iterations
+                    entry.confidence = 0
+                entry.current_iterations = 0
+        elif not taken:
+            # A loop exit on an unknown branch seeds a new loop entry.
+            if not entry.valid or entry.confidence == 0:
+                entry.valid = True
+                entry.tag = tag
+                entry.past_iterations = entry.current_iterations = 0
+                entry.confidence = 0
+
+    # ------------------------------------------------------------------- admin
+
+    def flush(self) -> None:
+        for index in range(len(self._bimodal)):
+            self._bimodal[index] = 1
+        for table in self._tables:
+            for entry in table:
+                entry.valid = False
+                entry.tag = 0
+                entry.counter = 0
+                entry.useful = 0
+        for entry in self._loop_table:
+            entry.valid = False
+            entry.confidence = 0
+            entry.current_iterations = 0
+            entry.past_iterations = 0
+        for table in self._sc_tables:
+            for index in range(len(table)):
+                table[index] = 0
+        for index_fold, tag_fold in zip(self._index_folds, self._tag_folds):
+            index_fold.reset()
+            tag_fold.reset()
+        self._ghist.clear()
+        self._use_alt_on_na = 8

@@ -1,0 +1,65 @@
+"""STBPU core: secret tokens, keyed remapping, encryption, monitoring, OS policy."""
+
+from repro.core.secret_token import (
+    TOKEN_BITS,
+    TOKEN_HALF_BITS,
+    SecretToken,
+    SecretTokenRegister,
+    TokenGenerator,
+)
+from repro.core.remapping import (
+    TABLE_II,
+    RemapFunctionSpec,
+    STMappingProvider,
+    keyed_remap,
+    mix64,
+)
+from repro.core.encryption import XorTargetCodec, cross_token_decode
+from repro.core.monitoring import (
+    DEFAULT_MONITOR_CONFIG,
+    MonitorConfig,
+    MonitorCounters,
+    RerandomizationMonitor,
+    thresholds_for_difficulty,
+)
+from repro.core.stbpu import (
+    KERNEL_CONTEXT_ID,
+    STBPU,
+    STBPUStats,
+    make_stbpu_perceptron,
+    make_stbpu_skl,
+    make_stbpu_tage,
+    make_unprotected_perceptron,
+    make_unprotected_tage,
+)
+from repro.core.os_interface import ProcessDescriptor, STBPUOperatingSystem
+
+__all__ = [
+    "TOKEN_BITS",
+    "TOKEN_HALF_BITS",
+    "SecretToken",
+    "SecretTokenRegister",
+    "TokenGenerator",
+    "TABLE_II",
+    "RemapFunctionSpec",
+    "STMappingProvider",
+    "keyed_remap",
+    "mix64",
+    "XorTargetCodec",
+    "cross_token_decode",
+    "DEFAULT_MONITOR_CONFIG",
+    "MonitorConfig",
+    "MonitorCounters",
+    "RerandomizationMonitor",
+    "thresholds_for_difficulty",
+    "KERNEL_CONTEXT_ID",
+    "STBPU",
+    "STBPUStats",
+    "make_stbpu_perceptron",
+    "make_stbpu_skl",
+    "make_stbpu_tage",
+    "make_unprotected_perceptron",
+    "make_unprotected_tage",
+    "ProcessDescriptor",
+    "STBPUOperatingSystem",
+]

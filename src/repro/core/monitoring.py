@@ -1,0 +1,164 @@
+"""Event-monitoring MSRs and the ST re-randomization policy.
+
+STBPU adds model-specific registers that hold OS-programmed thresholds and
+down-counters for two hardware events that every collision-construction
+attack must trigger in bulk (paper Sections IV-B and VI):
+
+* branch mispredictions (wrong direction of a conditional branch or wrong
+  target of any branch), and
+* BTB evictions.
+
+Counters start at their thresholds and decrement when the corresponding event
+is observed; when a counter reaches zero the current process's ST is
+re-randomized and the counter reloads.  The TAGE-based STBPU models
+additionally dedicate a separate threshold register to direction
+(TAGE-table) mispredictions so that ordinary conditional-branch noise does not
+burn the main counter — the paper calls this out as the reason the
+ST_SKLCond model re-randomizes more often in SMT mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bpu.common import AccessResult
+from repro.trace.branch import BranchRecord
+
+
+@dataclass(frozen=True, slots=True)
+class MonitorConfig:
+    """Threshold configuration loaded into the monitoring MSRs.
+
+    Attributes:
+        misprediction_threshold: Events before re-randomization for the
+            misprediction counter.
+        eviction_threshold: Events before re-randomization for the BTB
+            eviction counter.
+        direction_misprediction_threshold: Optional separate threshold for
+            conditional-direction mispredictions (TAGE models).  When
+            ``None`` direction mispredictions decrement the main counter.
+    """
+
+    misprediction_threshold: int
+    eviction_threshold: int
+    direction_misprediction_threshold: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.misprediction_threshold <= 0 or self.eviction_threshold <= 0:
+            raise ValueError("thresholds must be positive")
+        if (
+            self.direction_misprediction_threshold is not None
+            and self.direction_misprediction_threshold <= 0
+        ):
+            raise ValueError("direction threshold must be positive when provided")
+
+
+#: Default thresholds derived in Section VII-A for r = 0.05:
+#: mispredictions 4.15e4, evictions 2.65e4.
+DEFAULT_MONITOR_CONFIG = MonitorConfig(
+    misprediction_threshold=41_500,
+    eviction_threshold=26_500,
+    direction_misprediction_threshold=41_500,
+)
+
+
+@dataclass(slots=True)
+class MonitorCounters:
+    """Current values of the down-counters (one set per hardware thread)."""
+
+    mispredictions_remaining: int = 0
+    evictions_remaining: int = 0
+    direction_remaining: int = 0
+
+
+class RerandomizationMonitor:
+    """Implements the decrement-and-fire policy over the monitored events."""
+
+    def __init__(self, config: MonitorConfig = DEFAULT_MONITOR_CONFIG):
+        self.config = config
+        self.counters = MonitorCounters()
+        self.reload()
+        self.fired_count = 0
+        self.observed_mispredictions = 0
+        self.observed_evictions = 0
+
+    def reload(self) -> None:
+        """Reset every counter to its threshold (done after each firing)."""
+        self.counters.mispredictions_remaining = self.config.misprediction_threshold
+        self.counters.evictions_remaining = self.config.eviction_threshold
+        if self.config.direction_misprediction_threshold is not None:
+            self.counters.direction_remaining = self.config.direction_misprediction_threshold
+        else:
+            self.counters.direction_remaining = self.config.misprediction_threshold
+
+    def set_config(self, config: MonitorConfig) -> None:
+        """Privileged update of the thresholds (OS writes the MSRs)."""
+        self.config = config
+        self.reload()
+
+    def observe(self, branch: BranchRecord, result: AccessResult) -> bool:
+        """Feed one access outcome into the counters.
+
+        Returns:
+            ``True`` when a counter exhausted and the ST must be re-randomized.
+        """
+        fire = False
+
+        if result.btb_eviction:
+            self.observed_evictions += 1
+            self.counters.evictions_remaining -= 1
+            if self.counters.evictions_remaining <= 0:
+                fire = True
+
+        if result.mispredicted:
+            self.observed_mispredictions += 1
+            direction_only = (
+                branch.branch_type.is_conditional
+                and not result.direction_correct
+                and self.config.direction_misprediction_threshold is not None
+            )
+            if direction_only:
+                self.counters.direction_remaining -= 1
+                if self.counters.direction_remaining <= 0:
+                    fire = True
+            else:
+                self.counters.mispredictions_remaining -= 1
+                if self.counters.mispredictions_remaining <= 0:
+                    fire = True
+
+        if fire:
+            self.fired_count += 1
+            self.reload()
+        return fire
+
+
+def thresholds_for_difficulty(
+    attack_complexity_mispredictions: float,
+    attack_complexity_evictions: float,
+    r: float = 0.05,
+    separate_direction_register: bool = True,
+) -> MonitorConfig:
+    """Derive a :class:`MonitorConfig` from attack complexities and the difficulty factor r.
+
+    The paper defines the re-randomization threshold as ``Γ = r · C`` where C
+    is the smallest number of mispredictions/evictions any known attack must
+    trigger for a 50% success probability (Section VII-A).
+
+    Args:
+        attack_complexity_mispredictions: C for misprediction-bounded attacks.
+        attack_complexity_evictions: C for eviction-bounded attacks.
+        r: Attack difficulty factor (0.05 is the paper's default).
+        separate_direction_register: Whether the model has the extra
+            TAGE-style direction-misprediction register.
+    """
+    if r <= 0:
+        raise ValueError("r must be positive")
+    misprediction_threshold = max(1, int(attack_complexity_mispredictions * r))
+    eviction_threshold = max(1, int(attack_complexity_evictions * r))
+    return MonitorConfig(
+        misprediction_threshold=misprediction_threshold,
+        eviction_threshold=eviction_threshold,
+        direction_misprediction_threshold=(
+            misprediction_threshold if separate_direction_register else None
+        ),
+    )

@@ -1,0 +1,159 @@
+"""Operating-system responsibilities in the STBPU design.
+
+The paper delegates several policy decisions to trusted system software
+(Section IV-A):
+
+* assigning a fresh ST to every software entity requiring isolation,
+* treating the ST as part of the saved process context (reloading it on
+  context and mode switches),
+* programming the re-randomization thresholds (derived from the attack
+  difficulty factor ``r``), possibly differently for especially sensitive
+  processes, and
+* selectively sharing an ST between processes that execute the same program
+  image (e.g. prefork server workers) so that useful branch history is not
+  thrown away.
+
+``STBPUOperatingSystem`` models that policy layer on top of one or more
+:class:`~repro.core.stbpu.STBPU` hardware instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.monitoring import MonitorConfig, thresholds_for_difficulty
+from repro.core.secret_token import SecretToken
+from repro.core.stbpu import KERNEL_CONTEXT_ID, STBPU
+from repro.trace.branch import PrivilegeMode
+
+
+@dataclass(slots=True)
+class ProcessDescriptor:
+    """OS bookkeeping for one software entity using the STBPU."""
+
+    context_id: int
+    name: str = ""
+    sharing_group: str | None = None
+    sensitive: bool = False
+
+
+class STBPUOperatingSystem:
+    """Trusted software layer managing secret tokens and thresholds.
+
+    Args:
+        hardware: The STBPU instance (one hardware thread) this OS manages.
+        default_r: Attack difficulty factor used to derive default thresholds.
+        attack_complexity_mispredictions: Lowest misprediction complexity C of
+            any considered attack (from the security analysis).
+        attack_complexity_evictions: Lowest eviction complexity C.
+    """
+
+    def __init__(
+        self,
+        hardware: STBPU,
+        default_r: float = 0.05,
+        attack_complexity_mispredictions: float = 8.38e5,
+        attack_complexity_evictions: float = 5.3e5,
+    ):
+        self.hardware = hardware
+        self.default_r = default_r
+        self.attack_complexity_mispredictions = attack_complexity_mispredictions
+        self.attack_complexity_evictions = attack_complexity_evictions
+        self.processes: dict[int, ProcessDescriptor] = {}
+        self._running: int | None = None
+        self.set_difficulty_factor(default_r)
+
+    # ---------------------------------------------------------------- processes
+
+    def register_process(
+        self,
+        context_id: int,
+        name: str = "",
+        sharing_group: str | None = None,
+        sensitive: bool = False,
+    ) -> ProcessDescriptor:
+        """Create OS state for a process and assign (or share) its ST."""
+        if context_id == KERNEL_CONTEXT_ID:
+            raise ValueError("the kernel context is managed implicitly")
+        descriptor = ProcessDescriptor(
+            context_id=context_id, name=name, sharing_group=sharing_group, sensitive=sensitive
+        )
+        self.processes[context_id] = descriptor
+        if sharing_group is not None:
+            self.hardware.shared_token_groups[context_id] = sharing_group
+        # Touch the token table so the token exists from registration time.
+        self.hardware.token_of(context_id)
+        return descriptor
+
+    def share_tokens(self, context_ids: list[int], group: str) -> None:
+        """Give several processes the same ST (same program image, paper IV-A)."""
+        for context_id in context_ids:
+            if context_id in self.processes:
+                self.processes[context_id].sharing_group = group
+            self.hardware.shared_token_groups[context_id] = group
+
+    # ------------------------------------------------------------------ policy
+
+    def set_difficulty_factor(self, r: float, sensitive_scale: float = 0.1) -> MonitorConfig:
+        """Program thresholds from the attack difficulty factor ``Γ = r·C``.
+
+        ``sensitive_scale`` further tightens thresholds for processes marked
+        sensitive (the OS may go as far as threshold 1, which effectively
+        disables prediction for that process).
+        """
+        self.default_r = r
+        config = thresholds_for_difficulty(
+            self.attack_complexity_mispredictions,
+            self.attack_complexity_evictions,
+            r=r,
+            separate_direction_register=(
+                self.hardware.monitor.config.direction_misprediction_threshold is not None
+            ),
+        )
+        self.hardware.monitor.set_config(config)
+        self._sensitive_scale = sensitive_scale
+        return config
+
+    def config_for_process(self, context_id: int) -> MonitorConfig:
+        """Thresholds that apply while ``context_id`` is running."""
+        descriptor = self.processes.get(context_id)
+        base = self.hardware.monitor.config
+        if descriptor is None or not descriptor.sensitive:
+            return base
+        scale = getattr(self, "_sensitive_scale", 0.1)
+        return MonitorConfig(
+            misprediction_threshold=max(1, int(base.misprediction_threshold * scale)),
+            eviction_threshold=max(1, int(base.eviction_threshold * scale)),
+            direction_misprediction_threshold=(
+                max(1, int(base.direction_misprediction_threshold * scale))
+                if base.direction_misprediction_threshold is not None
+                else None
+            ),
+        )
+
+    # ----------------------------------------------------------------- switches
+
+    def context_switch(self, context_id: int) -> None:
+        """Dispatch a context switch: reload the ST and per-process thresholds."""
+        self._running = context_id
+        self.hardware.monitor.set_config(self.config_for_process(context_id))
+        self.hardware.on_context_switch(context_id)
+
+    def enter_kernel(self, from_context: int) -> None:
+        self.hardware.on_mode_switch(PrivilegeMode.KERNEL, from_context)
+
+    def exit_kernel(self, to_context: int) -> None:
+        self.hardware.on_mode_switch(PrivilegeMode.USER, to_context)
+
+    def interrupt(self, context_id: int) -> None:
+        self.hardware.on_interrupt(context_id)
+
+    # ----------------------------------------------------------------- queries
+
+    def token_of(self, context_id: int) -> SecretToken:
+        """Privileged read of a process's ST (for context save/restore)."""
+        return self.hardware.token_of(context_id)
+
+    @property
+    def running_context(self) -> int | None:
+        return self._running

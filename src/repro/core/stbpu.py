@@ -1,0 +1,269 @@
+"""The STBPU hardware layer: token-customised predictors with auto re-randomization.
+
+``STBPU`` wraps a :class:`~repro.bpu.composite.CompositeBPU` that was built
+with an :class:`~repro.core.remapping.STMappingProvider` and an
+:class:`~repro.core.encryption.XorTargetCodec`.  The wrapper owns:
+
+* the per-hardware-thread ST register,
+* the per-process token table (maintained for it by the OS model, which loads
+  the right token on every context switch), and
+* the monitoring MSRs that trigger automatic re-randomization.
+
+Because the wrapped predictor's logic is untouched — only its mapping provider
+and codec read the active token — this layer can protect the SKLCond baseline,
+TAGE-SC-L, or the Perceptron predictor identically, which reproduces the
+paper's claim of predictor-agnosticism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bpu.common import AccessResult, BranchPredictorModel, StructureSizes
+from repro.bpu.composite import CompositeBPU
+from repro.bpu.pht import SKLConditionalPredictor
+from repro.bpu.perceptron import DEFAULT_PERCEPTRON, PerceptronConfig, PerceptronPredictor
+from repro.bpu.tage import TAGE_SC_L_8KB, TAGE_SC_L_64KB, TAGEConfig, TAGEPredictor
+from repro.core.encryption import XorTargetCodec
+from repro.core.monitoring import DEFAULT_MONITOR_CONFIG, MonitorConfig, RerandomizationMonitor
+from repro.core.remapping import STMappingProvider
+from repro.core.secret_token import SecretToken, SecretTokenRegister, TokenGenerator
+from repro.trace.branch import BranchRecord, PrivilegeMode
+
+
+#: Context identifier used for kernel-mode execution.  The kernel is a
+#: software entity of its own and therefore gets its own ST.
+KERNEL_CONTEXT_ID = -1
+
+
+@dataclass(slots=True)
+class STBPUStats:
+    """STBPU-specific counters (on top of the generic predictor stats)."""
+
+    rerandomizations: int = 0
+    token_loads: int = 0
+    contexts_seen: set[int] = field(default_factory=set)
+
+
+class STBPU(BranchPredictorModel):
+    """Secret-token branch prediction unit.
+
+    Args:
+        inner: Composite predictor built around ``mapping`` and ``codec``.
+        mapping: The ST-keyed mapping provider installed in ``inner``.
+        codec: The ϕ-keyed target codec installed in ``inner``.
+        token_generator: Source of fresh random tokens.
+        monitor_config: Re-randomization thresholds.
+        shared_token_groups: Optional mapping from context id to a sharing
+            group label; contexts in the same group receive the same ST
+            (selective history sharing, paper Section IV-A).
+    """
+
+    def __init__(
+        self,
+        inner: CompositeBPU,
+        mapping: STMappingProvider,
+        codec: XorTargetCodec,
+        token_generator: TokenGenerator | None = None,
+        monitor_config: MonitorConfig = DEFAULT_MONITOR_CONFIG,
+        shared_token_groups: dict[int, str] | None = None,
+        name: str | None = None,
+    ):
+        self.inner = inner
+        self.mapping = mapping
+        self.codec = codec
+        self.generator = token_generator if token_generator is not None else TokenGenerator()
+        self.register = SecretTokenRegister(self.generator)
+        self.monitor = RerandomizationMonitor(monitor_config)
+        self.shared_token_groups = dict(shared_token_groups or {})
+        self.name = name if name is not None else f"ST_{inner.direction.name}"
+        self.stats = STBPUStats()
+        self._context_tokens: dict[int, SecretToken] = {}
+        self._group_tokens: dict[str, SecretToken] = {}
+        self._current_context: int = 0
+        self._install_token(self._token_for_context(0))
+
+    # ------------------------------------------------------------------ tokens
+
+    def _token_for_context(self, context_id: int) -> SecretToken:
+        group = self.shared_token_groups.get(context_id)
+        if group is not None:
+            if group not in self._group_tokens:
+                self._group_tokens[group] = self.generator.next_token()
+            token = self._group_tokens[group]
+            self._context_tokens[context_id] = token
+            return token
+        if context_id not in self._context_tokens:
+            self._context_tokens[context_id] = self.generator.next_token()
+        return self._context_tokens[context_id]
+
+    def _install_token(self, token: SecretToken) -> None:
+        self.register.load(token)
+        self.mapping.set_token(token)
+        self.codec.set_token(token)
+        self.stats.token_loads += 1
+
+    def current_token(self) -> SecretToken:
+        """The token currently loaded in the hardware register (privileged view)."""
+        return self.register.token
+
+    def token_of(self, context_id: int) -> SecretToken:
+        """Privileged lookup of a context's token (used by OS model and tests)."""
+        return self._token_for_context(context_id)
+
+    def rerandomize_current(self) -> SecretToken:
+        """Re-randomize the running context's ST (hardware-triggered or OS-forced)."""
+        fresh = self.register.rerandomize()
+        context = self._current_context
+        group = self.shared_token_groups.get(context)
+        if group is not None:
+            self._group_tokens[group] = fresh
+            for ctx, ctx_group in self.shared_token_groups.items():
+                if ctx_group == group:
+                    self._context_tokens[ctx] = fresh
+        else:
+            self._context_tokens[context] = fresh
+        self.mapping.set_token(fresh)
+        self.codec.set_token(fresh)
+        self.stats.rerandomizations += 1
+        return fresh
+
+    # ------------------------------------------------------------------ access
+
+    def access(self, branch: BranchRecord) -> AccessResult:
+        context = self._effective_context(branch)
+        if context != self._current_context:
+            # Mode switches within a trace arrive as branch records with a
+            # different privilege mode; make sure the right token is active.
+            self._current_context = context
+            self._install_token(self._token_for_context(context))
+        self.stats.contexts_seen.add(context)
+
+        result = self.inner.access_with_events(branch)
+        if self.monitor.observe(branch, result):
+            self.rerandomize_current()
+        return result
+
+    def _effective_context(self, branch: BranchRecord) -> int:
+        if branch.mode is PrivilegeMode.KERNEL:
+            return KERNEL_CONTEXT_ID
+        return branch.context_id
+
+    # ------------------------------------------------------------------- hooks
+
+    def on_context_switch(self, context_id: int) -> None:
+        """OS context switch: save nothing (tokens are in the table), load the new ST."""
+        self._current_context = context_id
+        self._install_token(self._token_for_context(context_id))
+
+    def on_mode_switch(self, mode: PrivilegeMode, context_id: int) -> None:
+        if mode is PrivilegeMode.KERNEL:
+            self._current_context = KERNEL_CONTEXT_ID
+            self._install_token(self._token_for_context(KERNEL_CONTEXT_ID))
+        else:
+            self._current_context = context_id
+            self._install_token(self._token_for_context(context_id))
+
+    def on_interrupt(self, context_id: int) -> None:
+        # Interrupt handlers run in the kernel context.
+        self.on_mode_switch(PrivilegeMode.KERNEL, context_id)
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.monitor.reload()
+        self._context_tokens.clear()
+        self._group_tokens.clear()
+        self._current_context = 0
+        self._install_token(self._token_for_context(0))
+        self.stats = STBPUStats()
+
+
+# --------------------------------------------------------------------- factories
+
+def _build(direction_factory, name: str, sizes: StructureSizes | None,
+           monitor_config: MonitorConfig, seed: int,
+           shared_token_groups: dict[int, str] | None) -> STBPU:
+    sizes = sizes if sizes is not None else StructureSizes()
+    generator = TokenGenerator(seed)
+    initial = generator.next_token()
+    mapping = STMappingProvider(initial, sizes)
+    codec = XorTargetCodec(initial)
+    direction = direction_factory(sizes, mapping)
+    inner = CompositeBPU(direction, sizes=sizes, mapping=mapping, codec=codec, name=f"{name}-inner")
+    return STBPU(
+        inner,
+        mapping,
+        codec,
+        token_generator=generator,
+        monitor_config=monitor_config,
+        shared_token_groups=shared_token_groups,
+        name=name,
+    )
+
+
+def make_stbpu_skl(
+    sizes: StructureSizes | None = None,
+    monitor_config: MonitorConfig | None = None,
+    seed: int = 0,
+    shared_token_groups: dict[int, str] | None = None,
+) -> STBPU:
+    """STBPU applied to the Skylake-style baseline (paper: ``ST_SKLCond``).
+
+    The SKLCond model has no separate direction-misprediction register, which
+    the paper identifies as the reason it re-randomizes more often under SMT.
+    """
+    config = monitor_config if monitor_config is not None else MonitorConfig(
+        misprediction_threshold=DEFAULT_MONITOR_CONFIG.misprediction_threshold,
+        eviction_threshold=DEFAULT_MONITOR_CONFIG.eviction_threshold,
+        direction_misprediction_threshold=None,
+    )
+    return _build(
+        lambda sizes_, mapping: SKLConditionalPredictor(sizes_, mapping),
+        "ST_SKLCond", sizes, config, seed, shared_token_groups,
+    )
+
+
+def make_stbpu_tage(
+    config: TAGEConfig = TAGE_SC_L_64KB,
+    sizes: StructureSizes | None = None,
+    monitor_config: MonitorConfig = DEFAULT_MONITOR_CONFIG,
+    seed: int = 0,
+    shared_token_groups: dict[int, str] | None = None,
+) -> STBPU:
+    """STBPU applied to TAGE-SC-L (paper: ``ST_TAGE_SC_L_8KB`` / ``..._64KB``)."""
+    return _build(
+        lambda sizes_, mapping: TAGEPredictor(config, mapping, sizes_),
+        f"ST_{config.name}", sizes, monitor_config, seed, shared_token_groups,
+    )
+
+
+def make_stbpu_perceptron(
+    config: PerceptronConfig = DEFAULT_PERCEPTRON,
+    sizes: StructureSizes | None = None,
+    monitor_config: MonitorConfig = DEFAULT_MONITOR_CONFIG,
+    seed: int = 0,
+    shared_token_groups: dict[int, str] | None = None,
+) -> STBPU:
+    """STBPU applied to the Perceptron predictor (paper: ``ST_PerceptronBP``)."""
+    return _build(
+        lambda sizes_, mapping: PerceptronPredictor(config, mapping, sizes_),
+        "ST_PerceptronBP", sizes, monitor_config, seed, shared_token_groups,
+    )
+
+
+def make_unprotected_tage(
+    config: TAGEConfig = TAGE_SC_L_64KB, sizes: StructureSizes | None = None
+) -> CompositeBPU:
+    """Unprotected TAGE-SC-L composite (normalization baseline for Figures 4-6)."""
+    sizes = sizes if sizes is not None else StructureSizes()
+    direction = TAGEPredictor(config, None, sizes)
+    return CompositeBPU(direction, sizes=sizes, name=config.name)
+
+
+def make_unprotected_perceptron(
+    config: PerceptronConfig = DEFAULT_PERCEPTRON, sizes: StructureSizes | None = None
+) -> CompositeBPU:
+    """Unprotected Perceptron composite (normalization baseline for Figures 4-6)."""
+    sizes = sizes if sizes is not None else StructureSizes()
+    direction = PerceptronPredictor(config, None, sizes)
+    return CompositeBPU(direction, sizes=sizes, name=config.name)

@@ -1,0 +1,76 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from repro.experiments.common import (
+    ExperimentScale,
+    PredictorPair,
+    clear_trace_cache,
+    default_monitor_config,
+    figure3_models,
+    figure4_predictor_pairs,
+    workload_trace,
+)
+from repro.experiments.ablation import (
+    AblationResult,
+    AblationRow,
+    format_ablation,
+    run_ablation,
+)
+from repro.experiments.figure2 import Figure2Result, format_figure2, run_figure2
+from repro.experiments.figure3 import Figure3Result, Figure3Row, format_figure3, run_figure3
+from repro.experiments.figure4 import Figure4Cell, Figure4Result, format_figure4, run_figure4
+from repro.experiments.figure5 import Figure5Cell, Figure5Result, format_figure5, run_figure5
+from repro.experiments.figure6 import (
+    DEFAULT_R_SWEEP,
+    Figure6Point,
+    Figure6Result,
+    format_figure6,
+    run_figure6,
+)
+from repro.experiments.tables import (
+    ThresholdReport,
+    format_thresholds,
+    run_table1,
+    run_table2,
+    run_table4,
+    run_thresholds,
+)
+
+__all__ = [
+    "AblationResult",
+    "AblationRow",
+    "format_ablation",
+    "run_ablation",
+    "ExperimentScale",
+    "PredictorPair",
+    "clear_trace_cache",
+    "default_monitor_config",
+    "figure3_models",
+    "figure4_predictor_pairs",
+    "workload_trace",
+    "Figure2Result",
+    "format_figure2",
+    "run_figure2",
+    "Figure3Result",
+    "Figure3Row",
+    "format_figure3",
+    "run_figure3",
+    "Figure4Cell",
+    "Figure4Result",
+    "format_figure4",
+    "run_figure4",
+    "Figure5Cell",
+    "Figure5Result",
+    "format_figure5",
+    "run_figure5",
+    "DEFAULT_R_SWEEP",
+    "Figure6Point",
+    "Figure6Result",
+    "format_figure6",
+    "run_figure6",
+    "ThresholdReport",
+    "format_thresholds",
+    "run_table1",
+    "run_table2",
+    "run_table4",
+    "run_thresholds",
+]

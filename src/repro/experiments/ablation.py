@@ -1,0 +1,207 @@
+"""Ablation study of the STBPU design choices.
+
+The full design combines three mechanisms: keyed remapping (ψ), stored-target
+encryption (ϕ), and event-triggered ST re-randomization.  This experiment
+disables them one at a time and measures, for each variant,
+
+* the OAE accuracy on a workload trace (the performance side), and
+* the success of the two attack classes each mechanism is responsible for:
+  Spectre v2 target injection (defeated by encryption) and the same-address-
+  space transient trojan (defeated by full-address keyed remapping).
+
+It substantiates the paper's argument that the mechanisms are complementary:
+remapping alone leaves cross-token target injection only probabilistically
+hard, encryption alone leaves same-address-space collisions deterministic,
+and either without re-randomization can be brute-forced given enough
+observable events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bpu.common import StructureSizes
+from repro.bpu.composite import CompositeBPU
+from repro.bpu.mapping import BaselineMappingProvider, IdentityTargetCodec
+from repro.bpu.pht import SKLConditionalPredictor
+from repro.bpu.protections import make_unprotected_baseline
+from repro.core.encryption import XorTargetCodec
+from repro.core.monitoring import MonitorConfig
+from repro.core.remapping import STMappingProvider
+from repro.core.secret_token import TokenGenerator
+from repro.core.stbpu import STBPU, make_stbpu_skl
+from repro.experiments.common import ExperimentScale, workload_trace
+from repro.security.attacks import SpectreV2Injection, TransientTrojanAttack
+from repro.sim.bpu_sim import TraceSimulator
+
+#: Effectively-disabled re-randomization (counters never reach zero in our runs).
+_NO_RERANDOMIZATION = MonitorConfig(
+    misprediction_threshold=1 << 30,
+    eviction_threshold=1 << 30,
+    direction_misprediction_threshold=None,
+)
+
+
+def _make_variant(remapping: bool, encryption: bool, rerandomization: bool,
+                  seed: int = 0) -> STBPU:
+    """Build an STBPU with individual mechanisms enabled or disabled."""
+    sizes = StructureSizes()
+    generator = TokenGenerator(seed)
+    token = generator.next_token()
+    mapping = STMappingProvider(token, sizes) if remapping else BaselineMappingProvider(sizes)
+    codec = XorTargetCodec(token) if encryption else IdentityTargetCodec()
+    direction = SKLConditionalPredictor(sizes, mapping)
+    inner = CompositeBPU(direction, sizes=sizes, mapping=mapping, codec=codec,
+                         name="ablation-inner")
+    monitor = (MonitorConfig(41_500, 26_500, None) if rerandomization
+               else _NO_RERANDOMIZATION)
+
+    # STBPU expects token-aware mapping/codec; wrap pass-throughs when disabled.
+    class _StaticMapping(STMappingProvider):
+        """Keyed-provider facade over the baseline mapping (remapping disabled)."""
+
+        def __init__(self):
+            super().__init__(token, sizes)
+            self._base = BaselineMappingProvider(sizes)
+
+        def set_token(self, new_token):  # re-randomization has nothing to re-key
+            super().set_token(new_token)
+
+        def btb_mode1(self, ip):
+            return self._base.btb_mode1(ip)
+
+        def btb_mode2(self, ip, bhb):
+            return self._base.btb_mode2(ip, bhb)
+
+        def pht_index_1level(self, ip):
+            return self._base.pht_index_1level(ip)
+
+        def pht_index_2level(self, ip, ghr):
+            return self._base.pht_index_2level(ip, ghr)
+
+        def tage_index(self, ip, folded_history, table, index_bits):
+            return self._base.tage_index(ip, folded_history, table, index_bits)
+
+        def tage_tag(self, ip, folded_history, table, tag_bits):
+            return self._base.tage_tag(ip, folded_history, table, tag_bits)
+
+        def perceptron_index(self, ip, table_size):
+            return self._base.perceptron_index(ip, table_size)
+
+    class _StaticCodec(XorTargetCodec):
+        """ϕ-codec facade that stores targets verbatim (encryption disabled)."""
+
+        def encode(self, target):
+            return target & 0xFFFF_FFFF
+
+        def decode(self, stored):
+            return stored & 0xFFFF_FFFF
+
+    if not remapping:
+        mapping_for_stbpu = _StaticMapping()
+        direction.mapping = mapping_for_stbpu
+        inner.mapping = mapping_for_stbpu
+        inner.btb.mapping = mapping_for_stbpu
+    else:
+        mapping_for_stbpu = mapping
+
+    if not encryption:
+        codec_for_stbpu = _StaticCodec(token)
+        inner.codec = codec_for_stbpu
+        inner.btb.codec = codec_for_stbpu
+        inner.rsb.codec = codec_for_stbpu
+    else:
+        codec_for_stbpu = codec
+
+    return STBPU(inner, mapping_for_stbpu, codec_for_stbpu,
+                 token_generator=generator, monitor_config=monitor,
+                 name=_variant_name(remapping, encryption, rerandomization))
+
+
+def _variant_name(remapping: bool, encryption: bool, rerandomization: bool) -> str:
+    parts = []
+    parts.append("remap" if remapping else "no-remap")
+    parts.append("enc" if encryption else "no-enc")
+    parts.append("rerand" if rerandomization else "no-rerand")
+    return "STBPU[" + ",".join(parts) + "]"
+
+
+@dataclass(slots=True)
+class AblationRow:
+    """Measurements for one design variant."""
+
+    variant: str
+    oae_accuracy: float
+    normalized_oae: float
+    spectre_v2_rate: float
+    trojan_rate: float
+
+
+@dataclass(slots=True)
+class AblationResult:
+    rows: list[AblationRow] = field(default_factory=list)
+
+    def row(self, variant: str) -> AblationRow:
+        for row in self.rows:
+            if row.variant == variant:
+                return row
+        raise KeyError(variant)
+
+
+def run_ablation(scale: ExperimentScale | None = None,
+                 workload: str = "505.mcf") -> AblationResult:
+    """Measure accuracy and attack resistance for each design variant."""
+    scale = scale if scale is not None else ExperimentScale(branch_count=8_000,
+                                                            warmup_branches=800)
+    trace = workload_trace(workload, scale)
+    simulator = TraceSimulator(warmup_branches=scale.warmup_branches)
+    baseline_oae = simulator.run(make_unprotected_baseline(), trace).report.oae_accuracy
+
+    variants = [
+        ("unprotected", None),
+        ("full STBPU", (True, True, True)),
+        ("remapping only", (True, False, True)),
+        ("encryption only", (False, True, True)),
+        ("no re-randomization", (True, True, False)),
+    ]
+
+    result = AblationResult()
+    for label, flags in variants:
+        if flags is None:
+            model_for_accuracy = make_unprotected_baseline()
+            attack_model_factory = make_unprotected_baseline
+        else:
+            model_for_accuracy = _make_variant(*flags, seed=scale.seed)
+            attack_model_factory = lambda flags=flags: _make_variant(*flags, seed=scale.seed)
+
+        accuracy = simulator.run(model_for_accuracy, trace).report.oae_accuracy
+        spectre = SpectreV2Injection(attack_model_factory(), seed=scale.seed).run(attempts=150)
+        trojan = TransientTrojanAttack(attack_model_factory(), seed=scale.seed).run(trials=100)
+        result.rows.append(
+            AblationRow(
+                variant=label,
+                oae_accuracy=accuracy,
+                normalized_oae=accuracy / baseline_oae if baseline_oae else 0.0,
+                spectre_v2_rate=spectre.success_metric,
+                trojan_rate=trojan.success_metric,
+            )
+        )
+    return result
+
+
+def format_ablation(result: AblationResult) -> str:
+    lines = [f"{'variant':24s} {'OAE':>8s} {'norm':>7s} {'spectre-v2':>11s} {'trojan':>8s}"]
+    for row in result.rows:
+        lines.append(
+            f"{row.variant:24s} {row.oae_accuracy:8.3f} {row.normalized_oae:7.3f} "
+            f"{row.spectre_v2_rate:11.3f} {row.trojan_rate:8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_ablation(run_ablation()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

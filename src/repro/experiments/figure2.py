@@ -1,0 +1,104 @@
+"""Figure 2 — construction of the R1 remapping function.
+
+The paper shows the selected gate-level design of R1: alternating substitution
+(S-box), permutation (P-box) and compression (C-S box) layers with a 36-
+transistor critical path, computable in a single cycle.  This experiment
+rebuilds that reference design, verifies it against the hardware constraints
+and the uniformity/avalanche criteria, and also exercises the automated
+generator to show that constraint-satisfying candidates are found for every
+remapping function in Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hashgen.constraints import HardwareConstraints, check_design, summarize_cost
+from repro.hashgen.generator import RemapFunctionGenerator, build_reference_r1
+from repro.hashgen.metrics import measure_avalanche, measure_uniformity
+from repro.hashgen.optimization import REMAP_CONSTRAINTS, select_best
+
+
+@dataclass(slots=True)
+class Figure2Result:
+    """Reference R1 metrics plus the per-function generated candidates."""
+
+    reference_layers: list[str]
+    reference_critical_path: int
+    reference_single_cycle: bool
+    reference_uniformity_cv: float
+    reference_avalanche_mean: float
+    reference_sac: bool
+    generated: dict[str, dict[str, float]] = field(default_factory=dict)
+
+
+def run_figure2(
+    attempts_per_function: int = 12,
+    uniformity_samples: int = 3_000,
+    avalanche_samples: int = 60,
+    seed: int = 0,
+) -> Figure2Result:
+    """Rebuild the reference R1 and run the generator for every remapping function."""
+    constraints = HardwareConstraints(input_bits=80, output_bits=22)
+    reference = build_reference_r1(constraints)
+    cost = summarize_cost(reference.layers)
+    check = check_design(reference.layers, constraints)
+    uniformity = measure_uniformity(reference.apply, 80, 22, samples=uniformity_samples)
+    avalanche = measure_avalanche(reference.apply, 80, 22, samples=avalanche_samples)
+
+    result = Figure2Result(
+        reference_layers=reference.describe(),
+        reference_critical_path=cost.critical_path_transistors,
+        reference_single_cycle=check.satisfied and cost.single_cycle_feasible(constraints),
+        reference_uniformity_cv=uniformity.normalized_cv,
+        reference_avalanche_mean=avalanche.mean_flip_fraction,
+        reference_sac=avalanche.satisfies_sac,
+    )
+
+    for index, (label, function_constraints) in enumerate(REMAP_CONSTRAINTS.items()):
+        generator = RemapFunctionGenerator(function_constraints, seed=seed + index * 97)
+        candidates = generator.search(
+            attempts=attempts_per_function,
+            uniformity_samples=uniformity_samples,
+            avalanche_samples=max(20, avalanche_samples // 3),
+        )
+        best = select_best(candidates, function_constraints)
+        if best is None:
+            continue
+        cost = summarize_cost(best.evaluated.candidate.layers)
+        result.generated[label] = {
+            "candidates": float(len(candidates)),
+            "critical_path_transistors": float(cost.critical_path_transistors),
+            "uniformity_cv": best.evaluated.uniformity.normalized_cv,
+            "avalanche_mean": best.evaluated.avalanche.mean_flip_fraction,
+            "score": best.total,
+        }
+    return result
+
+
+def format_figure2(result: Figure2Result) -> str:
+    lines = ["reference R1 design:"]
+    lines.extend(f"  {line}" for line in result.reference_layers)
+    lines.append(
+        f"  critical path {result.reference_critical_path} transistors, "
+        f"single cycle: {result.reference_single_cycle}, "
+        f"uniformity CV {result.reference_uniformity_cv:.3f}, "
+        f"avalanche {result.reference_avalanche_mean:.3f} (SAC {result.reference_sac})"
+    )
+    lines.append("generated candidates:")
+    for label, metrics in result.generated.items():
+        lines.append(
+            f"  {label}: best of {int(metrics['candidates'])} candidates — "
+            f"path {int(metrics['critical_path_transistors'])} transistors, "
+            f"uniformity CV {metrics['uniformity_cv']:.3f}, "
+            f"avalanche {metrics['avalanche_mean']:.3f}, score {metrics['score']:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_figure2(run_figure2()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,96 @@
+"""Figure 3 — overall branch prediction accuracy of the five protection models.
+
+For every workload trace (23 SPEC CPU 2017 + 12 application scenarios) the
+five models — unprotected baseline, µcode protection 1 and 2, the
+conservative structural redesign, and STBPU — replay the same trace through
+the trace-driven simulator; the reported series is each model's OAE accuracy
+normalized by the unprotected baseline.  The paper's averages are baseline
+1.00, STBPU 0.99, conservative 0.88, µcode protection 2 0.82, µcode
+protection 1 0.77.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import ExperimentScale, figure3_models, mean, workload_trace
+from repro.sim.bpu_sim import TraceSimulator
+from repro.trace.workloads import list_workloads
+
+
+@dataclass(slots=True)
+class Figure3Row:
+    """One workload's normalized OAE accuracy for every model."""
+
+    workload: str
+    baseline_oae: float
+    normalized: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class Figure3Result:
+    """All rows plus per-model averages (the horizontal lines in the figure)."""
+
+    rows: list[Figure3Row]
+    model_order: list[str]
+
+    def average(self, model: str) -> float:
+        return mean([row.normalized[model] for row in self.rows if model in row.normalized])
+
+    def averages(self) -> dict[str, float]:
+        return {model: self.average(model) for model in self.model_order}
+
+
+def run_figure3(
+    scale: ExperimentScale | None = None,
+    workloads: list[str] | None = None,
+) -> Figure3Result:
+    """Regenerate the Figure 3 data series."""
+    scale = scale if scale is not None else ExperimentScale()
+    if workloads is None:
+        workloads = list_workloads()
+    if scale.workload_limit is not None:
+        workloads = workloads[: scale.workload_limit]
+
+    simulator = TraceSimulator(warmup_branches=scale.warmup_branches)
+    rows: list[Figure3Row] = []
+    model_order: list[str] = []
+    for workload in workloads:
+        trace = workload_trace(workload, scale)
+        models = figure3_models(seed=scale.seed)
+        if not model_order:
+            model_order = [model.name for model in models]
+        results = {model.name: simulator.run(model, trace) for model in models}
+        baseline_name = model_order[0]
+        baseline_oae = results[baseline_name].report.oae_accuracy
+        normalized = {
+            name: (result.report.oae_accuracy / baseline_oae if baseline_oae else 0.0)
+            for name, result in results.items()
+        }
+        rows.append(Figure3Row(workload=workload, baseline_oae=baseline_oae,
+                               normalized=normalized))
+    return Figure3Result(rows=rows, model_order=model_order)
+
+
+def format_figure3(result: Figure3Result) -> str:
+    """Render the Figure 3 series as an aligned text table."""
+    lines = []
+    header = f"{'workload':28s}" + "".join(f"{name:>22s}" for name in result.model_order)
+    lines.append(header)
+    for row in result.rows:
+        cells = "".join(f"{row.normalized[name]:22.3f}" for name in result.model_order)
+        lines.append(f"{row.workload:28s}{cells}")
+    lines.append("-" * len(header))
+    averages = result.averages()
+    cells = "".join(f"{averages[name]:22.3f}" for name in result.model_order)
+    lines.append(f"{'average':28s}{cells}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    result = run_figure3(ExperimentScale(branch_count=30_000, workload_limit=None))
+    print(format_figure3(result))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

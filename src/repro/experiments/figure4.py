@@ -1,0 +1,126 @@
+"""Figure 4 — single-workload cycle-approximate evaluation of the ST designs.
+
+For each of 18 SPEC CPU 2017 workloads and each of the four predictor pairs
+(Perceptron, SKLCond, TAGE-SC-L 64KB, TAGE-SC-L 8KB) the experiment runs the
+unprotected predictor and its ST-protected counterpart through the
+cycle-approximate CPU model and reports three series:
+
+* reduction of the direction prediction rate (baseline − ST),
+* reduction of the target prediction rate, and
+* IPC of the ST design normalized to the unprotected design.
+
+Paper averages: direction reduction ≤ 1.1%, target reduction ≤ 1.8%, and
+normalized IPC between 0.969 and 1.066.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import (
+    ExperimentScale,
+    figure4_predictor_pairs,
+    mean,
+    workload_trace,
+)
+from repro.sim.config import SimulationLengths
+from repro.sim.cpu import CycleApproximateCPU
+from repro.trace.workloads import GEM5_SINGLE_WORKLOADS
+
+
+@dataclass(slots=True)
+class Figure4Cell:
+    """One (workload, predictor) measurement."""
+
+    workload: str
+    predictor: str
+    direction_reduction: float
+    target_reduction: float
+    normalized_ipc: float
+
+
+@dataclass(slots=True)
+class Figure4Result:
+    cells: list[Figure4Cell] = field(default_factory=list)
+
+    def predictors(self) -> list[str]:
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.predictor not in seen:
+                seen.append(cell.predictor)
+        return seen
+
+    def average_direction_reduction(self, predictor: str) -> float:
+        return mean([c.direction_reduction for c in self.cells if c.predictor == predictor])
+
+    def average_target_reduction(self, predictor: str) -> float:
+        return mean([c.target_reduction for c in self.cells if c.predictor == predictor])
+
+    def average_normalized_ipc(self, predictor: str) -> float:
+        return mean([c.normalized_ipc for c in self.cells if c.predictor == predictor])
+
+
+def run_figure4(
+    scale: ExperimentScale | None = None,
+    workloads: tuple[str, ...] | None = None,
+    predictors: list[str] | None = None,
+) -> Figure4Result:
+    """Regenerate the Figure 4 data series."""
+    scale = scale if scale is not None else ExperimentScale()
+    workload_names = list(workloads if workloads is not None else GEM5_SINGLE_WORKLOADS)
+    if scale.workload_limit is not None:
+        workload_names = workload_names[: scale.workload_limit]
+
+    lengths = SimulationLengths(
+        warmup_branches=scale.warmup_branches, measured_branches=scale.branch_count
+    )
+    cpu = CycleApproximateCPU(lengths=lengths)
+    pairs = figure4_predictor_pairs(seed=scale.seed)
+    if predictors is not None:
+        pairs = [pair for pair in pairs if pair.label in predictors]
+
+    result = Figure4Result()
+    for workload in workload_names:
+        trace = workload_trace(workload, scale)
+        for pair in pairs:
+            baseline = cpu.run(pair.baseline_factory(), trace)
+            protected = cpu.run(pair.protected_factory(), trace)
+            baseline_ipc = baseline.performance.ipc
+            result.cells.append(
+                Figure4Cell(
+                    workload=workload,
+                    predictor=pair.label,
+                    direction_reduction=(
+                        baseline.performance.direction_accuracy
+                        - protected.performance.direction_accuracy
+                    ),
+                    target_reduction=(
+                        baseline.performance.target_accuracy
+                        - protected.performance.target_accuracy
+                    ),
+                    normalized_ipc=(
+                        protected.performance.ipc / baseline_ipc if baseline_ipc else 0.0
+                    ),
+                )
+            )
+    return result
+
+
+def format_figure4(result: Figure4Result) -> str:
+    lines = []
+    for predictor in result.predictors():
+        lines.append(
+            f"ST_{predictor}: avg direction reduction "
+            f"{result.average_direction_reduction(predictor):+.4f}, "
+            f"avg target reduction {result.average_target_reduction(predictor):+.4f}, "
+            f"avg normalized IPC {result.average_normalized_ipc(predictor):.3f}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_figure4(run_figure4(ExperimentScale(branch_count=15_000))))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,125 @@
+"""Figure 5 — SMT (workload pair) evaluation of the ST designs.
+
+Pairs of SPEC workloads share one BPU in SMT mode; for every pair and every
+predictor pair the experiment reports the reduction of direction/target
+prediction rate and the harmonic-mean IPC of the ST design normalized to its
+unprotected counterpart.  Paper averages: direction reduction 1.3–3.8%,
+target reduction 0.4–3.7%, normalized Hmean IPC 0.951–1.009, with ST_SKLCond
+suffering the most because it lacks a separate direction-misprediction
+threshold register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import (
+    ExperimentScale,
+    figure4_predictor_pairs,
+    mean,
+    workload_trace,
+)
+from repro.sim.config import SimulationLengths
+from repro.sim.smt import SMTSimulator
+from repro.trace.workloads import GEM5_SMT_PAIRS
+
+
+@dataclass(slots=True)
+class Figure5Cell:
+    """One (workload pair, predictor) measurement."""
+
+    pair: str
+    predictor: str
+    direction_reduction: float
+    target_reduction: float
+    normalized_hmean_ipc: float
+
+
+@dataclass(slots=True)
+class Figure5Result:
+    cells: list[Figure5Cell] = field(default_factory=list)
+
+    def predictors(self) -> list[str]:
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.predictor not in seen:
+                seen.append(cell.predictor)
+        return seen
+
+    def average_direction_reduction(self, predictor: str) -> float:
+        return mean([c.direction_reduction for c in self.cells if c.predictor == predictor])
+
+    def average_target_reduction(self, predictor: str) -> float:
+        return mean([c.target_reduction for c in self.cells if c.predictor == predictor])
+
+    def average_normalized_hmean_ipc(self, predictor: str) -> float:
+        return mean([c.normalized_hmean_ipc for c in self.cells if c.predictor == predictor])
+
+
+def run_figure5(
+    scale: ExperimentScale | None = None,
+    pairs: tuple[tuple[str, str], ...] | None = None,
+    predictors: list[str] | None = None,
+) -> Figure5Result:
+    """Regenerate the Figure 5 data series."""
+    scale = scale if scale is not None else ExperimentScale()
+    workload_pairs = list(pairs if pairs is not None else GEM5_SMT_PAIRS)
+    if scale.workload_limit is not None:
+        workload_pairs = workload_pairs[: scale.workload_limit]
+
+    lengths = SimulationLengths(
+        warmup_branches=scale.warmup_branches, measured_branches=scale.branch_count
+    )
+    simulator = SMTSimulator(lengths=lengths)
+    predictor_pairs = figure4_predictor_pairs(seed=scale.seed)
+    if predictors is not None:
+        predictor_pairs = [pair for pair in predictor_pairs if pair.label in predictors]
+
+    result = Figure5Result()
+    for workload_a, workload_b in workload_pairs:
+        trace_a = workload_trace(workload_a, scale)
+        trace_b = workload_trace(workload_b, scale)
+        pair_label = f"{workload_a}+{workload_b}"
+        for pair in predictor_pairs:
+            baseline = simulator.run(pair.baseline_factory(), trace_a, trace_b)
+            protected = simulator.run(pair.protected_factory(), trace_a, trace_b)
+            baseline_hmean = baseline.hmean_ipc
+            result.cells.append(
+                Figure5Cell(
+                    pair=pair_label,
+                    predictor=pair.label,
+                    direction_reduction=(
+                        baseline.combined_direction_accuracy
+                        - protected.combined_direction_accuracy
+                    ),
+                    target_reduction=(
+                        baseline.combined_target_accuracy
+                        - protected.combined_target_accuracy
+                    ),
+                    normalized_hmean_ipc=(
+                        protected.hmean_ipc / baseline_hmean if baseline_hmean else 0.0
+                    ),
+                )
+            )
+    return result
+
+
+def format_figure5(result: Figure5Result) -> str:
+    lines = []
+    for predictor in result.predictors():
+        lines.append(
+            f"ST_{predictor}: avg direction reduction "
+            f"{result.average_direction_reduction(predictor):+.4f}, "
+            f"avg target reduction {result.average_target_reduction(predictor):+.4f}, "
+            f"avg normalized Hmean IPC {result.average_normalized_hmean_ipc(predictor):.3f}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    scale = ExperimentScale(branch_count=12_000, workload_limit=8)
+    print(format_figure5(run_figure5(scale)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,130 @@
+"""Figure 6 — sensitivity of performance to aggressive ST re-randomization.
+
+The re-randomization thresholds are ``Γ = r·C``; the paper sweeps the attack
+difficulty factor ``r`` downward (equivalent to assuming attacks 10×, 100×,
+... faster than known ones) for the TAGE-SC-L 64KB STBPU in SMT mode and
+shows that accuracy stays above ~95% of the unprotected design until the
+thresholds shrink to a few hundred events, at which point constant
+re-randomization effectively disables BPU training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bpu.tage import TAGE_SC_L_64KB
+from repro.core.stbpu import make_stbpu_tage, make_unprotected_tage
+from repro.experiments.common import ExperimentScale, default_monitor_config, mean, workload_trace
+from repro.sim.config import SimulationLengths
+from repro.sim.smt import SMTSimulator
+from repro.trace.workloads import GEM5_SMT_PAIRS
+
+#: The r values swept in the paper's Figure 6 (rightmost is the default 0.05).
+DEFAULT_R_SWEEP: tuple[float, ...] = (0.05, 0.01, 0.005, 0.001, 0.0005, 0.0001, 0.00005)
+
+
+@dataclass(slots=True)
+class Figure6Point:
+    """Averaged metrics at one value of the difficulty factor r."""
+
+    r: float
+    misprediction_threshold: int
+    eviction_threshold: int
+    normalized_direction_accuracy: float
+    normalized_target_accuracy: float
+    normalized_hmean_ipc: float
+    rerandomizations_per_kilo_branch: float
+
+
+@dataclass(slots=True)
+class Figure6Result:
+    points: list[Figure6Point] = field(default_factory=list)
+
+
+def run_figure6(
+    scale: ExperimentScale | None = None,
+    r_values: tuple[float, ...] = DEFAULT_R_SWEEP,
+    pairs: tuple[tuple[str, str], ...] | None = None,
+) -> Figure6Result:
+    """Regenerate the Figure 6 sweep (averaged over SMT workload pairs)."""
+    scale = scale if scale is not None else ExperimentScale(branch_count=10_000, workload_limit=4)
+    workload_pairs = list(pairs if pairs is not None else GEM5_SMT_PAIRS)
+    if scale.workload_limit is not None:
+        workload_pairs = workload_pairs[: scale.workload_limit]
+
+    lengths = SimulationLengths(
+        warmup_branches=scale.warmup_branches, measured_branches=scale.branch_count
+    )
+    simulator = SMTSimulator(lengths=lengths)
+
+    # Unprotected reference, measured once per pair.
+    baselines = {}
+    for workload_a, workload_b in workload_pairs:
+        trace_a = workload_trace(workload_a, scale)
+        trace_b = workload_trace(workload_b, scale)
+        baselines[(workload_a, workload_b)] = simulator.run(
+            make_unprotected_tage(TAGE_SC_L_64KB), trace_a, trace_b
+        )
+
+    result = Figure6Result()
+    for r in r_values:
+        monitor = default_monitor_config(r=r, separate_direction_register=True)
+        direction_ratios: list[float] = []
+        target_ratios: list[float] = []
+        ipc_ratios: list[float] = []
+        rerand_rates: list[float] = []
+        for (workload_a, workload_b), baseline in baselines.items():
+            trace_a = workload_trace(workload_a, scale)
+            trace_b = workload_trace(workload_b, scale)
+            model = make_stbpu_tage(TAGE_SC_L_64KB, monitor_config=monitor, seed=scale.seed)
+            protected = simulator.run(model, trace_a, trace_b)
+            if baseline.combined_direction_accuracy:
+                direction_ratios.append(
+                    protected.combined_direction_accuracy / baseline.combined_direction_accuracy
+                )
+            if baseline.combined_target_accuracy:
+                target_ratios.append(
+                    protected.combined_target_accuracy / baseline.combined_target_accuracy
+                )
+            if baseline.hmean_ipc:
+                ipc_ratios.append(protected.hmean_ipc / baseline.hmean_ipc)
+            total_branches = sum(stats.branches for stats in protected.thread_stats)
+            if total_branches:
+                rerand_rates.append(
+                    model.stats.rerandomizations / (total_branches / 1000.0)
+                )
+        result.points.append(
+            Figure6Point(
+                r=r,
+                misprediction_threshold=monitor.misprediction_threshold,
+                eviction_threshold=monitor.eviction_threshold,
+                normalized_direction_accuracy=mean(direction_ratios),
+                normalized_target_accuracy=mean(target_ratios),
+                normalized_hmean_ipc=mean(ipc_ratios),
+                rerandomizations_per_kilo_branch=mean(rerand_rates),
+            )
+        )
+    return result
+
+
+def format_figure6(result: Figure6Result) -> str:
+    lines = [
+        f"{'r':>10s} {'misp thr':>10s} {'evic thr':>10s} {'dir acc':>9s} "
+        f"{'tgt acc':>9s} {'hmean ipc':>10s} {'rerand/kbr':>11s}"
+    ]
+    for point in result.points:
+        lines.append(
+            f"{point.r:>10.5f} {point.misprediction_threshold:>10d} "
+            f"{point.eviction_threshold:>10d} {point.normalized_direction_accuracy:>9.3f} "
+            f"{point.normalized_target_accuracy:>9.3f} {point.normalized_hmean_ipc:>10.3f} "
+            f"{point.rerandomizations_per_kilo_branch:>11.3f}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_figure6(run_figure6()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,75 @@
+"""Automated remapping-function generation and validation (paper Section V)."""
+
+from repro.hashgen.primitives import (
+    AVAILABLE_SBOXES,
+    PRESENT_SBOX,
+    SPONGENT_SBOX,
+    THREE_BIT_SBOX,
+    CompressionLayer,
+    KeyMixLayer,
+    PBoxLayer,
+    Primitive,
+    PrimitiveCost,
+    SBoxLayer,
+)
+from repro.hashgen.constraints import (
+    ConstraintCheck,
+    CostSummary,
+    HardwareConstraints,
+    check_design,
+    summarize_cost,
+)
+from repro.hashgen.metrics import (
+    AvalancheReport,
+    QualityScore,
+    UniformityReport,
+    measure_avalanche,
+    measure_uniformity,
+    score_candidate,
+)
+from repro.hashgen.generator import (
+    EvaluatedCandidate,
+    RemapCandidate,
+    RemapFunctionGenerator,
+    build_reference_r1,
+)
+from repro.hashgen.optimization import (
+    REMAP_CONSTRAINTS,
+    ScoredCandidate,
+    generate_remapping_suite,
+    rank_candidates,
+    select_best,
+)
+
+__all__ = [
+    "AVAILABLE_SBOXES",
+    "PRESENT_SBOX",
+    "SPONGENT_SBOX",
+    "THREE_BIT_SBOX",
+    "CompressionLayer",
+    "KeyMixLayer",
+    "PBoxLayer",
+    "Primitive",
+    "PrimitiveCost",
+    "SBoxLayer",
+    "ConstraintCheck",
+    "CostSummary",
+    "HardwareConstraints",
+    "check_design",
+    "summarize_cost",
+    "AvalancheReport",
+    "QualityScore",
+    "UniformityReport",
+    "measure_avalanche",
+    "measure_uniformity",
+    "score_candidate",
+    "EvaluatedCandidate",
+    "RemapCandidate",
+    "RemapFunctionGenerator",
+    "build_reference_r1",
+    "REMAP_CONSTRAINTS",
+    "ScoredCandidate",
+    "generate_remapping_suite",
+    "rank_candidates",
+    "select_best",
+]

@@ -1,0 +1,124 @@
+"""Hardware constraints for generated remapping functions (constraint C1).
+
+The paper bounds candidate designs by single-cycle feasibility: modern
+processors complete roughly 15–20 gate delays per cycle, which translates to
+about 30–45 transistors along the critical path.  The generator additionally
+bounds the total transistor budget, the number of layers, and how many wires
+a single wire may cross (a routability proxy for the P-boxes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hashgen.primitives import Primitive, PrimitiveCost
+
+
+@dataclass(frozen=True, slots=True)
+class HardwareConstraints:
+    """Bounds a candidate remapping function must respect (paper constraint C1)."""
+
+    max_critical_path_transistors: int = 45
+    max_total_transistors: int = 6000
+    max_layers: int = 12
+    max_wire_crossovers: int = 4096
+    input_bits: int = 80
+    output_bits: int = 22
+
+    def __post_init__(self) -> None:
+        if self.input_bits <= 0 or self.output_bits <= 0:
+            raise ValueError("input/output widths must be positive")
+        if self.output_bits > self.input_bits:
+            raise ValueError("remapping functions compress; output must not exceed input")
+        if self.max_critical_path_transistors <= 0:
+            raise ValueError("critical-path budget must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class CostSummary:
+    """Aggregate hardware cost of a layered design."""
+
+    total_transistors: int
+    critical_path_transistors: int
+    wire_crossovers: int
+    layers: int
+
+    @property
+    def estimated_gate_delays(self) -> float:
+        """Rough gate-delay equivalent (≈ 2–3 transistors per gate on the path)."""
+        return self.critical_path_transistors / 2.5
+
+    def single_cycle_feasible(self, constraints: HardwareConstraints) -> bool:
+        return self.critical_path_transistors <= constraints.max_critical_path_transistors
+
+
+def summarize_cost(layers: list[Primitive]) -> CostSummary:
+    """Sum the per-layer costs into a design-level cost summary."""
+    total = 0
+    critical = 0
+    crossovers = 0
+    for layer in layers:
+        cost: PrimitiveCost = layer.cost()
+        total += cost.transistors
+        critical += cost.critical_path_transistors
+        crossovers += cost.wire_crossovers
+    return CostSummary(
+        total_transistors=total,
+        critical_path_transistors=critical,
+        wire_crossovers=crossovers,
+        layers=len(layers),
+    )
+
+
+class ConstraintViolation(Exception):
+    """Raised when a candidate design cannot possibly satisfy its constraints."""
+
+
+@dataclass(frozen=True, slots=True)
+class ConstraintCheck:
+    """Result of checking a (possibly partial) design against the constraints."""
+
+    satisfied: bool
+    complete: bool
+    violations: tuple[str, ...]
+
+
+def check_design(
+    layers: list[Primitive],
+    constraints: HardwareConstraints,
+    final_output_bits: int | None = None,
+) -> ConstraintCheck:
+    """Check a layered design against the hardware constraints.
+
+    A design is *complete* when its final width equals the target output
+    width; an incomplete design that has not yet violated any budget is the
+    paper's "case iii" (keep extending it).
+    """
+    violations: list[str] = []
+    cost = summarize_cost(layers)
+    if cost.critical_path_transistors > constraints.max_critical_path_transistors:
+        violations.append(
+            f"critical path {cost.critical_path_transistors} exceeds "
+            f"{constraints.max_critical_path_transistors} transistors"
+        )
+    if cost.total_transistors > constraints.max_total_transistors:
+        violations.append(
+            f"total transistors {cost.total_transistors} exceed "
+            f"{constraints.max_total_transistors}"
+        )
+    if cost.wire_crossovers > constraints.max_wire_crossovers:
+        violations.append(
+            f"wire crossovers {cost.wire_crossovers} exceed {constraints.max_wire_crossovers}"
+        )
+    if len(layers) > constraints.max_layers:
+        violations.append(f"layer count {len(layers)} exceeds {constraints.max_layers}")
+
+    width = final_output_bits
+    if width is None:
+        width = layers[-1].output_bits if layers else constraints.input_bits
+    complete = width == constraints.output_bits
+    return ConstraintCheck(
+        satisfied=not violations,
+        complete=complete,
+        violations=tuple(violations),
+    )

@@ -1,0 +1,248 @@
+"""Automated remapping-function generation (paper Section V-A).
+
+The generator builds candidate remapping functions layer by layer from the
+primitive pool (S-boxes, P-boxes, compression boxes, key mixing).  After each
+layer is appended the partial design is tested against the hardware
+constraints; designs that violate a budget are discarded, complete designs
+that satisfy everything are kept for the optimization stage, and incomplete
+designs adjust the primitive-selection weights for the next layer (the three
+cases the paper describes).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.hashgen.constraints import (
+    ConstraintCheck,
+    HardwareConstraints,
+    check_design,
+    summarize_cost,
+)
+from repro.hashgen.metrics import (
+    AvalancheReport,
+    UniformityReport,
+    measure_avalanche,
+    measure_uniformity,
+)
+from repro.hashgen.primitives import (
+    AVAILABLE_SBOXES,
+    SPONGENT_SBOX,
+    CompressionLayer,
+    KeyMixLayer,
+    PBoxLayer,
+    Primitive,
+    SBoxLayer,
+)
+
+
+@dataclass(slots=True)
+class RemapCandidate:
+    """A layered remapping-function candidate.
+
+    The candidate evaluates an ``input_bits``-wide value (the concatenation of
+    ψ with the branch address and any history inputs) down to
+    ``output_bits``.  Layers are applied in order.
+    """
+
+    layers: list[Primitive] = field(default_factory=list)
+    input_bits: int = 80
+    output_bits: int = 22
+    label: str = "candidate"
+
+    def apply(self, value: int) -> int:
+        state = value & ((1 << self.input_bits) - 1)
+        for layer in self.layers:
+            state = layer.apply(state)
+        return state & ((1 << self.output_bits) - 1)
+
+    @property
+    def current_width(self) -> int:
+        return self.layers[-1].output_bits if self.layers else self.input_bits
+
+    def describe(self) -> list[str]:
+        """Human-readable per-layer description (used to render Figure 2)."""
+        lines = []
+        for number, layer in enumerate(self.layers, start=1):
+            cost = layer.cost()
+            lines.append(
+                f"stage {number}: {type(layer).__name__} "
+                f"{layer.input_bits}->{layer.output_bits} bits, "
+                f"{cost.transistors} transistors "
+                f"(path {cost.critical_path_transistors})"
+            )
+        return lines
+
+
+@dataclass(slots=True)
+class EvaluatedCandidate:
+    """A candidate together with its constraint check and quality metrics."""
+
+    candidate: RemapCandidate
+    check: ConstraintCheck
+    uniformity: UniformityReport
+    avalanche: AvalancheReport
+    critical_path_transistors: int
+
+
+class RemapFunctionGenerator:
+    """Layer-wise randomized generator of remapping-function candidates.
+
+    Args:
+        constraints: Hardware budget and I/O widths the functions must meet.
+        seed: PRNG seed for reproducible generation.
+        key: ψ value mixed into candidates during evaluation (candidates are
+            generated key-agnostic; a concrete key is needed to execute them).
+    """
+
+    def __init__(
+        self,
+        constraints: HardwareConstraints,
+        seed: int = 0,
+        key: int = 0xA5A5_5A5A,
+    ):
+        self.constraints = constraints
+        self.rng = random.Random(seed)
+        self.key = key
+        # Selection weights over primitive kinds, adapted while a design grows.
+        self._weights = {"sbox": 1.0, "pbox": 1.0, "compress": 1.0, "keymix": 1.0}
+
+    # ----------------------------------------------------------------- layers
+
+    def _choose_kind(self, width: int) -> str:
+        kinds = list(self._weights)
+        weights = [self._weights[kind] for kind in kinds]
+        # A design that is still wider than the target needs compression more
+        # urgently the closer it gets to the layer budget.
+        if width <= self.constraints.output_bits:
+            weights[kinds.index("compress")] = 0.0
+        choice = self.rng.choices(kinds, weights=weights, k=1)[0]
+        return choice
+
+    def _make_layer(self, kind: str, width: int) -> Primitive:
+        if kind == "sbox":
+            sbox = AVAILABLE_SBOXES[self.rng.choice(list(AVAILABLE_SBOXES))]
+            return SBoxLayer(width, sbox)
+        if kind == "pbox":
+            return PBoxLayer.random(width, self.rng)
+        if kind == "keymix":
+            return KeyMixLayer(width, self.key)
+        # Compression: shrink toward the target width, at most halving per layer.
+        target = max(self.constraints.output_bits, width // 2)
+        if target >= width:
+            target = max(self.constraints.output_bits, width - 1)
+        return CompressionLayer(width, target)
+
+    def _adjust_weights(self, candidate: RemapCandidate) -> None:
+        """Paper case iii: bias the next layer toward what the design still needs."""
+        width = candidate.current_width
+        remaining_layers = self.constraints.max_layers - len(candidate.layers)
+        if remaining_layers <= 0:
+            return
+        if width > self.constraints.output_bits:
+            # Needs more compression the fewer layers remain.
+            self._weights["compress"] = 2.0 + 4.0 / remaining_layers
+        else:
+            self._weights["compress"] = 0.5
+        has_sbox = any(isinstance(layer, SBoxLayer) for layer in candidate.layers)
+        has_keymix = any(isinstance(layer, KeyMixLayer) for layer in candidate.layers)
+        self._weights["sbox"] = 0.8 if has_sbox else 2.5
+        self._weights["keymix"] = 0.4 if has_keymix else 3.0
+        self._weights["pbox"] = 1.0
+
+    # --------------------------------------------------------------- generate
+
+    def generate_candidate(self, label: str = "candidate") -> RemapCandidate | None:
+        """Grow one candidate layer by layer; returns ``None`` if it violates budgets."""
+        candidate = RemapCandidate(
+            input_bits=self.constraints.input_bits,
+            output_bits=self.constraints.output_bits,
+            label=label,
+        )
+        self._weights = {"sbox": 2.0, "pbox": 1.0, "compress": 1.5, "keymix": 3.0}
+        for _ in range(self.constraints.max_layers):
+            kind = self._choose_kind(candidate.current_width)
+            layer = self._make_layer(kind, candidate.current_width)
+            candidate.layers.append(layer)
+            check = check_design(candidate.layers, self.constraints)
+            if not check.satisfied:
+                return None
+            if check.complete and len(candidate.layers) >= 3:
+                return candidate
+            self._adjust_weights(candidate)
+        final_check = check_design(candidate.layers, self.constraints)
+        if final_check.satisfied and final_check.complete:
+            return candidate
+        return None
+
+    def evaluate(self, candidate: RemapCandidate,
+                 uniformity_samples: int = 8_000,
+                 avalanche_samples: int = 300) -> EvaluatedCandidate:
+        """Measure a candidate against constraints C2 and C3."""
+        cost = summarize_cost(candidate.layers)
+        uniformity = measure_uniformity(
+            candidate.apply, candidate.input_bits, candidate.output_bits,
+            samples=uniformity_samples, seed=self.rng.randrange(1 << 30),
+        )
+        avalanche = measure_avalanche(
+            candidate.apply, candidate.input_bits, candidate.output_bits,
+            samples=avalanche_samples, seed=self.rng.randrange(1 << 30),
+        )
+        return EvaluatedCandidate(
+            candidate=candidate,
+            check=check_design(candidate.layers, self.constraints),
+            uniformity=uniformity,
+            avalanche=avalanche,
+            critical_path_transistors=cost.critical_path_transistors,
+        )
+
+    def search(
+        self,
+        attempts: int = 50,
+        uniformity_samples: int = 8_000,
+        avalanche_samples: int = 200,
+    ) -> list[EvaluatedCandidate]:
+        """Generate and evaluate up to ``attempts`` candidates."""
+        evaluated: list[EvaluatedCandidate] = []
+        for attempt in range(attempts):
+            candidate = self.generate_candidate(label=f"candidate-{attempt}")
+            if candidate is None:
+                continue
+            evaluated.append(
+                self.evaluate(candidate, uniformity_samples, avalanche_samples)
+            )
+        return evaluated
+
+
+def build_reference_r1(constraints: HardwareConstraints | None = None,
+                       key: int = 0xA5A5_5A5A) -> RemapCandidate:
+    """Construct the paper's Figure 2 R1-style design explicitly.
+
+    Five stages: substitution (S-boxes), permutation, key mix, compression,
+    substitution — staying within the single-cycle transistor budget.  The
+    function maps the 80-bit (ψ ‖ branch address) input to the 22-bit
+    index/tag/offset output of R1.
+    """
+    constraints = constraints or HardwareConstraints(input_bits=80, output_bits=22)
+    rng = random.Random(1)
+    wide = constraints.input_bits
+    mid = max(constraints.output_bits, wide // 2)
+    layers: list[Primitive] = [
+        SBoxLayer(wide),
+        PBoxLayer.random(wide, rng),
+        SBoxLayer(wide, SPONGENT_SBOX),
+        PBoxLayer.random(wide, rng),
+        KeyMixLayer(wide, key),
+        CompressionLayer(wide, mid),
+        SBoxLayer(mid),
+        PBoxLayer.random(mid, rng),
+        CompressionLayer(mid, constraints.output_bits),
+        SBoxLayer(constraints.output_bits, SPONGENT_SBOX),
+    ]
+    return RemapCandidate(
+        layers=layers,
+        input_bits=constraints.input_bits,
+        output_bits=constraints.output_bits,
+        label="R1-reference",
+    )

@@ -1,0 +1,198 @@
+"""Statistical validation of remapping candidates (constraints C2 and C3).
+
+Two properties are required of every remapping function (paper Section V-A):
+
+* **Uniformity (C2)** — outputs should be spread evenly over the output
+  space.  We use the balls-and-bins coefficient of variation: hash many
+  random inputs, count how many land in each output bin, and compare the
+  spread to what an ideal uniform hash would produce.
+* **Avalanche effect (C3)** — flipping any single input bit should flip about
+  half of the output bits, for every input and every bit position, with low
+  variance (the strict avalanche criterion).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+HashFunction = Callable[[int], int]
+
+
+@dataclass(frozen=True, slots=True)
+class UniformityReport:
+    """Balls-and-bins analysis of a candidate's output distribution."""
+
+    samples: int
+    bins: int
+    coefficient_of_variation: float
+    expected_coefficient_of_variation: float
+    max_load_ratio: float
+
+    @property
+    def normalized_cv(self) -> float:
+        """CV relative to the ideal multinomial CV (1.0 = indistinguishable from uniform)."""
+        if self.expected_coefficient_of_variation == 0:
+            return float("inf")
+        return self.coefficient_of_variation / self.expected_coefficient_of_variation
+
+
+@dataclass(frozen=True, slots=True)
+class AvalancheReport:
+    """Strict-avalanche-criterion analysis of a candidate."""
+
+    samples: int
+    input_bits: int
+    output_bits: int
+    mean_flip_fraction: float
+    flip_fraction_cv: float
+    per_input_bit_range: float
+
+    @property
+    def satisfies_sac(self) -> bool:
+        """Loose strict-avalanche check used by the selection stage."""
+        return (
+            abs(self.mean_flip_fraction - 0.5) < 0.1
+            and self.flip_fraction_cv < 0.35
+            and self.per_input_bit_range < 0.35
+        )
+
+
+def measure_uniformity(
+    function: HashFunction,
+    input_bits: int,
+    output_bits: int,
+    samples: int = 20_000,
+    seed: int = 0,
+) -> UniformityReport:
+    """Hash ``samples`` random inputs and measure bin-load dispersion."""
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    rng = random.Random(seed)
+    bins = 1 << output_bits
+    # Bound memory: for wide outputs, bucket the output space down to 2^16 bins.
+    bucket_bits = min(output_bits, 16)
+    bucket_count = 1 << bucket_bits
+    counts = [0] * bucket_count
+    for _ in range(samples):
+        value = rng.getrandbits(input_bits)
+        output = function(value) & (bins - 1)
+        counts[output & (bucket_count - 1)] += 1
+
+    mean = samples / bucket_count
+    variance = sum((count - mean) ** 2 for count in counts) / bucket_count
+    std = math.sqrt(variance)
+    cv = std / mean if mean else float("inf")
+    # For a uniform multinomial, Var ≈ mean (Poisson regime), so CV ≈ 1/sqrt(mean).
+    expected_cv = 1.0 / math.sqrt(mean) if mean > 0 else float("inf")
+    max_load_ratio = max(counts) / mean if mean else float("inf")
+    return UniformityReport(
+        samples=samples,
+        bins=bucket_count,
+        coefficient_of_variation=cv,
+        expected_coefficient_of_variation=expected_cv,
+        max_load_ratio=max_load_ratio,
+    )
+
+
+def measure_avalanche(
+    function: HashFunction,
+    input_bits: int,
+    output_bits: int,
+    samples: int = 2_000,
+    seed: int = 0,
+) -> AvalancheReport:
+    """Measure how output bits respond to single-bit input flips.
+
+    For every sampled input λ we flip each input bit position in turn and
+    record the fraction of output bits that change; the report aggregates the
+    mean, the coefficient of variation across samples, and the spread between
+    the most- and least-sensitive input bit positions.
+    """
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    rng = random.Random(seed)
+    per_sample_fractions: list[float] = []
+    per_bit_totals = [0.0] * input_bits
+    per_bit_counts = [0] * input_bits
+
+    for _ in range(samples):
+        value = rng.getrandbits(input_bits)
+        base = function(value)
+        flipped_fraction_total = 0.0
+        for bit in range(input_bits):
+            other = function(value ^ (1 << bit))
+            flips = bin((base ^ other) & ((1 << output_bits) - 1)).count("1")
+            fraction = flips / output_bits
+            flipped_fraction_total += fraction
+            per_bit_totals[bit] += fraction
+            per_bit_counts[bit] += 1
+        per_sample_fractions.append(flipped_fraction_total / input_bits)
+
+    mean = sum(per_sample_fractions) / len(per_sample_fractions)
+    variance = sum((f - mean) ** 2 for f in per_sample_fractions) / len(per_sample_fractions)
+    cv = math.sqrt(variance) / mean if mean else float("inf")
+    per_bit_means = [
+        total / count if count else 0.0 for total, count in zip(per_bit_totals, per_bit_counts)
+    ]
+    bit_range = max(per_bit_means) - min(per_bit_means) if per_bit_means else 0.0
+    return AvalancheReport(
+        samples=samples,
+        input_bits=input_bits,
+        output_bits=output_bits,
+        mean_flip_fraction=mean,
+        flip_fraction_cv=cv,
+        per_input_bit_range=bit_range,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class QualityScore:
+    """Normalized multi-objective score (0 is ideal) used for final selection."""
+
+    uniformity_penalty: float
+    avalanche_mean_penalty: float
+    avalanche_cv_penalty: float
+    avalanche_range_penalty: float
+    critical_path_penalty: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.uniformity_penalty
+            + self.avalanche_mean_penalty
+            + self.avalanche_cv_penalty
+            + self.avalanche_range_penalty
+            + self.critical_path_penalty
+        )
+
+
+def score_candidate(
+    uniformity: UniformityReport,
+    avalanche: AvalancheReport,
+    critical_path_transistors: int,
+    max_critical_path_transistors: int,
+    weights: tuple[float, float, float, float, float] = (1.0, 1.0, 1.0, 1.0, 1.0),
+) -> QualityScore:
+    """Combine the measured metrics into the paper's weighted optimization score.
+
+    Each metric is normalized so its optimum is 0 (Equation (1) in the paper);
+    all weights default to 1.
+    """
+    w_uniform, w_mean, w_cv, w_range, w_path = weights
+    uniformity_penalty = w_uniform * max(0.0, uniformity.normalized_cv - 1.0)
+    avalanche_mean_penalty = w_mean * abs(avalanche.mean_flip_fraction - 0.5) * 2.0
+    avalanche_cv_penalty = w_cv * avalanche.flip_fraction_cv
+    avalanche_range_penalty = w_range * avalanche.per_input_bit_range
+    critical_path_penalty = w_path * (
+        critical_path_transistors / max_critical_path_transistors
+    ) * 0.25
+    return QualityScore(
+        uniformity_penalty=uniformity_penalty,
+        avalanche_mean_penalty=avalanche_mean_penalty,
+        avalanche_cv_penalty=avalanche_cv_penalty,
+        avalanche_range_penalty=avalanche_range_penalty,
+        critical_path_penalty=critical_path_penalty,
+    )

@@ -1,0 +1,98 @@
+"""Final selection of remapping functions (paper Section V-B).
+
+All candidates that satisfied the hardware constraints and passed the C2/C3
+measurements are scored with the normalized, equally weighted multi-objective
+sum (Equation (1)); the candidate with the smallest total penalty is selected
+for each remapping function R1..R4, Rt, Rp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hashgen.constraints import HardwareConstraints
+from repro.hashgen.generator import EvaluatedCandidate, RemapFunctionGenerator
+from repro.hashgen.metrics import QualityScore, score_candidate
+from repro.core.remapping import TABLE_II
+
+
+@dataclass(frozen=True, slots=True)
+class ScoredCandidate:
+    """A candidate together with its multi-objective score."""
+
+    evaluated: EvaluatedCandidate
+    score: QualityScore
+
+    @property
+    def total(self) -> float:
+        return self.score.total
+
+
+def rank_candidates(
+    candidates: list[EvaluatedCandidate],
+    constraints: HardwareConstraints,
+    weights: tuple[float, float, float, float, float] = (1.0, 1.0, 1.0, 1.0, 1.0),
+) -> list[ScoredCandidate]:
+    """Score every candidate and return them sorted best (lowest penalty) first."""
+    scored = [
+        ScoredCandidate(
+            evaluated=candidate,
+            score=score_candidate(
+                candidate.uniformity,
+                candidate.avalanche,
+                candidate.critical_path_transistors,
+                constraints.max_critical_path_transistors,
+                weights,
+            ),
+        )
+        for candidate in candidates
+    ]
+    return sorted(scored, key=lambda item: item.total)
+
+
+def select_best(
+    candidates: list[EvaluatedCandidate],
+    constraints: HardwareConstraints,
+) -> ScoredCandidate | None:
+    """The paper's final selection: minimum total penalty, all weights equal."""
+    ranking = rank_candidates(candidates, constraints)
+    return ranking[0] if ranking else None
+
+
+#: Hardware constraint sets for each remapping function, derived from Table II
+#: of the paper (STBPU input width → output width).
+REMAP_CONSTRAINTS: dict[str, HardwareConstraints] = {
+    label: HardwareConstraints(
+        input_bits=spec.stbpu_input_bits,
+        output_bits=spec.output_bits,
+        max_critical_path_transistors=45,
+    )
+    for label, spec in TABLE_II.items()
+}
+
+
+def generate_remapping_suite(
+    attempts_per_function: int = 30,
+    seed: int = 0,
+    uniformity_samples: int = 6_000,
+    avalanche_samples: int = 120,
+) -> dict[str, ScoredCandidate]:
+    """Generate and select one hardware design per remapping function.
+
+    Returns a mapping from the function label (``"R1"`` .. ``"Rp"``) to the
+    best scoring candidate found for its constraint set.  Functions for which
+    no candidate satisfied the constraints are omitted (callers treat that as
+    a generation failure and retry with a different seed or more attempts).
+    """
+    suite: dict[str, ScoredCandidate] = {}
+    for index, (label, constraints) in enumerate(REMAP_CONSTRAINTS.items()):
+        generator = RemapFunctionGenerator(constraints, seed=seed + index * 1000)
+        evaluated = generator.search(
+            attempts=attempts_per_function,
+            uniformity_samples=uniformity_samples,
+            avalanche_samples=avalanche_samples,
+        )
+        best = select_best(evaluated, constraints)
+        if best is not None:
+            suite[label] = best
+    return suite

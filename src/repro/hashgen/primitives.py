@@ -1,0 +1,212 @@
+"""Hardware primitives used to compose remapping functions (paper Section V-A).
+
+The generator assembles candidate remapping functions from three primitive
+families, mirroring the paper:
+
+* **S-boxes** — 3→3 and 4→4 substitution boxes borrowed from the PRESENT and
+  SPONGENT lightweight ciphers; they supply non-linearity.
+* **P-boxes** — bit permutations; they supply diffusion across S-box
+  boundaries at almost zero hardware cost (wires only).
+* **C-S boxes** — compression boxes mapping ``m`` input bits to ``n < m``
+  output bits using XOR trees; they are non-invertible and perform the size
+  reduction every remapping function needs (Table II input widths far exceed
+  output widths).
+
+Every primitive carries a transistor-cost estimate (count and critical-path
+depth) so generated designs can be checked against the single-cycle hardware
+budget (constraint C1).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+
+#: PRESENT cipher 4-bit S-box (Bogdanov et al., CHES 2007).
+PRESENT_SBOX: tuple[int, ...] = (
+    0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+)
+
+#: SPONGENT hash 4-bit S-box (Bogdanov et al., CHES 2011).
+SPONGENT_SBOX: tuple[int, ...] = (
+    0xE, 0xD, 0xB, 0x0, 0x2, 0x1, 0x4, 0xF, 0x7, 0xA, 0x8, 0x5, 0x9, 0xC, 0x3, 0x6,
+)
+
+#: A 3-bit S-box (the inversion-based S-box used in several lightweight designs).
+THREE_BIT_SBOX: tuple[int, ...] = (0x7, 0x6, 0x0, 0x4, 0x2, 0x5, 0x1, 0x3)
+
+#: Approximate transistor cost of one 2-input gate (CMOS NAND/NOR ≈ 4,
+#: XOR ≈ 8); used for the budget arithmetic of constraint C1.
+TRANSISTORS_PER_GATE = 4
+TRANSISTORS_PER_XOR = 8
+#: Transistor cost and depth of a 4-bit S-box implemented as combinatorial logic.
+SBOX4_TRANSISTORS = 28
+SBOX4_DEPTH = 6
+SBOX3_TRANSISTORS = 18
+SBOX3_DEPTH = 5
+
+
+@dataclass(frozen=True, slots=True)
+class PrimitiveCost:
+    """Hardware cost estimate of one primitive instance."""
+
+    transistors: int
+    critical_path_transistors: int
+    wire_crossovers: int = 0
+
+
+class Primitive(abc.ABC):
+    """A combinational building block mapping ``input_bits`` to ``output_bits``."""
+
+    def __init__(self, input_bits: int, output_bits: int):
+        if input_bits <= 0 or output_bits <= 0:
+            raise ValueError("primitive widths must be positive")
+        self.input_bits = input_bits
+        self.output_bits = output_bits
+
+    @abc.abstractmethod
+    def apply(self, value: int) -> int:
+        """Evaluate the primitive on an ``input_bits``-wide integer."""
+
+    @abc.abstractmethod
+    def cost(self) -> PrimitiveCost:
+        """Hardware cost estimate."""
+
+    @property
+    def is_compressing(self) -> bool:
+        return self.output_bits < self.input_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.input_bits}->{self.output_bits})"
+
+
+class SBoxLayer(Primitive):
+    """A substitution layer: the input is sliced into nibbles fed through S-boxes.
+
+    Mixing layers are |m| -> |m| (no compression); the S-box table is applied
+    to each 3- or 4-bit group, with a trailing narrower group passed through
+    unchanged if the width is not a multiple of the box size.
+    """
+
+    def __init__(self, input_bits: int, sbox: tuple[int, ...] = PRESENT_SBOX):
+        super().__init__(input_bits, input_bits)
+        box_bits = (len(sbox) - 1).bit_length()
+        if len(sbox) != 1 << box_bits:
+            raise ValueError("S-box table length must be a power of two")
+        if sorted(sbox) != list(range(len(sbox))):
+            raise ValueError("S-box must be a permutation")
+        self.sbox = sbox
+        self.box_bits = box_bits
+
+    def apply(self, value: int) -> int:
+        result = 0
+        mask = (1 << self.box_bits) - 1
+        position = 0
+        while position + self.box_bits <= self.input_bits:
+            nibble = (value >> position) & mask
+            result |= self.sbox[nibble] << position
+            position += self.box_bits
+        if position < self.input_bits:
+            remainder_mask = (1 << (self.input_bits - position)) - 1
+            result |= ((value >> position) & remainder_mask) << position
+        return result
+
+    def cost(self) -> PrimitiveCost:
+        boxes = self.input_bits // self.box_bits
+        if self.box_bits == 4:
+            return PrimitiveCost(boxes * SBOX4_TRANSISTORS, SBOX4_DEPTH)
+        return PrimitiveCost(boxes * SBOX3_TRANSISTORS, SBOX3_DEPTH)
+
+
+class PBoxLayer(Primitive):
+    """A permutation layer (pure wiring)."""
+
+    def __init__(self, permutation: tuple[int, ...]):
+        super().__init__(len(permutation), len(permutation))
+        if sorted(permutation) != list(range(len(permutation))):
+            raise ValueError("P-box must be a permutation of bit positions")
+        self.permutation = permutation
+
+    @classmethod
+    def random(cls, bits: int, rng: random.Random) -> "PBoxLayer":
+        positions = list(range(bits))
+        rng.shuffle(positions)
+        return cls(tuple(positions))
+
+    def apply(self, value: int) -> int:
+        result = 0
+        for source, destination in enumerate(self.permutation):
+            if (value >> source) & 1:
+                result |= 1 << destination
+        return result
+
+    def cost(self) -> PrimitiveCost:
+        crossovers = sum(
+            1 for source, destination in enumerate(self.permutation) if source != destination
+        )
+        return PrimitiveCost(transistors=0, critical_path_transistors=0,
+                             wire_crossovers=crossovers)
+
+
+class CompressionLayer(Primitive):
+    """A non-invertible XOR-tree compression box (``m`` bits → ``n`` bits).
+
+    Output bit *i* is the XOR of all input bits congruent to *i* modulo the
+    output width — the classic folding tree.  Its critical path is the depth
+    of the XOR tree, which grows logarithmically with the fan-in.
+    """
+
+    def __init__(self, input_bits: int, output_bits: int):
+        if output_bits > input_bits:
+            raise ValueError("compression layer cannot expand")
+        super().__init__(input_bits, output_bits)
+
+    def apply(self, value: int) -> int:
+        result = 0
+        mask = (1 << self.output_bits) - 1
+        remaining = value & ((1 << self.input_bits) - 1)
+        while remaining:
+            result ^= remaining & mask
+            remaining >>= self.output_bits
+        return result
+
+    def cost(self) -> PrimitiveCost:
+        fan_in = -(-self.input_bits // self.output_bits)  # ceil division
+        xor_gates_per_bit = max(0, fan_in - 1)
+        total_xors = xor_gates_per_bit * self.output_bits
+        depth_gates = max(1, (fan_in - 1).bit_length())
+        return PrimitiveCost(
+            transistors=total_xors * TRANSISTORS_PER_XOR,
+            critical_path_transistors=depth_gates * (TRANSISTORS_PER_XOR // 2),
+        )
+
+
+class KeyMixLayer(Primitive):
+    """XORs (a slice of) the ψ key into the state.
+
+    In the hardware design the ST register feeds one XOR per state bit; in
+    candidate evaluation the key is a constructor argument so generated
+    functions can be tested under many keys.
+    """
+
+    def __init__(self, input_bits: int, key: int):
+        super().__init__(input_bits, input_bits)
+        self.key = key & ((1 << input_bits) - 1)
+
+    def apply(self, value: int) -> int:
+        return value ^ self.key
+
+    def cost(self) -> PrimitiveCost:
+        return PrimitiveCost(
+            transistors=self.input_bits * TRANSISTORS_PER_XOR,
+            critical_path_transistors=TRANSISTORS_PER_XOR // 2,
+        )
+
+
+#: Convenience registry of the mixing S-boxes the generator may draw from.
+AVAILABLE_SBOXES: dict[str, tuple[int, ...]] = {
+    "present": PRESENT_SBOX,
+    "spongent": SPONGENT_SBOX,
+    "sbox3": THREE_BIT_SBOX,
+}

@@ -1,0 +1,59 @@
+"""Security analysis and executable attack simulations (paper Section VI)."""
+
+from repro.security.parameters import (
+    SKYLAKE_PARAMETERS,
+    AnalysisParameters,
+    StructureParameters,
+)
+from repro.security.analysis import (
+    AttackComplexitySummary,
+    EvictionAttackCost,
+    InjectionAttackCost,
+    ReuseAttackCost,
+    derive_rerandomization_thresholds,
+    eviction_attack_cost,
+    injection_attack_cost,
+    naive_eviction_set_probability,
+    reuse_attack_cost,
+    same_address_space_attack_cost,
+    summarize_attack_complexities,
+)
+from repro.security.gem import GEMEvictionSetBuilder, GEMResult, GEMStatistics
+from repro.security.taxonomy import (
+    ATTACK_SURFACE,
+    AttackVector,
+    CollisionKind,
+    EffectLocus,
+    Mitigation,
+    Structure,
+    table_rows,
+    vectors,
+)
+
+__all__ = [
+    "SKYLAKE_PARAMETERS",
+    "AnalysisParameters",
+    "StructureParameters",
+    "AttackComplexitySummary",
+    "EvictionAttackCost",
+    "InjectionAttackCost",
+    "ReuseAttackCost",
+    "derive_rerandomization_thresholds",
+    "eviction_attack_cost",
+    "injection_attack_cost",
+    "naive_eviction_set_probability",
+    "reuse_attack_cost",
+    "same_address_space_attack_cost",
+    "summarize_attack_complexities",
+    "GEMEvictionSetBuilder",
+    "GEMResult",
+    "GEMStatistics",
+    "ATTACK_SURFACE",
+    "AttackVector",
+    "CollisionKind",
+    "EffectLocus",
+    "Mitigation",
+    "Structure",
+    "table_rows",
+    "vectors",
+]

@@ -1,0 +1,32 @@
+"""Executable collision-based attack simulations (paper Sections II-B, III, VI)."""
+
+from repro.security.attacks.base import (
+    ATTACKER_CONTEXT,
+    VICTIM_CONTEXT,
+    AttackHarness,
+    AttackObservation,
+    AttackOutcome,
+    make_branch,
+)
+from repro.security.attacks.reuse import BTBReuseSideChannel, PHTReuseSideChannel
+from repro.security.attacks.injection import SpectreRSBInjection, SpectreV2Injection
+from repro.security.attacks.same_address_space import TransientTrojanAttack
+from repro.security.attacks.eviction import BTBEvictionSideChannel, RSBOverflowAttack
+from repro.security.attacks.dos import BPUDenialOfService
+
+__all__ = [
+    "ATTACKER_CONTEXT",
+    "VICTIM_CONTEXT",
+    "AttackHarness",
+    "AttackObservation",
+    "AttackOutcome",
+    "make_branch",
+    "BTBReuseSideChannel",
+    "PHTReuseSideChannel",
+    "SpectreRSBInjection",
+    "SpectreV2Injection",
+    "TransientTrojanAttack",
+    "BTBEvictionSideChannel",
+    "RSBOverflowAttack",
+    "BPUDenialOfService",
+]

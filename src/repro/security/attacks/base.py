@@ -1,0 +1,115 @@
+"""Shared infrastructure for executable attack simulations.
+
+The attack modules drive a predictor model (unprotected
+:class:`~repro.bpu.composite.CompositeBPU` or an
+:class:`~repro.core.stbpu.STBPU`) with hand-crafted attacker and victim branch
+records and observe the micro-architectural signals a real attacker would
+have: whether its own branches hit or mispredicted, and what speculative
+target the victim would have followed.  Running the identical attack against
+the unprotected and protected models is how the repository demonstrates each
+Table I vector and its STBPU mitigation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.bpu.common import AccessResult, BranchPredictorModel
+from repro.bpu.composite import CompositeBPU
+from repro.core.stbpu import STBPU
+from repro.trace.branch import BranchRecord, BranchType, PrivilegeMode
+
+#: Default context identifiers used across the attack simulations.
+ATTACKER_CONTEXT = 100
+VICTIM_CONTEXT = 200
+
+
+@dataclass(slots=True)
+class AttackObservation:
+    """Raw per-access observations accumulated while an attack runs."""
+
+    attacker_accesses: int = 0
+    victim_accesses: int = 0
+    attacker_mispredictions: int = 0
+    attacker_btb_hits: int = 0
+    evictions_triggered: int = 0
+    rerandomizations: int = 0
+
+
+@dataclass(slots=True)
+class AttackOutcome:
+    """Summary of one attack experiment."""
+
+    name: str
+    protected: bool
+    success: bool
+    success_metric: float
+    attempts: int
+    observation: AttackObservation = field(default_factory=AttackObservation)
+    details: dict[str, float] = field(default_factory=dict)
+
+
+def make_branch(
+    ip: int,
+    target: int,
+    branch_type: BranchType = BranchType.DIRECT_JUMP,
+    context_id: int = ATTACKER_CONTEXT,
+    taken: bool = True,
+    mode: PrivilegeMode = PrivilegeMode.USER,
+) -> BranchRecord:
+    """Convenience constructor for attack branch records."""
+    return BranchRecord(
+        ip=ip, target=target, taken=taken, branch_type=branch_type,
+        context_id=context_id, mode=mode,
+    )
+
+
+class AttackHarness:
+    """Runs attacker/victim accesses against one predictor model and keeps score."""
+
+    def __init__(self, model: BranchPredictorModel, seed: int = 0):
+        self.model = model
+        self.rng = random.Random(seed)
+        self.observation = AttackObservation()
+
+    @property
+    def is_protected(self) -> bool:
+        return isinstance(self.model, STBPU)
+
+    def _rerandomization_count(self) -> int:
+        if isinstance(self.model, STBPU):
+            return self.model.stats.rerandomizations
+        return 0
+
+    def _access(self, branch: BranchRecord) -> AccessResult:
+        before = self._rerandomization_count()
+        if isinstance(self.model, (CompositeBPU,)):
+            result = self.model.access_with_events(branch)
+        else:
+            result = self.model.access(branch)
+        after = self._rerandomization_count()
+        if after > before:
+            self.observation.rerandomizations += after - before
+        if result.btb_eviction:
+            self.observation.evictions_triggered += 1
+        return result
+
+    def attacker_access(self, branch: BranchRecord) -> AccessResult:
+        """Execute one attacker branch and record its observable signals."""
+        result = self._access(branch)
+        self.observation.attacker_accesses += 1
+        if result.mispredicted:
+            self.observation.attacker_mispredictions += 1
+        if result.btb_hit:
+            self.observation.attacker_btb_hits += 1
+        return result
+
+    def victim_access(self, branch: BranchRecord) -> AccessResult:
+        """Execute one victim branch (the attacker does not see this result)."""
+        result = self._access(branch)
+        self.observation.victim_accesses += 1
+        return result
+
+    def context_switch(self, context_id: int) -> None:
+        self.model.on_context_switch(context_id)

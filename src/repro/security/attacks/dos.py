@@ -1,0 +1,120 @@
+"""Denial-of-service attacks on the BPU (paper Section VI-A.6).
+
+Rather than leaking data, the attacker tries to slow the victim down by
+destroying its useful predictor state:
+
+* **eviction DoS** — evict the BTB entries behind the victim's hot branches so
+  every victim branch misses, and
+* **reuse DoS** — plant bogus targets the victim will speculatively follow,
+  paying a squash penalty each time.
+
+STBPU cannot remove the first attack entirely (the BTB is still shared), but
+the attacker is blind to the keyed mapping and must flood indiscriminately;
+the second attack additionally runs into target encryption, which turns
+planted targets into garbage addresses that do not match any victim gadget.
+The experiment measures the victim's misprediction rate on a fixed hot loop
+with and without the attacker's interference.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bpu.common import BranchPredictorModel
+from repro.bpu.mapping import BaselineMappingProvider
+from repro.security.attacks.base import (
+    ATTACKER_CONTEXT,
+    VICTIM_CONTEXT,
+    AttackHarness,
+    AttackOutcome,
+    make_branch,
+)
+from repro.trace.branch import BranchType
+
+
+class BPUDenialOfService:
+    """Measure the slowdown an attacker can impose on a victim's hot branches."""
+
+    def __init__(self, model: BranchPredictorModel, seed: int = 0):
+        self.harness = AttackHarness(model, seed)
+        self.rng = random.Random(seed)
+
+    def _victim_round(self, hot_branches: list[tuple[int, int]]) -> tuple[int, int]:
+        """Execute the victim's hot branches once; return (accesses, mispredictions)."""
+        mispredictions = 0
+        for ip, target in hot_branches:
+            result = self.harness.victim_access(
+                make_branch(ip, target, BranchType.DIRECT_JUMP, VICTIM_CONTEXT)
+            )
+            if result.mispredicted:
+                mispredictions += 1
+        return len(hot_branches), mispredictions
+
+    def run(
+        self,
+        rounds: int = 50,
+        hot_branch_count: int = 32,
+        attacker_branches_per_round: int = 512,
+    ) -> AttackOutcome:
+        """Interleave attacker flooding with victim execution of a hot loop."""
+        base_ip = 0x0000_5555_9999_0000
+        hot_branches = [
+            (base_ip + index * 0x40, base_ip + index * 0x40 + 0x2000)
+            for index in range(hot_branch_count)
+        ]
+
+        # Warm-up and undisturbed baseline measurement.
+        self.harness.context_switch(VICTIM_CONTEXT)
+        self._victim_round(hot_branches)
+        baseline_accesses = 0
+        baseline_misses = 0
+        for _ in range(rounds):
+            accesses, misses = self._victim_round(hot_branches)
+            baseline_accesses += accesses
+            baseline_misses += misses
+        baseline_rate = baseline_misses / baseline_accesses if baseline_accesses else 0.0
+
+        # Attacked phase: the attacker floods between victim rounds.  The
+        # attacker assumes the legacy (deterministic) mapping and constructs
+        # addresses that land in the victim's BTB sets under that mapping —
+        # precise eviction on the unprotected design, blind flooding under
+        # STBPU where the real mapping is keyed by a token it does not know.
+        mapping = BaselineMappingProvider()
+        targeted: list[int] = []
+        sets = mapping.sizes.btb_sets
+        for ip, _ in hot_branches:
+            victim_index = mapping.btb_mode1(ip).index
+            base = (ip & ~((sets - 1) << 5)) | (victim_index << 5)
+            for way in range(10):
+                targeted.append((base + (way + 1) * (sets << 5)) & 0xFFFF_FFFF_FFFF)
+
+        attacked_accesses = 0
+        attacked_misses = 0
+        for _ in range(rounds):
+            self.harness.context_switch(ATTACKER_CONTEXT)
+            for flood_index in range(attacker_branches_per_round):
+                address = targeted[flood_index % len(targeted)]
+                self.harness.attacker_access(
+                    make_branch(address, address + 0x40,
+                                BranchType.DIRECT_JUMP, ATTACKER_CONTEXT)
+                )
+            self.harness.context_switch(VICTIM_CONTEXT)
+            accesses, misses = self._victim_round(hot_branches)
+            attacked_accesses += accesses
+            attacked_misses += misses
+        attacked_rate = attacked_misses / attacked_accesses if attacked_accesses else 0.0
+
+        slowdown = attacked_rate - baseline_rate
+        return AttackOutcome(
+            name="bpu-denial-of-service",
+            protected=self.harness.is_protected,
+            success=slowdown > 0.25,
+            success_metric=slowdown,
+            attempts=rounds,
+            observation=self.harness.observation,
+            details={
+                "baseline_misprediction_rate": baseline_rate,
+                "attacked_misprediction_rate": attacked_rate,
+                "induced_misprediction_increase": slowdown,
+            },
+        )

@@ -1,0 +1,140 @@
+"""Reuse-based side-channel attacks (Table I, reuse/home quadrants).
+
+Two concrete attacks are modelled:
+
+* :class:`BTBReuseSideChannel` — the Jump-over-ASLR / branch-shadowing
+  pattern: the attacker executes a branch at the *same virtual address* as a
+  victim branch and infers, from whether its own access reuses a BTB entry,
+  whether (and where) the victim executed.
+* :class:`PHTReuseSideChannel` — the BranchScope pattern: the attacker probes
+  a PHT counter that collides with the victim's secret-dependent conditional
+  branch and recovers the victim's taken/not-taken bit.
+
+Against the unprotected BPU both channels leak with high accuracy.  Against
+STBPU the keyed per-process remapping removes the deterministic collision, so
+the recovered bits are uncorrelated with the secret, and sustained probing
+only drives the misprediction counters toward re-randomization.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bpu.common import BranchPredictorModel
+from repro.security.attacks.base import (
+    ATTACKER_CONTEXT,
+    VICTIM_CONTEXT,
+    AttackHarness,
+    AttackOutcome,
+    make_branch,
+)
+from repro.trace.branch import BranchType
+
+
+class BTBReuseSideChannel:
+    """Detect whether the victim executed a branch at a known virtual address."""
+
+    def __init__(self, model: BranchPredictorModel, seed: int = 0):
+        self.harness = AttackHarness(model, seed)
+        self.rng = random.Random(seed)
+
+    def run(self, trials: int = 200, victim_branch_ip: int = 0x0000_5555_1234_0040) -> AttackOutcome:
+        """Run ``trials`` detection rounds and report the inference accuracy.
+
+        In each round the victim either executes its branch or stays idle
+        (a secret coin flip); the attacker then executes a branch at the same
+        virtual address with a different target and uses "my access hit in the
+        BTB" as the detection signal.
+        """
+        correct = 0
+        victim_target = victim_branch_ip + 0x400
+        attacker_target = victim_branch_ip + 0x9000
+        for trial in range(trials):
+            victim_executed = self.rng.random() < 0.5
+            if victim_executed:
+                self.harness.victim_access(
+                    make_branch(victim_branch_ip, victim_target,
+                                BranchType.DIRECT_JUMP, VICTIM_CONTEXT)
+                )
+            self.harness.context_switch(ATTACKER_CONTEXT)
+            probe = self.harness.attacker_access(
+                make_branch(victim_branch_ip, attacker_target,
+                            BranchType.DIRECT_JUMP, ATTACKER_CONTEXT)
+            )
+            # Detection signal: the probe found an entry whose target is not the
+            # attacker's own (i.e. the attacker's fetch was redirected to the
+            # victim's target and then mispredicted) — the classic reuse signal.
+            inferred = probe.btb_hit and not probe.target_correct
+            if inferred == victim_executed:
+                correct += 1
+            # The attacker's own access installs an entry; executing a flushing
+            # filler branch stream would be the realistic cleanup, but for the
+            # signal model it suffices that the next victim install overwrites
+            # the same entry on the unprotected BPU.
+        accuracy = correct / trials
+        return AttackOutcome(
+            name="btb-reuse-side-channel",
+            protected=self.harness.is_protected,
+            success=accuracy > 0.75,
+            success_metric=accuracy,
+            attempts=trials,
+            observation=self.harness.observation,
+            details={"inference_accuracy": accuracy},
+        )
+
+
+class PHTReuseSideChannel:
+    """BranchScope-style recovery of a victim's secret-dependent direction bits."""
+
+    def __init__(self, model: BranchPredictorModel, seed: int = 0):
+        self.harness = AttackHarness(model, seed)
+        self.rng = random.Random(seed)
+
+    def run(self, secret_bits: int = 128,
+            victim_branch_ip: int = 0x0000_5555_2222_0100) -> AttackOutcome:
+        """Recover ``secret_bits`` direction bits of the victim's conditional branch.
+
+        Per bit: the attacker first drives the colliding counter to a weak
+        state with its own conditional branch at the same address, lets the
+        victim execute its secret-dependent branch three times, then probes
+        with a not-taken branch — a misprediction on the probe means the
+        counter moved toward taken, i.e. the secret bit was 1.
+        """
+        recovered_correct = 0
+        taken_target = victim_branch_ip + 0x200
+        for _ in range(secret_bits):
+            secret_bit = self.rng.random() < 0.5
+
+            # Prime: several not-taken executions drive the shared counter low.
+            for _ in range(3):
+                self.harness.attacker_access(
+                    make_branch(victim_branch_ip, victim_branch_ip + 4,
+                                BranchType.CONDITIONAL, ATTACKER_CONTEXT, taken=False)
+                )
+            # Victim executes its secret-dependent branch a few times.
+            for _ in range(4):
+                self.harness.victim_access(
+                    make_branch(victim_branch_ip,
+                                taken_target if secret_bit else victim_branch_ip + 4,
+                                BranchType.CONDITIONAL, VICTIM_CONTEXT, taken=secret_bit)
+                )
+            # Probe: a not-taken attacker execution mispredicts iff the counter
+            # was dragged toward taken by the victim.
+            probe = self.harness.attacker_access(
+                make_branch(victim_branch_ip, victim_branch_ip + 4,
+                            BranchType.CONDITIONAL, ATTACKER_CONTEXT, taken=False)
+            )
+            inferred_bit = not probe.direction_correct
+            if inferred_bit == secret_bit:
+                recovered_correct += 1
+
+        accuracy = recovered_correct / secret_bits
+        return AttackOutcome(
+            name="pht-reuse-side-channel",
+            protected=self.harness.is_protected,
+            success=accuracy > 0.75,
+            success_metric=accuracy,
+            attempts=secret_bits,
+            observation=self.harness.observation,
+            details={"bit_recovery_accuracy": accuracy},
+        )

@@ -1,0 +1,73 @@
+"""Same-address-space attacks (transient trojans, Section VI-A.3).
+
+Both the trigger branch and the trojan branch live inside one address space
+(one software entity, one ST), so target encryption with ϕ cannot help — the
+same token decrypts what it encrypted.  What the unprotected BPU gets wrong is
+*address truncation*: only 32 of the 48 virtual-address bits feed the mapping
+functions, so two distinct branches whose addresses differ only above bit 31
+collide deterministically.  STBPU's remapping functions consume the full
+48-bit address, which removes the deterministic collision; the attacker is
+left brute-forcing the keyed mapping, with the usual Equation (2) event cost.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bpu.common import BranchPredictorModel
+from repro.security.attacks.base import (
+    ATTACKER_CONTEXT,
+    AttackHarness,
+    AttackOutcome,
+    make_branch,
+)
+from repro.trace.branch import BranchType
+
+
+class TransientTrojanAttack:
+    """Intra-address-space BTB collision between an aliased trigger/trojan pair."""
+
+    def __init__(self, model: BranchPredictorModel, seed: int = 0):
+        self.harness = AttackHarness(model, seed)
+        self.rng = random.Random(seed)
+
+    def run(
+        self,
+        trials: int = 200,
+        trojan_ip: int = 0x0000_5555_6666_0300,
+        gadget_address: int = 0x0000_5555_6666_7000,
+    ) -> AttackOutcome:
+        """Try to steer a benign-looking branch through an aliased colliding branch.
+
+        The trigger branch sits at ``trojan_ip + 2^32``: identical in the 32
+        truncated bits the unprotected hardware uses, distinct in the full
+        48-bit address.  The attacker trains the trigger with the gadget
+        target, then executes the trojan branch (whose real target is benign)
+        and checks whether the prediction redirects to the gadget.
+        """
+        trigger_ip = trojan_ip + (1 << 32)
+        benign_target = trojan_ip + 0x500
+        successes = 0
+        for _ in range(trials):
+            self.harness.attacker_access(
+                make_branch(trigger_ip, gadget_address,
+                            BranchType.INDIRECT_JUMP, ATTACKER_CONTEXT)
+            )
+            result = self.harness.attacker_access(
+                make_branch(trojan_ip, benign_target,
+                            BranchType.INDIRECT_JUMP, ATTACKER_CONTEXT)
+            )
+            predicted = result.prediction.target
+            if predicted is not None and predicted == gadget_address:
+                successes += 1
+
+        rate = successes / trials
+        return AttackOutcome(
+            name="transient-trojan-same-address-space",
+            protected=self.harness.is_protected,
+            success=rate > 0.5,
+            success_metric=rate,
+            attempts=trials,
+            observation=self.harness.observation,
+            details={"collision_activation_rate": rate},
+        )

@@ -1,0 +1,133 @@
+"""GEM-style eviction-set construction (Qureshi, ISCA 2019), adapted to the BTB.
+
+The paper's eviction-based analysis assumes the attacker uses the Group
+Elimination Method rather than naive guessing: starting from a pool of
+candidate branches that collectively evict the victim's BTB entry, the pool is
+split into ``W + 1`` groups and groups are discarded one at a time whenever
+the remaining candidates still evict the victim, converging on a minimal
+eviction set of ``W`` branches.
+
+The implementation here works against any object exposing the
+:class:`~repro.bpu.btb.BranchTargetBuffer` interface, so it can be pointed at
+an unprotected BTB (where it succeeds quickly) or at an STBPU-protected BTB
+(where the keyed remapping and re-randomization destroy its progress).  All
+probes are counted so experiments can compare the observable event footprint
+to the analytical model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.bpu.btb import BranchTargetBuffer
+
+
+@dataclass(slots=True)
+class GEMStatistics:
+    """Probe/eviction counts accumulated by one GEM run."""
+
+    probes: int = 0
+    installs: int = 0
+    evictions_triggered: int = 0
+    rounds: int = 0
+
+
+@dataclass(slots=True)
+class GEMResult:
+    """Outcome of one eviction-set search."""
+
+    success: bool
+    eviction_set: list[int] = field(default_factory=list)
+    stats: GEMStatistics = field(default_factory=GEMStatistics)
+
+
+class GEMEvictionSetBuilder:
+    """Group-elimination eviction-set construction against a BTB model.
+
+    Args:
+        btb: The branch target buffer under attack (attacker's view: the
+            attacker can execute branches at addresses of its choosing and
+            observe whether its own entries were evicted).
+        rng: Randomness source for candidate address generation.
+        address_space: Range of attacker-controlled virtual addresses.
+    """
+
+    def __init__(
+        self,
+        btb: BranchTargetBuffer,
+        rng: random.Random | None = None,
+        address_space: tuple[int, int] = (0x10_0000, 0x7FFF_FFFF_0000),
+    ):
+        self.btb = btb
+        self.rng = rng if rng is not None else random.Random(0)
+        self.address_space = address_space
+
+    # ------------------------------------------------------------------ helpers
+
+    def _random_address(self) -> int:
+        low, high = self.address_space
+        return self.rng.randrange(low, high) & ~0x3
+
+    def _install(self, address: int, stats: GEMStatistics) -> None:
+        before = self.btb.eviction_count
+        self.btb.update(address, address + 0x40)
+        stats.installs += 1
+        if self.btb.eviction_count > before:
+            stats.evictions_triggered += 1
+
+    def _victim_present(self, victim: int, stats: GEMStatistics) -> bool:
+        stats.probes += 1
+        return self.btb.contains(victim)
+
+    def _evicts_victim(self, victim: int, candidates: list[int], stats: GEMStatistics) -> bool:
+        """Install the victim, replay the candidates, and test whether it was evicted."""
+        self.btb.update(victim, victim + 0x40)
+        for address in candidates:
+            self._install(address, stats)
+        return not self._victim_present(victim, stats)
+
+    # ------------------------------------------------------------------ search
+
+    def build(
+        self,
+        victim_address: int,
+        initial_pool_size: int | None = None,
+        max_rounds: int = 512,
+    ) -> GEMResult:
+        """Find a minimal eviction set for ``victim_address``.
+
+        ``initial_pool_size`` defaults to three times the BTB capacity, enough
+        that a random pool almost surely evicts the victim on a deterministic
+        mapping.  The search gives up (``success=False``) when the initial
+        pool does not evict the victim or when group elimination stops making
+        progress — which is the expected outcome against an STBPU whose
+        mapping changed under the attacker's feet.
+        """
+        stats = GEMStatistics()
+        ways = self.btb.way_count
+        if initial_pool_size is None:
+            initial_pool_size = 3 * self.btb.entry_count
+        pool = [self._random_address() for _ in range(initial_pool_size)]
+
+        if not self._evicts_victim(victim_address, pool, stats):
+            return GEMResult(success=False, stats=stats)
+
+        groups = ways + 1
+        while len(pool) > ways and stats.rounds < max_rounds:
+            stats.rounds += 1
+            group_size = max(1, len(pool) // groups)
+            removed_any = False
+            for group_start in range(0, len(pool), group_size):
+                candidate_pool = pool[:group_start] + pool[group_start + group_size:]
+                if not candidate_pool:
+                    continue
+                if self._evicts_victim(victim_address, candidate_pool, stats):
+                    pool = candidate_pool
+                    removed_any = True
+                    break
+            if not removed_any:
+                break
+
+        success = len(pool) <= ways * 2 and self._evicts_victim(victim_address, pool, stats)
+        return GEMResult(success=success, eviction_set=pool if success else [], stats=stats)

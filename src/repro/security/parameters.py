@@ -1,0 +1,90 @@
+"""Security-analysis parameters (paper Table III).
+
+The analytical model of Section VI is parameterised by the geometry of the
+protected structures: number of ways ``W``, number of sets ``I``, tag entropy
+``T``, offset entropy ``O``, and stored-target entropy ``Ω``.  This module
+derives those parameters from a :class:`~repro.bpu.common.StructureSizes`
+instance so that the analysis always describes the same hardware the
+functional simulation uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bpu.common import StructureSizes
+from repro.trace.branch import STORED_TARGET_BITS
+
+
+@dataclass(frozen=True, slots=True)
+class StructureParameters:
+    """Table III parameters for one BPU structure."""
+
+    name: str
+    ways: int
+    sets: int
+    tag_bits: int
+    offset_bits: int
+    target_bits: int
+
+    @property
+    def tag_entropy(self) -> int:
+        """``T``: number of distinct tag values."""
+        return 1 << self.tag_bits
+
+    @property
+    def offset_entropy(self) -> int:
+        """``O``: number of distinct offset values."""
+        return 1 << self.offset_bits
+
+    @property
+    def target_entropy(self) -> int:
+        """``Ω``: number of distinct stored-target values."""
+        return 1 << self.target_bits
+
+    @property
+    def entries(self) -> int:
+        return self.ways * self.sets
+
+
+@dataclass(frozen=True, slots=True)
+class AnalysisParameters:
+    """Complete parameter set used by the Section VI analysis."""
+
+    btb: StructureParameters
+    pht: StructureParameters
+    rsb: StructureParameters
+
+    @classmethod
+    def from_sizes(cls, sizes: StructureSizes | None = None) -> "AnalysisParameters":
+        """Derive the analysis parameters from the simulated structure sizes."""
+        sizes = sizes if sizes is not None else StructureSizes()
+        btb = StructureParameters(
+            name="STBTB",
+            ways=sizes.btb_ways,
+            sets=sizes.btb_sets,
+            tag_bits=sizes.btb_tag_bits,
+            offset_bits=sizes.btb_offset_bits,
+            target_bits=STORED_TARGET_BITS,
+        )
+        pht = StructureParameters(
+            name="STPHT",
+            ways=1,
+            sets=sizes.pht_entries,
+            tag_bits=0,
+            offset_bits=0,
+            target_bits=0,
+        )
+        rsb = StructureParameters(
+            name="STRSB",
+            ways=1,
+            sets=sizes.rsb_entries,
+            tag_bits=0,
+            offset_bits=0,
+            target_bits=STORED_TARGET_BITS,
+        )
+        return cls(btb=btb, pht=pht, rsb=rsb)
+
+
+#: The paper's Skylake-derived default parameters.
+SKYLAKE_PARAMETERS = AnalysisParameters.from_sizes(StructureSizes())

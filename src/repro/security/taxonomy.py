@@ -1,0 +1,257 @@
+"""Attack-surface taxonomy for collision-based BPU attacks (paper Table I).
+
+Attacks are classified along two axes:
+
+* **collision kind** — whether the colliding entry is *reused* by the other
+  party or *evicted*/replaced, and
+* **effect locus** — whether the adversarial effect manifests in the
+  attacker's own execution (*home*, used for side channels) or in the
+  victim's execution (*away*, used to steer victim speculation).
+
+Each of the three structures (BTB, PHT, RSB) populates the four quadrants,
+with the exception that PHT entries are never evicted.  The table also records
+the adversarial effect and which STBPU mechanism defeats the vector, making it
+a queryable inventory used by the attack simulations and the documentation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Structure(enum.Enum):
+    BTB = "BTB"
+    PHT = "PHT"
+    RSB = "RSB"
+
+
+class CollisionKind(enum.Enum):
+    REUSE = "reuse-based"
+    EVICTION = "eviction-based"
+
+
+class EffectLocus(enum.Enum):
+    HOME = "home"
+    AWAY = "away"
+
+
+class Mitigation(enum.Enum):
+    """Which STBPU mechanism primarily defeats the vector."""
+
+    KEYED_REMAPPING = "keyed remapping (ψ)"
+    TARGET_ENCRYPTION = "target encryption (ϕ)"
+    RERANDOMIZATION = "ST re-randomization"
+    NOT_APPLICABLE = "not applicable"
+
+
+@dataclass(frozen=True, slots=True)
+class AttackVector:
+    """One cell of Table I."""
+
+    structure: Structure
+    collision: CollisionKind
+    locus: EffectLocus
+    steps: tuple[str, ...]
+    adversarial_effect: str
+    example_attacks: tuple[str, ...]
+    primary_mitigation: Mitigation
+    secondary_mitigation: Mitigation = Mitigation.RERANDOMIZATION
+    possible: bool = True
+
+    @property
+    def identifier(self) -> str:
+        return f"{self.structure.value}-{self.collision.name}-{self.locus.name}".lower()
+
+
+ATTACK_SURFACE: tuple[AttackVector, ...] = (
+    AttackVector(
+        structure=Structure.BTB,
+        collision=CollisionKind.REUSE,
+        locus=EffectLocus.HOME,
+        steps=(
+            "victim: jmp s -> d installs (s, d) in BTB",
+            "attacker: jmp s -> d' reuses (s, d)",
+            "attacker observes its own misprediction",
+        ),
+        adversarial_effect="leak victim branch source/target addresses",
+        example_attacks=("Jump-over-ASLR", "SGX branch shadowing"),
+        primary_mitigation=Mitigation.KEYED_REMAPPING,
+    ),
+    AttackVector(
+        structure=Structure.BTB,
+        collision=CollisionKind.REUSE,
+        locus=EffectLocus.AWAY,
+        steps=(
+            "attacker: jmp s -> d trains BTB",
+            "victim: jmp s -> d' reuses attacker target",
+            "victim speculatively executes attacker-chosen d",
+        ),
+        adversarial_effect="speculative execution of an attacker-chosen gadget",
+        example_attacks=("Spectre v2", "SgxPectre", "transient trojans"),
+        primary_mitigation=Mitigation.TARGET_ENCRYPTION,
+    ),
+    AttackVector(
+        structure=Structure.BTB,
+        collision=CollisionKind.EVICTION,
+        locus=EffectLocus.HOME,
+        steps=(
+            "attacker: jmp s -> d installs (s, d)",
+            "victim: jmp s' -> d' with H(s) = H(s') evicts (s, d)",
+            "attacker observes its own misprediction",
+        ),
+        adversarial_effect="leak victim branch virtual address / activity",
+        example_attacks=("BTB eviction side channel",),
+        primary_mitigation=Mitigation.KEYED_REMAPPING,
+    ),
+    AttackVector(
+        structure=Structure.BTB,
+        collision=CollisionKind.EVICTION,
+        locus=EffectLocus.AWAY,
+        steps=(
+            "victim: jmp s -> d installs (s, d)",
+            "attacker primes the set with colliding branches",
+            "victim falls back to static prediction",
+        ),
+        adversarial_effect="force static prediction / speculative gadget at fall-through",
+        example_attacks=("eviction-based Spectre variants", "DoS slowdown"),
+        primary_mitigation=Mitigation.KEYED_REMAPPING,
+    ),
+    AttackVector(
+        structure=Structure.PHT,
+        collision=CollisionKind.REUSE,
+        locus=EffectLocus.HOME,
+        steps=(
+            "victim: conditional jt s -> d updates PHT counter",
+            "attacker: jnt at colliding index reuses counter state",
+            "attacker observes its own misprediction",
+        ),
+        adversarial_effect="leak victim taken/not-taken pattern",
+        example_attacks=("BranchScope", "BlueThunder", "branch prediction analysis"),
+        primary_mitigation=Mitigation.KEYED_REMAPPING,
+    ),
+    AttackVector(
+        structure=Structure.PHT,
+        collision=CollisionKind.REUSE,
+        locus=EffectLocus.AWAY,
+        steps=(
+            "attacker trains the colliding counter to a chosen direction",
+            "victim conditional branch reuses the counter",
+            "victim speculatively executes the wrong path",
+        ),
+        adversarial_effect="steer victim direction speculation (Spectre v1-style gadgets)",
+        example_attacks=("conditional-branch mistraining",),
+        primary_mitigation=Mitigation.KEYED_REMAPPING,
+    ),
+    AttackVector(
+        structure=Structure.PHT,
+        collision=CollisionKind.EVICTION,
+        locus=EffectLocus.HOME,
+        steps=("PHT entries are saturating counters and are never evicted",),
+        adversarial_effect="none",
+        example_attacks=(),
+        primary_mitigation=Mitigation.NOT_APPLICABLE,
+        possible=False,
+    ),
+    AttackVector(
+        structure=Structure.PHT,
+        collision=CollisionKind.EVICTION,
+        locus=EffectLocus.AWAY,
+        steps=("PHT entries are saturating counters and are never evicted",),
+        adversarial_effect="none",
+        example_attacks=(),
+        primary_mitigation=Mitigation.NOT_APPLICABLE,
+        possible=False,
+    ),
+    AttackVector(
+        structure=Structure.RSB,
+        collision=CollisionKind.REUSE,
+        locus=EffectLocus.HOME,
+        steps=(
+            "victim: call s -> d pushes s+1",
+            "attacker: ret pops and reuses s+1",
+            "attacker observes its own misprediction",
+        ),
+        adversarial_effect="leak victim call pattern / return addresses",
+        example_attacks=("RSB side channels",),
+        primary_mitigation=Mitigation.TARGET_ENCRYPTION,
+    ),
+    AttackVector(
+        structure=Structure.RSB,
+        collision=CollisionKind.REUSE,
+        locus=EffectLocus.AWAY,
+        steps=(
+            "attacker: call s -> d pushes a malicious return target",
+            "victim: ret pops and speculates with it",
+            "victim speculatively executes attacker-chosen code",
+        ),
+        adversarial_effect="speculative execution at attacker-chosen address",
+        example_attacks=("SpectreRSB", "ret2spec"),
+        primary_mitigation=Mitigation.TARGET_ENCRYPTION,
+    ),
+    AttackVector(
+        structure=Structure.RSB,
+        collision=CollisionKind.EVICTION,
+        locus=EffectLocus.HOME,
+        steps=(
+            "attacker fills the RSB",
+            "victim calls evict the attacker's entries",
+            "attacker observes its own misprediction",
+        ),
+        adversarial_effect="leak victim call activity",
+        example_attacks=("RSB occupancy channel",),
+        primary_mitigation=Mitigation.RERANDOMIZATION,
+    ),
+    AttackVector(
+        structure=Structure.RSB,
+        collision=CollisionKind.EVICTION,
+        locus=EffectLocus.AWAY,
+        steps=(
+            "victim: call s -> d pushes s+1",
+            "attacker overflows the RSB with a call loop",
+            "victim return falls back to static / indirect prediction",
+        ),
+        adversarial_effect="force fall-back prediction, enabling gadget speculation",
+        example_attacks=("RSB overflow attacks",),
+        primary_mitigation=Mitigation.TARGET_ENCRYPTION,
+    ),
+)
+
+
+def vectors(
+    structure: Structure | None = None,
+    collision: CollisionKind | None = None,
+    locus: EffectLocus | None = None,
+    only_possible: bool = False,
+) -> list[AttackVector]:
+    """Query the attack surface along any combination of the Table I axes."""
+    selected = []
+    for vector in ATTACK_SURFACE:
+        if structure is not None and vector.structure is not structure:
+            continue
+        if collision is not None and vector.collision is not collision:
+            continue
+        if locus is not None and vector.locus is not locus:
+            continue
+        if only_possible and not vector.possible:
+            continue
+        selected.append(vector)
+    return selected
+
+
+def table_rows() -> list[dict[str, str]]:
+    """Render the taxonomy as flat rows (used by the Table I benchmark/report)."""
+    rows = []
+    for vector in ATTACK_SURFACE:
+        rows.append(
+            {
+                "structure": vector.structure.value,
+                "collision": vector.collision.value,
+                "locus": vector.locus.value,
+                "possible": "yes" if vector.possible else "no",
+                "effect": vector.adversarial_effect,
+                "mitigation": vector.primary_mitigation.value,
+                "examples": ", ".join(vector.example_attacks),
+            }
+        )
+    return rows

@@ -1,0 +1,33 @@
+"""Simulators: trace-driven BPU accuracy and cycle-approximate CPU performance."""
+
+from repro.sim.config import CPUConfig, SimulationLengths, TABLE_IV_CONFIG
+from repro.sim.metrics import (
+    AccuracyReport,
+    PerformanceReport,
+    geometric_mean,
+    harmonic_mean,
+    normalized,
+    reduction,
+)
+from repro.sim.bpu_sim import SimulationResult, TraceSimulator
+from repro.sim.cpu import CPUSimulationResult, CycleApproximateCPU, run_single_workload
+from repro.sim.smt import SMTSimulationResult, SMTSimulator
+
+__all__ = [
+    "CPUConfig",
+    "SimulationLengths",
+    "TABLE_IV_CONFIG",
+    "AccuracyReport",
+    "PerformanceReport",
+    "geometric_mean",
+    "harmonic_mean",
+    "normalized",
+    "reduction",
+    "SimulationResult",
+    "TraceSimulator",
+    "CPUSimulationResult",
+    "CycleApproximateCPU",
+    "run_single_workload",
+    "SMTSimulationResult",
+    "SMTSimulator",
+]

@@ -1,0 +1,87 @@
+"""Trace-driven BPU simulator (the paper's Intel-PT-based simulator, Section VII-B1).
+
+The simulator replays a :class:`~repro.trace.branch.Trace` — branch records
+interleaved with context switches, mode switches and interrupts — through one
+or more predictor models and reports the overall-accuracy-effective (OAE)
+metric per model.  OS events are forwarded to the models' hooks, which is
+where flushing-based protections pay their cost and where STBPU reloads
+per-process tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bpu.common import BranchPredictorModel, PredictorStats
+from repro.bpu.composite import CompositeBPU
+from repro.bpu.protections import FlushingProtectedBPU
+from repro.core.stbpu import STBPU
+from repro.sim.metrics import AccuracyReport
+from repro.trace.branch import BranchRecord, EventKind, PrivilegeMode, Trace, TraceEvent
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """Stats plus the final report for one (model, trace) simulation."""
+
+    report: AccuracyReport
+    stats: PredictorStats
+
+
+class TraceSimulator:
+    """Replays traces through predictor models and collects accuracy reports."""
+
+    def __init__(self, warmup_branches: int = 0):
+        self.warmup_branches = warmup_branches
+
+    def _dispatch_event(self, model: BranchPredictorModel, event: TraceEvent) -> None:
+        if event.kind is EventKind.CONTEXT_SWITCH:
+            model.on_context_switch(event.context_id)
+        elif event.kind is EventKind.MODE_SWITCH_ENTER_KERNEL:
+            model.on_mode_switch(PrivilegeMode.KERNEL, event.context_id)
+        elif event.kind is EventKind.MODE_SWITCH_EXIT_KERNEL:
+            model.on_mode_switch(PrivilegeMode.USER, event.context_id)
+        elif event.kind is EventKind.INTERRUPT:
+            model.on_interrupt(event.context_id)
+
+    def _access(self, model: BranchPredictorModel, branch: BranchRecord):
+        if isinstance(model, CompositeBPU):
+            return model.access_with_events(branch)
+        return model.access(branch)
+
+    def run(self, model: BranchPredictorModel, trace: Trace) -> SimulationResult:
+        """Replay ``trace`` through ``model`` and return its accuracy report.
+
+        The first ``warmup_branches`` branch records train the predictor but
+        are excluded from the reported statistics (mirroring the paper's gem5
+        warm-up phase).
+        """
+        stats = PredictorStats()
+        seen_branches = 0
+        for item in trace:
+            if isinstance(item, TraceEvent):
+                self._dispatch_event(model, item)
+                continue
+            result = self._access(model, item)
+            seen_branches += 1
+            if seen_branches > self.warmup_branches:
+                stats.record(result, item)
+
+        rerandomizations = model.stats.rerandomizations if isinstance(model, STBPU) else 0
+        flushes = model.flush_count if isinstance(model, FlushingProtectedBPU) else 0
+        stats.st_rerandomizations = rerandomizations
+        stats.flushes = flushes
+        report = AccuracyReport.from_stats(
+            model=model.name,
+            workload=trace.name,
+            stats=stats,
+            rerandomizations=rerandomizations,
+            flushes=flushes,
+        )
+        return SimulationResult(report=report, stats=stats)
+
+    def compare(
+        self, models: list[BranchPredictorModel], trace: Trace
+    ) -> dict[str, SimulationResult]:
+        """Run several models over the same trace (each gets a fresh replay)."""
+        return {model.name: self.run(model, trace) for model in models}

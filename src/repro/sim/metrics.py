@@ -1,0 +1,87 @@
+"""Evaluation metrics shared by the simulators and experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.bpu.common import PredictorStats
+
+
+def harmonic_mean(values: list[float]) -> float:
+    """Harmonic mean, the multi-program throughput metric used for SMT (Michaud).
+
+    Returns 0.0 for an empty list; raises if any value is non-positive because
+    a zero IPC would make the metric undefined.
+    """
+    if not values:
+        return 0.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / value for value in values)
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean used for cross-workload accuracy summaries."""
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True, slots=True)
+class AccuracyReport:
+    """Prediction-accuracy metrics for one model on one workload."""
+
+    model: str
+    workload: str
+    oae_accuracy: float
+    direction_accuracy: float
+    target_accuracy: float
+    misprediction_rate: float
+    btb_evictions: int
+    rerandomizations: int = 0
+    flushes: int = 0
+
+    @classmethod
+    def from_stats(
+        cls, model: str, workload: str, stats: PredictorStats,
+        rerandomizations: int = 0, flushes: int = 0,
+    ) -> "AccuracyReport":
+        return cls(
+            model=model,
+            workload=workload,
+            oae_accuracy=stats.oae_accuracy,
+            direction_accuracy=stats.direction_accuracy,
+            target_accuracy=stats.target_accuracy,
+            misprediction_rate=stats.misprediction_rate,
+            btb_evictions=stats.btb_evictions,
+            rerandomizations=rerandomizations,
+            flushes=flushes,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PerformanceReport:
+    """Cycle-approximate performance metrics for one model on one workload."""
+
+    model: str
+    workload: str
+    instructions: float
+    cycles: float
+    direction_accuracy: float
+    target_accuracy: float
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+def normalized(value: float, baseline: float) -> float:
+    """Safe normalisation used for "relative to unprotected" series."""
+    return value / baseline if baseline else 0.0
+
+
+def reduction(protected: float, baseline: float) -> float:
+    """Absolute reduction (baseline − protected), the paper's Figure 4/5 y-axis."""
+    return baseline - protected

@@ -1,0 +1,49 @@
+"""Branch-trace substrate: record model, synthetic workloads, OS events, I/O."""
+
+from repro.trace.branch import (
+    VIRTUAL_ADDRESS_BITS,
+    VIRTUAL_ADDRESS_MASK,
+    STORED_TARGET_BITS,
+    STORED_TARGET_MASK,
+    BranchRecord,
+    BranchType,
+    EventKind,
+    PrivilegeMode,
+    Trace,
+    TraceEvent,
+    merge_round_robin,
+)
+from repro.trace.workloads import (
+    WorkloadProfile,
+    APPLICATION_WORKLOADS,
+    SPEC2017_WORKLOADS,
+    ALL_WORKLOADS,
+    get_workload,
+    list_workloads,
+)
+from repro.trace.synthetic import SyntheticTraceGenerator, generate_trace
+from repro.trace.io import read_trace, write_trace
+
+__all__ = [
+    "VIRTUAL_ADDRESS_BITS",
+    "VIRTUAL_ADDRESS_MASK",
+    "STORED_TARGET_BITS",
+    "STORED_TARGET_MASK",
+    "BranchRecord",
+    "BranchType",
+    "EventKind",
+    "PrivilegeMode",
+    "Trace",
+    "TraceEvent",
+    "merge_round_robin",
+    "WorkloadProfile",
+    "APPLICATION_WORKLOADS",
+    "SPEC2017_WORKLOADS",
+    "ALL_WORKLOADS",
+    "get_workload",
+    "list_workloads",
+    "SyntheticTraceGenerator",
+    "generate_trace",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,104 @@
+"""Trace serialization.
+
+Traces are stored as newline-delimited JSON so they can be inspected with
+standard tools and diffed between runs.  The format intentionally mirrors the
+information Intel PT decoding would provide: one object per branch or event.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.trace.branch import (
+    BranchRecord,
+    BranchType,
+    EventKind,
+    PrivilegeMode,
+    Trace,
+    TraceEvent,
+)
+
+
+def _branch_to_dict(record: BranchRecord) -> dict:
+    return {
+        "kind": "branch",
+        "ip": record.ip,
+        "target": record.target,
+        "taken": record.taken,
+        "type": record.branch_type.value,
+        "context": record.context_id,
+        "mode": record.mode.value,
+    }
+
+
+def _event_to_dict(event: TraceEvent) -> dict:
+    return {"kind": "event", "event": event.kind.value, "context": event.context_id}
+
+
+def write_trace(trace: Trace, path: str | Path) -> None:
+    """Write a trace as newline-delimited JSON.
+
+    The first line is a header object with the trace name and item count so
+    readers can validate completeness.
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {"kind": "header", "name": trace.name, "items": len(trace)}
+        handle.write(json.dumps(header) + "\n")
+        for item in trace:
+            if isinstance(item, BranchRecord):
+                handle.write(json.dumps(_branch_to_dict(item)) + "\n")
+            else:
+                handle.write(json.dumps(_event_to_dict(item)) + "\n")
+
+
+def read_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`write_trace`.
+
+    Raises:
+        ValueError: If the file is missing its header, contains unknown record
+            kinds, or the item count does not match the header.
+    """
+    path = Path(path)
+    trace: Trace | None = None
+    expected_items = 0
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            kind = payload.get("kind")
+            if line_number == 0:
+                if kind != "header":
+                    raise ValueError(f"{path}: first line must be a header, got {kind!r}")
+                trace = Trace(name=payload.get("name", "trace"))
+                expected_items = int(payload.get("items", 0))
+                continue
+            if trace is None:
+                raise ValueError(f"{path}: missing header line")
+            if kind == "branch":
+                trace.append(
+                    BranchRecord(
+                        ip=int(payload["ip"]),
+                        target=int(payload["target"]),
+                        taken=bool(payload["taken"]),
+                        branch_type=BranchType(payload["type"]),
+                        context_id=int(payload["context"]),
+                        mode=PrivilegeMode(payload["mode"]),
+                    )
+                )
+            elif kind == "event":
+                trace.append(
+                    TraceEvent(EventKind(payload["event"]), context_id=int(payload["context"]))
+                )
+            else:
+                raise ValueError(f"{path}:{line_number + 1}: unknown record kind {kind!r}")
+    if trace is None:
+        raise ValueError(f"{path}: empty trace file")
+    if expected_items and len(trace) != expected_items:
+        raise ValueError(
+            f"{path}: header declares {expected_items} items but file contains {len(trace)}"
+        )
+    return trace

@@ -1,0 +1,610 @@
+"""Synthetic branch-trace generator.
+
+The paper collects Intel PT traces from a live machine.  We stand in for that
+hardware with a deterministic generator that expands a
+:class:`~repro.trace.workloads.WorkloadProfile` into a stream of
+:class:`~repro.trace.branch.BranchRecord` objects plus inline OS events.
+
+The generator models a program as a collection of *loops* (short ordered
+sequences of branch sites) that are revisited many times, which is what gives
+real programs their high baseline prediction accuracy.  Conditional sites are
+biased, patterned, or noisy; indirect sites select among several targets
+either as a deterministic function of recent history (learnable through the
+BHB) or at random; calls and returns walk a call stack deep enough to
+occasionally underflow a 16-entry RSB.  Kernel code is modelled as a separate,
+shared set of sites at high canonical addresses, entered on system calls and
+interrupts.  Multi-process captures interleave per-context generators and emit
+context-switch events, optionally sharing the user-level program image
+(Apache/MySQL prefork workers) so that protection schemes that flush on
+context switch lose genuinely useful state.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.trace.branch import (
+    VIRTUAL_ADDRESS_MASK,
+    BranchRecord,
+    BranchType,
+    EventKind,
+    PrivilegeMode,
+    Trace,
+    TraceEvent,
+)
+from repro.trace.workloads import WorkloadProfile, get_workload
+
+_USER_CODE_BASE = 0x0000_5555_5555_0000
+_KERNEL_CODE_BASE = 0xFFFF_8000_0100_0000 & VIRTUAL_ADDRESS_MASK
+_CONTEXT_IMAGE_STRIDE = 0x0000_0010_0000_0000
+_INSTRUCTION_STRIDE = 16
+
+
+class _ConditionalBehavior:
+    """Direction-generation model for one conditional branch site.
+
+    Three site classes model the spectrum seen in real code:
+
+    * ``biased`` — almost always taken or almost always not taken,
+    * ``patterned`` — a short repeating pattern (loop trip counts,
+      alternations) that history-based predictors learn, and
+    * ``markov`` — data-dependent branches whose outcome tends to persist in
+      runs; their per-transition persistence sets how predictable they are
+      (this replaces an i.i.d. coin flip, which would make the global history
+      unrealistically noisy).
+    """
+
+    BIASED = "biased"
+    PATTERNED = "patterned"
+    MARKOV = "markov"
+
+    __slots__ = ("kind", "taken_probability", "pattern", "position", "persistence", "state")
+
+    def __init__(
+        self,
+        kind: str,
+        taken_probability: float,
+        pattern: tuple[bool, ...],
+        persistence: float = 0.5,
+    ):
+        self.kind = kind
+        self.taken_probability = taken_probability
+        self.pattern = pattern
+        self.position = 0
+        self.persistence = persistence
+        self.state = True
+
+    def next_outcome(self, rng: random.Random) -> bool:
+        if self.kind == self.PATTERNED:
+            outcome = self.pattern[self.position % len(self.pattern)]
+            self.position += 1
+            return outcome
+        if self.kind == self.MARKOV:
+            if rng.random() >= self.persistence:
+                self.state = not self.state
+            return self.state
+        return rng.random() < self.taken_probability
+
+
+@dataclass(slots=True)
+class _ConditionalSite:
+    ip: int
+    taken_target: int
+    behavior: _ConditionalBehavior
+
+
+@dataclass(slots=True)
+class _IndirectSite:
+    ip: int
+    targets: tuple[int, ...]
+    is_call: bool
+    history_correlated: bool
+    #: Rolling selector mixed from recent outcomes; used when correlated.
+    selector: int = 0
+
+
+@dataclass(slots=True)
+class _CallSite:
+    ip: int
+    target: int
+    #: Conditional sites forming the callee's body (fixed per call site, the
+    #: way a real function's branches are).
+    body_sites: tuple = ()
+
+
+@dataclass(slots=True)
+class _DirectSite:
+    ip: int
+    target: int
+
+
+@dataclass(slots=True)
+class _Loop:
+    """An ordered sequence of sites revisited ``iterations`` times per visit.
+
+    Every loop has a dedicated back-edge conditional branch which is taken on
+    all iterations except the last — the highly predictable loop-control
+    branches that dominate real programs' dynamic branch mix.
+    """
+
+    sites: list[object]
+    mean_iterations: float
+    back_edge: _ConditionalSite | None = None
+
+
+@dataclass(slots=True)
+class _ProgramImage:
+    """The static code of one program: all branch sites grouped into loops."""
+
+    loops: list[_Loop]
+    conditionals: list[_ConditionalSite]
+    indirects: list[_IndirectSite]
+    calls: list[_CallSite]
+    directs: list[_DirectSite]
+
+
+@dataclass(slots=True)
+class _ContextState:
+    """Dynamic execution state of one software context."""
+
+    context_id: int
+    image: _ProgramImage
+    rng: random.Random
+    call_stack: list[int] = field(default_factory=list)
+    recent_history: int = 0
+    current_loop: int = 0
+    loop_remaining: int = 0
+    site_cursor: int = 0
+
+
+class SyntheticTraceGenerator:
+    """Expands a workload profile into a deterministic branch trace.
+
+    Args:
+        profile: Workload characterisation (or a workload name).
+        seed: Seed for all randomness; the same (profile, seed) pair always
+            produces the identical trace.
+    """
+
+    def __init__(self, profile: WorkloadProfile | str, seed: int = 0):
+        if isinstance(profile, str):
+            profile = get_workload(profile)
+        self.profile = profile
+        self.seed = seed
+        self._rng = random.Random((hash(profile.name) & 0xFFFF_FFFF) ^ (seed * 0x9E3779B9))
+        self._kernel_image = self._build_image(
+            base=_KERNEL_CODE_BASE,
+            conditional_sites=max(64, profile.static_conditional_sites // 8),
+            indirect_sites=max(8, profile.static_indirect_sites // 8),
+            call_sites=max(8, profile.static_call_sites // 8),
+            direct_sites=max(8, profile.static_direct_sites // 8),
+        )
+        self._contexts = self._build_contexts()
+        self._kernel_state = _ContextState(
+            context_id=-1, image=self._kernel_image, rng=random.Random(self._rng.random())
+        )
+
+    # ------------------------------------------------------------------ build
+
+    def _build_contexts(self) -> list[_ContextState]:
+        profile = self.profile
+        contexts: list[_ContextState] = []
+        shared_image: _ProgramImage | None = None
+        for index in range(profile.co_resident_contexts):
+            if profile.shared_program_image:
+                if shared_image is None:
+                    shared_image = self._build_image(
+                        base=_USER_CODE_BASE,
+                        conditional_sites=profile.static_conditional_sites,
+                        indirect_sites=profile.static_indirect_sites,
+                        call_sites=profile.static_call_sites,
+                        direct_sites=profile.static_direct_sites,
+                    )
+                image = shared_image
+            else:
+                image = self._build_image(
+                    base=_USER_CODE_BASE + index * _CONTEXT_IMAGE_STRIDE,
+                    conditional_sites=profile.static_conditional_sites,
+                    indirect_sites=profile.static_indirect_sites,
+                    call_sites=profile.static_call_sites,
+                    direct_sites=profile.static_direct_sites,
+                )
+            contexts.append(
+                _ContextState(
+                    context_id=index,
+                    image=image,
+                    rng=random.Random(self._rng.getrandbits(64)),
+                )
+            )
+        return contexts
+
+    def _build_image(
+        self,
+        *,
+        base: int,
+        conditional_sites: int,
+        indirect_sites: int,
+        call_sites: int,
+        direct_sites: int,
+    ) -> _ProgramImage:
+        profile = self.profile
+        rng = random.Random(self._rng.getrandbits(64))
+        next_address = base
+
+        def allocate() -> int:
+            nonlocal next_address
+            address = next_address
+            # Real code is not laid out uniformly; skip a random small gap.
+            next_address += _INSTRUCTION_STRIDE * rng.randint(1, 24)
+            return address & VIRTUAL_ADDRESS_MASK
+
+        conditionals: list[_ConditionalSite] = []
+        for _ in range(conditional_sites):
+            ip = allocate()
+            taken_target = (ip + _INSTRUCTION_STRIDE * rng.randint(2, 4000)) & VIRTUAL_ADDRESS_MASK
+            roll = rng.random()
+            if roll < profile.biased_site_fraction:
+                probability = 0.97 if rng.random() < 0.6 else 0.03
+                behavior = _ConditionalBehavior(_ConditionalBehavior.BIASED, probability, ())
+            elif roll < profile.biased_site_fraction + profile.patterned_site_fraction:
+                length = rng.randint(2, 8)
+                pattern = tuple(rng.random() < 0.5 for _ in range(length))
+                # Guarantee the pattern is not constant so it is genuinely periodic.
+                if all(pattern) or not any(pattern):
+                    pattern = pattern[:-1] + (not pattern[-1],)
+                behavior = _ConditionalBehavior(_ConditionalBehavior.PATTERNED, 0.5, pattern)
+            else:
+                # "Hard" sites: data-dependent branches whose outcomes come in
+                # runs.  The workload entropy parameter controls the run
+                # persistence — low entropy (e.g. 505.mcf) gives short, hard
+                # to predict runs, high entropy gives long predictable ones.
+                persistence = min(0.97, 0.55 + profile.random_site_entropy
+                                  + rng.uniform(0.0, 0.2))
+                behavior = _ConditionalBehavior(
+                    _ConditionalBehavior.MARKOV, 0.5, (), persistence=persistence
+                )
+            conditionals.append(_ConditionalSite(ip=ip, taken_target=taken_target, behavior=behavior))
+
+        indirects: list[_IndirectSite] = []
+        for _ in range(indirect_sites):
+            ip = allocate()
+            count = max(1, int(rng.expovariate(1.0 / profile.indirect_targets_mean)) + 1)
+            count = min(count, 16)
+            targets = tuple(
+                (ip + _INSTRUCTION_STRIDE * rng.randint(8, 6000)) & VIRTUAL_ADDRESS_MASK
+                for _ in range(count)
+            )
+            indirects.append(
+                _IndirectSite(
+                    ip=ip,
+                    targets=targets,
+                    is_call=rng.random() < 0.4,
+                    history_correlated=profile.indirect_history_correlated,
+                )
+            )
+
+        calls: list[_CallSite] = []
+        for _ in range(call_sites):
+            ip = allocate()
+            target = (ip + _INSTRUCTION_STRIDE * rng.randint(16, 8000)) & VIRTUAL_ADDRESS_MASK
+            body_length = rng.randint(2, 6)
+            if conditionals:
+                start = rng.randrange(len(conditionals))
+                body = tuple(
+                    conditionals[(start + position) % len(conditionals)]
+                    for position in range(body_length)
+                )
+            else:
+                body = ()
+            calls.append(_CallSite(ip=ip, target=target, body_sites=body))
+
+        directs: list[_DirectSite] = []
+        for _ in range(direct_sites):
+            ip = allocate()
+            target = (ip + _INSTRUCTION_STRIDE * rng.randint(4, 2000)) & VIRTUAL_ADDRESS_MASK
+            directs.append(_DirectSite(ip=ip, target=target))
+
+        # Dedicated loop back-edge branches (taken on every iteration but the last).
+        back_edges: list[_ConditionalSite] = []
+        for _ in range(max(4, len(conditionals) // 8)):
+            ip = allocate()
+            taken_target = (ip - _INSTRUCTION_STRIDE * rng.randint(8, 512)) & VIRTUAL_ADDRESS_MASK
+            behavior = _ConditionalBehavior(_ConditionalBehavior.BIASED, 1.0, ())
+            back_edges.append(
+                _ConditionalSite(ip=ip, taken_target=taken_target, behavior=behavior)
+            )
+
+        loops = self._group_into_loops(rng, conditionals, indirects, calls, directs, back_edges)
+        return _ProgramImage(
+            loops=loops,
+            conditionals=conditionals,
+            indirects=indirects,
+            calls=calls,
+            directs=directs,
+        )
+
+    def _group_into_loops(
+        self,
+        rng: random.Random,
+        conditionals: list[_ConditionalSite],
+        indirects: list[_IndirectSite],
+        calls: list[_CallSite],
+        directs: list[_DirectSite],
+        back_edges: list[_ConditionalSite],
+    ) -> list[_Loop]:
+        """Partition all sites into short loops with a hot/cold visit profile."""
+        site_pool: list[object] = []
+        site_pool.extend(conditionals)
+        site_pool.extend(indirects)
+        site_pool.extend(calls)
+        site_pool.extend(directs)
+        rng.shuffle(site_pool)
+
+        loops: list[_Loop] = []
+        index = 0
+        while index < len(site_pool):
+            size = rng.randint(4, 16)
+            body = site_pool[index:index + size]
+            index += size
+            mean_iterations = 8.0 + rng.expovariate(1.0 / 24.0)
+            back_edge = back_edges[len(loops) % len(back_edges)] if back_edges else None
+            loops.append(
+                _Loop(sites=body, mean_iterations=mean_iterations, back_edge=back_edge)
+            )
+        if not loops:
+            loops.append(_Loop(sites=list(site_pool), mean_iterations=8.0))
+        return loops
+
+    # --------------------------------------------------------------- generate
+
+    def generate(self, branch_count: int | None = None) -> Trace:
+        """Generate a trace of approximately ``branch_count`` branch records."""
+        profile = self.profile
+        target_branches = branch_count if branch_count is not None else profile.branch_count
+        trace = Trace(name=profile.name)
+
+        active = 0
+        emitted = 0
+        next_context_switch = self._interval(profile.context_switch_interval)
+        next_syscall = self._interval(profile.syscall_interval)
+        next_interrupt = self._interval(profile.interrupt_interval)
+
+        while emitted < target_branches:
+            state = self._contexts[active]
+            produced = self._emit_loop_step(trace, state, PrivilegeMode.USER)
+            emitted += produced
+
+            if profile.syscall_interval and emitted >= next_syscall:
+                next_syscall = emitted + self._interval(profile.syscall_interval)
+                emitted += self._emit_kernel_entry(
+                    trace, state.context_id, EventKind.MODE_SWITCH_ENTER_KERNEL,
+                    profile.kernel_branch_burst,
+                )
+
+            if profile.interrupt_interval and emitted >= next_interrupt:
+                next_interrupt = emitted + self._interval(profile.interrupt_interval)
+                emitted += self._emit_kernel_entry(
+                    trace, state.context_id, EventKind.INTERRUPT,
+                    max(8, profile.kernel_branch_burst // 3),
+                )
+
+            if (
+                profile.context_switch_interval
+                and profile.co_resident_contexts > 1
+                and emitted >= next_context_switch
+            ):
+                next_context_switch = emitted + self._interval(profile.context_switch_interval)
+                choices = [i for i in range(profile.co_resident_contexts) if i != active]
+                active = self._rng.choice(choices)
+                trace.append(TraceEvent(EventKind.CONTEXT_SWITCH, context_id=active))
+
+        return trace
+
+    def _interval(self, mean: int) -> int:
+        if mean <= 0:
+            return 1 << 62
+        return max(1, int(self._rng.expovariate(1.0 / mean)))
+
+    def _emit_loop_step(self, trace: Trace, state: _ContextState, mode: PrivilegeMode) -> int:
+        """Emit one site's worth of branches from the context's current loop."""
+        image = state.image
+        if state.loop_remaining <= 0 or state.current_loop >= len(image.loops):
+            state.current_loop = self._pick_loop(state)
+            loop = image.loops[state.current_loop]
+            state.loop_remaining = max(
+                1, int(state.rng.expovariate(1.0 / loop.mean_iterations))
+            )
+            state.site_cursor = 0
+
+        loop = image.loops[state.current_loop]
+        site = loop.sites[state.site_cursor]
+        produced = self._emit_site(trace, state, site, mode)
+
+        state.site_cursor += 1
+        if state.site_cursor >= len(loop.sites):
+            state.site_cursor = 0
+            state.loop_remaining -= 1
+            if loop.back_edge is not None:
+                # Loop-control branch: taken while more iterations remain.
+                taken = state.loop_remaining > 0
+                back_edge = loop.back_edge
+                target = back_edge.taken_target if taken else (back_edge.ip + 4)
+                trace.append(
+                    BranchRecord(
+                        ip=back_edge.ip,
+                        target=target,
+                        taken=taken,
+                        branch_type=BranchType.CONDITIONAL,
+                        context_id=state.context_id,
+                        mode=mode,
+                    )
+                )
+                state.recent_history = ((state.recent_history << 1) | int(taken)) & 0xFFFF
+                produced += 1
+        return produced
+
+    def _pick_loop(self, state: _ContextState) -> int:
+        """Hot/cold loop selection modelling the strong temporal locality of real code.
+
+        Roughly 85% of visits go to a small hot set (about 6% of all loops),
+        10% to a warm set, and the rest sample the whole program, which is the
+        kind of concentration that gives real workloads their high baseline
+        prediction accuracy while still exercising structure capacity.
+        """
+        loop_count = len(state.image.loops)
+        hot_count = max(1, int(loop_count * 0.06))
+        warm_count = max(hot_count + 1, int(loop_count * 0.25))
+        roll = state.rng.random()
+        if roll < 0.85:
+            return state.rng.randrange(hot_count)
+        if roll < 0.95:
+            return state.rng.randrange(warm_count)
+        return state.rng.randrange(loop_count)
+
+    def _emit_site(
+        self, trace: Trace, state: _ContextState, site: object, mode: PrivilegeMode
+    ) -> int:
+        if isinstance(site, _ConditionalSite):
+            return self._emit_conditional(trace, state, site, mode)
+        if isinstance(site, _IndirectSite):
+            return self._emit_indirect(trace, state, site, mode)
+        if isinstance(site, _CallSite):
+            return self._emit_call(trace, state, site, mode)
+        if isinstance(site, _DirectSite):
+            trace.append(
+                BranchRecord(
+                    ip=site.ip,
+                    target=site.target,
+                    taken=True,
+                    branch_type=BranchType.DIRECT_JUMP,
+                    context_id=state.context_id,
+                    mode=mode,
+                )
+            )
+            return 1
+        raise TypeError(f"unknown site type: {type(site)!r}")
+
+    def _emit_conditional(
+        self, trace: Trace, state: _ContextState, site: _ConditionalSite, mode: PrivilegeMode
+    ) -> int:
+        taken = site.behavior.next_outcome(state.rng)
+        target = site.taken_target if taken else (site.ip + 4)
+        record = BranchRecord(
+            ip=site.ip,
+            target=target,
+            taken=taken,
+            branch_type=BranchType.CONDITIONAL,
+            context_id=state.context_id,
+            mode=mode,
+        )
+        trace.append(record)
+        state.recent_history = ((state.recent_history << 1) | int(taken)) & 0xFFFF
+        return 1
+
+    def _emit_indirect(
+        self, trace: Trace, state: _ContextState, site: _IndirectSite, mode: PrivilegeMode
+    ) -> int:
+        if len(site.targets) == 1:
+            index = 0
+        elif site.history_correlated:
+            # Most dynamic executions of a polymorphic indirect branch hit its
+            # dominant target; the minority of switches is a deterministic
+            # function of recent history, so history-based predictors can
+            # learn it (as they do for real virtual-call sites).
+            if state.rng.random() < 0.85:
+                index = 0
+            else:
+                index = 1 + (state.recent_history % (len(site.targets) - 1))
+        else:
+            index = state.rng.randrange(len(site.targets))
+        target = site.targets[index]
+        branch_type = BranchType.INDIRECT_CALL if site.is_call else BranchType.INDIRECT_JUMP
+        trace.append(
+            BranchRecord(
+                ip=site.ip,
+                target=target,
+                taken=True,
+                branch_type=branch_type,
+                context_id=state.context_id,
+                mode=mode,
+            )
+        )
+        produced = 1
+        if site.is_call:
+            state.call_stack.append(site.ip + 4)
+            produced += self._emit_returns(trace, state, mode, probability=0.9)
+        return produced
+
+    def _emit_call(
+        self, trace: Trace, state: _ContextState, site: _CallSite, mode: PrivilegeMode
+    ) -> int:
+        trace.append(
+            BranchRecord(
+                ip=site.ip,
+                target=site.target,
+                taken=True,
+                branch_type=BranchType.DIRECT_CALL,
+                context_id=state.context_id,
+                mode=mode,
+            )
+        )
+        state.call_stack.append(site.ip + 4)
+        produced = 1
+
+        # Execute the callee's (fixed) body of conditional branches.
+        image = state.image
+        for body_site in site.body_sites:
+            produced += self._emit_conditional(trace, state, body_site, mode)
+
+        # Occasionally nest deeper before unwinding, so the RSB can underflow.
+        max_depth = max(2, int(self.profile.call_depth_mean * 1.5))
+        if len(state.call_stack) < max_depth and state.rng.random() < 0.35 and image.calls:
+            nested = image.calls[state.rng.randrange(len(image.calls))]
+            if nested.ip != site.ip:
+                produced += self._emit_call(trace, state, nested, mode)
+
+        produced += self._emit_returns(trace, state, mode, probability=0.95)
+        return produced
+
+    def _emit_returns(
+        self, trace: Trace, state: _ContextState, mode: PrivilegeMode, probability: float
+    ) -> int:
+        """Pop and emit return branches with the given per-frame probability."""
+        produced = 0
+        while state.call_stack and state.rng.random() < probability:
+            return_address = state.call_stack.pop()
+            trace.append(
+                BranchRecord(
+                    ip=(return_address + 64) & VIRTUAL_ADDRESS_MASK,
+                    target=return_address,
+                    taken=True,
+                    branch_type=BranchType.RETURN,
+                    context_id=state.context_id,
+                    mode=mode,
+                )
+            )
+            produced += 1
+        return produced
+
+    def _emit_kernel_entry(
+        self, trace: Trace, context_id: int, kind: EventKind, burst: int
+    ) -> int:
+        """Emit a kernel excursion: event marker, kernel branches, exit marker."""
+        trace.append(TraceEvent(kind, context_id=context_id))
+        produced = 0
+        kernel = self._kernel_state
+        kernel.context_id = context_id
+        length = max(1, int(self._rng.expovariate(1.0 / burst))) if burst else 0
+        while produced < length:
+            produced += self._emit_loop_step(trace, kernel, PrivilegeMode.KERNEL)
+        trace.append(TraceEvent(EventKind.MODE_SWITCH_EXIT_KERNEL, context_id=context_id))
+        return produced
+
+
+def generate_trace(
+    workload: WorkloadProfile | str, *, seed: int = 0, branch_count: int | None = None
+) -> Trace:
+    """Convenience wrapper: build a generator and produce one trace."""
+    return SyntheticTraceGenerator(workload, seed=seed).generate(branch_count)

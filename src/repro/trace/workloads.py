@@ -1,0 +1,366 @@
+"""Workload profiles for the synthetic trace generator.
+
+The paper evaluates STBPU on Intel PT traces captured from 23 SPEC CPU 2017
+benchmarks and 12 application scenarios (Apache prefork with different client
+counts, Chrome running browser benchmarks, MySQL with different connection
+counts, and OBS Studio).  We cannot redistribute those captures, so each
+workload is described here by a :class:`WorkloadProfile` — a compact
+statistical characterisation that the generator in
+:mod:`repro.trace.synthetic` expands into a deterministic branch stream.
+
+The profile fields are chosen so they control exactly the properties that the
+evaluated protection schemes are sensitive to:
+
+* the number of static branch sites (pressure on BTB/PHT capacity),
+* the conditional/indirect/call/return mix,
+* how biased and how pattern-structured conditional branches are (baseline
+  prediction accuracy),
+* how many dynamic targets indirect branches have (indirect predictor and
+  BTB mode-2 pressure),
+* how often context switches, system calls and interrupts occur (cost of
+  flushing-based protections and of ST reloads), and
+* how many co-resident software contexts share the core and whether they run
+  the same program image (benefit of shared history, which flushing destroys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadProfile:
+    """Statistical description of one workload used to synthesise a trace.
+
+    Attributes:
+        name: Workload identifier, matching the labels in the paper's figures.
+        category: ``"spec"`` or ``"application"``.
+        static_conditional_sites: Number of distinct conditional-branch sites.
+        static_indirect_sites: Number of distinct indirect jump/call sites.
+        static_call_sites: Number of distinct direct call sites (functions).
+        static_direct_sites: Number of distinct unconditional direct jumps.
+        conditional_fraction: Fraction of dynamic branches that are conditional.
+        indirect_fraction: Fraction of dynamic branches that are indirect
+            jumps/calls (excluding returns).
+        call_fraction: Fraction of dynamic branches that are calls
+            (direct or indirect); each call eventually produces a return.
+        biased_site_fraction: Fraction of conditional sites that are strongly
+            biased (taken or not-taken ~97% of the time).
+        patterned_site_fraction: Fraction of conditional sites that follow a
+            short repeating pattern (loop exits, alternations) which good
+            history-based predictors learn perfectly.
+        random_site_entropy: Taken-probability deviation from 0.5 for the
+            remaining "hard" sites (0.0 = pure coin flip, 0.45 = mildly hard).
+        indirect_targets_mean: Average number of distinct targets per indirect
+            site (1 = monomorphic, larger = megamorphic).
+        indirect_history_correlated: Whether an indirect site's target is
+            determined by recent branch history (predictable with BHB) or
+            close to random.
+        call_depth_mean: Mean call-stack depth; depths beyond the 16-entry RSB
+            exercise the underflow fall-back path.
+        context_switch_interval: Mean number of branches between context
+            switches on this core (0 disables context switches).
+        syscall_interval: Mean number of branches between kernel entries
+            (0 disables mode switches).
+        kernel_branch_burst: Mean number of kernel branches executed per
+            kernel entry.
+        interrupt_interval: Mean number of branches between asynchronous
+            interrupts (0 disables).
+        co_resident_contexts: Number of distinct software contexts
+            time-multiplexed on the core in this capture.
+        shared_program_image: Whether the co-resident contexts execute the same
+            code (e.g. Apache prefork workers), so that BPU state accumulated
+            by one is useful to the others.
+        branch_count: Default number of dynamic branch records to generate.
+    """
+
+    name: str
+    category: str
+    static_conditional_sites: int
+    static_indirect_sites: int
+    static_call_sites: int
+    static_direct_sites: int
+    conditional_fraction: float
+    indirect_fraction: float
+    call_fraction: float
+    biased_site_fraction: float
+    patterned_site_fraction: float
+    random_site_entropy: float
+    indirect_targets_mean: float
+    indirect_history_correlated: bool
+    call_depth_mean: float
+    context_switch_interval: int
+    syscall_interval: int
+    kernel_branch_burst: int
+    interrupt_interval: int
+    co_resident_contexts: int
+    shared_program_image: bool
+    branch_count: int = 60_000
+
+    def __post_init__(self) -> None:
+        fractions = (
+            self.conditional_fraction,
+            self.indirect_fraction,
+            self.call_fraction,
+            self.biased_site_fraction,
+            self.patterned_site_fraction,
+        )
+        for value in fractions:
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"fraction out of range in workload {self.name}: {value}")
+        if self.conditional_fraction + self.indirect_fraction + self.call_fraction > 1.0 + 1e-9:
+            raise ValueError(f"dynamic branch mix exceeds 1.0 in workload {self.name}")
+        if self.biased_site_fraction + self.patterned_site_fraction > 1.0 + 1e-9:
+            raise ValueError(f"conditional site mix exceeds 1.0 in workload {self.name}")
+        if self.co_resident_contexts < 1:
+            raise ValueError("co_resident_contexts must be >= 1")
+
+
+def _spec(
+    name: str,
+    *,
+    cond_sites: int,
+    ind_sites: int,
+    call_sites: int,
+    biased: float,
+    patterned: float,
+    entropy: float,
+    ind_targets: float = 2.0,
+    correlated: bool = True,
+    cond_frac: float = 0.78,
+    ind_frac: float = 0.03,
+    call_frac: float = 0.09,
+    call_depth: float = 8.0,
+    branch_count: int = 60_000,
+) -> WorkloadProfile:
+    """Helper building a compute-bound SPEC-style profile.
+
+    SPEC workloads are single-process and mostly user mode: context switches
+    only from timer ticks, few system calls.
+    """
+    return WorkloadProfile(
+        name=name,
+        category="spec",
+        static_conditional_sites=cond_sites,
+        static_indirect_sites=ind_sites,
+        static_call_sites=call_sites,
+        static_direct_sites=max(16, cond_sites // 10),
+        conditional_fraction=cond_frac,
+        indirect_fraction=ind_frac,
+        call_fraction=call_frac,
+        biased_site_fraction=biased,
+        patterned_site_fraction=patterned,
+        random_site_entropy=entropy,
+        indirect_targets_mean=ind_targets,
+        indirect_history_correlated=correlated,
+        call_depth_mean=call_depth,
+        # The default trace length is 10^4-10^5 branches (the paper's captures
+        # are 10^8+), so OS-event intervals are scaled down proportionally to
+        # keep a representative number of mode switches and interrupts per
+        # trace; see DESIGN.md for the substitution rationale.
+        context_switch_interval=5_000,
+        syscall_interval=1_800,
+        kernel_branch_burst=60,
+        interrupt_interval=4_000,
+        co_resident_contexts=1,
+        shared_program_image=False,
+        branch_count=branch_count,
+    )
+
+
+def _application(
+    name: str,
+    *,
+    cond_sites: int,
+    ind_sites: int,
+    call_sites: int,
+    biased: float,
+    patterned: float,
+    entropy: float,
+    contexts: int,
+    shared_image: bool,
+    ctx_interval: int,
+    syscall_interval: int,
+    kernel_burst: int,
+    ind_targets: float = 4.0,
+    branch_count: int = 80_000,
+) -> WorkloadProfile:
+    """Helper building a system-interaction-heavy application profile."""
+    return WorkloadProfile(
+        name=name,
+        category="application",
+        static_conditional_sites=cond_sites,
+        static_indirect_sites=ind_sites,
+        static_call_sites=call_sites,
+        static_direct_sites=max(32, cond_sites // 8),
+        conditional_fraction=0.70,
+        indirect_fraction=0.06,
+        call_fraction=0.11,
+        biased_site_fraction=biased,
+        patterned_site_fraction=patterned,
+        random_site_entropy=entropy,
+        indirect_targets_mean=ind_targets,
+        indirect_history_correlated=True,
+        call_depth_mean=14.0,
+        context_switch_interval=ctx_interval,
+        syscall_interval=syscall_interval,
+        kernel_branch_burst=kernel_burst,
+        interrupt_interval=6_000,
+        co_resident_contexts=contexts,
+        shared_program_image=shared_image,
+        branch_count=branch_count,
+    )
+
+
+#: SPEC CPU 2017 workload profiles used in Figure 3 (23 benchmarks).
+SPEC2017_WORKLOADS: dict[str, WorkloadProfile] = {
+    p.name: p
+    for p in [
+        _spec("500.perlbench", cond_sites=5200, ind_sites=160, call_sites=900,
+              biased=0.62, patterned=0.24, entropy=0.22, ind_targets=5.0),
+        _spec("502.gcc", cond_sites=9000, ind_sites=300, call_sites=1600,
+              biased=0.58, patterned=0.24, entropy=0.20, ind_targets=6.0),
+        _spec("503.bwaves", cond_sites=700, ind_sites=12, call_sites=120,
+              biased=0.82, patterned=0.14, entropy=0.35),
+        _spec("505.mcf", cond_sites=900, ind_sites=16, call_sites=140,
+              biased=0.48, patterned=0.22, entropy=0.12),
+        _spec("507.cactuBSSN", cond_sites=2600, ind_sites=40, call_sites=420,
+              biased=0.80, patterned=0.14, entropy=0.30),
+        _spec("508.namd", cond_sites=1400, ind_sites=24, call_sites=260,
+              biased=0.84, patterned=0.12, entropy=0.32),
+        _spec("510.parest", cond_sites=3800, ind_sites=120, call_sites=700,
+              biased=0.72, patterned=0.18, entropy=0.25),
+        _spec("511.povray", cond_sites=3200, ind_sites=90, call_sites=540,
+              biased=0.66, patterned=0.22, entropy=0.22),
+        _spec("519.lbm", cond_sites=420, ind_sites=8, call_sites=60,
+              biased=0.88, patterned=0.10, entropy=0.40),
+        _spec("520.omnetpp", cond_sites=4400, ind_sites=260, call_sites=880,
+              biased=0.52, patterned=0.24, entropy=0.16, ind_targets=7.0),
+        _spec("521.wrf", cond_sites=5200, ind_sites=70, call_sites=900,
+              biased=0.78, patterned=0.16, entropy=0.28),
+        _spec("523.xalancbmk", cond_sites=5200, ind_sites=320, call_sites=1100,
+              biased=0.56, patterned=0.26, entropy=0.18, ind_targets=8.0),
+        _spec("525.x264", cond_sites=2600, ind_sites=60, call_sites=430,
+              biased=0.70, patterned=0.20, entropy=0.24),
+        _spec("526.blender", cond_sites=6200, ind_sites=220, call_sites=1200,
+              biased=0.66, patterned=0.20, entropy=0.22, ind_targets=5.0),
+        _spec("527.cam4", cond_sites=4600, ind_sites=60, call_sites=800,
+              biased=0.76, patterned=0.16, entropy=0.27),
+        _spec("531.deepsjeng", cond_sites=1700, ind_sites=30, call_sites=300,
+              biased=0.50, patterned=0.26, entropy=0.14),
+        _spec("538.imagick", cond_sites=2300, ind_sites=50, call_sites=380,
+              biased=0.78, patterned=0.14, entropy=0.30),
+        _spec("541.leela", cond_sites=1500, ind_sites=28, call_sites=260,
+              biased=0.50, patterned=0.24, entropy=0.13),
+        _spec("544.nab", cond_sites=1100, ind_sites=18, call_sites=180,
+              biased=0.80, patterned=0.12, entropy=0.32),
+        _spec("548.exchange2", cond_sites=1300, ind_sites=10, call_sites=200,
+              biased=0.60, patterned=0.32, entropy=0.20),
+        _spec("549.fotonik3d", cond_sites=900, ind_sites=12, call_sites=150,
+              biased=0.86, patterned=0.10, entropy=0.36),
+        _spec("554.roms", cond_sites=2100, ind_sites=20, call_sites=330,
+              biased=0.80, patterned=0.14, entropy=0.30),
+        _spec("557.xz", cond_sites=1300, ind_sites=26, call_sites=220,
+              biased=0.54, patterned=0.24, entropy=0.15),
+    ]
+}
+
+#: Application workload profiles used in Figure 3 (12 scenarios).
+APPLICATION_WORKLOADS: dict[str, WorkloadProfile] = {
+    p.name: p
+    for p in [
+        _application("apache2_prefork_c32", cond_sites=6400, ind_sites=340, call_sites=1300,
+                     biased=0.62, patterned=0.22, entropy=0.20, contexts=4, shared_image=True,
+                     ctx_interval=1800, syscall_interval=700, kernel_burst=140),
+        _application("apache2_prefork_c64", cond_sites=6400, ind_sites=340, call_sites=1300,
+                     biased=0.62, patterned=0.22, entropy=0.20, contexts=6, shared_image=True,
+                     ctx_interval=1400, syscall_interval=620, kernel_burst=140),
+        _application("apache2_prefork_c128", cond_sites=6400, ind_sites=340, call_sites=1300,
+                     biased=0.62, patterned=0.22, entropy=0.20, contexts=8, shared_image=True,
+                     ctx_interval=1000, syscall_interval=560, kernel_burst=150),
+        _application("apache2_prefork_c256", cond_sites=6400, ind_sites=340, call_sites=1300,
+                     biased=0.62, patterned=0.22, entropy=0.20, contexts=10, shared_image=True,
+                     ctx_interval=800, syscall_interval=520, kernel_burst=150),
+        _application("apache2_prefork_c512", cond_sites=6400, ind_sites=340, call_sites=1300,
+                     biased=0.62, patterned=0.22, entropy=0.20, contexts=12, shared_image=True,
+                     ctx_interval=650, syscall_interval=480, kernel_burst=160),
+        _application("chrome-1jetstream", cond_sites=11000, ind_sites=700, call_sites=2300,
+                     biased=0.56, patterned=0.24, entropy=0.18, contexts=5, shared_image=False,
+                     ctx_interval=2200, syscall_interval=1500, kernel_burst=110, ind_targets=7.0),
+        _application("chrome-1motionmark", cond_sites=9000, ind_sites=560, call_sites=1900,
+                     biased=0.60, patterned=0.22, entropy=0.19, contexts=5, shared_image=False,
+                     ctx_interval=2400, syscall_interval=1700, kernel_burst=100, ind_targets=6.0),
+        _application("chrome-1speedometer", cond_sites=10000, ind_sites=640, call_sites=2100,
+                     biased=0.58, patterned=0.22, entropy=0.18, contexts=5, shared_image=False,
+                     ctx_interval=2000, syscall_interval=1400, kernel_burst=110, ind_targets=7.0),
+        _application("chrome-1je_1mo_1sp", cond_sites=12000, ind_sites=800, call_sites=2600,
+                     biased=0.55, patterned=0.23, entropy=0.17, contexts=7, shared_image=False,
+                     ctx_interval=1500, syscall_interval=1200, kernel_burst=120, ind_targets=8.0),
+        _application("mysql_32con_50s", cond_sites=7200, ind_sites=420, call_sites=1500,
+                     biased=0.60, patterned=0.22, entropy=0.19, contexts=4, shared_image=True,
+                     ctx_interval=1600, syscall_interval=800, kernel_burst=130),
+        _application("mysql_64con_50s", cond_sites=7200, ind_sites=420, call_sites=1500,
+                     biased=0.60, patterned=0.22, entropy=0.19, contexts=6, shared_image=True,
+                     ctx_interval=1200, syscall_interval=700, kernel_burst=130),
+        _application("mysql_128con_50s", cond_sites=7200, ind_sites=420, call_sites=1500,
+                     biased=0.60, patterned=0.22, entropy=0.19, contexts=8, shared_image=True,
+                     ctx_interval=900, syscall_interval=640, kernel_burst=140),
+        _application("mysql_256con_50s", cond_sites=7200, ind_sites=420, call_sites=1500,
+                     biased=0.60, patterned=0.22, entropy=0.19, contexts=10, shared_image=True,
+                     ctx_interval=750, syscall_interval=600, kernel_burst=140),
+        _application("obsstudio_30s", cond_sites=5600, ind_sites=300, call_sites=1100,
+                     biased=0.68, patterned=0.18, entropy=0.24, contexts=4, shared_image=False,
+                     ctx_interval=2600, syscall_interval=1800, kernel_burst=90),
+    ]
+}
+
+#: Every workload profile, keyed by name.
+ALL_WORKLOADS: dict[str, WorkloadProfile] = {**SPEC2017_WORKLOADS, **APPLICATION_WORKLOADS}
+
+#: The 18 SPEC workloads used in the paper's single-process gem5 runs (Figure 4).
+GEM5_SINGLE_WORKLOADS: tuple[str, ...] = (
+    "549.fotonik3d", "525.x264", "548.exchange2", "531.deepsjeng", "554.roms",
+    "505.mcf", "544.nab", "527.cam4", "508.namd", "523.xalancbmk", "510.parest",
+    "503.bwaves", "521.wrf", "538.imagick", "541.leela", "526.blender",
+    "557.xz", "519.lbm",
+)
+
+#: The 31 SMT workload pairs used in the paper's SMT gem5 runs (Figure 5).
+GEM5_SMT_PAIRS: tuple[tuple[str, str], ...] = (
+    ("503.bwaves", "549.fotonik3d"), ("503.bwaves", "507.cactuBSSN"),
+    ("503.bwaves", "541.leela"), ("503.bwaves", "527.cam4"),
+    ("548.exchange2", "544.nab"), ("503.bwaves", "521.wrf"),
+    ("541.leela", "508.namd"), ("548.exchange2", "505.mcf"),
+    ("503.bwaves", "531.deepsjeng"), ("548.exchange2", "549.fotonik3d"),
+    ("531.deepsjeng", "519.lbm"), ("503.bwaves", "508.namd"),
+    ("503.bwaves", "519.lbm"), ("541.leela", "505.mcf"),
+    ("519.lbm", "557.xz"), ("549.fotonik3d", "505.mcf"),
+    ("519.lbm", "508.namd"), ("519.lbm", "505.mcf"),
+    ("548.exchange2", "541.leela"), ("549.fotonik3d", "519.lbm"),
+    ("527.cam4", "505.mcf"), ("544.nab", "557.xz"),
+    ("548.exchange2", "508.namd"), ("503.bwaves", "554.roms"),
+    ("505.mcf", "557.xz"), ("548.exchange2", "519.lbm"),
+    ("503.bwaves", "511.povray"), ("549.fotonik3d", "541.leela"),
+    ("549.fotonik3d", "508.namd"), ("531.deepsjeng", "557.xz"),
+    ("503.bwaves", "548.exchange2"),
+)
+
+
+def get_workload(name: str) -> WorkloadProfile:
+    """Look up a workload profile by name.
+
+    Raises:
+        KeyError: If the workload is unknown (message lists valid names).
+    """
+    try:
+        return ALL_WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_WORKLOADS))
+        raise KeyError(f"unknown workload {name!r}; known workloads: {known}") from None
+
+
+def list_workloads(category: str | None = None) -> list[str]:
+    """Return workload names, optionally filtered by ``"spec"`` / ``"application"``."""
+    if category is None:
+        return sorted(ALL_WORKLOADS)
+    return sorted(name for name, p in ALL_WORKLOADS.items() if p.category == category)

@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.trace.synthetic import generate_trace
+
+
+@pytest.fixture(scope="session")
+def small_mcf_trace():
+    """A small, deterministic 505.mcf trace reused across tests."""
+    return generate_trace("505.mcf", seed=11, branch_count=4_000)
+
+
+@pytest.fixture(scope="session")
+def small_apache_trace():
+    """A small multi-context application trace (context/mode switches present)."""
+    return generate_trace("apache2_prefork_c128", seed=11, branch_count=4_000)

@@ -1,0 +1,191 @@
+"""Tests for the STBPU wrapper, monitoring MSRs, and the OS policy layer."""
+
+import pytest
+
+from repro.bpu.common import AccessResult, Prediction, PredictorStats
+from repro.core.monitoring import MonitorConfig, RerandomizationMonitor, thresholds_for_difficulty
+from repro.core.os_interface import STBPUOperatingSystem
+from repro.core.stbpu import KERNEL_CONTEXT_ID, make_stbpu_skl, make_stbpu_tage
+from repro.bpu.tage import TAGE_SC_L_8KB
+from repro.trace.branch import BranchRecord, BranchType, PrivilegeMode
+
+
+def _branch(ip=0x40_0000, ctx=0, taken=True, btype=BranchType.DIRECT_JUMP,
+            mode=PrivilegeMode.USER):
+    return BranchRecord(ip=ip, target=ip + 0x1000, taken=taken, branch_type=btype,
+                        context_id=ctx, mode=mode)
+
+
+def _result(mispredicted=False, eviction=False, direction_correct=True):
+    return AccessResult(
+        prediction=Prediction(True, None),
+        direction_correct=direction_correct,
+        target_correct=not mispredicted,
+        effective_correct=not mispredicted,
+        btb_eviction=eviction,
+        mispredicted=mispredicted,
+    )
+
+
+class TestMonitorConfig:
+    def test_rejects_non_positive_thresholds(self):
+        with pytest.raises(ValueError):
+            MonitorConfig(misprediction_threshold=0, eviction_threshold=10)
+        with pytest.raises(ValueError):
+            MonitorConfig(misprediction_threshold=10, eviction_threshold=10,
+                          direction_misprediction_threshold=0)
+
+    def test_thresholds_for_difficulty_scales_linearly(self):
+        config = thresholds_for_difficulty(8.38e5, 5.3e5, r=0.05)
+        assert config.misprediction_threshold == int(8.38e5 * 0.05)
+        assert config.eviction_threshold == int(5.3e5 * 0.05)
+        tighter = thresholds_for_difficulty(8.38e5, 5.3e5, r=0.005)
+        assert tighter.misprediction_threshold < config.misprediction_threshold
+
+    def test_r_must_be_positive(self):
+        with pytest.raises(ValueError):
+            thresholds_for_difficulty(1e5, 1e5, r=0)
+
+
+class TestRerandomizationMonitor:
+    def test_fires_on_misprediction_threshold(self):
+        monitor = RerandomizationMonitor(MonitorConfig(3, 100))
+        branch = _branch(btype=BranchType.INDIRECT_JUMP)
+        assert not monitor.observe(branch, _result(mispredicted=True))
+        assert not monitor.observe(branch, _result(mispredicted=True))
+        assert monitor.observe(branch, _result(mispredicted=True))
+        assert monitor.fired_count == 1
+        # Counter reloads after firing.
+        assert monitor.counters.mispredictions_remaining == 3
+
+    def test_fires_on_eviction_threshold(self):
+        monitor = RerandomizationMonitor(MonitorConfig(100, 2))
+        branch = _branch()
+        assert not monitor.observe(branch, _result(eviction=True))
+        assert monitor.observe(branch, _result(eviction=True))
+
+    def test_separate_direction_register_isolates_conditional_noise(self):
+        config = MonitorConfig(misprediction_threshold=2, eviction_threshold=100,
+                               direction_misprediction_threshold=50)
+        monitor = RerandomizationMonitor(config)
+        conditional = _branch(btype=BranchType.CONDITIONAL, taken=False)
+        # Direction mispredictions hit the dedicated (large) counter, so the
+        # small main counter does not fire.
+        for _ in range(10):
+            fired = monitor.observe(conditional,
+                                    _result(mispredicted=True, direction_correct=False))
+        assert not fired
+        assert monitor.counters.mispredictions_remaining == 2
+
+
+class TestSTBPU:
+    def test_each_context_gets_its_own_token(self):
+        model = make_stbpu_skl(seed=3)
+        assert model.token_of(1) != model.token_of(2)
+
+    def test_shared_group_contexts_share_one_token(self):
+        model = make_stbpu_skl(seed=3, shared_token_groups={1: "apache", 2: "apache"})
+        assert model.token_of(1) == model.token_of(2)
+
+    def test_kernel_runs_under_its_own_token(self):
+        model = make_stbpu_skl(seed=3)
+        user = _branch(ctx=5)
+        kernel = _branch(ctx=5, mode=PrivilegeMode.KERNEL)
+        model.access(user)
+        user_token = model.current_token()
+        model.access(kernel)
+        assert model.current_token() == model.token_of(KERNEL_CONTEXT_ID)
+        assert model.current_token() != user_token
+
+    def test_rerandomization_changes_mapping_and_counts(self):
+        model = make_stbpu_skl(seed=3)
+        branch = _branch()
+        model.access(branch)
+        before_key = model.mapping.btb_mode1(branch.ip)
+        token_before = model.current_token()
+        model.rerandomize_current()
+        assert model.current_token() != token_before
+        assert model.mapping.btb_mode1(branch.ip) != before_key
+        assert model.stats.rerandomizations == 1
+
+    def test_rerandomization_discards_history_without_flushing_others(self):
+        model = make_stbpu_skl(seed=3)
+        branch = _branch(ctx=0)
+        other = _branch(ip=0x9999_0000, ctx=1)
+        model.access(branch)
+        model.access(branch)
+        model.on_context_switch(1)
+        model.access(other)
+        model.access(other)
+        model.on_context_switch(0)
+        model.rerandomize_current()
+        # Context 0's entry is unreachable under its new token.
+        assert not model.access(branch).btb_hit
+        # Context 1's state is untouched (different, unchanged token).
+        model.on_context_switch(1)
+        assert model.access(other).btb_hit
+
+    def test_low_threshold_triggers_automatic_rerandomization(self):
+        config = MonitorConfig(misprediction_threshold=5, eviction_threshold=5,
+                               direction_misprediction_threshold=None)
+        model = make_stbpu_skl(monitor_config=config, seed=1)
+        # Cold indirect branches at fresh addresses mispredict every time.
+        for index in range(64):
+            model.access(_branch(ip=0x50_0000 + index * 64, btype=BranchType.INDIRECT_JUMP))
+        assert model.stats.rerandomizations >= 1
+
+    def test_protection_preserves_accuracy_for_single_process(self, small_mcf_trace):
+        protected = make_stbpu_tage(TAGE_SC_L_8KB, seed=2)
+        stats = PredictorStats()
+        for branch in small_mcf_trace.branches():
+            stats.record(protected.access(branch), branch)
+        assert stats.oae_accuracy > 0.5
+
+    def test_reset_restores_initial_state(self):
+        model = make_stbpu_skl(seed=3)
+        model.access(_branch())
+        model.rerandomize_current()
+        model.reset()
+        assert model.stats.rerandomizations == 0
+        assert not model.access(_branch()).btb_hit
+
+
+class TestOperatingSystem:
+    def test_register_and_share(self):
+        hardware = make_stbpu_skl(seed=4)
+        os_layer = STBPUOperatingSystem(hardware)
+        os_layer.register_process(1, name="worker-1", sharing_group="pool")
+        os_layer.register_process(2, name="worker-2", sharing_group="pool")
+        os_layer.register_process(3, name="other")
+        assert os_layer.token_of(1) == os_layer.token_of(2)
+        assert os_layer.token_of(3) != os_layer.token_of(1)
+
+    def test_kernel_context_cannot_be_registered(self):
+        os_layer = STBPUOperatingSystem(make_stbpu_skl(seed=4))
+        with pytest.raises(ValueError):
+            os_layer.register_process(KERNEL_CONTEXT_ID)
+
+    def test_difficulty_factor_reprograms_thresholds(self):
+        hardware = make_stbpu_skl(seed=4)
+        os_layer = STBPUOperatingSystem(hardware)
+        relaxed = os_layer.set_difficulty_factor(0.05)
+        strict = os_layer.set_difficulty_factor(0.005)
+        assert strict.misprediction_threshold < relaxed.misprediction_threshold
+        assert hardware.monitor.config == strict
+
+    def test_sensitive_process_gets_tighter_thresholds(self):
+        hardware = make_stbpu_skl(seed=4)
+        os_layer = STBPUOperatingSystem(hardware)
+        os_layer.register_process(1, sensitive=True)
+        os_layer.register_process(2, sensitive=False)
+        sensitive = os_layer.config_for_process(1)
+        normal = os_layer.config_for_process(2)
+        assert sensitive.misprediction_threshold < normal.misprediction_threshold
+
+    def test_context_switch_loads_process_token(self):
+        hardware = make_stbpu_skl(seed=4)
+        os_layer = STBPUOperatingSystem(hardware)
+        os_layer.register_process(1)
+        os_layer.context_switch(1)
+        assert hardware.current_token() == os_layer.token_of(1)
+        assert os_layer.running_context == 1

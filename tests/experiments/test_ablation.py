@@ -1,0 +1,46 @@
+"""Tests for the STBPU design-choice ablation study."""
+
+import pytest
+
+from repro.experiments import ExperimentScale
+from repro.experiments.ablation import format_ablation, run_ablation
+
+_SCALE = ExperimentScale(branch_count=4_000, warmup_branches=400, seed=17)
+
+
+@pytest.fixture(scope="module")
+def ablation_result():
+    return run_ablation(_SCALE)
+
+
+class TestAblation:
+    def test_reports_all_variants(self, ablation_result):
+        variants = [row.variant for row in ablation_result.rows]
+        assert variants == [
+            "unprotected", "full STBPU", "remapping only",
+            "encryption only", "no re-randomization",
+        ]
+
+    def test_unprotected_design_is_fully_attackable(self, ablation_result):
+        row = ablation_result.row("unprotected")
+        assert row.spectre_v2_rate > 0.9
+        assert row.trojan_rate > 0.9
+
+    def test_full_design_defeats_both_attacks(self, ablation_result):
+        row = ablation_result.row("full STBPU")
+        assert row.spectre_v2_rate == 0.0
+        assert row.trojan_rate == 0.0
+
+    def test_encryption_alone_misses_same_address_space_attacks(self, ablation_result):
+        row = ablation_result.row("encryption only")
+        assert row.spectre_v2_rate == 0.0
+        assert row.trojan_rate > 0.9  # baseline truncated mapping still collides
+
+    def test_every_protected_variant_keeps_accuracy(self, ablation_result):
+        for row in ablation_result.rows:
+            assert row.normalized_oae > 0.95
+
+    def test_formatting_includes_every_variant(self, ablation_result):
+        text = format_ablation(ablation_result)
+        for row in ablation_result.rows:
+            assert row.variant in text

@@ -1,0 +1,143 @@
+"""Tests for the remapping-function generator (primitives, constraints, metrics)."""
+
+import random
+
+import pytest
+
+from repro.hashgen import (
+    AVAILABLE_SBOXES,
+    CompressionLayer,
+    HardwareConstraints,
+    KeyMixLayer,
+    PBoxLayer,
+    PRESENT_SBOX,
+    RemapFunctionGenerator,
+    SBoxLayer,
+    build_reference_r1,
+    check_design,
+    measure_avalanche,
+    measure_uniformity,
+    rank_candidates,
+    score_candidate,
+    select_best,
+    summarize_cost,
+)
+from repro.hashgen.optimization import REMAP_CONSTRAINTS
+from repro.core.remapping import mix64
+
+
+class TestPrimitives:
+    def test_sbox_layer_is_bijective_on_nibbles(self):
+        layer = SBoxLayer(16, PRESENT_SBOX)
+        outputs = {layer.apply(value) for value in range(1 << 16)}
+        assert len(outputs) == 1 << 16
+
+    def test_sbox_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            SBoxLayer(8, (0,) * 16)
+
+    def test_pbox_moves_bits_and_is_free(self):
+        layer = PBoxLayer((1, 0, 3, 2))
+        assert layer.apply(0b0001) == 0b0010
+        assert layer.cost().transistors == 0
+
+    def test_pbox_rejects_bad_permutation(self):
+        with pytest.raises(ValueError):
+            PBoxLayer((0, 0, 1, 2))
+
+    def test_compression_layer_folds(self):
+        layer = CompressionLayer(16, 8)
+        assert layer.apply(0x00FF) == 0xFF
+        assert layer.apply(0xFF00) == 0xFF
+        assert layer.apply(0xFFFF) == 0x00
+        with pytest.raises(ValueError):
+            CompressionLayer(8, 16)
+
+    def test_keymix_xors(self):
+        layer = KeyMixLayer(16, 0x00FF)
+        assert layer.apply(0x0F0F) == 0x0FF0
+
+    def test_all_registered_sboxes_are_permutations(self):
+        for name, sbox in AVAILABLE_SBOXES.items():
+            assert sorted(sbox) == list(range(len(sbox))), name
+
+
+class TestConstraints:
+    def test_reference_r1_is_single_cycle(self):
+        constraints = HardwareConstraints(input_bits=80, output_bits=22)
+        candidate = build_reference_r1(constraints)
+        cost = summarize_cost(candidate.layers)
+        check = check_design(candidate.layers, constraints)
+        assert check.satisfied and check.complete
+        assert cost.critical_path_transistors <= 45
+
+    def test_violation_detected_for_tiny_budget(self):
+        constraints = HardwareConstraints(
+            input_bits=80, output_bits=22, max_critical_path_transistors=5
+        )
+        candidate = build_reference_r1()
+        check = check_design(candidate.layers, constraints)
+        assert not check.satisfied
+        assert any("critical path" in violation for violation in check.violations)
+
+    def test_output_must_not_exceed_input(self):
+        with pytest.raises(ValueError):
+            HardwareConstraints(input_bits=8, output_bits=16)
+
+
+class TestMetrics:
+    def test_good_mixer_is_uniform_and_avalanching(self):
+        report = measure_uniformity(lambda v: mix64(v), 48, 14, samples=6_000)
+        assert report.normalized_cv < 1.3
+        avalanche = measure_avalanche(lambda v: mix64(v), 32, 14, samples=120)
+        assert abs(avalanche.mean_flip_fraction - 0.5) < 0.08
+
+    def test_truncation_is_not_avalanching(self):
+        avalanche = measure_avalanche(lambda v: v & 0x3FFF, 32, 14, samples=60)
+        assert avalanche.mean_flip_fraction < 0.1
+        assert not avalanche.satisfies_sac
+
+    def test_constant_function_fails_uniformity(self):
+        report = measure_uniformity(lambda v: 7, 32, 14, samples=3_000)
+        assert report.normalized_cv > 5
+
+    def test_score_prefers_better_candidates(self):
+        good_u = measure_uniformity(lambda v: mix64(v), 32, 14, samples=3_000)
+        good_a = measure_avalanche(lambda v: mix64(v), 32, 14, samples=60)
+        bad_u = measure_uniformity(lambda v: v & 0x3FFF, 32, 14, samples=3_000)
+        bad_a = measure_avalanche(lambda v: v & 0x3FFF, 32, 14, samples=60)
+        good = score_candidate(good_u, good_a, 36, 45)
+        bad = score_candidate(bad_u, bad_a, 36, 45)
+        assert good.total < bad.total
+
+
+class TestGenerator:
+    def test_generator_produces_constraint_satisfying_candidates(self):
+        constraints = HardwareConstraints(input_bits=80, output_bits=22)
+        generator = RemapFunctionGenerator(constraints, seed=5)
+        evaluated = generator.search(attempts=8, uniformity_samples=1_500, avalanche_samples=25)
+        assert evaluated
+        for candidate in evaluated:
+            assert candidate.check.satisfied and candidate.check.complete
+            assert candidate.critical_path_transistors <= 45
+
+    def test_selection_returns_lowest_score(self):
+        constraints = HardwareConstraints(input_bits=80, output_bits=22)
+        generator = RemapFunctionGenerator(constraints, seed=6)
+        evaluated = generator.search(attempts=6, uniformity_samples=1_000, avalanche_samples=20)
+        ranking = rank_candidates(evaluated, constraints)
+        best = select_best(evaluated, constraints)
+        assert best is not None
+        assert best.total == pytest.approx(min(item.total for item in ranking))
+
+    def test_remap_constraint_table_matches_table_ii(self):
+        assert set(REMAP_CONSTRAINTS) == {"R1", "R2", "R3", "R4", "Rt", "Rp"}
+        assert REMAP_CONSTRAINTS["R1"].input_bits == 80
+        assert REMAP_CONSTRAINTS["R1"].output_bits == 22
+
+    def test_reference_r1_avalanche_and_uniformity(self):
+        candidate = build_reference_r1()
+        uniformity = measure_uniformity(candidate.apply, 80, 22, samples=3_000)
+        avalanche = measure_avalanche(candidate.apply, 80, 22, samples=40)
+        assert uniformity.normalized_cv < 1.5
+        assert 0.35 < avalanche.mean_flip_fraction < 0.65

@@ -1,0 +1,163 @@
+"""Tests for the Section VI analytical model, the taxonomy, and GEM."""
+
+import random
+
+import pytest
+
+from repro.bpu.btb import BranchTargetBuffer
+from repro.bpu.common import StructureSizes
+from repro.core.remapping import STMappingProvider
+from repro.core.secret_token import SecretToken
+from repro.security import (
+    CollisionKind,
+    EffectLocus,
+    GEMEvictionSetBuilder,
+    SKYLAKE_PARAMETERS,
+    Structure,
+    derive_rerandomization_thresholds,
+    eviction_attack_cost,
+    injection_attack_cost,
+    naive_eviction_set_probability,
+    reuse_attack_cost,
+    same_address_space_attack_cost,
+    summarize_attack_complexities,
+    table_rows,
+    vectors,
+)
+from repro.security.parameters import AnalysisParameters
+
+
+class TestParameters:
+    def test_skylake_parameters_match_paper(self):
+        params = SKYLAKE_PARAMETERS
+        assert params.btb.ways == 8 and params.btb.sets == 512
+        assert params.btb.tag_bits == 8 and params.btb.offset_bits == 5
+        assert params.pht.sets == 1 << 14 and params.pht.ways == 1
+        assert params.rsb.sets == 16
+
+    def test_derived_from_structure_sizes(self):
+        params = AnalysisParameters.from_sizes(StructureSizes(btb_sets=256, btb_ways=4))
+        assert params.btb.sets == 256 and params.btb.ways == 4
+        assert params.btb.entries == 1024
+
+
+class TestAttackCosts:
+    """Reproduce the Section VI-A.5 numbers within a few percent."""
+
+    def test_btb_reuse_mispredictions(self):
+        cost = reuse_attack_cost(SKYLAKE_PARAMETERS.btb, coverage=0.5)
+        assert cost.expected_mispredictions == pytest.approx(6.9e8, rel=0.05)
+
+    def test_btb_reuse_evictions(self):
+        cost = reuse_attack_cost(SKYLAKE_PARAMETERS.btb, coverage=0.5)
+        assert cost.expected_evictions == pytest.approx(2 ** 21, rel=0.05)
+
+    def test_pht_reuse_mispredictions_and_no_evictions(self):
+        cost = reuse_attack_cost(SKYLAKE_PARAMETERS.pht, coverage=1.0)
+        assert cost.expected_mispredictions == pytest.approx(8.38e5, rel=0.05)
+        assert cost.expected_evictions == 0.0
+
+    def test_eviction_attack_cost(self):
+        cost = eviction_attack_cost(SKYLAKE_PARAMETERS.btb, attack_rate=0.5)
+        assert cost.expected_evictions == pytest.approx(5.3e5, rel=0.05)
+        assert cost.primed_sets == 256
+
+    def test_injection_cost_is_half_the_target_space(self):
+        cost = injection_attack_cost(SKYLAKE_PARAMETERS.btb, success_probability=0.5)
+        assert cost.expected_mispredictions == pytest.approx(2 ** 31, rel=0.01)
+
+    def test_same_address_space_matches_reuse(self):
+        assert (
+            same_address_space_attack_cost(SKYLAKE_PARAMETERS.btb).expected_mispredictions
+            == reuse_attack_cost(SKYLAKE_PARAMETERS.btb).expected_mispredictions
+        )
+
+    def test_naive_eviction_probability_is_tiny(self):
+        assert naive_eviction_set_probability(SKYLAKE_PARAMETERS.btb) == pytest.approx(
+            1.0 / 512 ** 7
+        )
+
+    def test_summary_picks_cheapest_attacks(self):
+        summary = summarize_attack_complexities()
+        assert summary.lowest_misprediction_complexity == summary.pht_reuse_mispredictions
+        assert summary.lowest_eviction_complexity == summary.btb_eviction_evictions
+
+    def test_threshold_derivation_matches_paper_at_r005(self):
+        config = derive_rerandomization_thresholds(r=0.05)
+        assert config.misprediction_threshold == pytest.approx(4.15e4, rel=0.05)
+        assert config.eviction_threshold == pytest.approx(2.65e4, rel=0.05)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            reuse_attack_cost(SKYLAKE_PARAMETERS.btb, coverage=0.0)
+        with pytest.raises(ValueError):
+            eviction_attack_cost(SKYLAKE_PARAMETERS.btb, attack_rate=2.0)
+        with pytest.raises(ValueError):
+            injection_attack_cost(SKYLAKE_PARAMETERS.btb, success_probability=0.0)
+
+
+class TestTaxonomy:
+    def test_twelve_vectors_cover_table_i(self):
+        assert len(table_rows()) == 12
+
+    def test_pht_eviction_cells_are_impossible(self):
+        impossible = vectors(structure=Structure.PHT, collision=CollisionKind.EVICTION)
+        assert len(impossible) == 2
+        assert all(not vector.possible for vector in impossible)
+
+    def test_queries_filter_on_all_axes(self):
+        away_reuse = vectors(collision=CollisionKind.REUSE, locus=EffectLocus.AWAY,
+                             only_possible=True)
+        assert {vector.structure for vector in away_reuse} == {
+            Structure.BTB, Structure.PHT, Structure.RSB
+        }
+        assert all(vector.locus is EffectLocus.AWAY for vector in away_reuse)
+
+    def test_every_possible_vector_names_a_mitigation(self):
+        for vector in vectors(only_possible=True):
+            assert vector.primary_mitigation.value != "not applicable"
+            assert vector.steps
+
+
+class TestGEM:
+    #: A scaled-down BTB keeps the group-elimination search fast in tests.
+    _SMALL = StructureSizes(btb_sets=64, btb_ways=4)
+
+    def test_gem_builds_eviction_set_on_deterministic_btb(self):
+        btb = BranchTargetBuffer(self._SMALL)
+        builder = GEMEvictionSetBuilder(btb, rng=random.Random(1))
+        result = builder.build(victim_address=0x40_0123, max_rounds=256)
+        assert result.success
+        assert len(result.eviction_set) <= btb.way_count * 2
+        assert result.stats.installs > 0
+        assert result.stats.rounds > 0
+
+    def test_rerandomization_destroys_gem_progress(self):
+        """A GEM-built eviction set stops working once the ST is re-randomized.
+
+        Group testing does not need to know the mapping, so GEM can build a
+        set even against a keyed BTB — which is exactly why STBPU couples the
+        keyed mapping with event-triggered re-randomization: the evictions the
+        search generates exhaust the threshold and the refreshed token makes
+        the painstakingly built set useless.
+        """
+        victim = 0x40_0123
+        mapping = STMappingProvider(SecretToken.from_halves(0xABCD, 0x1234), self._SMALL)
+        keyed_btb = BranchTargetBuffer(self._SMALL, mapping)
+        builder = GEMEvictionSetBuilder(keyed_btb, rng=random.Random(1))
+        result = builder.build(victim, max_rounds=256)
+        assert result.success
+        # The analytical model says this search triggers many evictions —
+        # far more than the re-randomization threshold would allow.
+        assert result.stats.evictions_triggered > keyed_btb.entry_count
+
+        def still_evicts(eviction_set: list[int]) -> bool:
+            keyed_btb.update(victim, victim + 0x40)
+            for address in eviction_set:
+                keyed_btb.update(address, address + 0x40)
+            return not keyed_btb.contains(victim)
+
+        assert still_evicts(result.eviction_set)
+        # ST re-randomization: the same addresses now map elsewhere.
+        mapping.set_token(SecretToken.from_halves(0x5EED, 0x9999))
+        assert not still_evicts(result.eviction_set)

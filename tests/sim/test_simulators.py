@@ -1,0 +1,138 @@
+"""Tests for the trace-driven BPU simulator, the CPU model, and the SMT simulator."""
+
+import pytest
+
+from repro.bpu.protections import make_ucode_protection_1, make_unprotected_baseline
+from repro.bpu.composite import make_skl_composite
+from repro.core.stbpu import make_stbpu_skl
+from repro.sim import (
+    CPUConfig,
+    CycleApproximateCPU,
+    SimulationLengths,
+    SMTSimulator,
+    TraceSimulator,
+    harmonic_mean,
+    geometric_mean,
+    normalized,
+    reduction,
+)
+from repro.trace.synthetic import generate_trace
+
+
+class TestMetrics:
+    def test_harmonic_mean_of_equal_values(self):
+        assert harmonic_mean([2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_harmonic_mean_is_below_arithmetic(self):
+        assert harmonic_mean([1.0, 3.0]) < 2.0
+
+    def test_harmonic_mean_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+        assert harmonic_mean([]) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_normalized_and_reduction_helpers(self):
+        assert normalized(0.5, 1.0) == 0.5
+        assert normalized(0.5, 0.0) == 0.0
+        assert reduction(0.93, 0.95) == pytest.approx(0.02)
+
+
+class TestTraceSimulator:
+    def test_reports_plausible_accuracy(self, small_mcf_trace):
+        simulator = TraceSimulator(warmup_branches=500)
+        result = simulator.run(make_unprotected_baseline(), small_mcf_trace)
+        assert 0.5 < result.report.oae_accuracy <= 1.0
+        assert result.stats.branches == small_mcf_trace.branch_count - 500
+
+    def test_warmup_branches_are_excluded(self, small_mcf_trace):
+        without = TraceSimulator(warmup_branches=0).run(
+            make_unprotected_baseline(), small_mcf_trace)
+        with_warmup = TraceSimulator(warmup_branches=1000).run(
+            make_unprotected_baseline(), small_mcf_trace)
+        assert with_warmup.stats.branches == without.stats.branches - 1000
+        assert with_warmup.report.oae_accuracy >= without.report.oae_accuracy - 0.02
+
+    def test_os_events_reach_flushing_protection(self, small_apache_trace):
+        model = make_ucode_protection_1()
+        result = TraceSimulator().run(model, small_apache_trace)
+        assert result.report.flushes > 0
+
+    def test_stbpu_outperforms_flushing_on_event_heavy_trace(self, small_apache_trace):
+        simulator = TraceSimulator(warmup_branches=400)
+        flushing = simulator.run(make_ucode_protection_1(), small_apache_trace)
+        protected = simulator.run(make_stbpu_skl(seed=1), small_apache_trace)
+        baseline = simulator.run(make_unprotected_baseline(), small_apache_trace)
+        assert protected.report.oae_accuracy >= flushing.report.oae_accuracy
+        assert baseline.report.oae_accuracy >= flushing.report.oae_accuracy
+
+    def test_compare_runs_every_model(self, small_mcf_trace):
+        simulator = TraceSimulator()
+        results = simulator.compare(
+            [make_unprotected_baseline(), make_stbpu_skl(seed=2)], small_mcf_trace)
+        assert set(results) == {"baseline", "ST_SKLCond"}
+
+
+class TestCycleApproximateCPU:
+    def test_ipc_bounded_by_ideal(self, small_mcf_trace):
+        cpu = CycleApproximateCPU(lengths=SimulationLengths(warmup_branches=500,
+                                                            measured_branches=3_000))
+        result = cpu.run(make_skl_composite(), small_mcf_trace)
+        assert 0.0 < result.performance.ipc <= cpu.config.ideal_ipc
+
+    def test_worse_prediction_means_lower_ipc(self, small_mcf_trace):
+        class AlwaysWrongDirection:
+            """A deliberately bad direction component."""
+
+            name = "always-wrong"
+
+            def predict(self, ip, history):
+                from repro.bpu.pht import DirectionPrediction
+                return DirectionPrediction(taken=False, used_two_level=False,
+                                           one_level_index=0, two_level_index=0)
+
+            def update(self, prediction, taken, ip=0):
+                return None
+
+            def flush(self):
+                return None
+
+        from repro.bpu.composite import CompositeBPU
+        cpu = CycleApproximateCPU(lengths=SimulationLengths(warmup_branches=0,
+                                                            measured_branches=3_000))
+        good = cpu.run(make_skl_composite(), small_mcf_trace)
+        bad = cpu.run(CompositeBPU(AlwaysWrongDirection(), name="bad"), small_mcf_trace)
+        assert bad.performance.ipc < good.performance.ipc
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CPUConfig(issue_width=0)
+        with pytest.raises(ValueError):
+            CPUConfig(misprediction_penalty_cycles=-1)
+
+
+class TestSMTSimulator:
+    def test_smt_run_produces_two_thread_reports(self):
+        trace_a = generate_trace("503.bwaves", seed=3, branch_count=2_500)
+        trace_b = generate_trace("505.mcf", seed=3, branch_count=2_500)
+        simulator = SMTSimulator(lengths=SimulationLengths(warmup_branches=200,
+                                                           measured_branches=2_000))
+        result = simulator.run(make_skl_composite(), trace_a, trace_b)
+        assert len(result.thread_performance) == 2
+        assert result.hmean_ipc > 0
+        assert result.thread_performance[0].workload == "503.bwaves"
+        assert result.thread_performance[1].workload == "505.mcf"
+
+    def test_smt_contexts_remain_distinct_for_stbpu(self):
+        trace_a = generate_trace("541.leela", seed=4, branch_count=2_000)
+        trace_b = generate_trace("541.leela", seed=4, branch_count=2_000)
+        simulator = SMTSimulator(lengths=SimulationLengths(warmup_branches=100,
+                                                           measured_branches=1_500))
+        model = make_stbpu_skl(seed=4)
+        result = simulator.run(model, trace_a, trace_b)
+        # Two copies of the same program on two threads => at least two user tokens.
+        user_contexts = {ctx for ctx in model.stats.contexts_seen if ctx >= 0}
+        assert len(user_contexts) >= 2
+        assert result.combined_direction_accuracy > 0.5

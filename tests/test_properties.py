@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bpu.btb import BranchTargetBuffer
+from repro.bpu.common import fold_bits
+from repro.bpu.pht import SaturatingCounter
+from repro.bpu.rsb import ReturnStackBuffer
+from repro.core.encryption import XorTargetCodec
+from repro.core.remapping import STMappingProvider, keyed_remap
+from repro.core.secret_token import SecretToken
+from repro.sim.metrics import harmonic_mean
+from repro.trace.branch import VIRTUAL_ADDRESS_MASK, BranchRecord, BranchType
+
+addresses = st.integers(min_value=0, max_value=(1 << 56) - 1)
+tokens = st.integers(min_value=0, max_value=(1 << 64) - 1)
+targets32 = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+@given(value=st.integers(min_value=0, max_value=(1 << 64) - 1),
+       output_bits=st.integers(min_value=1, max_value=24))
+def test_fold_bits_stays_in_range(value, output_bits):
+    assert 0 <= fold_bits(value, 64, output_bits) < (1 << output_bits)
+
+
+@given(psi=st.integers(min_value=0, max_value=(1 << 32) - 1), ip=addresses,
+       output_bits=st.integers(min_value=1, max_value=25),
+       domain=st.integers(min_value=0, max_value=64))
+def test_keyed_remap_is_deterministic_and_bounded(psi, ip, output_bits, domain):
+    first = keyed_remap(psi, ip, output_bits=output_bits, domain=domain)
+    second = keyed_remap(psi, ip, output_bits=output_bits, domain=domain)
+    assert first == second
+    assert 0 <= first < (1 << output_bits)
+
+
+@given(value=tokens)
+def test_secret_token_halves_recompose(value):
+    token = SecretToken(value)
+    assert SecretToken.from_halves(token.psi, token.phi).value == value & ((1 << 64) - 1)
+
+
+@given(phi=st.integers(min_value=0, max_value=(1 << 32) - 1), target=targets32)
+def test_xor_codec_roundtrips_any_target(phi, target):
+    codec = XorTargetCodec(SecretToken.from_halves(0, phi))
+    assert codec.decode(codec.encode(target)) == target
+
+
+@given(psi=st.integers(min_value=0, max_value=(1 << 32) - 1), ip=addresses)
+def test_st_mapping_outputs_respect_structure_bounds(psi, ip):
+    provider = STMappingProvider(SecretToken.from_halves(psi, 0))
+    key = provider.btb_mode1(ip)
+    sizes = provider.sizes
+    assert 0 <= key.index < sizes.btb_sets
+    assert 0 <= key.tag < (1 << sizes.btb_tag_bits)
+    assert 0 <= key.offset < (1 << sizes.btb_offset_bits)
+
+
+@given(updates=st.lists(st.booleans(), min_size=1, max_size=64),
+       bits=st.integers(min_value=1, max_value=4))
+def test_saturating_counter_never_leaves_its_range(updates, bits):
+    counter = SaturatingCounter(bits=bits, value=0)
+    for taken in updates:
+        counter.update(taken)
+        assert 0 <= counter.value <= counter.maximum
+
+
+@given(ip=addresses, target=addresses)
+def test_btb_lookup_after_update_hits_with_correct_target(ip, target):
+    btb = BranchTargetBuffer()
+    btb.update(ip, target)
+    result = btb.lookup(ip)
+    assert result.hit
+    # The BTB stores 32 target bits and re-extends with the branch's upper bits.
+    assert result.predicted_target & 0xFFFF_FFFF == target & 0xFFFF_FFFF
+
+
+@given(pushes=st.lists(addresses, min_size=1, max_size=12))
+def test_rsb_is_last_in_first_out(pushes):
+    rsb = ReturnStackBuffer(entries=16)
+    for address in pushes:
+        rsb.push(address)
+    for address in reversed(pushes):
+        popped = rsb.pop(0)
+        assert not popped.underflow
+        assert popped.predicted_target & 0xFFFF_FFFF == address & 0xFFFF_FFFF
+
+
+@given(ip=st.integers(min_value=0, max_value=(1 << 64) - 1),
+       target=st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_branch_record_addresses_always_canonical(ip, target):
+    record = BranchRecord(ip=ip, target=target, taken=True,
+                          branch_type=BranchType.DIRECT_JUMP)
+    assert record.ip <= VIRTUAL_ADDRESS_MASK
+    assert record.target <= VIRTUAL_ADDRESS_MASK
+
+
+@given(values=st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=8))
+@settings(max_examples=50)
+def test_harmonic_mean_bounded_by_min_and_max(values):
+    mean = harmonic_mean(values)
+    assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+@given(psi_a=st.integers(min_value=0, max_value=(1 << 32) - 1),
+       psi_b=st.integers(min_value=0, max_value=(1 << 32) - 1))
+@settings(max_examples=40)
+def test_different_tokens_rarely_share_full_btb_mappings(psi_a, psi_b):
+    if psi_a == psi_b:
+        return
+    a = STMappingProvider(SecretToken.from_halves(psi_a, 0))
+    b = STMappingProvider(SecretToken.from_halves(psi_b, 0))
+    sample = [0x40_0000 + i * 64 for i in range(16)]
+    identical = sum(1 for ip in sample if a.btb_mode1(ip) == b.btb_mode1(ip))
+    # With 22 bits of output per address, 16 simultaneous collisions are
+    # astronomically unlikely; allow a small number of coincidences.
+    assert identical < len(sample)

@@ -1,0 +1,64 @@
+"""Tests for trace serialization."""
+
+import json
+
+import pytest
+
+from repro.trace.branch import BranchRecord, BranchType, EventKind, Trace, TraceEvent
+from repro.trace.io import read_trace, write_trace
+from repro.trace.synthetic import generate_trace
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        trace = generate_trace("557.xz", seed=4, branch_count=800)
+        path = tmp_path / "trace.jsonl"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert loaded.name == trace.name
+        assert len(loaded) == len(trace)
+        for original, reloaded in zip(trace, loaded):
+            if isinstance(original, BranchRecord):
+                assert isinstance(reloaded, BranchRecord)
+                assert (original.ip, original.target, original.taken,
+                        original.branch_type, original.context_id, original.mode) == (
+                    reloaded.ip, reloaded.target, reloaded.taken,
+                    reloaded.branch_type, reloaded.context_id, reloaded.mode)
+            else:
+                assert isinstance(reloaded, TraceEvent)
+                assert original.kind == reloaded.kind
+
+    def test_header_records_item_count(self, tmp_path):
+        trace = Trace(name="tiny")
+        trace.append(TraceEvent(EventKind.INTERRUPT, context_id=1))
+        path = tmp_path / "t.jsonl"
+        write_trace(trace, path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {"kind": "header", "name": "tiny", "items": 1}
+
+
+class TestErrors:
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "branch", "ip": 1, "target": 2, "taken": true, '
+                        '"type": "direct_jump", "context": 0, "mode": "user"}\n')
+        with pytest.raises(ValueError, match="header"):
+            read_trace(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad2.jsonl"
+        path.write_text('{"kind": "header", "name": "x", "items": 1}\n{"kind": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown record kind"):
+            read_trace(path)
+
+    def test_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad3.jsonl"
+        path.write_text('{"kind": "header", "name": "x", "items": 5}\n')
+        with pytest.raises(ValueError, match="declares 5 items"):
+            read_trace(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_trace(path)

@@ -1,0 +1,85 @@
+"""Tests for the synthetic trace generator."""
+
+import pytest
+
+from repro.trace.branch import BranchType, EventKind, PrivilegeMode
+from repro.trace.synthetic import SyntheticTraceGenerator, generate_trace
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_trace("505.mcf", seed=5, branch_count=1_500)
+        b = generate_trace("505.mcf", seed=5, branch_count=1_500)
+        assert len(a) == len(b)
+        for x, y in zip(a.branches(), b.branches()):
+            assert (x.ip, x.target, x.taken, x.branch_type) == (y.ip, y.target, y.taken, y.branch_type)
+
+    def test_different_seeds_differ(self):
+        a = generate_trace("505.mcf", seed=1, branch_count=1_500)
+        b = generate_trace("505.mcf", seed=2, branch_count=1_500)
+        pairs = list(zip(a.branches(), b.branches()))
+        assert any(x.taken != y.taken or x.ip != y.ip for x, y in pairs)
+
+
+class TestTraceShape:
+    def test_branch_count_close_to_requested(self):
+        trace = generate_trace("503.bwaves", seed=0, branch_count=3_000)
+        assert 3_000 <= trace.branch_count <= 3_400
+
+    def test_contains_all_major_branch_types(self, small_mcf_trace):
+        types = {branch.branch_type for branch in small_mcf_trace.branches()}
+        assert BranchType.CONDITIONAL in types
+        assert BranchType.DIRECT_CALL in types
+        assert BranchType.RETURN in types
+        assert BranchType.INDIRECT_JUMP in types or BranchType.INDIRECT_CALL in types
+
+    def test_taken_fraction_is_realistic(self, small_mcf_trace):
+        assert 0.5 < small_mcf_trace.taken_fraction() < 0.85
+
+    def test_kernel_branches_present_after_syscalls(self, small_apache_trace):
+        kernel = [b for b in small_apache_trace.branches() if b.mode is PrivilegeMode.KERNEL]
+        assert kernel, "application workloads must include kernel-mode branches"
+
+    def test_multi_context_workload_emits_context_switches(self, small_apache_trace):
+        kinds = {event.kind for event in small_apache_trace.events()}
+        assert EventKind.CONTEXT_SWITCH in kinds
+        assert EventKind.MODE_SWITCH_ENTER_KERNEL in kinds
+        user_contexts = {
+            b.context_id for b in small_apache_trace.branches()
+            if b.mode is PrivilegeMode.USER
+        }
+        assert len(user_contexts) > 1
+
+    def test_unconditional_branches_are_taken(self, small_mcf_trace):
+        for branch in small_mcf_trace.branches():
+            if not branch.branch_type.is_conditional:
+                assert branch.taken
+
+    def test_conditional_not_taken_targets_are_fall_through(self, small_mcf_trace):
+        for branch in small_mcf_trace.branches():
+            if branch.branch_type.is_conditional and not branch.taken:
+                assert branch.target == branch.ip + 4
+
+
+class TestGeneratorApi:
+    def test_accepts_profile_name_or_object(self):
+        from repro.trace.workloads import get_workload
+        by_name = SyntheticTraceGenerator("541.leela", seed=3).generate(500)
+        by_profile = SyntheticTraceGenerator(get_workload("541.leela"), seed=3).generate(500)
+        assert by_name.branch_count == by_profile.branch_count
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            SyntheticTraceGenerator("not-a-workload")
+
+    def test_shared_image_contexts_share_addresses(self):
+        trace = generate_trace("apache2_prefork_c64", seed=2, branch_count=6_000)
+        per_context: dict[int, set[int]] = {}
+        for branch in trace.branches():
+            if branch.mode is PrivilegeMode.USER:
+                per_context.setdefault(branch.context_id, set()).add(branch.ip)
+        contexts = [ips for ips in per_context.values() if len(ips) > 20]
+        assert len(contexts) >= 2
+        first, second = contexts[0], contexts[1]
+        # Prefork workers run the same image, so their branch sites overlap.
+        assert first & second

@@ -1,0 +1,83 @@
+"""Tests for the workload-profile catalogue."""
+
+import pytest
+
+from repro.trace.workloads import (
+    ALL_WORKLOADS,
+    APPLICATION_WORKLOADS,
+    GEM5_SINGLE_WORKLOADS,
+    GEM5_SMT_PAIRS,
+    SPEC2017_WORKLOADS,
+    WorkloadProfile,
+    get_workload,
+    list_workloads,
+)
+
+
+class TestCatalogue:
+    def test_paper_workload_counts(self):
+        # The paper uses 23 SPEC traces and 12+ application scenarios in Figure 3.
+        assert len(SPEC2017_WORKLOADS) == 23
+        assert len(APPLICATION_WORKLOADS) >= 12
+        assert len(ALL_WORKLOADS) == len(SPEC2017_WORKLOADS) + len(APPLICATION_WORKLOADS)
+
+    def test_gem5_selections_reference_known_workloads(self):
+        assert len(GEM5_SINGLE_WORKLOADS) == 18
+        for name in GEM5_SINGLE_WORKLOADS:
+            assert name in ALL_WORKLOADS
+        assert len(GEM5_SMT_PAIRS) == 31
+        for a, b in GEM5_SMT_PAIRS:
+            assert a in ALL_WORKLOADS and b in ALL_WORKLOADS
+
+    def test_get_workload_unknown_raises_with_listing(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("nonexistent.workload")
+
+    def test_list_workloads_by_category(self):
+        spec = list_workloads("spec")
+        apps = list_workloads("application")
+        assert set(spec) == set(SPEC2017_WORKLOADS)
+        assert set(apps) == set(APPLICATION_WORKLOADS)
+        assert list_workloads() == sorted(spec + apps)
+
+
+class TestProfileValidation:
+    def _kwargs(self):
+        return dict(
+            name="x", category="spec", static_conditional_sites=10,
+            static_indirect_sites=2, static_call_sites=2, static_direct_sites=2,
+            conditional_fraction=0.7, indirect_fraction=0.05, call_fraction=0.1,
+            biased_site_fraction=0.6, patterned_site_fraction=0.2,
+            random_site_entropy=0.2, indirect_targets_mean=2.0,
+            indirect_history_correlated=True, call_depth_mean=8.0,
+            context_switch_interval=1000, syscall_interval=1000,
+            kernel_branch_burst=10, interrupt_interval=1000,
+            co_resident_contexts=1, shared_program_image=False,
+        )
+
+    def test_valid_profile_constructs(self):
+        assert WorkloadProfile(**self._kwargs()).name == "x"
+
+    def test_dynamic_mix_must_not_exceed_one(self):
+        kwargs = self._kwargs()
+        kwargs.update(conditional_fraction=0.9, indirect_fraction=0.2)
+        with pytest.raises(ValueError):
+            WorkloadProfile(**kwargs)
+
+    def test_site_mix_must_not_exceed_one(self):
+        kwargs = self._kwargs()
+        kwargs.update(biased_site_fraction=0.9, patterned_site_fraction=0.3)
+        with pytest.raises(ValueError):
+            WorkloadProfile(**kwargs)
+
+    def test_contexts_must_be_positive(self):
+        kwargs = self._kwargs()
+        kwargs.update(co_resident_contexts=0)
+        with pytest.raises(ValueError):
+            WorkloadProfile(**kwargs)
+
+    def test_all_profiles_have_sane_fractions(self):
+        for profile in ALL_WORKLOADS.values():
+            assert 0 < profile.conditional_fraction < 1
+            assert profile.branch_count > 0
+            assert profile.static_conditional_sites > 0
