@@ -1,10 +1,10 @@
 """Quickstart: protect a branch predictor with STBPU and measure the cost.
 
-This example builds the unprotected Skylake-style predictor and its
-STBPU-protected counterpart, replays the same synthetic SPEC-like workload
-through both, and prints the accuracy difference — the headline claim of the
-paper (STBPU costs about 1-2% accuracy while removing deterministic branch
-collisions).
+This example declares a two-model engine grid — the unprotected Skylake-style
+predictor and its STBPU-protected counterpart, both addressed by registry
+name — over one synthetic SPEC-like workload, runs it through the engine, and
+prints the accuracy difference: the headline claim of the paper (STBPU costs
+about 1-2% accuracy while removing deterministic branch collisions).
 
 Run with: ``python examples/quickstart.py``
 """
@@ -14,31 +14,32 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.bpu import make_unprotected_baseline
-from repro.core import make_stbpu_skl
-from repro.sim import TraceSimulator
-from repro.trace import generate_trace
+from repro.engine import EngineRunner, ExperimentScale, SimulationGrid
 
 
 def main() -> None:
-    print("Generating a synthetic 505.mcf-like branch trace ...")
-    trace = generate_trace("505.mcf", seed=1, branch_count=30_000)
-    print(f"  {trace.branch_count} branches, {trace.event_count} OS events")
-
-    simulator = TraceSimulator(warmup_branches=3_000)
-
-    baseline = simulator.run(make_unprotected_baseline(), trace)
-    protected = simulator.run(make_stbpu_skl(seed=1), trace)
+    workload = "505.mcf"
+    grid = SimulationGrid(
+        kind="trace",
+        models=["baseline", "ST_SKLCond"],
+        workloads=[workload],
+        scale=ExperimentScale(branch_count=30_000, warmup_branches=3_000, seed=1),
+    )
+    print(f"Replaying a synthetic {workload}-like trace through {list(grid.models)} ...")
+    frame = EngineRunner().run(grid)
 
     print("\nmodel            OAE accuracy   direction   target    re-randomizations")
-    for result in (baseline, protected):
-        report = result.report
-        print(f"{report.model:16s} {report.oae_accuracy:12.4f} {report.direction_accuracy:10.4f} "
-              f"{report.target_accuracy:9.4f} {report.rerandomizations:12d}")
+    for record in frame:
+        metrics = record.metrics
+        print(f"{record.model:16s} {metrics['oae_accuracy']:12.4f} "
+              f"{metrics['direction_accuracy']:10.4f} {metrics['target_accuracy']:9.4f} "
+              f"{int(metrics.get('rerandomizations', 0)):12d}")
 
-    penalty = 1.0 - protected.report.oae_accuracy / baseline.report.oae_accuracy
+    normalized = frame.normalized("oae_accuracy", "baseline")[workload]
+    penalty = 1.0 - normalized["ST_SKLCond"]
     print(f"\nSTBPU accuracy penalty vs unprotected baseline: {penalty * 100:.2f}% "
           "(paper reports ~1.3% on average)")
+    print("Try the CLI next:  python -m repro figure3 --scale fast --workers 4")
 
 
 if __name__ == "__main__":

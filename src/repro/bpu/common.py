@@ -11,6 +11,7 @@ same interface, which is what lets the evaluation treat them uniformly.
 from __future__ import annotations
 
 import abc
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.trace.branch import BranchRecord, PrivilegeMode
@@ -122,20 +123,27 @@ class PredictorStats:
         return self.mispredictions / self.branches if self.branches else 0.0
 
     def merged_with(self, other: "PredictorStats") -> "PredictorStats":
-        """Return a new stats object summing this one with ``other``."""
+        """Return a new stats object summing this one with ``other``.
+
+        The counter list is derived from the dataclass fields so that newly
+        added counters are merged automatically instead of being dropped.
+        """
         merged = PredictorStats()
-        for name in (
-            "branches", "conditional_branches", "direction_predictions",
-            "direction_correct", "target_predictions", "target_correct",
-            "effective_correct", "mispredictions", "btb_evictions", "btb_hits",
-            "rsb_underflows", "st_rerandomizations", "flushes",
-        ):
+        for stats_field in dataclasses.fields(PredictorStats):
+            name = stats_field.name
             setattr(merged, name, getattr(self, name) + getattr(other, name))
         return merged
 
 
 class BranchPredictorModel(abc.ABC):
-    """Interface every complete predictor model (protected or not) implements."""
+    """Interface every complete predictor model (protected or not) implements.
+
+    Models are *stateful*: every :meth:`access` trains internal structures, so
+    replaying a second trace through the same instance observes state left by
+    the first.  Callers that need a cold predictor own the lifecycle — either
+    build a fresh model or call :meth:`reset` before the replay (the
+    simulators' ``compare`` helpers do this for every model they are handed).
+    """
 
     #: Human-readable model name used as a legend label in experiments.
     name: str = "predictor"
@@ -144,9 +152,30 @@ class BranchPredictorModel(abc.ABC):
     def access(self, branch: BranchRecord) -> AccessResult:
         """Predict the branch, resolve it, update state, and report the outcome."""
 
+    def access_with_events(self, branch: BranchRecord) -> AccessResult:
+        """Like :meth:`access` but with structure-level events folded in.
+
+        Simulators call this uniformly.  Models that can observe extra
+        micro-events during an access (e.g. BTB evictions) override it;
+        wrapper models whose :meth:`access` already delegates to an inner
+        event-aware predictor inherit this default, which simply forwards.
+        """
+        return self.access(branch)
+
     @abc.abstractmethod
     def reset(self) -> None:
         """Return the model to its power-on state."""
+
+    def protection_stats(self) -> dict[str, int]:
+        """Counters of the protection mechanism this model implements.
+
+        The uniform protocol the simulators aggregate from — no ``isinstance``
+        dispatch on concrete classes.  Known keys today are
+        ``"rerandomizations"`` (STBPU) and ``"flushes"`` (microcode-style
+        flushing); protection schemes are free to report additional counters
+        and unprotected models report none.
+        """
+        return {}
 
     def on_context_switch(self, context_id: int) -> None:
         """Hook invoked when the OS switches the running software context."""

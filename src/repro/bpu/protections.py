@@ -59,6 +59,9 @@ class FlushingProtectedBPU(BranchPredictorModel):
     def access(self, branch: BranchRecord) -> AccessResult:
         return self.inner.access_with_events(branch)
 
+    def protection_stats(self) -> dict[str, int]:
+        return {"flushes": self.flush_count}
+
     def reset(self) -> None:
         self.inner.reset()
         self.flush_count = 0

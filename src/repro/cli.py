@@ -1,0 +1,268 @@
+"""``python -m repro`` — command-line front end for the simulation engine.
+
+Every experiment driver is exposed as a subcommand declared on the engine::
+
+    python -m repro figure3 --workers 4 --scale fast
+    python -m repro figure6 --workload-limit 2 --json out.json
+    python -m repro list-models
+
+Shared options: ``--workers`` (process-pool size; results are bit-identical
+to serial runs), ``--scale`` (fidelity preset), ``--seed``,
+``--workload-limit``, ``--branches``/``--warmup`` (preset overrides) and
+``--json PATH`` (dump the result dataclasses as JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+from typing import Any, Callable
+
+from repro.engine import ExperimentScale, list_models, resolve_workloads
+from repro.trace.workloads import list_workloads
+
+#: Fidelity presets selectable with ``--scale``.
+SCALE_PRESETS: dict[str, ExperimentScale] = {
+    "fast": ExperimentScale(branch_count=4_000, warmup_branches=400),
+    "default": ExperimentScale(),
+    "full": ExperimentScale(branch_count=60_000, warmup_branches=6_000),
+}
+
+
+def _build_scale(args: argparse.Namespace) -> ExperimentScale:
+    preset = SCALE_PRESETS[args.scale]
+    return ExperimentScale(
+        branch_count=args.branches if args.branches is not None else preset.branch_count,
+        warmup_branches=args.warmup if args.warmup is not None else preset.warmup_branches,
+        seed=args.seed if args.seed is not None else preset.seed,
+        workload_limit=args.workload_limit,
+    )
+
+
+def _emit(args: argparse.Namespace, text: str, result: Any) -> None:
+    # Write the JSON artifact before printing: if stdout is a pipe that closes
+    # early (| head), the file must still exist.
+    json_path = getattr(args, "json", None)
+    if json_path:
+        if dataclasses.is_dataclass(result) and not isinstance(result, type):
+            payload = dataclasses.asdict(result)
+        else:
+            payload = result
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+    print(text)
+    if json_path:
+        print(f"JSON written to {json_path}")
+
+
+def _cmd_figure2(args: argparse.Namespace) -> None:
+    from repro.experiments.figure2 import format_figure2, run_figure2
+
+    result = run_figure2(
+        attempts_per_function=args.attempts,
+        seed=args.seed if args.seed is not None else 0,
+        workers=args.workers,
+    )
+    _emit(args, format_figure2(result), result)
+
+
+def _cmd_figure3(args: argparse.Namespace) -> None:
+    from repro.experiments.figure3 import format_figure3, run_figure3
+
+    result = run_figure3(
+        scale=_build_scale(args),
+        workloads=resolve_workloads(args.workloads) if args.workloads else None,
+        workers=args.workers,
+    )
+    _emit(args, format_figure3(result), result)
+
+
+def _cmd_figure4(args: argparse.Namespace) -> None:
+    from repro.experiments.figure4 import format_figure4, run_figure4
+
+    result = run_figure4(
+        scale=_build_scale(args),
+        predictors=args.predictors if args.predictors else None,
+        workers=args.workers,
+    )
+    _emit(args, format_figure4(result), result)
+
+
+def _cmd_figure5(args: argparse.Namespace) -> None:
+    from repro.experiments.figure5 import format_figure5, run_figure5
+
+    result = run_figure5(
+        scale=_build_scale(args),
+        predictors=args.predictors if args.predictors else None,
+        workers=args.workers,
+    )
+    _emit(args, format_figure5(result), result)
+
+
+def _cmd_figure6(args: argparse.Namespace) -> None:
+    from repro.experiments.figure6 import (
+        DEFAULT_R_SWEEP,
+        FIGURE6_DEFAULT_PAIR_LIMIT,
+        format_figure6,
+        run_figure6,
+    )
+    from repro.trace.workloads import GEM5_SMT_PAIRS
+
+    r_values = tuple(args.r_values) if args.r_values else DEFAULT_R_SWEEP
+    scale = _build_scale(args)
+    if args.workload_limit is None:
+        scale.workload_limit = FIGURE6_DEFAULT_PAIR_LIMIT
+        print(
+            f"note: averaging over the first {scale.workload_limit} of "
+            f"{len(GEM5_SMT_PAIRS)} SMT pairs; pass --workload-limit "
+            f"{len(GEM5_SMT_PAIRS)} for the full sweep",
+            file=sys.stderr,
+        )
+    result = run_figure6(scale=scale, r_values=r_values, workers=args.workers)
+    _emit(args, format_figure6(result), result)
+
+
+def _cmd_tables(args: argparse.Namespace) -> None:
+    from repro.experiments.tables import format_thresholds_payload, run_tables
+
+    result = run_tables(workers=args.workers)
+    lines = []
+    for name in ("table1", "table2", "table4"):
+        lines.append(f"{name}:")
+        lines.append(json.dumps(result[name], indent=2, default=str))
+    lines.append(format_thresholds_payload(result["thresholds"]))
+    _emit(args, "\n".join(lines), result)
+
+
+def _cmd_ablation(args: argparse.Namespace) -> None:
+    from repro.experiments.ablation import format_ablation, run_ablation
+
+    scale = _build_scale(args)
+    result = run_ablation(scale=scale, workload=args.workload, workers=args.workers)
+    _emit(args, format_ablation(result), result)
+
+
+def _cmd_list_models(args: argparse.Namespace) -> None:
+    _emit(args, "\n".join(list_models()), list_models())
+
+
+def _cmd_list_workloads(args: argparse.Namespace) -> None:
+    names = list_workloads(args.category)
+    _emit(args, "\n".join(names), names)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's figures and tables on the simulation engine.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # Split the shared options so each subcommand only accepts the ones it
+    # actually honours: `exec_options` for anything that runs engine jobs,
+    # `sim_options` only for commands driving trace/cpu/smt grids.
+    exec_options = argparse.ArgumentParser(add_help=False)
+    exec_options.add_argument("--workers", type=int, default=1,
+                              help="worker processes (default: 1, serial)")
+    exec_options.add_argument("--json", metavar="PATH", default=None,
+                              help="also dump the result as JSON to PATH")
+
+    sim_options = argparse.ArgumentParser(add_help=False)
+    sim_options.add_argument("--scale", choices=sorted(SCALE_PRESETS), default="default",
+                             help="fidelity preset")
+    sim_options.add_argument("--seed", type=int, default=None, help="grid seed override")
+    sim_options.add_argument("--branches", type=int, default=None,
+                             help="override the preset's measured branch count")
+    sim_options.add_argument("--warmup", type=int, default=None,
+                             help="override the preset's warm-up branch count")
+    sim_options.add_argument("--workload-limit", type=int, default=None,
+                             help="truncate the workload list to the first N entries")
+
+    json_only = argparse.ArgumentParser(add_help=False)
+    json_only.add_argument("--json", metavar="PATH", default=None,
+                           help="also dump the result as JSON to PATH")
+
+    figure2 = subparsers.add_parser("figure2", parents=[exec_options],
+                                    help="R1 remapping-function construction")
+    figure2.add_argument("--seed", type=int, default=None, help="generator seed")
+    figure2.add_argument("--attempts", type=int, default=12,
+                         help="generator attempts per remapping function")
+    figure2.set_defaults(handler=_cmd_figure2)
+
+    figure3 = subparsers.add_parser("figure3", parents=[exec_options, sim_options],
+                                    help="OAE accuracy of the five protection models")
+    figure3.add_argument("--workloads", nargs="*", default=None,
+                         help="workload names or groups (spec, application, all)")
+    figure3.set_defaults(handler=_cmd_figure3)
+
+    for name, handler, description in (
+        ("figure4", _cmd_figure4, "single-workload IPC evaluation of the ST designs"),
+        ("figure5", _cmd_figure5, "SMT workload-pair evaluation of the ST designs"),
+    ):
+        sub = subparsers.add_parser(name, parents=[exec_options, sim_options],
+                                    help=description)
+        sub.add_argument("--predictors", nargs="*", default=None,
+                         help="pair labels to keep (e.g. SKLCond TAGE_SC_L_8KB)")
+        sub.set_defaults(handler=handler)
+
+    figure6 = subparsers.add_parser("figure6", parents=[exec_options, sim_options],
+                                    help="re-randomization aggressiveness sweep")
+    figure6.add_argument("--r-values", nargs="*", type=float, default=None,
+                         help="difficulty factors to sweep (default: paper sweep)")
+    figure6.set_defaults(handler=_cmd_figure6)
+
+    tables = subparsers.add_parser("tables", parents=[exec_options],
+                                   help="Tables I/II/IV and the threshold numbers")
+    tables.set_defaults(handler=_cmd_tables)
+
+    ablation = subparsers.add_parser("ablation", parents=[exec_options, sim_options],
+                                     help="STBPU design-choice ablation study")
+    ablation.add_argument("--workload", default="505.mcf",
+                          help="workload used for the accuracy series")
+    ablation.set_defaults(handler=_cmd_ablation)
+
+    list_models_parser = subparsers.add_parser(
+        "list-models", parents=[json_only], help="print the model registry")
+    list_models_parser.set_defaults(handler=_cmd_list_models)
+
+    list_workloads_parser = subparsers.add_parser(
+        "list-workloads", parents=[json_only], help="print the workload registry")
+    list_workloads_parser.add_argument("--category", choices=("spec", "application"),
+                                       default=None)
+    list_workloads_parser.set_defaults(handler=_cmd_list_workloads)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler: Callable[[argparse.Namespace], None] = args.handler
+    try:
+        handler(args)
+        # Flush inside the try: with buffered stdout the EPIPE from a closed
+        # pipe (| head) would otherwise only surface at interpreter shutdown,
+        # as "Exception ignored" noise and exit code 120.
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Output was piped into something like `head`; exit quietly.  Point
+        # stdout at devnull so the shutdown flush cannot hit EPIPE again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except (KeyError, ValueError, OSError) as error:
+        # Registry lookups and option validation raise with helpful messages;
+        # present them as CLI errors rather than tracebacks.  str(KeyError)
+        # wraps the message in quotes, so unwrap its single argument instead.
+        message = (error.args[0]
+                   if isinstance(error, KeyError) and error.args else str(error))
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

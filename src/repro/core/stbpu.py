@@ -168,6 +168,13 @@ class STBPU(BranchPredictorModel):
         # Interrupt handlers run in the kernel context.
         self.on_mode_switch(PrivilegeMode.KERNEL, context_id)
 
+    def protection_stats(self) -> dict[str, int]:
+        return {
+            "rerandomizations": self.stats.rerandomizations,
+            "token_loads": self.stats.token_loads,
+            "contexts_seen": len(self.stats.contexts_seen),
+        }
+
     def reset(self) -> None:
         self.inner.reset()
         self.monitor.reload()

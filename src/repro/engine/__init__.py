@@ -1,0 +1,56 @@
+"""Unified simulation engine.
+
+The engine turns the repository's evaluation into a declarative pipeline:
+
+* :mod:`repro.engine.registry` — models addressable by string name
+  (``"baseline"``, ``"ST_SKLCond"``, ...) with seed/monitor knobs,
+* :mod:`repro.engine.workloads` — workload name resolution plus the shared
+  memoised trace cache,
+* :mod:`repro.engine.grid` — :class:`SimulationGrid` declarations expanding
+  (models × workloads × scale) into deterministic :class:`Job` lists,
+* :mod:`repro.engine.runner` — :class:`EngineRunner`, executing job lists
+  serially or on a :class:`~concurrent.futures.ProcessPoolExecutor` with
+  bit-identical results either way,
+* :mod:`repro.engine.results` — normalized :class:`ResultFrame` records
+  (baseline-relative OAE / IPC) with JSON export.
+
+All experiment drivers (``repro.experiments.figure2`` .. ``tables``) and the
+``python -m repro`` CLI are thin declarations on top of this package.
+"""
+
+from repro.engine.grid import ExperimentScale, Job, SimulationGrid, derive_job_seed
+from repro.engine.registry import (
+    ModelSpec,
+    build_model,
+    list_models,
+    model_factory,
+    register_model,
+)
+from repro.engine.results import JobRecord, ResultFrame
+from repro.engine.runner import EngineRunner, execute_job
+from repro.engine.workloads import (
+    clear_trace_cache,
+    resolve_smt_pairs,
+    resolve_workloads,
+    trace_for,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "Job",
+    "SimulationGrid",
+    "derive_job_seed",
+    "ModelSpec",
+    "build_model",
+    "list_models",
+    "model_factory",
+    "register_model",
+    "JobRecord",
+    "ResultFrame",
+    "EngineRunner",
+    "execute_job",
+    "clear_trace_cache",
+    "resolve_smt_pairs",
+    "resolve_workloads",
+    "trace_for",
+]

@@ -1,0 +1,131 @@
+"""Normalized result frames produced by the engine runner.
+
+A :class:`ResultFrame` is an ordered collection of :class:`JobRecord` rows —
+one per executed job — with helpers for the two aggregations every experiment
+driver needs: pivoting a metric into a ``{workload: {model: value}}`` table
+and normalizing it against a baseline model (the paper's "relative to
+unprotected" series).  Frames serialize to JSON byte-for-byte
+deterministically, which is how the tests pin parallel == serial.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.sim.metrics import normalized as normalized_value
+
+
+@dataclass(slots=True)
+class JobRecord:
+    """Outcome of one job: scalar metrics plus an optional structured payload."""
+
+    index: int
+    kind: str
+    model: str
+    workload: str
+    metrics: dict[str, float] = field(default_factory=dict)
+    payload: Any = None
+
+    def to_dict(self) -> dict[str, Any]:
+        row: dict[str, Any] = {
+            "index": self.index,
+            "kind": self.kind,
+            "model": self.model,
+            "workload": self.workload,
+            "metrics": dict(self.metrics),
+        }
+        if self.payload is not None:
+            row["payload"] = self.payload
+        return row
+
+
+class ResultFrame:
+    """Ordered job records with pivot/normalize/JSON-export helpers."""
+
+    def __init__(self, records: Iterable[JobRecord]):
+        self.records = sorted(records, key=lambda record: record.index)
+        self._by_cell: dict[tuple[str, str], JobRecord] = {}
+        for record in self.records:
+            key = (record.model, record.workload)
+            if key in self._by_cell:
+                raise ValueError(
+                    f"duplicate result cell model={record.model!r} "
+                    f"workload={record.workload!r}; give the model specs "
+                    "distinct labels"
+                )
+            self._by_cell[key] = record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def models(self) -> list[str]:
+        seen: list[str] = []
+        for record in self.records:
+            if record.model and record.model not in seen:
+                seen.append(record.model)
+        return seen
+
+    def workloads(self) -> list[str]:
+        seen: list[str] = []
+        for record in self.records:
+            if record.workload and record.workload not in seen:
+                seen.append(record.workload)
+        return seen
+
+    def record(self, model: str, workload: str) -> JobRecord:
+        try:
+            return self._by_cell[(model, workload)]
+        except KeyError:
+            raise KeyError(
+                f"no record for model={model!r} workload={workload!r}"
+            ) from None
+
+    def metric(self, model: str, workload: str, key: str, default: float = 0.0) -> float:
+        return self.record(model, workload).metrics.get(key, default)
+
+    def pivot(self, key: str) -> dict[str, dict[str, float]]:
+        """``{workload: {model: metrics[key]}}`` over every record carrying it."""
+        table: dict[str, dict[str, float]] = {}
+        for record in self.records:
+            if key in record.metrics:
+                table.setdefault(record.workload, {})[record.model] = record.metrics[key]
+        return table
+
+    def normalized(self, key: str, baseline_model: str) -> dict[str, dict[str, float]]:
+        """Pivot of ``metrics[key]`` divided by the baseline model's value
+        for the same workload (baseline column becomes 1.0).
+
+        Raises:
+            KeyError: If ``baseline_model`` has no record for some workload —
+                a typo'd baseline would otherwise normalize everything to 0.0
+                silently.
+        """
+        table = self.pivot(key)
+        result: dict[str, dict[str, float]] = {}
+        for workload, row in table.items():
+            if baseline_model not in row:
+                raise KeyError(
+                    f"baseline model {baseline_model!r} has no {key!r} record "
+                    f"for workload {workload!r}; models present: {sorted(row)}"
+                )
+            baseline = row[baseline_model]
+            result[workload] = {
+                model: normalized_value(value, baseline) for model, value in row.items()
+            }
+        return result
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"records": [record.to_dict() for record in self.records]}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write_json(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")

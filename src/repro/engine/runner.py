@@ -1,0 +1,249 @@
+"""Engine runner: executes job lists serially or on a process pool.
+
+:func:`execute_job` is the single entry point that knows how to run every job
+kind; it lives at module top level so a :class:`~concurrent.futures.ProcessPoolExecutor`
+can pickle it.  Because jobs are plain data, seeds are derived from job
+identity, and the synthetic trace generator is deterministic, a parallel run
+produces records bit-identical to a serial run of the same grid — the runner
+only changes wall-clock time, never results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+from repro.engine.grid import Job, SimulationGrid
+from repro.engine.registry import build_model
+from repro.engine.results import JobRecord, ResultFrame
+from repro.engine.workloads import trace_for
+from repro.sim.bpu_sim import TraceSimulator
+from repro.sim.config import SimulationLengths
+from repro.sim.cpu import CycleApproximateCPU
+from repro.sim.smt import SMTSimulator
+
+
+def _protection_metrics(protection: dict[str, int]) -> dict[str, float]:
+    return {key: float(value) for key, value in protection.items()}
+
+
+def _run_trace_job(job: Job) -> JobRecord:
+    model = build_model(job.model, seed=job.seed)
+    trace = trace_for(job.workload, job.branch_count, job.trace_seed)
+    simulator = TraceSimulator(warmup_branches=job.warmup_branches)
+    result = simulator.run(model, trace)
+    report = result.report
+    metrics = {
+        "oae_accuracy": report.oae_accuracy,
+        "direction_accuracy": report.direction_accuracy,
+        "target_accuracy": report.target_accuracy,
+        "misprediction_rate": report.misprediction_rate,
+        "btb_evictions": float(report.btb_evictions),
+        "branches": float(result.stats.branches),
+    }
+    metrics.update(_protection_metrics(model.protection_stats()))
+    return JobRecord(
+        index=job.index, kind=job.kind, model=job.model_label,
+        workload=job.workload_name, metrics=metrics,
+    )
+
+
+def _run_cpu_job(job: Job) -> JobRecord:
+    model = build_model(job.model, seed=job.seed)
+    trace = trace_for(job.workload, job.branch_count, job.trace_seed)
+    lengths = SimulationLengths(
+        warmup_branches=job.warmup_branches, measured_branches=job.branch_count
+    )
+    result = CycleApproximateCPU(lengths=lengths).run(model, trace)
+    performance = result.performance
+    metrics = {
+        "ipc": performance.ipc,
+        "direction_accuracy": performance.direction_accuracy,
+        "target_accuracy": performance.target_accuracy,
+        "instructions": performance.instructions,
+        "cycles": performance.cycles,
+    }
+    metrics.update(_protection_metrics(model.protection_stats()))
+    return JobRecord(
+        index=job.index, kind=job.kind, model=job.model_label,
+        workload=job.workload_name, metrics=metrics,
+    )
+
+
+def _run_smt_job(job: Job) -> JobRecord:
+    workload_a, workload_b = job.workload
+    model = build_model(job.model, seed=job.seed)
+    trace_a = trace_for(workload_a, job.branch_count, job.trace_seed)
+    trace_b = trace_for(workload_b, job.branch_count, job.trace_seed)
+    lengths = SimulationLengths(
+        warmup_branches=job.warmup_branches, measured_branches=job.branch_count
+    )
+    result = SMTSimulator(lengths=lengths).run(model, trace_a, trace_b)
+    metrics = {
+        "hmean_ipc": result.hmean_ipc,
+        "direction_accuracy": result.combined_direction_accuracy,
+        "target_accuracy": result.combined_target_accuracy,
+        "ipc_thread0": result.thread_performance[0].ipc,
+        "ipc_thread1": result.thread_performance[1].ipc,
+        "branches": float(sum(stats.branches for stats in result.thread_stats)),
+    }
+    metrics.update(_protection_metrics(result.protection))
+    return JobRecord(
+        index=job.index, kind=job.kind, model=job.model_label,
+        workload=job.workload_name, metrics=metrics,
+    )
+
+
+def _run_hashgen_job(job: Job) -> JobRecord:
+    from repro.hashgen.constraints import summarize_cost
+    from repro.hashgen.generator import RemapFunctionGenerator
+    from repro.hashgen.optimization import REMAP_CONSTRAINTS, select_best
+
+    label = job.workload
+    constraints = REMAP_CONSTRAINTS[label]
+    generator = RemapFunctionGenerator(constraints, seed=job.seed)
+    candidates = generator.search(
+        attempts=job.param("attempts", 12),
+        uniformity_samples=job.param("uniformity_samples", 3_000),
+        avalanche_samples=job.param("avalanche_samples", 20),
+    )
+    best = select_best(candidates, constraints)
+    metrics: dict[str, float] = {"candidates": float(len(candidates))}
+    if best is not None:
+        cost = summarize_cost(best.evaluated.candidate.layers)
+        metrics.update(
+            critical_path_transistors=float(cost.critical_path_transistors),
+            uniformity_cv=best.evaluated.uniformity.normalized_cv,
+            avalanche_mean=best.evaluated.avalanche.mean_flip_fraction,
+            score=best.total,
+        )
+    return JobRecord(
+        index=job.index, kind=job.kind, model="hashgen",
+        workload=label, metrics=metrics,
+    )
+
+
+def _run_attack_job(job: Job) -> JobRecord:
+    from repro.security.attacks import (
+        SpectreRSBInjection,
+        SpectreV2Injection,
+        TransientTrojanAttack,
+    )
+
+    attack_name = job.param("attack")
+    model = build_model(job.model, seed=job.seed)
+    if attack_name == "spectre_v2":
+        outcome = SpectreV2Injection(model, seed=job.seed).run(
+            attempts=job.param("attempts", 150))
+    elif attack_name == "spectre_rsb":
+        outcome = SpectreRSBInjection(model, seed=job.seed).run(
+            attempts=job.param("attempts", 150))
+    elif attack_name == "trojan":
+        outcome = TransientTrojanAttack(model, seed=job.seed).run(
+            trials=job.param("trials", 100))
+    else:
+        raise ValueError(f"unknown attack {attack_name!r}")
+    metrics = {
+        "success_metric": outcome.success_metric,
+        "success": float(outcome.success),
+        "attempts": float(outcome.attempts),
+    }
+    return JobRecord(
+        index=job.index, kind=job.kind, model=job.model_label,
+        workload=attack_name, metrics=metrics,
+    )
+
+
+def _run_table_job(job: Job) -> JobRecord:
+    # Imported lazily: repro.experiments itself declares grids on this engine.
+    from repro.experiments import tables
+
+    table_name = job.param("table")
+    payloads = {
+        "table1": tables.run_table1,
+        "table2": tables.run_table2,
+        "table4": tables.run_table4,
+        "thresholds": tables.thresholds_payload,
+    }
+    if table_name not in payloads:
+        raise ValueError(f"unknown table {table_name!r}")
+    return JobRecord(
+        index=job.index, kind=job.kind, model="tables",
+        workload=table_name, payload=payloads[table_name](),
+    )
+
+
+_EXECUTORS = {
+    "trace": _run_trace_job,
+    "cpu": _run_cpu_job,
+    "smt": _run_smt_job,
+    "hashgen": _run_hashgen_job,
+    "attack": _run_attack_job,
+    "table": _run_table_job,
+}
+
+
+def execute_job(job: Job) -> JobRecord:
+    """Execute one job in the current process and return its record."""
+    try:
+        runner = _EXECUTORS[job.kind]
+    except KeyError:
+        raise ValueError(f"unknown job kind {job.kind!r}") from None
+    return runner(job)
+
+
+class EngineRunner:
+    """Executes grids/job lists, serially or on a process pool.
+
+    Args:
+        workers: Number of worker processes; ``1`` (the default) runs
+            everything inline.  Results are identical either way.
+    """
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def run(self, grid: SimulationGrid) -> ResultFrame:
+        """Expand ``grid`` and execute every job."""
+        return self.run_jobs(grid.jobs())
+
+    def run_jobs(self, jobs: Sequence[Job]) -> ResultFrame:
+        """Execute an explicit job list (drivers mixing kinds build these)."""
+        if self.workers <= 1 or len(jobs) <= 1:
+            records: Iterable[JobRecord] = [execute_job(job) for job in jobs]
+        else:
+            context = self._fork_context()
+            if context is not None:
+                self._prewarm_traces(jobs)
+            workers = min(self.workers, len(jobs))
+            with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+                records = list(pool.map(execute_job, jobs))
+        return ResultFrame(records)
+
+    @staticmethod
+    def _fork_context():
+        """Prefer the fork start method when the platform offers it.
+
+        Forked workers inherit the parent's state: the memoised trace cache
+        (no per-worker regeneration) and, importantly, any models the caller
+        added with ``register_model`` after import.  Where only spawn exists
+        (e.g. Windows) workers re-import the registry, so parallel runs are
+        limited to the built-in models and regenerate traces themselves.
+        """
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:
+            return None
+
+    @staticmethod
+    def _prewarm_traces(jobs: Sequence[Job]) -> None:
+        """Generate each distinct trace once in the parent before forking."""
+        for job in jobs:
+            if job.kind not in ("trace", "cpu", "smt") or job.workload is None:
+                continue
+            names = job.workload if isinstance(job.workload, tuple) else (job.workload,)
+            for name in names:
+                trace_for(name, job.branch_count, job.trace_seed)

@@ -1,0 +1,115 @@
+"""Ablation variants of the STBPU design, registered as ``"stbpu_variant"``.
+
+The full design combines keyed remapping (ψ), stored-target encryption (ϕ)
+and event-triggered ST re-randomization.  This factory builds an STBPU with
+any subset of the three mechanisms disabled, which is what the ablation
+experiment sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.bpu.common import StructureSizes
+from repro.bpu.composite import CompositeBPU
+from repro.bpu.mapping import BaselineMappingProvider, IdentityTargetCodec
+from repro.bpu.pht import SKLConditionalPredictor
+from repro.core.encryption import XorTargetCodec
+from repro.core.monitoring import MonitorConfig
+from repro.core.remapping import STMappingProvider
+from repro.core.secret_token import TokenGenerator
+from repro.core.stbpu import STBPU
+
+#: Effectively-disabled re-randomization (counters never reach zero in our runs).
+_NO_RERANDOMIZATION = MonitorConfig(
+    misprediction_threshold=1 << 30,
+    eviction_threshold=1 << 30,
+    direction_misprediction_threshold=None,
+)
+
+
+def variant_name(remapping: bool, encryption: bool, rerandomization: bool) -> str:
+    parts = [
+        "remap" if remapping else "no-remap",
+        "enc" if encryption else "no-enc",
+        "rerand" if rerandomization else "no-rerand",
+    ]
+    return "STBPU[" + ",".join(parts) + "]"
+
+
+def make_stbpu_variant(
+    seed: int = 0,
+    remapping: bool = True,
+    encryption: bool = True,
+    rerandomization: bool = True,
+) -> STBPU:
+    """Build an STBPU with individual mechanisms enabled or disabled."""
+    sizes = StructureSizes()
+    generator = TokenGenerator(seed)
+    token = generator.next_token()
+    mapping = STMappingProvider(token, sizes) if remapping else BaselineMappingProvider(sizes)
+    codec = XorTargetCodec(token) if encryption else IdentityTargetCodec()
+    direction = SKLConditionalPredictor(sizes, mapping)
+    inner = CompositeBPU(direction, sizes=sizes, mapping=mapping, codec=codec,
+                         name="ablation-inner")
+    monitor = (MonitorConfig(41_500, 26_500, None) if rerandomization
+               else _NO_RERANDOMIZATION)
+
+    # STBPU expects token-aware mapping/codec; wrap pass-throughs when disabled.
+    class _StaticMapping(STMappingProvider):
+        """Keyed-provider facade over the baseline mapping (remapping disabled)."""
+
+        def __init__(self):
+            super().__init__(token, sizes)
+            self._base = BaselineMappingProvider(sizes)
+
+        def set_token(self, new_token):  # re-randomization has nothing to re-key
+            super().set_token(new_token)
+
+        def btb_mode1(self, ip):
+            return self._base.btb_mode1(ip)
+
+        def btb_mode2(self, ip, bhb):
+            return self._base.btb_mode2(ip, bhb)
+
+        def pht_index_1level(self, ip):
+            return self._base.pht_index_1level(ip)
+
+        def pht_index_2level(self, ip, ghr):
+            return self._base.pht_index_2level(ip, ghr)
+
+        def tage_index(self, ip, folded_history, table, index_bits):
+            return self._base.tage_index(ip, folded_history, table, index_bits)
+
+        def tage_tag(self, ip, folded_history, table, tag_bits):
+            return self._base.tage_tag(ip, folded_history, table, tag_bits)
+
+        def perceptron_index(self, ip, table_size):
+            return self._base.perceptron_index(ip, table_size)
+
+    class _StaticCodec(XorTargetCodec):
+        """ϕ-codec facade that stores targets verbatim (encryption disabled)."""
+
+        def encode(self, target):
+            return target & 0xFFFF_FFFF
+
+        def decode(self, stored):
+            return stored & 0xFFFF_FFFF
+
+    if not remapping:
+        mapping_for_stbpu = _StaticMapping()
+        direction.mapping = mapping_for_stbpu
+        inner.mapping = mapping_for_stbpu
+        inner.btb.mapping = mapping_for_stbpu
+    else:
+        mapping_for_stbpu = mapping
+
+    if not encryption:
+        codec_for_stbpu = _StaticCodec(token)
+        inner.codec = codec_for_stbpu
+        inner.btb.codec = codec_for_stbpu
+        inner.rsb.codec = codec_for_stbpu
+    else:
+        codec_for_stbpu = codec
+
+    return STBPU(inner, mapping_for_stbpu, codec_for_stbpu,
+                 token_generator=generator, monitor_config=monitor,
+                 name=variant_name(remapping, encryption, rerandomization))

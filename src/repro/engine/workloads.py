@@ -1,0 +1,107 @@
+"""Workload registry and the shared, memoised trace cache.
+
+Workloads are addressable by name (``"505.mcf"``), by category
+(``"spec"``, ``"application"``, ``"all"``) or by the paper's curated sets
+(``"gem5-single"``, ``"gem5-smt"`` for SMT pairs).  The trace cache memoises
+synthetic traces per ``(workload, branch_count, seed)`` so that every job in a
+grid — and every driver in a session — replays the identical trace object.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.trace.branch import Trace
+from repro.trace.synthetic import generate_trace
+from repro.trace.workloads import (
+    GEM5_SINGLE_WORKLOADS,
+    GEM5_SMT_PAIRS,
+    get_workload,
+    list_workloads,
+)
+
+#: A single workload name or an SMT pair of names.
+WorkloadKey = str | tuple[str, str]
+
+#: Named workload groups resolvable in grid declarations and on the CLI.
+WORKLOAD_GROUPS: dict[str, tuple[str, ...]] = {
+    "gem5-single": GEM5_SINGLE_WORKLOADS,
+}
+
+_TRACE_CACHE: dict[tuple[str, int, int], Trace] = {}
+
+
+def trace_for(name: str, branch_count: int, seed: int) -> Trace:
+    """Generate (and memoise) the synthetic trace for one workload."""
+    key = (name, branch_count, seed)
+    if key not in _TRACE_CACHE:
+        _TRACE_CACHE[key] = generate_trace(name, seed=seed, branch_count=branch_count)
+    return _TRACE_CACHE[key]
+
+
+def clear_trace_cache() -> None:
+    """Drop memoised traces (used by tests that tune generation parameters)."""
+    _TRACE_CACHE.clear()
+
+
+def resolve_workloads(selection: str | Iterable[str] | None = None) -> list[str]:
+    """Expand a workload selection into a list of concrete workload names.
+
+    ``None``/``"all"`` resolve to every workload; ``"spec"`` and
+    ``"application"`` filter by category; group names from
+    :data:`WORKLOAD_GROUPS` expand to their members; anything else must be a
+    known workload name (validated, with a helpful error otherwise).
+    Overlapping selections (``all spec``, a name listed twice) are deduplicated
+    keeping first-occurrence order, so a grid never runs the same cell twice.
+    """
+    if selection is None:
+        return list_workloads()
+    if isinstance(selection, str):
+        selection = [selection]
+    names: list[str] = []
+    for entry in selection:
+        if entry == "all":
+            names.extend(list_workloads())
+        elif entry in ("spec", "application"):
+            names.extend(list_workloads(entry))
+        elif entry in WORKLOAD_GROUPS:
+            names.extend(WORKLOAD_GROUPS[entry])
+        else:
+            names.append(get_workload(entry).name)
+    return list(dict.fromkeys(names))
+
+
+def resolve_smt_pairs(
+    selection: str | Sequence[tuple[str, str] | str] | None = None,
+) -> list[tuple[str, str]]:
+    """Expand an SMT pair selection into ``(workload_a, workload_b)`` tuples.
+
+    ``None``/``"gem5-smt"`` resolve to the paper's 31 Figure 5 pairs; strings
+    of the form ``"a+b"`` name one explicit pair.
+    """
+    if selection is None or selection == "gem5-smt":
+        return list(GEM5_SMT_PAIRS)
+    if isinstance(selection, str):
+        selection = [selection]
+    pairs: list[tuple[str, str]] = []
+    for entry in selection:
+        if isinstance(entry, str):
+            if entry == "gem5-smt":
+                pairs.extend(GEM5_SMT_PAIRS)
+                continue
+            left, separator, right = entry.partition("+")
+            if not separator:
+                raise ValueError(
+                    f"SMT pair {entry!r} must be written as 'workload_a+workload_b'"
+                )
+            entry = (left, right)
+        workload_a, workload_b = entry
+        pairs.append((get_workload(workload_a).name, get_workload(workload_b).name))
+    return pairs
+
+
+def workload_label(workload: WorkloadKey) -> str:
+    """Canonical display label: the name itself, or ``a+b`` for SMT pairs."""
+    if isinstance(workload, tuple):
+        return "+".join(workload)
+    return workload

@@ -2,11 +2,8 @@
 
 from repro.experiments.common import (
     ExperimentScale,
-    PredictorPair,
     clear_trace_cache,
     default_monitor_config,
-    figure3_models,
-    figure4_predictor_pairs,
     workload_trace,
 )
 from repro.experiments.ablation import (
@@ -32,7 +29,9 @@ from repro.experiments.tables import (
     run_table1,
     run_table2,
     run_table4,
+    run_tables,
     run_thresholds,
+    thresholds_payload,
 )
 
 __all__ = [
@@ -41,11 +40,8 @@ __all__ = [
     "format_ablation",
     "run_ablation",
     "ExperimentScale",
-    "PredictorPair",
     "clear_trace_cache",
     "default_monitor_config",
-    "figure3_models",
-    "figure4_predictor_pairs",
     "workload_trace",
     "Figure2Result",
     "format_figure2",
@@ -72,5 +68,7 @@ __all__ = [
     "run_table1",
     "run_table2",
     "run_table4",
+    "run_tables",
     "run_thresholds",
+    "thresholds_payload",
 ]

@@ -14,116 +14,40 @@ remapping alone leaves cross-token target injection only probabilistically
 hard, encryption alone leaves same-address-space collisions deterministic,
 and either without re-randomization can be brute-forced given enough
 observable events.
+
+The variants are registry-addressable (``"stbpu_variant"`` with mechanism
+switches, built by :mod:`repro.engine.variants`); accuracy cells and attack
+cells are one engine job each, so the whole study parallelises.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.bpu.common import StructureSizes
-from repro.bpu.composite import CompositeBPU
-from repro.bpu.mapping import BaselineMappingProvider, IdentityTargetCodec
-from repro.bpu.pht import SKLConditionalPredictor
-from repro.bpu.protections import make_unprotected_baseline
-from repro.core.encryption import XorTargetCodec
-from repro.core.monitoring import MonitorConfig
-from repro.core.remapping import STMappingProvider
-from repro.core.secret_token import TokenGenerator
-from repro.core.stbpu import STBPU, make_stbpu_skl
-from repro.experiments.common import ExperimentScale, workload_trace
-from repro.security.attacks import SpectreV2Injection, TransientTrojanAttack
-from repro.sim.bpu_sim import TraceSimulator
+from repro.engine import EngineRunner, ExperimentScale, Job, ModelSpec, SimulationGrid
+from repro.sim.metrics import normalized
 
-#: Effectively-disabled re-randomization (counters never reach zero in our runs).
-_NO_RERANDOMIZATION = MonitorConfig(
-    misprediction_threshold=1 << 30,
-    eviction_threshold=1 << 30,
-    direction_misprediction_threshold=None,
+#: (display label, mechanism switches or None for the unprotected baseline).
+ABLATION_VARIANTS: tuple[tuple[str, tuple[bool, bool, bool] | None], ...] = (
+    ("unprotected", None),
+    ("full STBPU", (True, True, True)),
+    ("remapping only", (True, False, True)),
+    ("encryption only", (False, True, True)),
+    ("no re-randomization", (True, True, False)),
 )
 
 
-def _make_variant(remapping: bool, encryption: bool, rerandomization: bool,
-                  seed: int = 0) -> STBPU:
-    """Build an STBPU with individual mechanisms enabled or disabled."""
-    sizes = StructureSizes()
-    generator = TokenGenerator(seed)
-    token = generator.next_token()
-    mapping = STMappingProvider(token, sizes) if remapping else BaselineMappingProvider(sizes)
-    codec = XorTargetCodec(token) if encryption else IdentityTargetCodec()
-    direction = SKLConditionalPredictor(sizes, mapping)
-    inner = CompositeBPU(direction, sizes=sizes, mapping=mapping, codec=codec,
-                         name="ablation-inner")
-    monitor = (MonitorConfig(41_500, 26_500, None) if rerandomization
-               else _NO_RERANDOMIZATION)
-
-    # STBPU expects token-aware mapping/codec; wrap pass-throughs when disabled.
-    class _StaticMapping(STMappingProvider):
-        """Keyed-provider facade over the baseline mapping (remapping disabled)."""
-
-        def __init__(self):
-            super().__init__(token, sizes)
-            self._base = BaselineMappingProvider(sizes)
-
-        def set_token(self, new_token):  # re-randomization has nothing to re-key
-            super().set_token(new_token)
-
-        def btb_mode1(self, ip):
-            return self._base.btb_mode1(ip)
-
-        def btb_mode2(self, ip, bhb):
-            return self._base.btb_mode2(ip, bhb)
-
-        def pht_index_1level(self, ip):
-            return self._base.pht_index_1level(ip)
-
-        def pht_index_2level(self, ip, ghr):
-            return self._base.pht_index_2level(ip, ghr)
-
-        def tage_index(self, ip, folded_history, table, index_bits):
-            return self._base.tage_index(ip, folded_history, table, index_bits)
-
-        def tage_tag(self, ip, folded_history, table, tag_bits):
-            return self._base.tage_tag(ip, folded_history, table, tag_bits)
-
-        def perceptron_index(self, ip, table_size):
-            return self._base.perceptron_index(ip, table_size)
-
-    class _StaticCodec(XorTargetCodec):
-        """ϕ-codec facade that stores targets verbatim (encryption disabled)."""
-
-        def encode(self, target):
-            return target & 0xFFFF_FFFF
-
-        def decode(self, stored):
-            return stored & 0xFFFF_FFFF
-
-    if not remapping:
-        mapping_for_stbpu = _StaticMapping()
-        direction.mapping = mapping_for_stbpu
-        inner.mapping = mapping_for_stbpu
-        inner.btb.mapping = mapping_for_stbpu
-    else:
-        mapping_for_stbpu = mapping
-
-    if not encryption:
-        codec_for_stbpu = _StaticCodec(token)
-        inner.codec = codec_for_stbpu
-        inner.btb.codec = codec_for_stbpu
-        inner.rsb.codec = codec_for_stbpu
-    else:
-        codec_for_stbpu = codec
-
-    return STBPU(inner, mapping_for_stbpu, codec_for_stbpu,
-                 token_generator=generator, monitor_config=monitor,
-                 name=_variant_name(remapping, encryption, rerandomization))
-
-
-def _variant_name(remapping: bool, encryption: bool, rerandomization: bool) -> str:
-    parts = []
-    parts.append("remap" if remapping else "no-remap")
-    parts.append("enc" if encryption else "no-enc")
-    parts.append("rerand" if rerandomization else "no-rerand")
-    return "STBPU[" + ",".join(parts) + "]"
+def _variant_spec(label: str, flags: tuple[bool, bool, bool] | None) -> ModelSpec:
+    if flags is None:
+        return ModelSpec.of("baseline", label=label)
+    remapping, encryption, rerandomization = flags
+    return ModelSpec.of(
+        "stbpu_variant",
+        label=label,
+        remapping=remapping,
+        encryption=encryption,
+        rerandomization=rerandomization,
+    )
 
 
 @dataclass(slots=True)
@@ -148,42 +72,49 @@ class AblationResult:
         raise KeyError(variant)
 
 
+def ablation_jobs(scale: ExperimentScale, workload: str) -> list[Job]:
+    """Accuracy grid plus attack jobs for every design variant."""
+    specs = [_variant_spec(label, flags) for label, flags in ABLATION_VARIANTS]
+    accuracy_grid = SimulationGrid(
+        kind="trace", models=specs, workloads=[workload], scale=scale
+    )
+    jobs = accuracy_grid.jobs()
+    index = len(jobs)
+    for spec in specs:
+        for attack, budget in (("spectre_v2", ("attempts", 150)),
+                               ("trojan", ("trials", 100))):
+            jobs.append(
+                Job(
+                    index=index,
+                    kind="attack",
+                    model=spec,
+                    seed=scale.seed,
+                    params=(("attack", attack), budget),
+                )
+            )
+            index += 1
+    return jobs
+
+
 def run_ablation(scale: ExperimentScale | None = None,
-                 workload: str = "505.mcf") -> AblationResult:
+                 workload: str = "505.mcf",
+                 workers: int = 1) -> AblationResult:
     """Measure accuracy and attack resistance for each design variant."""
     scale = scale if scale is not None else ExperimentScale(branch_count=8_000,
                                                             warmup_branches=800)
-    trace = workload_trace(workload, scale)
-    simulator = TraceSimulator(warmup_branches=scale.warmup_branches)
-    baseline_oae = simulator.run(make_unprotected_baseline(), trace).report.oae_accuracy
-
-    variants = [
-        ("unprotected", None),
-        ("full STBPU", (True, True, True)),
-        ("remapping only", (True, False, True)),
-        ("encryption only", (False, True, True)),
-        ("no re-randomization", (True, True, False)),
-    ]
+    frame = EngineRunner(workers=workers).run_jobs(ablation_jobs(scale, workload))
+    baseline_oae = frame.metric("unprotected", workload, "oae_accuracy")
 
     result = AblationResult()
-    for label, flags in variants:
-        if flags is None:
-            model_for_accuracy = make_unprotected_baseline()
-            attack_model_factory = make_unprotected_baseline
-        else:
-            model_for_accuracy = _make_variant(*flags, seed=scale.seed)
-            attack_model_factory = lambda flags=flags: _make_variant(*flags, seed=scale.seed)
-
-        accuracy = simulator.run(model_for_accuracy, trace).report.oae_accuracy
-        spectre = SpectreV2Injection(attack_model_factory(), seed=scale.seed).run(attempts=150)
-        trojan = TransientTrojanAttack(attack_model_factory(), seed=scale.seed).run(trials=100)
+    for label, _flags in ABLATION_VARIANTS:
+        accuracy = frame.metric(label, workload, "oae_accuracy")
         result.rows.append(
             AblationRow(
                 variant=label,
                 oae_accuracy=accuracy,
-                normalized_oae=accuracy / baseline_oae if baseline_oae else 0.0,
-                spectre_v2_rate=spectre.success_metric,
-                trojan_rate=trojan.success_metric,
+                normalized_oae=normalized(accuracy, baseline_oae),
+                spectre_v2_rate=frame.metric(label, "spectre_v2", "success_metric"),
+                trojan_rate=frame.metric(label, "trojan", "success_metric"),
             )
         )
     return result

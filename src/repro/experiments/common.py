@@ -1,65 +1,37 @@
 """Shared plumbing for the experiment drivers.
 
 Each ``figureN.py`` / ``tableN.py`` module regenerates one artifact of the
-paper's evaluation: it builds the protection models, generates (or reuses)
-synthetic traces for the paper's workloads, runs the appropriate simulator,
-and returns plain dictionaries/rows that the benchmarks print and
-EXPERIMENTS.md records.
+paper's evaluation by declaring a grid on :mod:`repro.engine`; the canonical
+model definitions live in the engine's model registry
+(:mod:`repro.engine.registry`).  This module keeps the scale/trace-cache
+conveniences and the monitor-threshold derivation the drivers share.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.bpu.common import BranchPredictorModel, StructureSizes
-from repro.bpu.protections import (
-    make_conservative,
-    make_ucode_protection_1,
-    make_ucode_protection_2,
-    make_unprotected_baseline,
-)
-from repro.bpu.perceptron import DEFAULT_PERCEPTRON
-from repro.bpu.tage import TAGE_SC_L_8KB, TAGE_SC_L_64KB
 from repro.core.monitoring import MonitorConfig
-from repro.core.stbpu import (
-    make_stbpu_perceptron,
-    make_stbpu_skl,
-    make_stbpu_tage,
-    make_unprotected_perceptron,
-    make_unprotected_tage,
-)
-from repro.bpu.composite import make_skl_composite
+from repro.engine.grid import ExperimentScale
+from repro.engine.workloads import clear_trace_cache, trace_for
 from repro.security.analysis import derive_rerandomization_thresholds
 from repro.trace.branch import Trace
-from repro.trace.synthetic import generate_trace
 
-
-@dataclass(slots=True)
-class ExperimentScale:
-    """Knobs that trade fidelity for runtime; defaults suit tests and benches."""
-
-    branch_count: int = 20_000
-    warmup_branches: int = 2_000
-    seed: int = 7
-    workload_limit: int | None = None
-
-
-_TRACE_CACHE: dict[tuple[str, int, int], Trace] = {}
+__all__ = [
+    "ExperimentScale",
+    "clear_trace_cache",
+    "default_monitor_config",
+    "mean",
+    "workload_trace",
+]
 
 
 def workload_trace(name: str, scale: ExperimentScale) -> Trace:
-    """Generate (and memoise) the synthetic trace for one workload."""
-    key = (name, scale.branch_count, scale.seed)
-    if key not in _TRACE_CACHE:
-        _TRACE_CACHE[key] = generate_trace(
-            name, seed=scale.seed, branch_count=scale.branch_count
-        )
-    return _TRACE_CACHE[key]
+    """Generate (and memoise) the synthetic trace for one workload.
 
-
-def clear_trace_cache() -> None:
-    """Drop memoised traces (used by tests that tune generation parameters)."""
-    _TRACE_CACHE.clear()
+    Thin wrapper over the engine's shared trace cache
+    (:func:`repro.engine.workloads.trace_for`), kept for callers that think
+    in :class:`ExperimentScale` terms.
+    """
+    return trace_for(name, scale.branch_count, scale.seed)
 
 
 def default_monitor_config(r: float = 0.05,
@@ -68,60 +40,6 @@ def default_monitor_config(r: float = 0.05,
     return derive_rerandomization_thresholds(
         r=r, separate_direction_register=separate_direction_register
     )
-
-
-def figure3_models(seed: int = 0) -> list[BranchPredictorModel]:
-    """The five protection models compared in Figure 3."""
-    sizes = StructureSizes()
-    monitor = default_monitor_config(separate_direction_register=False)
-    return [
-        make_unprotected_baseline(sizes),
-        make_ucode_protection_1(sizes),
-        make_ucode_protection_2(sizes),
-        make_conservative(sizes),
-        make_stbpu_skl(sizes, monitor_config=monitor, seed=seed),
-    ]
-
-
-@dataclass(frozen=True, slots=True)
-class PredictorPair:
-    """An unprotected predictor and its ST-protected counterpart (Figures 4-6)."""
-
-    label: str
-    baseline_factory: object
-    protected_factory: object
-
-
-def figure4_predictor_pairs(r: float = 0.05, seed: int = 0) -> list[PredictorPair]:
-    """The four (baseline, ST) predictor pairs evaluated in Figures 4 and 5."""
-    tage_monitor = default_monitor_config(r=r, separate_direction_register=True)
-    skl_monitor = default_monitor_config(r=r, separate_direction_register=False)
-    return [
-        PredictorPair(
-            label="PerceptronBP",
-            baseline_factory=lambda: make_unprotected_perceptron(DEFAULT_PERCEPTRON),
-            protected_factory=lambda: make_stbpu_perceptron(
-                DEFAULT_PERCEPTRON, monitor_config=tage_monitor, seed=seed),
-        ),
-        PredictorPair(
-            label="SKLCond",
-            baseline_factory=lambda: make_skl_composite(name="SKLCond"),
-            protected_factory=lambda: make_stbpu_skl(
-                monitor_config=skl_monitor, seed=seed),
-        ),
-        PredictorPair(
-            label="TAGE_SC_L_64KB",
-            baseline_factory=lambda: make_unprotected_tage(TAGE_SC_L_64KB),
-            protected_factory=lambda: make_stbpu_tage(
-                TAGE_SC_L_64KB, monitor_config=tage_monitor, seed=seed),
-        ),
-        PredictorPair(
-            label="TAGE_SC_L_8KB",
-            baseline_factory=lambda: make_unprotected_tage(TAGE_SC_L_8KB),
-            protected_factory=lambda: make_stbpu_tage(
-                TAGE_SC_L_8KB, monitor_config=tage_monitor, seed=seed),
-        ),
-    ]
 
 
 def mean(values: list[float]) -> float:

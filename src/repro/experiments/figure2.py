@@ -7,16 +7,21 @@ rebuilds that reference design, verifies it against the hardware constraints
 and the uniformity/avalanche criteria, and also exercises the automated
 generator to show that constraint-satisfying candidates are found for every
 remapping function in Table II.
+
+The per-function generator searches are declared as engine ``"hashgen"`` jobs
+(one per Table II function, deterministic per-job seed) so they can run on
+worker processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.engine import EngineRunner, Job
 from repro.hashgen.constraints import HardwareConstraints, check_design, summarize_cost
-from repro.hashgen.generator import RemapFunctionGenerator, build_reference_r1
+from repro.hashgen.generator import build_reference_r1
 from repro.hashgen.metrics import measure_avalanche, measure_uniformity
-from repro.hashgen.optimization import REMAP_CONSTRAINTS, select_best
+from repro.hashgen.optimization import REMAP_CONSTRAINTS
 
 
 @dataclass(slots=True)
@@ -32,11 +37,35 @@ class Figure2Result:
     generated: dict[str, dict[str, float]] = field(default_factory=dict)
 
 
+def figure2_jobs(
+    attempts_per_function: int = 12,
+    uniformity_samples: int = 3_000,
+    avalanche_samples: int = 60,
+    seed: int = 0,
+) -> list[Job]:
+    """One ``hashgen`` job per Table II remapping function."""
+    return [
+        Job(
+            index=index,
+            kind="hashgen",
+            workload=label,
+            seed=seed + index * 97,
+            params=(
+                ("attempts", attempts_per_function),
+                ("avalanche_samples", max(20, avalanche_samples // 3)),
+                ("uniformity_samples", uniformity_samples),
+            ),
+        )
+        for index, label in enumerate(REMAP_CONSTRAINTS)
+    ]
+
+
 def run_figure2(
     attempts_per_function: int = 12,
     uniformity_samples: int = 3_000,
     avalanche_samples: int = 60,
     seed: int = 0,
+    workers: int = 1,
 ) -> Figure2Result:
     """Rebuild the reference R1 and run the generator for every remapping function."""
     constraints = HardwareConstraints(input_bits=80, output_bits=22)
@@ -55,24 +84,13 @@ def run_figure2(
         reference_sac=avalanche.satisfies_sac,
     )
 
-    for index, (label, function_constraints) in enumerate(REMAP_CONSTRAINTS.items()):
-        generator = RemapFunctionGenerator(function_constraints, seed=seed + index * 97)
-        candidates = generator.search(
-            attempts=attempts_per_function,
-            uniformity_samples=uniformity_samples,
-            avalanche_samples=max(20, avalanche_samples // 3),
-        )
-        best = select_best(candidates, function_constraints)
-        if best is None:
-            continue
-        cost = summarize_cost(best.evaluated.candidate.layers)
-        result.generated[label] = {
-            "candidates": float(len(candidates)),
-            "critical_path_transistors": float(cost.critical_path_transistors),
-            "uniformity_cv": best.evaluated.uniformity.normalized_cv,
-            "avalanche_mean": best.evaluated.avalanche.mean_flip_fraction,
-            "score": best.total,
-        }
+    jobs = figure2_jobs(attempts_per_function, uniformity_samples, avalanche_samples, seed)
+    frame = EngineRunner(workers=workers).run_jobs(jobs)
+    for record in frame:
+        # Functions for which no candidate satisfied the constraints are
+        # omitted, mirroring the paper's "best found" table.
+        if "score" in record.metrics:
+            result.generated[record.workload] = dict(record.metrics)
     return result
 
 

@@ -7,15 +7,27 @@ the trace-driven simulator; the reported series is each model's OAE accuracy
 normalized by the unprotected baseline.  The paper's averages are baseline
 1.00, STBPU 0.99, conservative 0.88, µcode protection 2 0.82, µcode
 protection 1 0.77.
+
+The experiment is declared as a :class:`~repro.engine.grid.SimulationGrid`
+over (model registry names × workloads) and executed by the engine runner,
+optionally on several worker processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.common import ExperimentScale, figure3_models, mean, workload_trace
-from repro.sim.bpu_sim import TraceSimulator
-from repro.trace.workloads import list_workloads
+from repro.engine import EngineRunner, ExperimentScale, SimulationGrid, resolve_workloads
+from repro.experiments.common import mean
+
+#: The five protection models compared in Figure 3, by registry name.
+FIGURE3_MODELS: tuple[str, ...] = (
+    "baseline",
+    "ucode_protection_1",
+    "ucode_protection_2",
+    "conservative",
+    "ST_SKLCond",
+)
 
 
 @dataclass(slots=True)
@@ -41,35 +53,40 @@ class Figure3Result:
         return {model: self.average(model) for model in self.model_order}
 
 
+def figure3_grid(
+    scale: ExperimentScale | None = None,
+    workloads: list[str] | None = None,
+) -> SimulationGrid:
+    """The declarative (models × workloads) grid behind Figure 3."""
+    scale = scale if scale is not None else ExperimentScale()
+    return SimulationGrid(
+        kind="trace",
+        models=list(FIGURE3_MODELS),
+        workloads=resolve_workloads(workloads),
+        scale=scale,
+    )
+
+
 def run_figure3(
     scale: ExperimentScale | None = None,
     workloads: list[str] | None = None,
+    workers: int = 1,
 ) -> Figure3Result:
     """Regenerate the Figure 3 data series."""
-    scale = scale if scale is not None else ExperimentScale()
-    if workloads is None:
-        workloads = list_workloads()
-    if scale.workload_limit is not None:
-        workloads = workloads[: scale.workload_limit]
+    grid = figure3_grid(scale, workloads)
+    frame = EngineRunner(workers=workers).run(grid)
 
-    simulator = TraceSimulator(warmup_branches=scale.warmup_branches)
-    rows: list[Figure3Row] = []
-    model_order: list[str] = []
-    for workload in workloads:
-        trace = workload_trace(workload, scale)
-        models = figure3_models(seed=scale.seed)
-        if not model_order:
-            model_order = [model.name for model in models]
-        results = {model.name: simulator.run(model, trace) for model in models}
-        baseline_name = model_order[0]
-        baseline_oae = results[baseline_name].report.oae_accuracy
-        normalized = {
-            name: (result.report.oae_accuracy / baseline_oae if baseline_oae else 0.0)
-            for name, result in results.items()
-        }
-        rows.append(Figure3Row(workload=workload, baseline_oae=baseline_oae,
-                               normalized=normalized))
-    return Figure3Result(rows=rows, model_order=model_order)
+    baseline_name = FIGURE3_MODELS[0]
+    normalized = frame.normalized("oae_accuracy", baseline_name)
+    rows = [
+        Figure3Row(
+            workload=workload,
+            baseline_oae=frame.metric(baseline_name, workload, "oae_accuracy"),
+            normalized=normalized[workload],
+        )
+        for workload in frame.workloads()
+    ]
+    return Figure3Result(rows=rows, model_order=list(FIGURE3_MODELS))
 
 
 def format_figure3(result: Figure3Result) -> str:

@@ -11,21 +11,28 @@ cycle-approximate CPU model and reports three series:
 
 Paper averages: direction reduction ≤ 1.1%, target reduction ≤ 1.8%, and
 normalized IPC between 0.969 and 1.066.
+
+Declared as one engine grid of ``kind="cpu"`` jobs over (both members of the
+selected pairs × workloads); the pairing/normalization arithmetic happens on
+the returned result frame.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.common import (
-    ExperimentScale,
-    figure4_predictor_pairs,
-    mean,
-    workload_trace,
-)
-from repro.sim.config import SimulationLengths
-from repro.sim.cpu import CycleApproximateCPU
+from repro.engine import EngineRunner, ExperimentScale, SimulationGrid
+from repro.experiments.common import mean
+from repro.sim.metrics import normalized, reduction
 from repro.trace.workloads import GEM5_SINGLE_WORKLOADS
+
+#: (pair label == unprotected registry name, ST registry name) per Figure 4 pair.
+FIGURE4_PAIRS: tuple[tuple[str, str], ...] = (
+    ("PerceptronBP", "ST_PerceptronBP"),
+    ("SKLCond", "ST_SKLCond"),
+    ("TAGE_SC_L_64KB", "ST_TAGE_SC_L_64KB"),
+    ("TAGE_SC_L_8KB", "ST_TAGE_SC_L_8KB"),
+)
 
 
 @dataclass(slots=True)
@@ -60,46 +67,66 @@ class Figure4Result:
         return mean([c.normalized_ipc for c in self.cells if c.predictor == predictor])
 
 
+def selected_pairs(predictors: list[str] | None) -> list[tuple[str, str]]:
+    """Filter the Figure 4/5 predictor pairs by label, validating the labels.
+
+    Shared with :mod:`repro.experiments.figure5`, which evaluates the same
+    pairs in SMT mode.
+    """
+    pairs = list(FIGURE4_PAIRS)
+    if predictors is not None:
+        known = {pair[0] for pair in pairs}
+        unknown = sorted(set(predictors) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown predictor pair(s) {', '.join(unknown)}; "
+                f"valid labels: {', '.join(sorted(known))}"
+            )
+        pairs = [pair for pair in pairs if pair[0] in predictors]
+    return pairs
+
+
+def figure4_grid(
+    scale: ExperimentScale | None = None,
+    workloads: tuple[str, ...] | None = None,
+    predictors: list[str] | None = None,
+) -> SimulationGrid:
+    """The declarative grid behind Figure 4 (both members of every pair)."""
+    scale = scale if scale is not None else ExperimentScale()
+    workload_names = list(workloads if workloads is not None else GEM5_SINGLE_WORKLOADS)
+    models = [name for pair in selected_pairs(predictors) for name in pair]
+    return SimulationGrid(kind="cpu", models=models, workloads=workload_names, scale=scale)
+
+
 def run_figure4(
     scale: ExperimentScale | None = None,
     workloads: tuple[str, ...] | None = None,
     predictors: list[str] | None = None,
+    workers: int = 1,
 ) -> Figure4Result:
     """Regenerate the Figure 4 data series."""
-    scale = scale if scale is not None else ExperimentScale()
-    workload_names = list(workloads if workloads is not None else GEM5_SINGLE_WORKLOADS)
-    if scale.workload_limit is not None:
-        workload_names = workload_names[: scale.workload_limit]
-
-    lengths = SimulationLengths(
-        warmup_branches=scale.warmup_branches, measured_branches=scale.branch_count
-    )
-    cpu = CycleApproximateCPU(lengths=lengths)
-    pairs = figure4_predictor_pairs(seed=scale.seed)
-    if predictors is not None:
-        pairs = [pair for pair in pairs if pair.label in predictors]
+    grid = figure4_grid(scale, workloads, predictors)
+    frame = EngineRunner(workers=workers).run(grid)
 
     result = Figure4Result()
-    for workload in workload_names:
-        trace = workload_trace(workload, scale)
-        for pair in pairs:
-            baseline = cpu.run(pair.baseline_factory(), trace)
-            protected = cpu.run(pair.protected_factory(), trace)
-            baseline_ipc = baseline.performance.ipc
+    pairs = selected_pairs(predictors)
+    for workload in frame.workloads():
+        for baseline_name, protected_name in pairs:
+            baseline_ipc = frame.metric(baseline_name, workload, "ipc")
             result.cells.append(
                 Figure4Cell(
                     workload=workload,
-                    predictor=pair.label,
-                    direction_reduction=(
-                        baseline.performance.direction_accuracy
-                        - protected.performance.direction_accuracy
+                    predictor=baseline_name,
+                    direction_reduction=reduction(
+                        frame.metric(protected_name, workload, "direction_accuracy"),
+                        frame.metric(baseline_name, workload, "direction_accuracy"),
                     ),
-                    target_reduction=(
-                        baseline.performance.target_accuracy
-                        - protected.performance.target_accuracy
+                    target_reduction=reduction(
+                        frame.metric(protected_name, workload, "target_accuracy"),
+                        frame.metric(baseline_name, workload, "target_accuracy"),
                     ),
-                    normalized_ipc=(
-                        protected.performance.ipc / baseline_ipc if baseline_ipc else 0.0
+                    normalized_ipc=normalized(
+                        frame.metric(protected_name, workload, "ipc"), baseline_ipc
                     ),
                 )
             )

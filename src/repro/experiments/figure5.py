@@ -7,20 +7,19 @@ unprotected counterpart.  Paper averages: direction reduction 1.3–3.8%,
 target reduction 0.4–3.7%, normalized Hmean IPC 0.951–1.009, with ST_SKLCond
 suffering the most because it lacks a separate direction-misprediction
 threshold register.
+
+Declared as one engine grid of ``kind="smt"`` jobs over (both members of the
+selected predictor pairs × SMT workload pairs).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.common import (
-    ExperimentScale,
-    figure4_predictor_pairs,
-    mean,
-    workload_trace,
-)
-from repro.sim.config import SimulationLengths
-from repro.sim.smt import SMTSimulator
+from repro.engine import EngineRunner, ExperimentScale, SimulationGrid
+from repro.experiments.common import mean
+from repro.experiments.figure4 import selected_pairs
+from repro.sim.metrics import normalized, reduction
 from repro.trace.workloads import GEM5_SMT_PAIRS
 
 
@@ -56,48 +55,48 @@ class Figure5Result:
         return mean([c.normalized_hmean_ipc for c in self.cells if c.predictor == predictor])
 
 
+def figure5_grid(
+    scale: ExperimentScale | None = None,
+    pairs: tuple[tuple[str, str], ...] | None = None,
+    predictors: list[str] | None = None,
+) -> SimulationGrid:
+    """The declarative grid behind Figure 5 (predictor pairs × SMT pairs)."""
+    scale = scale if scale is not None else ExperimentScale()
+    workload_pairs = list(pairs if pairs is not None else GEM5_SMT_PAIRS)
+    models = [name for pair in selected_pairs(predictors) for name in pair]
+    return SimulationGrid(kind="smt", models=models, workloads=workload_pairs, scale=scale)
+
+
 def run_figure5(
     scale: ExperimentScale | None = None,
     pairs: tuple[tuple[str, str], ...] | None = None,
     predictors: list[str] | None = None,
+    workers: int = 1,
 ) -> Figure5Result:
     """Regenerate the Figure 5 data series."""
-    scale = scale if scale is not None else ExperimentScale()
-    workload_pairs = list(pairs if pairs is not None else GEM5_SMT_PAIRS)
-    if scale.workload_limit is not None:
-        workload_pairs = workload_pairs[: scale.workload_limit]
-
-    lengths = SimulationLengths(
-        warmup_branches=scale.warmup_branches, measured_branches=scale.branch_count
-    )
-    simulator = SMTSimulator(lengths=lengths)
-    predictor_pairs = figure4_predictor_pairs(seed=scale.seed)
-    if predictors is not None:
-        predictor_pairs = [pair for pair in predictor_pairs if pair.label in predictors]
+    grid = figure5_grid(scale, pairs, predictors)
+    frame = EngineRunner(workers=workers).run(grid)
 
     result = Figure5Result()
-    for workload_a, workload_b in workload_pairs:
-        trace_a = workload_trace(workload_a, scale)
-        trace_b = workload_trace(workload_b, scale)
-        pair_label = f"{workload_a}+{workload_b}"
-        for pair in predictor_pairs:
-            baseline = simulator.run(pair.baseline_factory(), trace_a, trace_b)
-            protected = simulator.run(pair.protected_factory(), trace_a, trace_b)
-            baseline_hmean = baseline.hmean_ipc
+    predictor_pairs = selected_pairs(predictors)
+    for pair_label in frame.workloads():
+        for baseline_name, protected_name in predictor_pairs:
+            baseline_hmean = frame.metric(baseline_name, pair_label, "hmean_ipc")
             result.cells.append(
                 Figure5Cell(
                     pair=pair_label,
-                    predictor=pair.label,
-                    direction_reduction=(
-                        baseline.combined_direction_accuracy
-                        - protected.combined_direction_accuracy
+                    predictor=baseline_name,
+                    direction_reduction=reduction(
+                        frame.metric(protected_name, pair_label, "direction_accuracy"),
+                        frame.metric(baseline_name, pair_label, "direction_accuracy"),
                     ),
-                    target_reduction=(
-                        baseline.combined_target_accuracy
-                        - protected.combined_target_accuracy
+                    target_reduction=reduction(
+                        frame.metric(protected_name, pair_label, "target_accuracy"),
+                        frame.metric(baseline_name, pair_label, "target_accuracy"),
                     ),
-                    normalized_hmean_ipc=(
-                        protected.hmean_ipc / baseline_hmean if baseline_hmean else 0.0
+                    normalized_hmean_ipc=normalized(
+                        frame.metric(protected_name, pair_label, "hmean_ipc"),
+                        baseline_hmean,
                     ),
                 )
             )

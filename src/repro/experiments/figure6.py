@@ -6,21 +6,31 @@ difficulty factor ``r`` downward (equivalent to assuming attacks 10×, 100×,
 shows that accuracy stays above ~95% of the unprotected design until the
 thresholds shrink to a few hundred events, at which point constant
 re-randomization effectively disables BPU training.
+
+Declared as one engine grid of ``kind="smt"`` jobs: the unprotected reference
+plus one parameterised ST model per swept ``r`` value, over the SMT workload
+pairs.  Re-randomization counts flow through the uniform
+``protection_stats()`` protocol into the job metrics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.bpu.tage import TAGE_SC_L_64KB
-from repro.core.stbpu import make_stbpu_tage, make_unprotected_tage
-from repro.experiments.common import ExperimentScale, default_monitor_config, mean, workload_trace
-from repro.sim.config import SimulationLengths
-from repro.sim.smt import SMTSimulator
+from repro.engine import EngineRunner, ExperimentScale, ModelSpec, SimulationGrid
+from repro.experiments.common import default_monitor_config, mean
 from repro.trace.workloads import GEM5_SMT_PAIRS
 
 #: The r values swept in the paper's Figure 6 (rightmost is the default 0.05).
 DEFAULT_R_SWEEP: tuple[float, ...] = (0.05, 0.01, 0.005, 0.001, 0.0005, 0.0001, 0.00005)
+
+#: Registry names of the swept predictor and its unprotected reference.
+_BASELINE_MODEL = "TAGE_SC_L_64KB"
+_PROTECTED_MODEL = "ST_TAGE_SC_L_64KB"
+
+#: SMT pairs evaluated when no explicit scale/limit is given (the full 31-pair
+#: sweep is minutes-long; drivers and the CLI share this default).
+FIGURE6_DEFAULT_PAIR_LIMIT = 4
 
 
 @dataclass(slots=True)
@@ -41,57 +51,66 @@ class Figure6Result:
     points: list[Figure6Point] = field(default_factory=list)
 
 
+def _sweep_label(r: float) -> str:
+    return f"{_PROTECTED_MODEL}[r={r:g}]"
+
+
+def figure6_grid(
+    scale: ExperimentScale | None = None,
+    r_values: tuple[float, ...] = DEFAULT_R_SWEEP,
+    pairs: tuple[tuple[str, str], ...] | None = None,
+) -> SimulationGrid:
+    """The declarative grid behind Figure 6: baseline + one ST model per r."""
+    scale = scale if scale is not None else ExperimentScale(
+        branch_count=10_000, workload_limit=FIGURE6_DEFAULT_PAIR_LIMIT)
+    workload_pairs = list(pairs if pairs is not None else GEM5_SMT_PAIRS)
+    models: list[ModelSpec | str] = [_BASELINE_MODEL]
+    models.extend(
+        ModelSpec.of(_PROTECTED_MODEL, label=_sweep_label(r), r=r) for r in r_values
+    )
+    return SimulationGrid(kind="smt", models=models, workloads=workload_pairs, scale=scale)
+
+
 def run_figure6(
     scale: ExperimentScale | None = None,
     r_values: tuple[float, ...] = DEFAULT_R_SWEEP,
     pairs: tuple[tuple[str, str], ...] | None = None,
+    workers: int = 1,
 ) -> Figure6Result:
     """Regenerate the Figure 6 sweep (averaged over SMT workload pairs)."""
-    scale = scale if scale is not None else ExperimentScale(branch_count=10_000, workload_limit=4)
-    workload_pairs = list(pairs if pairs is not None else GEM5_SMT_PAIRS)
-    if scale.workload_limit is not None:
-        workload_pairs = workload_pairs[: scale.workload_limit]
-
-    lengths = SimulationLengths(
-        warmup_branches=scale.warmup_branches, measured_branches=scale.branch_count
-    )
-    simulator = SMTSimulator(lengths=lengths)
-
-    # Unprotected reference, measured once per pair.
-    baselines = {}
-    for workload_a, workload_b in workload_pairs:
-        trace_a = workload_trace(workload_a, scale)
-        trace_b = workload_trace(workload_b, scale)
-        baselines[(workload_a, workload_b)] = simulator.run(
-            make_unprotected_tage(TAGE_SC_L_64KB), trace_a, trace_b
-        )
+    grid = figure6_grid(scale, r_values, pairs)
+    frame = EngineRunner(workers=workers).run(grid)
 
     result = Figure6Result()
     for r in r_values:
         monitor = default_monitor_config(r=r, separate_direction_register=True)
+        label = _sweep_label(r)
         direction_ratios: list[float] = []
         target_ratios: list[float] = []
         ipc_ratios: list[float] = []
         rerand_rates: list[float] = []
-        for (workload_a, workload_b), baseline in baselines.items():
-            trace_a = workload_trace(workload_a, scale)
-            trace_b = workload_trace(workload_b, scale)
-            model = make_stbpu_tage(TAGE_SC_L_64KB, monitor_config=monitor, seed=scale.seed)
-            protected = simulator.run(model, trace_a, trace_b)
-            if baseline.combined_direction_accuracy:
+        for pair_label in frame.workloads():
+            baseline_direction = frame.metric(_BASELINE_MODEL, pair_label,
+                                              "direction_accuracy")
+            baseline_target = frame.metric(_BASELINE_MODEL, pair_label, "target_accuracy")
+            baseline_hmean = frame.metric(_BASELINE_MODEL, pair_label, "hmean_ipc")
+            if baseline_direction:
                 direction_ratios.append(
-                    protected.combined_direction_accuracy / baseline.combined_direction_accuracy
+                    frame.metric(label, pair_label, "direction_accuracy") / baseline_direction
                 )
-            if baseline.combined_target_accuracy:
+            if baseline_target:
                 target_ratios.append(
-                    protected.combined_target_accuracy / baseline.combined_target_accuracy
+                    frame.metric(label, pair_label, "target_accuracy") / baseline_target
                 )
-            if baseline.hmean_ipc:
-                ipc_ratios.append(protected.hmean_ipc / baseline.hmean_ipc)
-            total_branches = sum(stats.branches for stats in protected.thread_stats)
+            if baseline_hmean:
+                ipc_ratios.append(
+                    frame.metric(label, pair_label, "hmean_ipc") / baseline_hmean
+                )
+            total_branches = frame.metric(label, pair_label, "branches")
             if total_branches:
                 rerand_rates.append(
-                    model.stats.rerandomizations / (total_branches / 1000.0)
+                    frame.metric(label, pair_label, "rerandomizations")
+                    / (total_branches / 1000.0)
                 )
         result.points.append(
             Figure6Point(

@@ -1,10 +1,15 @@
 """Table reproductions: Table I (attack surface), Table II (remapping I/O),
 Table IV (simulation configuration) and the Section VI-A.5 threshold numbers.
+
+:func:`run_tables` routes the four artifacts through the engine as ``"table"``
+jobs so the CLI can regenerate and export them like any other grid.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+
+from repro.engine import EngineRunner, Job
 
 from repro.core.remapping import TABLE_II
 from repro.security.analysis import (
@@ -85,6 +90,43 @@ def run_thresholds(parameters: AnalysisParameters = SKYLAKE_PARAMETERS) -> Thres
     )
 
 
+def thresholds_payload() -> dict[str, float]:
+    """The threshold report flattened to a JSON-able dict (engine table job)."""
+    report = run_thresholds()
+    payload = {f"measured_{key}": value
+               for key, value in asdict(report.complexities).items()}
+    payload.update(
+        misprediction_threshold_r005=float(report.misprediction_threshold_r005),
+        eviction_threshold_r005=float(report.eviction_threshold_r005),
+        paper_btb_reuse_mispredictions=report.paper_btb_reuse_mispredictions,
+        paper_btb_reuse_evictions=report.paper_btb_reuse_evictions,
+        paper_pht_reuse_mispredictions=report.paper_pht_reuse_mispredictions,
+        paper_btb_eviction_evictions=report.paper_btb_eviction_evictions,
+        paper_injection_mispredictions=report.paper_injection_mispredictions,
+        paper_misprediction_threshold_r005=report.paper_misprediction_threshold_r005,
+        paper_eviction_threshold_r005=report.paper_eviction_threshold_r005,
+    )
+    return payload
+
+
+#: The four table artifacts, in report order.
+TABLE_NAMES: tuple[str, ...] = ("table1", "table2", "table4", "thresholds")
+
+
+def tables_jobs() -> list[Job]:
+    """One engine ``table`` job per artifact."""
+    return [
+        Job(index=index, kind="table", params=(("table", name),))
+        for index, name in enumerate(TABLE_NAMES)
+    ]
+
+
+def run_tables(workers: int = 1) -> dict[str, object]:
+    """Regenerate every table artifact through the engine runner."""
+    frame = EngineRunner(workers=workers).run_jobs(tables_jobs())
+    return {record.workload: record.payload for record in frame}
+
+
 def format_thresholds(report: ThresholdReport) -> str:
     c = report.complexities
     lines = [
@@ -97,6 +139,33 @@ def format_thresholds(report: ThresholdReport) -> str:
         f"misprediction threshold at r=0.05            {report.misprediction_threshold_r005:14d} {report.paper_misprediction_threshold_r005:12.3g}",
         f"eviction threshold at r=0.05                 {report.eviction_threshold_r005:14d} {report.paper_eviction_threshold_r005:12.3g}",
     ]
+    return "\n".join(lines)
+
+
+def format_thresholds_payload(payload: dict[str, float]) -> str:
+    """Render the same side-by-side table from a flattened thresholds payload,
+    so a caller holding the engine job's result need not recompute the report."""
+    rows = [
+        ("BTB reuse side channel, mispredictions",
+         "measured_btb_reuse_mispredictions", "paper_btb_reuse_mispredictions"),
+        ("BTB reuse side channel, evictions",
+         "measured_btb_reuse_evictions", "paper_btb_reuse_evictions"),
+        ("PHT reuse side channel, mispredictions",
+         "measured_pht_reuse_mispredictions", "paper_pht_reuse_mispredictions"),
+        ("BTB eviction side channel, evictions",
+         "measured_btb_eviction_evictions", "paper_btb_eviction_evictions"),
+        ("Spectre v2 / RSB injection, mispredictions",
+         "measured_injection_mispredictions", "paper_injection_mispredictions"),
+        ("misprediction threshold at r=0.05",
+         "misprediction_threshold_r005", "paper_misprediction_threshold_r005"),
+        ("eviction threshold at r=0.05",
+         "eviction_threshold_r005", "paper_eviction_threshold_r005"),
+    ]
+    lines = ["attack complexity (events for 50% success)        measured        paper"]
+    for label, measured_key, paper_key in rows:
+        lines.append(
+            f"{label:44s} {payload[measured_key]:14.3g} {payload[paper_key]:12.3g}"
+        )
     return "\n".join(lines)
 
 

@@ -13,11 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bpu.common import BranchPredictorModel, PredictorStats
-from repro.bpu.composite import CompositeBPU
-from repro.bpu.protections import FlushingProtectedBPU
-from repro.core.stbpu import STBPU
 from repro.sim.metrics import AccuracyReport
-from repro.trace.branch import BranchRecord, EventKind, PrivilegeMode, Trace, TraceEvent
+from repro.trace.branch import EventKind, PrivilegeMode, Trace, TraceEvent
 
 
 @dataclass(slots=True)
@@ -44,17 +41,17 @@ class TraceSimulator:
         elif event.kind is EventKind.INTERRUPT:
             model.on_interrupt(event.context_id)
 
-    def _access(self, model: BranchPredictorModel, branch: BranchRecord):
-        if isinstance(model, CompositeBPU):
-            return model.access_with_events(branch)
-        return model.access(branch)
-
     def run(self, model: BranchPredictorModel, trace: Trace) -> SimulationResult:
         """Replay ``trace`` through ``model`` and return its accuracy report.
 
         The first ``warmup_branches`` branch records train the predictor but
         are excluded from the reported statistics (mirroring the paper's gem5
         warm-up phase).
+
+        ``run`` does **not** reset the model: predictor models are stateful
+        and the caller owns their lifecycle, so replaying a second trace
+        through the same instance continues from the trained state.  Use
+        :meth:`compare` (or call ``model.reset()`` yourself) for cold replays.
         """
         stats = PredictorStats()
         seen_branches = 0
@@ -62,13 +59,14 @@ class TraceSimulator:
             if isinstance(item, TraceEvent):
                 self._dispatch_event(model, item)
                 continue
-            result = self._access(model, item)
+            result = model.access_with_events(item)
             seen_branches += 1
             if seen_branches > self.warmup_branches:
                 stats.record(result, item)
 
-        rerandomizations = model.stats.rerandomizations if isinstance(model, STBPU) else 0
-        flushes = model.flush_count if isinstance(model, FlushingProtectedBPU) else 0
+        protection = model.protection_stats()
+        rerandomizations = int(protection.get("rerandomizations", 0))
+        flushes = int(protection.get("flushes", 0))
         stats.st_rerandomizations = rerandomizations
         stats.flushes = flushes
         report = AccuracyReport.from_stats(
@@ -83,5 +81,15 @@ class TraceSimulator:
     def compare(
         self, models: list[BranchPredictorModel], trace: Trace
     ) -> dict[str, SimulationResult]:
-        """Run several models over the same trace (each gets a fresh replay)."""
-        return {model.name: self.run(model, trace) for model in models}
+        """Run several models over the same trace, each from a cold start.
+
+        Every model is ``reset()`` before its replay so that previously
+        accumulated training state (models are stateful — see
+        :class:`~repro.bpu.common.BranchPredictorModel`) cannot leak into the
+        comparison.
+        """
+        results: dict[str, SimulationResult] = {}
+        for model in models:
+            model.reset()
+            results[model.name] = self.run(model, trace)
+        return results

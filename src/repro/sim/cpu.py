@@ -20,10 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bpu.common import BranchPredictorModel, PredictorStats
-from repro.bpu.composite import CompositeBPU
 from repro.sim.config import CPUConfig, SimulationLengths, TABLE_IV_CONFIG
 from repro.sim.metrics import PerformanceReport
-from repro.trace.branch import BranchRecord, Trace, TraceEvent
+from repro.trace.branch import Trace
 from repro.sim.bpu_sim import TraceSimulator
 
 

@@ -12,10 +12,9 @@ paper adopts for equally weighted workloads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.bpu.common import AccessResult, BranchPredictorModel, PredictorStats
-from repro.bpu.composite import CompositeBPU
 from repro.sim.config import CPUConfig, SimulationLengths, TABLE_IV_CONFIG
 from repro.sim.metrics import PerformanceReport, harmonic_mean
 from repro.trace.branch import (
@@ -34,6 +33,9 @@ class SMTSimulationResult:
 
     thread_performance: tuple[PerformanceReport, PerformanceReport]
     thread_stats: tuple[PredictorStats, PredictorStats]
+    #: Protection-mechanism counters reported by the model after the co-run
+    #: (see :meth:`~repro.bpu.common.BranchPredictorModel.protection_stats`).
+    protection: dict[str, int] = field(default_factory=dict)
 
     @property
     def hmean_ipc(self) -> float:
@@ -105,10 +107,7 @@ class SMTSimulator:
                 self._dispatch_event(model, item)
                 continue
             thread = 0 if item.context_id < thread_offset else 1
-            if isinstance(model, CompositeBPU):
-                result: AccessResult = model.access_with_events(item)
-            else:
-                result = model.access(item)
+            result: AccessResult = model.access_with_events(item)
             seen[thread] += 1
             if seen[thread] > warmup:
                 per_thread_stats[thread].record(result, item)
@@ -117,7 +116,11 @@ class SMTSimulator:
             self._performance(model.name, trace.name, stats)
             for trace, stats in zip((trace_a, trace_b), per_thread_stats)
         )
-        return SMTSimulationResult(thread_performance=reports, thread_stats=per_thread_stats)
+        return SMTSimulationResult(
+            thread_performance=reports,
+            thread_stats=per_thread_stats,
+            protection=model.protection_stats(),
+        )
 
     def _performance(self, model_name: str, workload: str,
                      stats: PredictorStats) -> PerformanceReport:

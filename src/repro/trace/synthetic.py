@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 import random
+import zlib
 from dataclasses import dataclass, field
 
 from repro.trace.branch import (
@@ -173,7 +174,13 @@ class SyntheticTraceGenerator:
             profile = get_workload(profile)
         self.profile = profile
         self.seed = seed
-        self._rng = random.Random((hash(profile.name) & 0xFFFF_FFFF) ^ (seed * 0x9E3779B9))
+        # zlib.crc32, not hash(): str hashing is randomized per process
+        # (PYTHONHASHSEED), which would make "the same (profile, seed) pair"
+        # produce a different trace in every interpreter — fatal for parallel
+        # runs that must match serial ones bit for bit.
+        self._rng = random.Random(
+            (zlib.crc32(profile.name.encode("utf-8")) & 0xFFFF_FFFF) ^ (seed * 0x9E3779B9)
+        )
         self._kernel_image = self._build_image(
             base=_KERNEL_CODE_BASE,
             conditional_sites=max(64, profile.static_conditional_sites // 8),

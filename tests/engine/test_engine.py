@@ -1,0 +1,212 @@
+"""Tests for the unified simulation engine: registry, grid, runner, CLI."""
+
+import json
+
+import pytest
+
+from repro.bpu.common import BranchPredictorModel
+from repro.engine import (
+    EngineRunner,
+    ExperimentScale,
+    Job,
+    ModelSpec,
+    SimulationGrid,
+    build_model,
+    derive_job_seed,
+    execute_job,
+    list_models,
+    resolve_smt_pairs,
+    resolve_workloads,
+)
+
+
+class TestRegistry:
+    def test_every_registered_model_builds(self):
+        for name in list_models():
+            model = build_model(name, seed=3)
+            assert isinstance(model, BranchPredictorModel)
+
+    def test_unknown_model_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="registered models"):
+            build_model("no-such-model")
+
+    def test_spec_params_reach_the_factory(self):
+        relaxed = build_model(ModelSpec.of("ST_SKLCond", r=0.05))
+        aggressive = build_model(ModelSpec.of("ST_SKLCond", r=0.0005))
+        assert (aggressive.monitor.config.misprediction_threshold
+                < relaxed.monitor.config.misprediction_threshold)
+
+    def test_display_label_defaults_to_name(self):
+        assert ModelSpec.of("baseline").display_label == "baseline"
+        assert ModelSpec.of("baseline", label="unprot").display_label == "unprot"
+
+    def test_display_label_folds_params_in(self):
+        # Two specs of one model with different knobs must occupy distinct
+        # result-frame cells even when the caller forgets explicit labels.
+        spec = ModelSpec.of("ST_SKLCond", r=0.0005)
+        assert spec.display_label == "ST_SKLCond[r=0.0005]"
+        assert spec.display_label != ModelSpec.of("ST_SKLCond", r=0.05).display_label
+
+
+class TestWorkloadResolution:
+    def test_categories_and_names(self):
+        assert "505.mcf" in resolve_workloads(None)
+        assert resolve_workloads("505.mcf") == ["505.mcf"]
+        spec_only = resolve_workloads("spec")
+        assert all(not name.startswith(("apache", "mysql", "chrome", "obs"))
+                   for name in spec_only)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError, match="known workloads"):
+            resolve_workloads("not-a-workload")
+
+    def test_smt_pair_syntax(self):
+        assert resolve_smt_pairs("505.mcf+519.lbm") == [("505.mcf", "519.lbm")]
+        assert len(resolve_smt_pairs(None)) == 31
+        with pytest.raises(ValueError, match="workload_a\\+workload_b"):
+            resolve_smt_pairs("505.mcf")
+
+
+class TestGrid:
+    def test_expansion_is_workload_major(self):
+        grid = SimulationGrid(
+            kind="trace",
+            models=["baseline", "ST_SKLCond"],
+            workloads=["505.mcf", "519.lbm"],
+            scale=ExperimentScale(seed=5),
+        )
+        jobs = grid.jobs()
+        assert [(job.workload, job.model.name) for job in jobs] == [
+            ("505.mcf", "baseline"), ("505.mcf", "ST_SKLCond"),
+            ("519.lbm", "baseline"), ("519.lbm", "ST_SKLCond"),
+        ]
+        assert [job.index for job in jobs] == [0, 1, 2, 3]
+        assert all(job.seed == 5 for job in jobs)
+
+    def test_workload_limit_truncates(self):
+        grid = SimulationGrid(
+            models=["baseline"],
+            workloads=["505.mcf", "519.lbm", "541.leela"],
+            scale=ExperimentScale(workload_limit=2),
+        )
+        assert len(grid.jobs()) == 2
+
+    def test_per_job_seeds_are_deterministic_and_distinct(self):
+        grid = SimulationGrid(
+            models=["baseline", "ST_SKLCond"],
+            workloads=["505.mcf", "519.lbm"],
+            scale=ExperimentScale(seed=9),
+            seed_policy="per-job",
+        )
+        seeds = [job.seed for job in grid.jobs()]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds == [job.seed for job in grid.jobs()]
+        assert derive_job_seed(9, "baseline", "505.mcf") == seeds[0]
+
+    def test_rejects_unknown_kind_and_policy(self):
+        with pytest.raises(ValueError, match="job kind"):
+            SimulationGrid(kind="nope")
+        with pytest.raises(ValueError, match="seed policy"):
+            SimulationGrid(seed_policy="random")
+
+
+_SMALL_SCALE = ExperimentScale(branch_count=1_500, warmup_branches=150, seed=13)
+
+
+class TestRunner:
+    def test_parallel_run_is_bit_identical_to_serial(self):
+        grid = SimulationGrid(
+            kind="trace",
+            models=["baseline", "ucode_protection_1", "ST_SKLCond"],
+            workloads=["505.mcf", "apache2_prefork_c128"],
+            scale=_SMALL_SCALE,
+        )
+        serial = EngineRunner(workers=1).run(grid)
+        parallel = EngineRunner(workers=2).run(grid)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_smt_jobs_report_protection_counters(self):
+        grid = SimulationGrid(
+            kind="smt",
+            models=[ModelSpec.of("ST_SKLCond")],
+            workloads=[("505.mcf", "519.lbm")],
+            scale=_SMALL_SCALE,
+        )
+        frame = EngineRunner().run(grid)
+        record = frame.record("ST_SKLCond", "505.mcf+519.lbm")
+        assert "rerandomizations" in record.metrics
+        assert record.metrics["hmean_ipc"] > 0
+
+    def test_frame_normalization_and_json_roundtrip(self):
+        grid = SimulationGrid(
+            kind="trace",
+            models=["baseline", "ST_SKLCond"],
+            workloads=["505.mcf"],
+            scale=_SMALL_SCALE,
+        )
+        frame = EngineRunner().run(grid)
+        normalized = frame.normalized("oae_accuracy", "baseline")
+        assert normalized["505.mcf"]["baseline"] == pytest.approx(1.0)
+        assert 0.8 < normalized["505.mcf"]["ST_SKLCond"] <= 1.1
+        payload = json.loads(frame.to_json())
+        assert len(payload["records"]) == 2
+
+    def test_attack_job_runs_registry_model(self):
+        job = Job(
+            index=0, kind="attack", model=ModelSpec.of("baseline", label="unprot"),
+            seed=3, params=(("attack", "spectre_v2"), ("attempts", 40)),
+        )
+        record = execute_job(job)
+        assert record.workload == "spectre_v2"
+        assert record.metrics["success_metric"] > 0.9
+
+    def test_duplicate_result_cells_are_rejected(self):
+        from repro.engine import JobRecord, ResultFrame
+
+        records = [
+            JobRecord(index=0, kind="trace", model="baseline", workload="505.mcf"),
+            JobRecord(index=1, kind="trace", model="baseline", workload="505.mcf"),
+        ]
+        with pytest.raises(ValueError, match="duplicate result cell"):
+            ResultFrame(records)
+
+    def test_unknown_job_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="job kind"):
+            SimulationGrid(kind="bogus")
+        bad = Job(index=0, kind="trace", model=ModelSpec.of("baseline"))
+        object.__setattr__(bad, "kind", "bogus")
+        with pytest.raises(ValueError, match="unknown job kind"):
+            execute_job(bad)
+
+
+class TestDriverParity:
+    def test_figure3_parallel_matches_serial(self):
+        from repro.experiments.figure3 import run_figure3
+
+        serial = run_figure3(_SMALL_SCALE, workloads=["505.mcf", "519.lbm"], workers=1)
+        parallel = run_figure3(_SMALL_SCALE, workloads=["505.mcf", "519.lbm"], workers=2)
+        assert serial == parallel
+
+
+class TestCLI:
+    def test_figure3_smoke(self, capsys, tmp_path):
+        from repro.cli import main
+
+        json_path = tmp_path / "figure3.json"
+        exit_code = main([
+            "figure3", "--workload-limit", "1", "--branches", "1200",
+            "--warmup", "100", "--workers", "2", "--json", str(json_path),
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "ST_SKLCond" in output
+        payload = json.loads(json_path.read_text())
+        assert payload["model_order"][0] == "baseline"
+
+    def test_list_commands(self, capsys):
+        from repro.cli import main
+
+        assert main(["list-models"]) == 0
+        assert "ST_SKLCond" in capsys.readouterr().out
+        assert main(["list-workloads", "--category", "spec"]) == 0
+        assert "505.mcf" in capsys.readouterr().out

@@ -1,7 +1,15 @@
 """Tests for the trace-driven BPU simulator, the CPU model, and the SMT simulator."""
 
+import dataclasses
+
 import pytest
 
+from repro.bpu.common import (
+    AccessResult,
+    BranchPredictorModel,
+    Prediction,
+    PredictorStats,
+)
 from repro.bpu.protections import make_ucode_protection_1, make_unprotected_baseline
 from repro.bpu.composite import make_skl_composite
 from repro.core.stbpu import make_stbpu_skl
@@ -16,7 +24,47 @@ from repro.sim import (
     normalized,
     reduction,
 )
+from repro.trace.branch import (
+    BranchRecord,
+    BranchType,
+    EventKind,
+    PrivilegeMode,
+    Trace,
+    TraceEvent,
+)
 from repro.trace.synthetic import generate_trace
+
+
+class RecordingModel(BranchPredictorModel):
+    """Minimal model recording every hook invocation for dispatch tests."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.calls = []
+        self.resets = 0
+
+    def access(self, branch):
+        self.calls.append(("access", branch.ip))
+        return AccessResult(
+            prediction=Prediction(taken=True, target=branch.target),
+            direction_correct=True,
+            target_correct=True,
+            effective_correct=True,
+        )
+
+    def reset(self):
+        self.resets += 1
+        self.calls.append(("reset",))
+
+    def on_context_switch(self, context_id):
+        self.calls.append(("context_switch", context_id))
+
+    def on_mode_switch(self, mode, context_id):
+        self.calls.append(("mode_switch", mode, context_id))
+
+    def on_interrupt(self, context_id):
+        self.calls.append(("interrupt", context_id))
 
 
 class TestMetrics:
@@ -73,6 +121,117 @@ class TestTraceSimulator:
         results = simulator.compare(
             [make_unprotected_baseline(), make_stbpu_skl(seed=2)], small_mcf_trace)
         assert set(results) == {"baseline", "ST_SKLCond"}
+
+    def test_compare_resets_models_before_replay(self, small_mcf_trace):
+        # Models are stateful; compare() owns the cold-start contract, so a
+        # model that already replayed a trace must give the same comparison
+        # numbers as a fresh instance.
+        simulator = TraceSimulator(warmup_branches=200)
+        model = RecordingModel()
+        simulator.compare([model], small_mcf_trace)
+        assert model.resets == 1
+
+        warm = make_unprotected_baseline()
+        simulator.run(warm, small_mcf_trace)  # leave trained state behind
+        warm_result = simulator.compare([warm], small_mcf_trace)["baseline"]
+        cold_result = simulator.compare([make_unprotected_baseline()],
+                                        small_mcf_trace)["baseline"]
+        assert warm_result.report == cold_result.report
+
+
+class TestEventDispatch:
+    """OS events in a trace must reach the model's protocol hooks."""
+
+    @staticmethod
+    def _event_trace() -> Trace:
+        branch = BranchRecord(
+            ip=0x1000, target=0x2000, taken=True,
+            branch_type=BranchType.DIRECT_JUMP, context_id=1,
+        )
+        trace = Trace(name="events")
+        trace.append(TraceEvent(EventKind.CONTEXT_SWITCH, context_id=7))
+        trace.append(branch)
+        trace.append(TraceEvent(EventKind.MODE_SWITCH_ENTER_KERNEL, context_id=7))
+        trace.append(TraceEvent(EventKind.MODE_SWITCH_EXIT_KERNEL, context_id=7))
+        trace.append(TraceEvent(EventKind.INTERRUPT, context_id=9))
+        return trace
+
+    def test_all_event_kinds_reach_model_hooks(self):
+        model = RecordingModel()
+        TraceSimulator().run(model, self._event_trace())
+        assert model.calls == [
+            ("context_switch", 7),
+            ("access", 0x1000),
+            ("mode_switch", PrivilegeMode.KERNEL, 7),
+            ("mode_switch", PrivilegeMode.USER, 7),
+            ("interrupt", 9),
+        ]
+
+    def test_smt_simulator_dispatches_events_too(self):
+        model = RecordingModel()
+        trace = self._event_trace()
+        SMTSimulator(lengths=SimulationLengths(warmup_branches=0,
+                                               measured_branches=10)).run(
+            model, trace, trace)
+        kinds = [call[0] for call in model.calls]
+        assert "context_switch" in kinds
+        assert "mode_switch" in kinds
+        assert "interrupt" in kinds
+
+    def test_interrupts_trigger_flushes_and_stbpu_kernel_tokens(self):
+        trace = Trace(name="kernel-events")
+        trace.append(TraceEvent(EventKind.MODE_SWITCH_ENTER_KERNEL, context_id=3))
+        trace.append(BranchRecord(ip=0x9000, target=0x9100, taken=True,
+                                  branch_type=BranchType.DIRECT_JUMP, context_id=3,
+                                  mode=PrivilegeMode.KERNEL))
+        trace.append(TraceEvent(EventKind.MODE_SWITCH_EXIT_KERNEL, context_id=3))
+        trace.append(TraceEvent(EventKind.INTERRUPT, context_id=3))
+
+        flushing = make_ucode_protection_1()
+        TraceSimulator().run(flushing, trace)
+        # Kernel entry + interrupt both flush under IBRS-style protection.
+        assert flushing.protection_stats()["flushes"] >= 2
+
+        stbpu = make_stbpu_skl(seed=1)
+        TraceSimulator().run(stbpu, trace)
+        from repro.core.stbpu import KERNEL_CONTEXT_ID
+        assert KERNEL_CONTEXT_ID in stbpu.stats.contexts_seen
+
+
+class TestProtectionStatsProtocol:
+    def test_unprotected_models_report_nothing(self):
+        assert make_unprotected_baseline().protection_stats() == {}
+        assert make_skl_composite().protection_stats() == {}
+
+    def test_protected_models_report_their_counters(self, small_apache_trace):
+        simulator = TraceSimulator()
+        flushing = make_ucode_protection_1()
+        simulator.run(flushing, small_apache_trace)
+        assert flushing.protection_stats()["flushes"] > 0
+
+        stbpu = make_stbpu_skl(seed=1)
+        simulator.run(stbpu, small_apache_trace)
+        stats = stbpu.protection_stats()
+        assert stats["token_loads"] > 0
+        assert stats["contexts_seen"] >= 1
+
+    def test_default_access_with_events_forwards_to_access(self):
+        model = RecordingModel()
+        branch = BranchRecord(ip=0x40, target=0x80, taken=True,
+                              branch_type=BranchType.DIRECT_JUMP)
+        result = model.access_with_events(branch)
+        assert result.effective_correct
+        assert model.calls == [("access", 0x40)]
+
+    def test_merged_with_covers_every_counter_field(self):
+        left = PredictorStats()
+        right = PredictorStats()
+        for position, stats_field in enumerate(dataclasses.fields(PredictorStats)):
+            setattr(left, stats_field.name, position + 1)
+            setattr(right, stats_field.name, 10 * (position + 1))
+        merged = left.merged_with(right)
+        for position, stats_field in enumerate(dataclasses.fields(PredictorStats)):
+            assert getattr(merged, stats_field.name) == 11 * (position + 1)
 
 
 class TestCycleApproximateCPU:
