@@ -1,0 +1,219 @@
+"""``python -m repro bench`` — replay-throughput benchmark with tracked history.
+
+The bench times the engine on three representative grids — the Figure 3
+(models × workloads) trace grid, a cycle-approximate CPU grid, and an SMT
+co-run grid — and writes the timings, per-grid branch throughput, and the
+speedup against the recorded baseline to a ``BENCH_<n>.json`` artifact
+(``BENCH_2.json`` for the current format).  Committing one artifact per PR
+tracks the perf trajectory of the hot path over time.
+
+Baseline numbers are wall-clock seconds of the same grids measured on the
+pre-columnar engine (PR 1's per-item replay loop) on the reference container;
+a ``speedup`` of 2.0 therefore means "twice as fast as the engine before the
+columnar fast path".  Traces are generated (and memoised) before the clock
+starts, so the measurement covers replay, not synthetic trace construction.
+
+Each timing also records a SHA-256 of the grid's serialized
+:class:`~repro.engine.results.ResultFrame`, tying every perf point to the
+exact results it produced — a bench run that got faster by producing
+different numbers is immediately visible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.engine import EngineRunner, ExperimentScale, SimulationGrid, resolve_workloads
+from repro.experiments.figure3 import figure3_grid
+from repro.trace.workloads import GEM5_SMT_PAIRS
+
+#: Format/sequence number of the artifact this module writes.
+BENCH_SEQUENCE = 2
+
+#: Default artifact path.
+DEFAULT_OUTPUT = f"BENCH_{BENCH_SEQUENCE}.json"
+
+#: Pre-change (PR 1, per-item replay loop) wall-clock seconds for each bench
+#: grid, measured serially on the reference container.  These are the
+#: denominators of the reported speedups; re-measure them only when the grid
+#: definitions below change.
+PR1_BASELINE_SECONDS: dict[str, float] = {
+    "figure3.full": 18.50,
+    "cpu.full": 3.48,
+    "smt.full": 3.32,
+    "figure3.quick": 1.96,
+    "cpu.quick": 0.38,
+    "smt.quick": 0.36,
+}
+
+
+@dataclass(slots=True)
+class BenchTiming:
+    """One timed grid: size, wall-clock, throughput, and baseline comparison."""
+
+    name: str
+    mode: str
+    jobs: int
+    branches: int
+    seconds: float
+    result_sha256: str
+    baseline_seconds: float | None = None
+    parallel_seconds: float | None = None
+    parallel_matches_serial: bool | None = None
+
+    @property
+    def branches_per_second(self) -> float:
+        return self.branches / self.seconds if self.seconds else 0.0
+
+    @property
+    def speedup(self) -> float | None:
+        if self.baseline_seconds is None or not self.seconds:
+            return None
+        return self.baseline_seconds / self.seconds
+
+    def to_dict(self) -> dict:
+        payload = {
+            "name": self.name,
+            "mode": self.mode,
+            "jobs": self.jobs,
+            "branches": self.branches,
+            "seconds": round(self.seconds, 4),
+            "branches_per_second": round(self.branches_per_second, 1),
+            "result_sha256": self.result_sha256,
+        }
+        if self.baseline_seconds is not None:
+            payload["baseline_seconds"] = self.baseline_seconds
+            payload["speedup"] = round(self.speedup, 3)
+        if self.parallel_seconds is not None:
+            payload["parallel_seconds"] = round(self.parallel_seconds, 4)
+            payload["parallel_matches_serial"] = self.parallel_matches_serial
+        return payload
+
+
+@dataclass(slots=True)
+class BenchReport:
+    """All timings of one bench invocation."""
+
+    mode: str
+    timings: list[BenchTiming] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(timing.seconds for timing in self.timings)
+
+    def to_dict(self) -> dict:
+        return {
+            "format": BENCH_SEQUENCE,
+            "mode": self.mode,
+            "total_seconds": round(self.total_seconds, 4),
+            "benches": {timing.name: timing.to_dict() for timing in self.timings},
+        }
+
+
+def bench_grids(quick: bool = False) -> dict[str, SimulationGrid]:
+    """The representative grids the bench times.
+
+    ``quick`` shrinks trace lengths and grid extents for CI smoke runs; the
+    full mode matches the scale the recorded baselines were measured at.
+    Changing these definitions invalidates :data:`PR1_BASELINE_SECONDS`.
+    """
+    if quick:
+        branch_count, warmup = 4_000, 400
+        figure3_limit, cpu_workloads, smt_pairs = 4, 2, 1
+    else:
+        branch_count, warmup = 20_000, 2_000
+        figure3_limit, cpu_workloads, smt_pairs = 8, 4, 2
+
+    def scale(limit: int | None = None) -> ExperimentScale:
+        return ExperimentScale(
+            branch_count=branch_count, warmup_branches=warmup, seed=7,
+            workload_limit=limit,
+        )
+
+    singles = resolve_workloads(None)
+    return {
+        "figure3": figure3_grid(scale(figure3_limit)),
+        "cpu": SimulationGrid(
+            kind="cpu", models=("baseline", "ST_SKLCond"),
+            workloads=singles[:cpu_workloads], scale=scale(),
+        ),
+        "smt": SimulationGrid(
+            kind="smt", models=("baseline", "ST_SKLCond"),
+            workloads=list(GEM5_SMT_PAIRS[:smt_pairs]), scale=scale(),
+        ),
+    }
+
+
+def _frame_sha256(frame) -> str:
+    return hashlib.sha256(frame.to_json().encode("utf-8")).hexdigest()
+
+
+def run_bench(quick: bool = False, workers: int = 1) -> BenchReport:
+    """Time every bench grid; optionally cross-check a parallel run.
+
+    The timed measurement is always serial so numbers stay comparable across
+    machines and worker counts.  With ``workers > 1`` each grid is run a
+    second time on the process pool and the serialized results are compared —
+    the parallel timing and the match verdict land in the artifact.
+    """
+    mode = "quick" if quick else "full"
+    report = BenchReport(mode=mode)
+    for name, grid in bench_grids(quick).items():
+        jobs = grid.jobs()
+        branches = EngineRunner._prewarm_traces(jobs)
+        runner = EngineRunner(workers=1)
+        started = time.perf_counter()
+        frame = runner.run_jobs(jobs)
+        seconds = time.perf_counter() - started
+        timing = BenchTiming(
+            name=name,
+            mode=mode,
+            jobs=len(jobs),
+            branches=branches,
+            seconds=seconds,
+            result_sha256=_frame_sha256(frame),
+            baseline_seconds=PR1_BASELINE_SECONDS.get(f"{name}.{mode}"),
+        )
+        if workers > 1:
+            started = time.perf_counter()
+            parallel_frame = EngineRunner(workers=workers).run_jobs(jobs)
+            timing.parallel_seconds = time.perf_counter() - started
+            timing.parallel_matches_serial = (
+                parallel_frame.to_json() == frame.to_json()
+            )
+        report.timings.append(timing)
+    return report
+
+
+def write_bench(report: BenchReport, path: str = DEFAULT_OUTPUT) -> None:
+    """Write the artifact JSON (stable key order, trailing newline)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_bench(report: BenchReport) -> str:
+    """Render the report as an aligned text table."""
+    header = (
+        f"{'bench':10s}{'jobs':>6s}{'branches':>12s}{'seconds':>10s}"
+        f"{'Mbr/s':>8s}{'speedup':>9s}{'parallel':>10s}"
+    )
+    lines = [f"mode: {report.mode}", header, "-" * len(header)]
+    for timing in report.timings:
+        speedup = f"{timing.speedup:8.2f}x" if timing.speedup is not None else f"{'n/a':>9s}"
+        if timing.parallel_seconds is not None:
+            verdict = "ok" if timing.parallel_matches_serial else "DIFF"
+            parallel = f"{timing.parallel_seconds:7.2f}s{verdict:>2s}"
+        else:
+            parallel = f"{'-':>10s}"
+        lines.append(
+            f"{timing.name:10s}{timing.jobs:6d}{timing.branches:12d}"
+            f"{timing.seconds:10.3f}{timing.branches_per_second / 1e6:8.2f}"
+            f"{speedup}{parallel}"
+        )
+    lines.append("-" * len(header))
+    lines.append(f"{'total':10s}{'':6s}{'':12s}{report.total_seconds:10.3f}")
+    return "\n".join(lines)

@@ -123,40 +123,62 @@ class BranchTargetBuffer:
             key = self.mapping.btb_mode2(ip, bhb)
         # The mapping provider may have been built for the nominal set count;
         # clamp the index into this instance's (possibly reduced) set array.
-        return BTBLookupKey(index=key.index % self._set_count, tag=key.tag, offset=key.offset)
+        # Full-capacity instances (the common case) reuse the provider's key
+        # object — the mode-1 keys are memoised, so this avoids re-allocating
+        # an identical key per probe.
+        if key.index >= self._set_count:
+            key = BTBLookupKey(index=key.index % self._set_count, tag=key.tag,
+                               offset=key.offset)
+        return key
 
     def lookup(self, ip: int, bhb: int | None = None) -> BTBLookupResult:
         """Probe the BTB.  ``bhb`` selects addressing mode 2 when provided."""
-        self._access_clock += 1
+        clock = self._access_clock + 1
+        self._access_clock = clock
         key = self._key(ip, bhb)
+        tag = key.tag
+        offset = key.offset
         for entry in self._sets[key.index]:
-            if entry.valid and entry.tag == key.tag and entry.offset == key.offset:
-                entry.lru_stamp = self._access_clock
+            if entry.valid and entry.tag == tag and entry.offset == offset:
+                entry.lru_stamp = clock
                 predicted = self.codec.extend(entry.stored_target, ip)
                 return BTBLookupResult(hit=True, predicted_target=predicted, key=key)
         return BTBLookupResult(hit=False, predicted_target=None, key=key)
 
     def update(self, ip: int, target: int, bhb: int | None = None) -> BTBUpdateResult:
         """Install or refresh the entry for ``ip`` with resolved ``target``."""
-        self._access_clock += 1
+        clock = self._access_clock + 1
+        self._access_clock = clock
         key = self._key(ip, bhb)
         entries = self._sets[key.index]
+        tag = key.tag
+        offset = key.offset
 
+        # One pass finds both a same-branch entry and the LRU victim (the
+        # first entry with the smallest (valid, lru_stamp) rank, matching the
+        # previous min()-based selection).
+        victim = None
+        victim_valid = True
+        victim_stamp = 0
         for entry in entries:
-            if entry.valid and entry.tag == key.tag and entry.offset == key.offset:
+            if entry.valid and entry.tag == tag and entry.offset == offset:
                 entry.stored_target = self.codec.encode(target)
-                entry.lru_stamp = self._access_clock
+                entry.lru_stamp = clock
                 return BTBUpdateResult(evicted_valid_entry=False, replaced_same_branch=True)
+            entry_valid = entry.valid
+            if victim is None or (entry_valid, entry.lru_stamp) < (victim_valid, victim_stamp):
+                victim = entry
+                victim_valid = entry_valid
+                victim_stamp = entry.lru_stamp
 
-        victim = min(entries, key=lambda e: (e.valid, e.lru_stamp))
         evicted = victim.valid
         if evicted:
             self.eviction_count += 1
         victim.valid = True
-        victim.tag = key.tag
-        victim.offset = key.offset
+        victim.tag = tag
+        victim.offset = offset
         victim.stored_target = self.codec.encode(target)
-        victim.lru_stamp = self._access_clock
+        victim.lru_stamp = clock
         return BTBUpdateResult(evicted_valid_entry=evicted, replaced_same_branch=False)
 
     def contains(self, ip: int, bhb: int | None = None) -> bool:

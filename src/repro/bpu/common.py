@@ -14,7 +14,7 @@ import abc
 import dataclasses
 from dataclasses import dataclass, field
 
-from repro.trace.branch import BranchRecord, PrivilegeMode
+from repro.trace.branch import BranchRecord, BranchType, PrivilegeMode
 
 
 @dataclass(slots=True)
@@ -80,13 +80,26 @@ class PredictorStats:
 
     def record(self, result: AccessResult, branch: BranchRecord) -> None:
         """Fold one access result into the running counters."""
+        self.record_outcome(
+            result, branch.branch_type is BranchType.CONDITIONAL, branch.taken
+        )
+
+    def record_outcome(
+        self, result: AccessResult, is_conditional: bool, taken: bool
+    ) -> None:
+        """:meth:`record` with the branch fields already decoded.
+
+        The columnar replay loops pre-decode conditional/taken flags once per
+        trace; this entry point lets them skip the per-branch attribute
+        chasing.
+        """
         self.branches += 1
-        if branch.branch_type.is_conditional:
+        if is_conditional:
             self.conditional_branches += 1
             self.direction_predictions += 1
             if result.direction_correct:
                 self.direction_correct += 1
-        if branch.taken:
+        if taken:
             self.target_predictions += 1
             if result.target_correct:
                 self.target_correct += 1
@@ -144,6 +157,11 @@ class BranchPredictorModel(abc.ABC):
     build a fresh model or call :meth:`reset` before the replay (the
     simulators' ``compare`` helpers do this for every model they are handed).
     """
+
+    # Empty slots keep the base layout slim so concrete models can opt into
+    # ``__slots__`` on their hot per-access attributes; subclasses that do not
+    # declare slots still get a normal ``__dict__``.
+    __slots__ = ()
 
     #: Human-readable model name used as a legend label in experiments.
     name: str = "predictor"

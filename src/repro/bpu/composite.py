@@ -30,7 +30,11 @@ from repro.bpu.mapping import (
 )
 from repro.bpu.pht import SKLConditionalPredictor
 from repro.bpu.rsb import ReturnStackBuffer
-from repro.trace.branch import BranchRecord, BranchType, PrivilegeMode
+from repro.trace.branch import (
+    VIRTUAL_ADDRESS_MASK,
+    BranchRecord,
+    BranchType,
+)
 
 
 class DirectionComponent(Protocol):
@@ -60,6 +64,8 @@ class CompositeBPU(BranchPredictorModel):
             protection model.
     """
 
+    __slots__ = ("sizes", "mapping", "codec", "direction", "btb", "rsb", "history", "name")
+
     def __init__(
         self,
         direction: DirectionComponent,
@@ -85,117 +91,134 @@ class CompositeBPU(BranchPredictorModel):
     # ------------------------------------------------------------------ access
 
     def access(self, branch: BranchRecord) -> AccessResult:
-        prediction, direction_state, rsb_underflow = self._predict(branch)
-        result = self._resolve(branch, prediction, rsb_underflow)
-        self._train(branch, prediction, direction_state)
+        """Predict-resolve-train without the structure-level event channel.
+
+        Equivalent to :meth:`access_with_events` with the BTB-eviction signal
+        suppressed, which is all the difference ever was between the two entry
+        points.
+        """
+        result = self.access_with_events(branch)
+        result.btb_eviction = False
         return result
 
-    def _predict(self, branch: BranchRecord) -> tuple[Prediction, object | None, bool]:
+    def access_with_events(self, branch: BranchRecord) -> AccessResult:
+        """One predict-then-update access with micro-events folded in.
+
+        This is the replay hot path (called once per branch record for every
+        model in a grid), so predict / resolve / train are a single body over
+        locally bound structures rather than three dispatched helpers, and
+        branch categories are tested with ``is`` on the enum members instead
+        of through the :class:`~repro.trace.branch.BranchType` properties.
+        """
+        btb = self.btb
+        history = self.history
+        ip = branch.ip
+        taken = branch.taken
         branch_type = branch.branch_type
+        is_conditional = branch_type is BranchType.CONDITIONAL
         rsb_underflow = False
-        direction_state: object | None = None
+        direction_state = None
+        evictions_before = btb.eviction_count
 
-        if branch_type.is_conditional:
-            direction_state = self.direction.predict(branch.ip, self.history)
-            predicted_taken = direction_state.taken
-            if predicted_taken:
-                lookup = self.btb.lookup(branch.ip)
+        # ------------------------------------------------------------ predict
+        btb_hit = False
+        if is_conditional:
+            direction_state = self.direction.predict(ip, history)
+            if direction_state.taken:
+                lookup = btb.lookup(ip)
                 if lookup.hit:
-                    return (
-                        Prediction(True, lookup.predicted_target, "btb-mode1"),
-                        direction_state,
-                        False,
-                    )
-                return Prediction(True, None, "static"), direction_state, False
-            return Prediction(False, branch.fall_through, "static"), direction_state, False
-
-        if branch_type in (BranchType.DIRECT_JUMP, BranchType.DIRECT_CALL):
-            lookup = self.btb.lookup(branch.ip)
+                    btb_hit = True
+                    prediction = Prediction(True, lookup.predicted_target, "btb-mode1")
+                else:
+                    prediction = Prediction(True, None, "static")
+            else:
+                prediction = Prediction(False, (ip + 4) & VIRTUAL_ADDRESS_MASK, "static")
+        elif branch_type is BranchType.DIRECT_JUMP or branch_type is BranchType.DIRECT_CALL:
+            lookup = btb.lookup(ip)
             if lookup.hit:
-                return Prediction(True, lookup.predicted_target, "btb-mode1"), None, False
-            return Prediction(True, None, "static"), None, False
-
-        if branch_type in (BranchType.INDIRECT_JUMP, BranchType.INDIRECT_CALL):
-            lookup = self.btb.lookup(branch.ip, self.history.bhb.snapshot())
+                btb_hit = True
+                prediction = Prediction(True, lookup.predicted_target, "btb-mode1")
+            else:
+                prediction = Prediction(True, None, "static")
+        elif branch_type is BranchType.INDIRECT_JUMP or branch_type is BranchType.INDIRECT_CALL:
+            lookup = btb.lookup(ip, history.bhb.value)
             if lookup.hit:
-                return Prediction(True, lookup.predicted_target, "btb-mode2"), None, False
-            fallback = self.btb.lookup(branch.ip)
-            if fallback.hit:
-                return Prediction(True, fallback.predicted_target, "btb-mode1"), None, False
-            return Prediction(True, None, "static"), None, False
-
-        # Returns: RSB first, indirect predictor (BTB mode 2) on underflow.
-        pop = self.rsb.pop(branch.ip)
-        if not pop.underflow:
-            return Prediction(True, pop.predicted_target, "rsb"), None, False
-        rsb_underflow = True
-        lookup = self.btb.lookup(branch.ip, self.history.bhb.snapshot())
-        if lookup.hit:
-            return Prediction(True, lookup.predicted_target, "btb-mode2"), None, rsb_underflow
-        return Prediction(True, None, "static"), None, rsb_underflow
-
-    def _resolve(
-        self, branch: BranchRecord, prediction: Prediction, rsb_underflow: bool
-    ) -> AccessResult:
-        if branch.branch_type.is_conditional:
-            direction_correct = prediction.taken == branch.taken
+                btb_hit = True
+                prediction = Prediction(True, lookup.predicted_target, "btb-mode2")
+            else:
+                fallback = btb.lookup(ip)
+                if fallback.hit:
+                    btb_hit = True
+                    prediction = Prediction(True, fallback.predicted_target, "btb-mode1")
+                else:
+                    prediction = Prediction(True, None, "static")
         else:
-            direction_correct = True
+            # Returns: RSB first, indirect predictor (BTB mode 2) on underflow.
+            pop = self.rsb.pop(ip)
+            if not pop.underflow:
+                prediction = Prediction(True, pop.predicted_target, "rsb")
+            else:
+                rsb_underflow = True
+                lookup = btb.lookup(ip, history.bhb.value)
+                if lookup.hit:
+                    btb_hit = True
+                    prediction = Prediction(True, lookup.predicted_target, "btb-mode2")
+                else:
+                    prediction = Prediction(True, None, "static")
 
-        if branch.taken:
-            target_correct = prediction.target is not None and prediction.target == branch.target
+        # ------------------------------------------------------------ resolve
+        direction_correct = prediction.taken == taken if is_conditional else True
+        if taken:
+            predicted_target = prediction.target
+            target_correct = predicted_target is not None and predicted_target == branch.target
         else:
             # A not-taken branch needs no target prediction; fall-through is implied.
             target_correct = True
-
         effective_correct = direction_correct and target_correct
+
+        # -------------------------------------------------------------- train
+        if direction_state is not None:
+            self.direction.update(direction_state, taken, ip=ip)
+            history.record_conditional(taken)
+
+        if taken:
+            self._update_btb(branch, branch_type)
+            if (
+                is_conditional
+                or branch_type is BranchType.DIRECT_JUMP
+                or branch_type is BranchType.DIRECT_CALL
+            ):
+                # Taken direct branches/calls feed the BHB (paper Section II-A).
+                history.record_taken_branch(ip, branch.target)
+
+        if branch_type is BranchType.DIRECT_CALL or branch_type is BranchType.INDIRECT_CALL:
+            self.rsb.push((ip + 4) & VIRTUAL_ADDRESS_MASK)
+
+        # Positional construction (field order of AccessResult): prediction,
+        # direction_correct, target_correct, effective_correct, btb_hit,
+        # btb_eviction, rsb_underflow, mispredicted.
         return AccessResult(
-            prediction=prediction,
-            direction_correct=direction_correct,
-            target_correct=target_correct,
-            effective_correct=effective_correct,
-            btb_hit=prediction.source.startswith("btb"),
-            btb_eviction=False,  # filled in by _train
-            rsb_underflow=rsb_underflow,
-            mispredicted=not effective_correct,
+            prediction,
+            direction_correct,
+            target_correct,
+            effective_correct,
+            btb_hit,
+            btb.eviction_count > evictions_before,
+            rsb_underflow,
+            not effective_correct,
         )
 
-    def _train(
-        self, branch: BranchRecord, prediction: Prediction, direction_state: object | None
-    ) -> None:
-        del prediction
-        branch_type = branch.branch_type
-
-        if branch_type.is_conditional and direction_state is not None:
-            self.direction.update(direction_state, branch.taken, ip=branch.ip)
-            self.history.record_conditional(branch.taken)
-
-        if branch.taken:
-            self._last_update = self._update_btb(branch)
-            if branch_type.is_direct:
-                # Taken direct branches/calls feed the BHB (paper Section II-A).
-                self.history.record_taken_branch(branch.ip, branch.target)
-        else:
-            self._last_update = None
-
-        if branch_type.is_call:
-            self.rsb.push(branch.fall_through)
-
-    def _update_btb(self, branch: BranchRecord):
-        if branch.branch_type.is_indirect and not branch.branch_type.is_return:
-            return self.btb.update(branch.ip, branch.target, self.history.bhb.snapshot())
-        if branch.branch_type.is_return:
-            # Returns are only installed via the indirect path (RSB is primary).
-            return self.btb.update(branch.ip, branch.target, self.history.bhb.snapshot())
+    def _update_btb(self, branch: BranchRecord, branch_type: BranchType | None = None):
+        branch_type = branch_type if branch_type is not None else branch.branch_type
+        if branch_type in (
+            BranchType.INDIRECT_JUMP,
+            BranchType.INDIRECT_CALL,
+            BranchType.RETURN,
+        ):
+            # Indirect branches and returns install via addressing mode 2
+            # (returns only through this path — the RSB is their primary).
+            return self.btb.update(branch.ip, branch.target, self.history.bhb.value)
         return self.btb.update(branch.ip, branch.target)
-
-    def access_with_events(self, branch: BranchRecord) -> AccessResult:
-        """Like :meth:`access` but folds the BTB-eviction event into the result."""
-        before = self.btb.eviction_count
-        result = self.access(branch)
-        result.btb_eviction = self.btb.eviction_count > before
-        result.mispredicted = not result.effective_correct
-        return result
 
     # ------------------------------------------------------------------- admin
 

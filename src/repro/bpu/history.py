@@ -100,9 +100,14 @@ class HistoryState:
 
     def record_conditional(self, taken: bool) -> None:
         self.ghr.push(taken)
-        self.outcomes.append(taken)
-        if len(self.outcomes) > self.max_outcomes:
-            del self.outcomes[: len(self.outcomes) - self.max_outcomes]
+        outcomes = self.outcomes
+        outcomes.append(taken)
+        # Trim in blocks: consumers only ever read the most recent
+        # ``max_outcomes`` entries, so deferring the front deletion keeps the
+        # per-branch cost amortised O(1) instead of shifting the whole list
+        # on every append once the cap is reached.
+        if len(outcomes) > self.max_outcomes + 256:
+            del outcomes[: len(outcomes) - self.max_outcomes]
 
     def record_taken_branch(self, ip: int, target: int) -> None:
         self.bhb.push(ip, target)

@@ -101,19 +101,54 @@ class BaselineMappingProvider(MappingProvider):
     Only :data:`BASELINE_ADDRESS_BITS` low bits of the virtual address feed
     the functions, reproducing the truncation that makes same-address-space
     collisions possible.
+
+    The address-only maps (BTB mode 1 and the 1-level PHT index) are pure
+    functions of the branch address, and hot branches repeat millions of
+    times per replay, so both are memoised per instance.  The masks/shifts
+    are precomputed once instead of being re-derived from the sizes on every
+    lookup.
     """
+
+    #: Entry bound for the per-instance memoisation of address-only maps.
+    _CACHE_LIMIT = 1 << 18
+
+    def __init__(self, sizes: StructureSizes | None = None):
+        super().__init__(sizes)
+        sizes = self.sizes
+        self._btb_offset_mask = (1 << sizes.btb_offset_bits) - 1
+        self._btb_index_mask = sizes.btb_sets - 1
+        self._btb_tag_mask = (1 << sizes.btb_tag_bits) - 1
+        self._btb_tag_shift = sizes.btb_offset_bits + sizes.btb_index_bits
+        self._pht_index_mask = sizes.pht_entries - 1
+        # The GHR fold reduces ghr_bits down to pht_index_bits; when at most
+        # two chunks are involved (the Skylake dimensions: 18 -> 14 bits) the
+        # fold collapses to one shift+xor, inlined in pht_index_2level.  The
+        # chunk mask is the fold's output width — distinct from
+        # _pht_index_mask, which only coincides with it when pht_entries is a
+        # power of two.
+        self._pht_fold_mask = (1 << sizes.pht_index_bits) - 1
+        self._ghr_two_chunk_fold = sizes.ghr_bits <= 2 * sizes.pht_index_bits
+        self._mode1_cache: dict[int, BTBLookupKey] = {}
+        self._pht1_cache: dict[int, int] = {}
 
     def _truncate(self, ip: int) -> int:
         return ip & ((1 << BASELINE_ADDRESS_BITS) - 1)
 
     def btb_mode1(self, ip: int) -> BTBLookupKey:
+        cached = self._mode1_cache.get(ip)
+        if cached is not None:
+            return cached
         sizes = self.sizes
-        ip = self._truncate(ip)
-        offset = ip & ((1 << sizes.btb_offset_bits) - 1)
-        index = (ip >> sizes.btb_offset_bits) & (sizes.btb_sets - 1)
-        tag_source = ip >> (sizes.btb_offset_bits + sizes.btb_index_bits)
+        truncated = self._truncate(ip)
+        offset = truncated & self._btb_offset_mask
+        index = (truncated >> sizes.btb_offset_bits) & self._btb_index_mask
+        tag_source = truncated >> self._btb_tag_shift
         tag = fold_bits(tag_source, BASELINE_ADDRESS_BITS, sizes.btb_tag_bits)
-        return BTBLookupKey(index=index, tag=tag, offset=offset)
+        key = BTBLookupKey(index=index, tag=tag, offset=offset)
+        if len(self._mode1_cache) >= self._CACHE_LIMIT:
+            self._mode1_cache.clear()
+        self._mode1_cache[ip] = key
+        return key
 
     def btb_mode2(self, ip: int, bhb: int) -> BTBLookupKey:
         sizes = self.sizes
@@ -121,20 +156,33 @@ class BaselineMappingProvider(MappingProvider):
         history_tag = fold_bits(bhb, sizes.bhb_bits, sizes.btb_tag_bits)
         history_index = fold_bits(bhb, sizes.bhb_bits, sizes.btb_index_bits)
         return BTBLookupKey(
-            index=(base.index ^ history_index) & (sizes.btb_sets - 1),
-            tag=(base.tag ^ history_tag) & ((1 << sizes.btb_tag_bits) - 1),
+            index=(base.index ^ history_index) & self._btb_index_mask,
+            tag=(base.tag ^ history_tag) & self._btb_tag_mask,
             offset=base.offset,
         )
 
     def pht_index_1level(self, ip: int) -> int:
-        sizes = self.sizes
-        return fold_bits(self._truncate(ip) >> 1, BASELINE_ADDRESS_BITS, sizes.pht_index_bits)
+        cached = self._pht1_cache.get(ip)
+        if cached is not None:
+            return cached
+        index = fold_bits(
+            self._truncate(ip) >> 1, BASELINE_ADDRESS_BITS, self.sizes.pht_index_bits
+        )
+        if len(self._pht1_cache) >= self._CACHE_LIMIT:
+            self._pht1_cache.clear()
+        self._pht1_cache[ip] = index
+        return index
 
     def pht_index_2level(self, ip: int, ghr: int) -> int:
-        sizes = self.sizes
-        base = self.pht_index_1level(ip)
-        history = fold_bits(ghr, sizes.ghr_bits, sizes.pht_index_bits)
-        return (base ^ history) & (sizes.pht_entries - 1)
+        base = self._pht1_cache.get(ip)
+        if base is None:
+            base = self.pht_index_1level(ip)
+        if self._ghr_two_chunk_fold:
+            ghr &= (1 << self.sizes.ghr_bits) - 1
+            history = (ghr & self._pht_fold_mask) ^ (ghr >> self.sizes.pht_index_bits)
+        else:
+            history = fold_bits(ghr, self.sizes.ghr_bits, self.sizes.pht_index_bits)
+        return (base ^ history) & self._pht_index_mask
 
     def tage_index(self, ip: int, folded_history: int, table: int, index_bits: int) -> int:
         ip = self._truncate(ip)
@@ -173,3 +221,10 @@ class IdentityTargetCodec(TargetCodec):
 
     def decode(self, stored: int) -> int:
         return stored & STORED_TARGET_MASK
+
+    def extend(self, stored: int, ip: int) -> int:
+        # Identity decode inlined: stored values were masked on encode, so the
+        # per-hit decode round-trip of the base implementation is skipped.
+        return ((ip >> STORED_TARGET_BITS) << STORED_TARGET_BITS) | (
+            stored & STORED_TARGET_MASK
+        )

@@ -53,6 +53,9 @@ class PerceptronPrediction:
 class PerceptronPredictor:
     """Table-of-perceptrons direction predictor."""
 
+    __slots__ = ("config", "name", "sizes", "mapping", "_weights",
+                 "_history_length", "_threshold", "_weight_limit")
+
     def __init__(
         self,
         config: PerceptronConfig = DEFAULT_PERCEPTRON,
@@ -67,34 +70,54 @@ class PerceptronPredictor:
         self._weights = [
             [0] * (config.history_length + 1) for _ in range(config.table_size)
         ]
+        # Per-access invariants hoisted out of the config properties.
+        self._history_length = config.history_length
+        self._threshold = config.threshold
+        self._weight_limit = config.weight_limit
 
     def _history_bits(self, history: HistoryState) -> tuple[int, ...]:
-        outcomes = history.outcomes[-self.config.history_length:]
+        length = self._history_length
+        outcomes = history.outcomes
+        if len(outcomes) >= length:
+            return tuple(1 if taken else -1 for taken in outcomes[-length:])
         bits = [1 if taken else -1 for taken in outcomes]
         # Pad older (missing) history with "not taken" so the vector length is fixed.
-        padding = [-1] * (self.config.history_length - len(bits))
-        return tuple(padding + bits)
+        return tuple([-1] * (length - len(bits)) + bits)
 
     def predict(self, ip: int, history: HistoryState) -> PerceptronPrediction:
         row = self.mapping.perceptron_index(ip, self.config.table_size)
         weights = self._weights[row]
         bits = self._history_bits(history)
-        total = weights[0] + sum(w * x for w, x in zip(weights[1:], bits))
+        total = weights[0]
+        position = 1
+        for bit in bits:
+            if bit > 0:
+                total += weights[position]
+            else:
+                total -= weights[position]
+            position += 1
         return PerceptronPrediction(taken=total >= 0, row=row, total=total, history_bits=bits)
 
     def update(self, prediction: PerceptronPrediction, taken: bool, ip: int = 0) -> None:
         del ip
-        config = self.config
-        needs_training = (prediction.taken != taken) or (abs(prediction.total) <= config.threshold)
+        needs_training = (prediction.taken != taken) or (abs(prediction.total) <= self._threshold)
         if not needs_training:
             return
         weights = self._weights[prediction.row]
         direction = 1 if taken else -1
-        limit = config.weight_limit
-        weights[0] = max(-limit - 1, min(limit, weights[0] + direction))
-        for position, bit in enumerate(prediction.history_bits, start=1):
+        limit = self._weight_limit
+        floor = -limit - 1
+        weights[0] = max(floor, min(limit, weights[0] + direction))
+        position = 1
+        for bit in prediction.history_bits:
             delta = direction * bit
-            weights[position] = max(-limit - 1, min(limit, weights[position] + delta))
+            value = weights[position] + delta
+            if value > limit:
+                value = limit
+            elif value < floor:
+                value = floor
+            weights[position] = value
+            position += 1
 
     def flush(self) -> None:
         for row in self._weights:

@@ -41,30 +41,46 @@ class SaturatingCounter:
 
 
 class PatternHistoryTable:
-    """A flat array of saturating counters addressed by an externally computed index."""
+    """A flat array of saturating counters addressed by an externally computed index.
+
+    The counters are stored as a plain list of ints rather than
+    :class:`SaturatingCounter` objects: a predictor model owns up to three
+    16k-entry tables and probes them on every conditional branch, so both
+    construction (175 models per full figure grid) and the per-access
+    predict/update calls sit on the replay hot path.  The saturation
+    semantics are identical to :class:`SaturatingCounter`.
+    """
+
+    __slots__ = ("entries", "counter_bits", "_maximum", "_midpoint", "_values")
 
     def __init__(self, entries: int, counter_bits: int = 2, initial: int | None = None):
         if entries <= 0:
             raise ValueError("entries must be positive")
         self.entries = entries
         self.counter_bits = counter_bits
-        maximum = (1 << counter_bits) - 1
-        start = initial if initial is not None else maximum // 2
-        self._counters = [SaturatingCounter(counter_bits, start) for _ in range(entries)]
+        self._maximum = (1 << counter_bits) - 1
+        self._midpoint = self._maximum // 2
+        start = initial if initial is not None else self._midpoint
+        self._values = [start] * entries
 
     def predict(self, index: int) -> bool:
-        return self._counters[index % self.entries].taken
+        return self._values[index % self.entries] > self._midpoint
 
     def counter_value(self, index: int) -> int:
-        return self._counters[index % self.entries].value
+        return self._values[index % self.entries]
 
     def update(self, index: int, taken: bool) -> None:
-        self._counters[index % self.entries].update(taken)
+        values = self._values
+        index %= self.entries
+        value = values[index]
+        if taken:
+            if value < self._maximum:
+                values[index] = value + 1
+        elif value > 0:
+            values[index] = value - 1
 
     def flush(self) -> None:
-        maximum = (1 << self.counter_bits) - 1
-        for counter in self._counters:
-            counter.value = maximum // 2
+        self._values = [self._midpoint] * self.entries
 
 
 @dataclass(slots=True)
@@ -87,6 +103,8 @@ class SKLConditionalPredictor:
     component in the chooser update).
     """
 
+    __slots__ = ("sizes", "mapping", "one_level", "two_level", "chooser")
+
     name = "SKLCond"
 
     def __init__(
@@ -102,10 +120,14 @@ class SKLConditionalPredictor:
         self.chooser = PatternHistoryTable(entries, 2, initial=1)  # weakly prefer 1-level
 
     def predict(self, ip: int, history: HistoryState) -> DirectionPrediction:
-        one_index = self.mapping.pht_index_1level(ip)
-        two_index = self.mapping.pht_index_2level(ip, history.ghr.snapshot())
+        mapping = self.mapping
+        one_index = mapping.pht_index_1level(ip)
+        two_index = mapping.pht_index_2level(ip, history.ghr.value)
         use_two_level = self.chooser.predict(one_index)
-        taken = self.two_level.predict(two_index) if use_two_level else self.one_level.predict(one_index)
+        if use_two_level:
+            taken = self.two_level.predict(two_index)
+        else:
+            taken = self.one_level.predict(one_index)
         return DirectionPrediction(
             taken=taken,
             used_two_level=use_two_level,
@@ -115,13 +137,17 @@ class SKLConditionalPredictor:
 
     def update(self, prediction: DirectionPrediction, taken: bool, ip: int = 0) -> None:
         del ip
-        one_correct = self.one_level.predict(prediction.one_level_index) == taken
-        two_correct = self.two_level.predict(prediction.two_level_index) == taken
+        one_level = self.one_level
+        two_level = self.two_level
+        one_index = prediction.one_level_index
+        two_index = prediction.two_level_index
+        one_correct = one_level.predict(one_index) == taken
+        two_correct = two_level.predict(two_index) == taken
         if one_correct != two_correct:
             # Train the chooser toward whichever component was right.
-            self.chooser.update(prediction.one_level_index, two_correct)
-        self.one_level.update(prediction.one_level_index, taken)
-        self.two_level.update(prediction.two_level_index, taken)
+            self.chooser.update(one_index, two_correct)
+        one_level.update(one_index, taken)
+        two_level.update(two_index, taken)
 
     def flush(self) -> None:
         self.one_level.flush()

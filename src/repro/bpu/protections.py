@@ -59,6 +59,11 @@ class FlushingProtectedBPU(BranchPredictorModel):
     def access(self, branch: BranchRecord) -> AccessResult:
         return self.inner.access_with_events(branch)
 
+    def access_with_events(self, branch: BranchRecord) -> AccessResult:
+        # Identical to access(); overridden to skip the base-class indirection
+        # on the per-branch hot path.
+        return self.inner.access_with_events(branch)
+
     def protection_stats(self) -> dict[str, int]:
         return {"flushes": self.flush_count}
 
@@ -170,6 +175,8 @@ class ConservativeBPU(BranchPredictorModel):
     def access(self, branch: BranchRecord) -> AccessResult:
         self._mapping.current_context = branch.context_id
         return self.inner.access_with_events(branch)
+
+    access_with_events = access
 
     def reset(self) -> None:
         self.inner.reset()

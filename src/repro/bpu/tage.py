@@ -19,7 +19,7 @@ remapping ``Rt`` is applied without touching the prediction algorithm.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.bpu.common import StructureSizes
 from repro.bpu.history import FoldedHistory, HistoryState
@@ -146,6 +146,13 @@ class TAGEPrediction:
 class TAGEPredictor:
     """Functional TAGE-SC-L direction predictor."""
 
+    __slots__ = (
+        "config", "name", "sizes", "mapping", "_bimodal", "_tables",
+        "_index_folds", "_tag_folds", "_table_index_bits", "_max_history",
+        "_ghist", "_use_alt_on_na", "_loop_table", "_sc_tables", "_sc_folds",
+        "_sc_threshold", "_access_count",
+    )
+
     def __init__(
         self,
         config: TAGEConfig = TAGE_SC_L_64KB,
@@ -168,6 +175,9 @@ class TAGEPredictor:
             _IncrementalFold(h, bits)
             for h, bits in zip(config.history_lengths, config.tag_bits)
         ]
+        self._table_index_bits = tuple(
+            (entries - 1).bit_length() for entries in config.tagged_table_entries
+        )
         self._max_history = max(config.history_lengths)
         #: Private global-history bit list (newest at the end), bounded in length.
         self._ghist: list[int] = []
@@ -176,6 +186,9 @@ class TAGEPredictor:
         self._sc_tables = [
             [0] * config.sc_table_entries for _ in config.sc_history_lengths
         ]
+        self._sc_folds = tuple(
+            FoldedHistory(length, 10) for length in config.sc_history_lengths
+        )
         self._sc_threshold = 6
         self._access_count = 0
 
@@ -190,16 +203,21 @@ class TAGEPredictor:
 
     def _compute_indices(self, ip: int, history: HistoryState) -> tuple[tuple[int, ...], tuple[int, ...]]:
         del history  # TAGE keeps its own folded history registers.
+        mapping = self.mapping
+        tage_index = mapping.tage_index
+        tage_tag = mapping.tage_tag
+        entries_per_table = self.config.tagged_table_entries
+        tag_bits = self.config.tag_bits
+        index_bits = self._table_index_bits
+        index_folds = self._index_folds
+        tag_folds = self._tag_folds
         indices = []
         tags = []
-        for table, entries in enumerate(self.config.tagged_table_entries):
-            folded_index = self._index_folds[table].value
-            folded_tag = self._tag_folds[table].value
-            index_bits = (entries - 1).bit_length()
-            index = self.mapping.tage_index(ip, folded_index, table, index_bits) % entries
-            tag = self.mapping.tage_tag(ip, folded_tag, table, self.config.tag_bits[table])
-            indices.append(index)
-            tags.append(tag)
+        for table, entries in enumerate(entries_per_table):
+            indices.append(
+                tage_index(ip, index_folds[table].value, table, index_bits[table]) % entries
+            )
+            tags.append(tage_tag(ip, tag_folds[table].value, table, tag_bits[table]))
         return tuple(indices), tuple(tags)
 
     def _push_history(self, taken: bool) -> None:
@@ -292,8 +310,7 @@ class TAGEPredictor:
             prediction.taken = prediction.loop_taken
 
     def _sc_index(self, ip: int, history: HistoryState, component: int) -> int:
-        length = self.config.sc_history_lengths[component]
-        folded = FoldedHistory(length, 10).fold(history.outcomes)
+        folded = self._sc_folds[component].fold(history.outcomes)
         mixed = (ip >> 2) ^ (folded * 3) ^ (component * 0x61)
         return mixed % self.config.sc_table_entries
 

@@ -126,6 +126,28 @@ def _cmd_figure6(args: argparse.Namespace) -> None:
     _emit(args, format_figure6(result), result)
 
 
+def _cmd_attacks(args: argparse.Namespace) -> None:
+    from repro.experiments.attacks import format_attack_matrix, run_attack_matrix
+
+    result = run_attack_matrix(
+        attacks=args.attacks if args.attacks else None,
+        models=args.models if args.models else None,
+        seed=args.seed if args.seed is not None else 7,
+        workers=args.workers,
+    )
+    _emit(args, format_attack_matrix(result), result.frame.to_dict())
+
+
+def _cmd_bench(args: argparse.Namespace) -> None:
+    from repro.bench import DEFAULT_OUTPUT, format_bench, run_bench, write_bench
+
+    output = args.output if args.output is not None else DEFAULT_OUTPUT
+    report = run_bench(quick=args.quick, workers=args.workers)
+    write_bench(report, output)
+    _emit(args, format_bench(report), report.to_dict())
+    print(f"bench artifact written to {output}")
+
+
 def _cmd_tables(args: argparse.Namespace) -> None:
     from repro.experiments.tables import format_thresholds_payload, run_tables
 
@@ -214,6 +236,26 @@ def build_parser() -> argparse.ArgumentParser:
     figure6.add_argument("--r-values", nargs="*", type=float, default=None,
                          help="difficulty factors to sweep (default: paper sweep)")
     figure6.set_defaults(handler=_cmd_figure6)
+
+    attacks = subparsers.add_parser(
+        "attacks", parents=[exec_options],
+        help="Table I attack matrix against selectable protection models")
+    attacks.add_argument("--attacks", nargs="*", default=None,
+                         help="attack names to run (default: all)")
+    attacks.add_argument("--models", nargs="*", default=None,
+                         help="registry model names to target "
+                              "(default: baseline ST_SKLCond)")
+    attacks.add_argument("--seed", type=int, default=None, help="matrix seed")
+    attacks.set_defaults(handler=_cmd_attacks)
+
+    bench = subparsers.add_parser(
+        "bench", parents=[exec_options],
+        help="time representative grids and write the BENCH_*.json artifact")
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced-scale smoke run (used by CI)")
+    bench.add_argument("--output", metavar="PATH", default=None,
+                       help="artifact path (default: BENCH_2.json)")
+    bench.set_defaults(handler=_cmd_bench)
 
     tables = subparsers.add_parser("tables", parents=[exec_options],
                                    help="Tables I/II/IV and the threshold numbers")

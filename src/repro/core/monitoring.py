@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bpu.common import AccessResult
-from repro.trace.branch import BranchRecord
+from repro.trace.branch import BranchRecord, BranchType
 
 
 @dataclass(frozen=True, slots=True)
@@ -77,10 +77,7 @@ class RerandomizationMonitor:
     def __init__(self, config: MonitorConfig = DEFAULT_MONITOR_CONFIG):
         self.config = config
         self.counters = MonitorCounters()
-        self.reload()
-        self.fired_count = 0
-        self.observed_mispredictions = 0
-        self.observed_evictions = 0
+        self.reset()
 
     def reload(self) -> None:
         """Reset every counter to its threshold (done after each firing)."""
@@ -90,6 +87,20 @@ class RerandomizationMonitor:
             self.counters.direction_remaining = self.config.direction_misprediction_threshold
         else:
             self.counters.direction_remaining = self.config.misprediction_threshold
+
+    def reset(self) -> None:
+        """Return the monitor to its power-on state.
+
+        Unlike :meth:`reload` — which only refills the down-counters and is
+        what the hardware does after each firing — ``reset`` also clears the
+        cumulative observation counters (``fired_count``,
+        ``observed_mispredictions``, ``observed_evictions``) so state cannot
+        leak across replays when a model instance is reused.
+        """
+        self.fired_count = 0
+        self.observed_mispredictions = 0
+        self.observed_evictions = 0
+        self.reload()
 
     def set_config(self, config: MonitorConfig) -> None:
         """Privileged update of the thresholds (OS writes the MSRs)."""
@@ -103,27 +114,31 @@ class RerandomizationMonitor:
             ``True`` when a counter exhausted and the ST must be re-randomized.
         """
         fire = False
+        counters = self.counters
 
         if result.btb_eviction:
             self.observed_evictions += 1
-            self.counters.evictions_remaining -= 1
-            if self.counters.evictions_remaining <= 0:
+            remaining = counters.evictions_remaining - 1
+            counters.evictions_remaining = remaining
+            if remaining <= 0:
                 fire = True
 
         if result.mispredicted:
             self.observed_mispredictions += 1
             direction_only = (
-                branch.branch_type.is_conditional
+                self.config.direction_misprediction_threshold is not None
                 and not result.direction_correct
-                and self.config.direction_misprediction_threshold is not None
+                and branch.branch_type is BranchType.CONDITIONAL
             )
             if direction_only:
-                self.counters.direction_remaining -= 1
-                if self.counters.direction_remaining <= 0:
+                remaining = counters.direction_remaining - 1
+                counters.direction_remaining = remaining
+                if remaining <= 0:
                     fire = True
             else:
-                self.counters.mispredictions_remaining -= 1
-                if self.counters.mispredictions_remaining <= 0:
+                remaining = counters.mispredictions_remaining - 1
+                counters.mispredictions_remaining = remaining
+                if remaining <= 0:
                     fire = True
 
         if fire:

@@ -131,7 +131,10 @@ class STBPU(BranchPredictorModel):
     # ------------------------------------------------------------------ access
 
     def access(self, branch: BranchRecord) -> AccessResult:
-        context = self._effective_context(branch)
+        if branch.mode is PrivilegeMode.KERNEL:
+            context = KERNEL_CONTEXT_ID
+        else:
+            context = branch.context_id
         if context != self._current_context:
             # Mode switches within a trace arrive as branch records with a
             # different privilege mode; make sure the right token is active.
@@ -144,10 +147,9 @@ class STBPU(BranchPredictorModel):
             self.rerandomize_current()
         return result
 
-    def _effective_context(self, branch: BranchRecord) -> int:
-        if branch.mode is PrivilegeMode.KERNEL:
-            return KERNEL_CONTEXT_ID
-        return branch.context_id
+    # Identical to access(); bound directly so the per-branch hot path skips
+    # the base-class forwarding indirection.
+    access_with_events = access
 
     # ------------------------------------------------------------------- hooks
 
@@ -177,12 +179,15 @@ class STBPU(BranchPredictorModel):
 
     def reset(self) -> None:
         self.inner.reset()
-        self.monitor.reload()
+        self.monitor.reset()
         self._context_tokens.clear()
         self._group_tokens.clear()
         self._current_context = 0
-        self._install_token(self._token_for_context(0))
+        # Fresh stats are installed *before* the initial token so that the
+        # install is counted, exactly as in __init__: a reset model and a
+        # freshly built one both report token_loads == 1.
         self.stats = STBPUStats()
+        self._install_token(self._token_for_context(0))
 
 
 # --------------------------------------------------------------------- factories

@@ -27,7 +27,7 @@ from repro.engine.registry import (
     register_model,
 )
 from repro.engine.results import JobRecord, ResultFrame
-from repro.engine.runner import EngineRunner, execute_job
+from repro.engine.runner import EngineRunner, attack_names, execute_job
 from repro.engine.workloads import (
     clear_trace_cache,
     resolve_smt_pairs,
@@ -48,6 +48,7 @@ __all__ = [
     "JobRecord",
     "ResultFrame",
     "EngineRunner",
+    "attack_names",
     "execute_job",
     "clear_trace_cache",
     "resolve_smt_pairs",

@@ -124,30 +124,94 @@ def _run_hashgen_job(job: Job) -> JobRecord:
     )
 
 
-def _run_attack_job(job: Job) -> JobRecord:
-    from repro.security.attacks import (
-        SpectreRSBInjection,
-        SpectreV2Injection,
-        TransientTrojanAttack,
+def _attack_spectre_v2(model, job: Job):
+    from repro.security.attacks import SpectreV2Injection
+
+    return SpectreV2Injection(model, seed=job.seed).run(attempts=job.param("attempts", 150))
+
+
+def _attack_spectre_rsb(model, job: Job):
+    from repro.security.attacks import SpectreRSBInjection
+
+    return SpectreRSBInjection(model, seed=job.seed).run(attempts=job.param("attempts", 150))
+
+
+def _attack_trojan(model, job: Job):
+    from repro.security.attacks import TransientTrojanAttack
+
+    return TransientTrojanAttack(model, seed=job.seed).run(trials=job.param("trials", 100))
+
+
+def _attack_btb_reuse(model, job: Job):
+    from repro.security.attacks import BTBReuseSideChannel
+
+    return BTBReuseSideChannel(model, seed=job.seed).run(trials=job.param("trials", 200))
+
+
+def _attack_pht_reuse(model, job: Job):
+    from repro.security.attacks import PHTReuseSideChannel
+
+    return PHTReuseSideChannel(model, seed=job.seed).run(
+        secret_bits=job.param("secret_bits", 128))
+
+
+def _attack_btb_eviction(model, job: Job):
+    from repro.security.attacks import BTBEvictionSideChannel
+
+    return BTBEvictionSideChannel(model, seed=job.seed).run(trials=job.param("trials", 100))
+
+
+def _attack_rsb_overflow(model, job: Job):
+    from repro.security.attacks import RSBOverflowAttack
+
+    return RSBOverflowAttack(model, seed=job.seed).run(trials=job.param("trials", 100))
+
+
+def _attack_dos(model, job: Job):
+    from repro.security.attacks import BPUDenialOfService
+
+    return BPUDenialOfService(model, seed=job.seed).run(
+        rounds=job.param("rounds", 50),
+        hot_branch_count=job.param("hot_branch_count", 32),
+        attacker_branches_per_round=job.param("attacker_branches_per_round", 512),
     )
 
+
+#: Attack scenarios runnable as ``kind="attack"`` jobs (the paper's Table I
+#: vectors), keyed by the name used in the job's ``attack`` parameter.
+_ATTACKS = {
+    "spectre_v2": _attack_spectre_v2,
+    "spectre_rsb": _attack_spectre_rsb,
+    "trojan": _attack_trojan,
+    "btb_reuse": _attack_btb_reuse,
+    "pht_reuse": _attack_pht_reuse,
+    "btb_eviction": _attack_btb_eviction,
+    "rsb_overflow": _attack_rsb_overflow,
+    "dos": _attack_dos,
+}
+
+
+def attack_names() -> list[str]:
+    """Names of all attack scenarios the engine can dispatch, sorted."""
+    return sorted(_ATTACKS)
+
+
+def _run_attack_job(job: Job) -> JobRecord:
     attack_name = job.param("attack")
+    try:
+        attack = _ATTACKS[attack_name]
+    except KeyError:
+        known = ", ".join(attack_names())
+        raise ValueError(
+            f"unknown attack {attack_name!r}; known attacks: {known}"
+        ) from None
     model = build_model(job.model, seed=job.seed)
-    if attack_name == "spectre_v2":
-        outcome = SpectreV2Injection(model, seed=job.seed).run(
-            attempts=job.param("attempts", 150))
-    elif attack_name == "spectre_rsb":
-        outcome = SpectreRSBInjection(model, seed=job.seed).run(
-            attempts=job.param("attempts", 150))
-    elif attack_name == "trojan":
-        outcome = TransientTrojanAttack(model, seed=job.seed).run(
-            trials=job.param("trials", 100))
-    else:
-        raise ValueError(f"unknown attack {attack_name!r}")
+    outcome = attack(model, job)
     metrics = {
         "success_metric": outcome.success_metric,
         "success": float(outcome.success),
         "attempts": float(outcome.attempts),
+        "protected": float(outcome.protected),
     }
     return JobRecord(
         index=job.index, kind=job.kind, model=job.model_label,
@@ -239,11 +303,19 @@ class EngineRunner:
             return None
 
     @staticmethod
-    def _prewarm_traces(jobs: Sequence[Job]) -> None:
-        """Generate each distinct trace once in the parent before forking."""
+    def _prewarm_traces(jobs: Sequence[Job]) -> int:
+        """Generate each distinct trace once in the parent before forking.
+
+        Returns the total branch volume the jobs will replay (every job
+        counts its full trace length, warm-up included), which the bench
+        command reports as throughput.
+        """
+        branches = 0
         for job in jobs:
             if job.kind not in ("trace", "cpu", "smt") or job.workload is None:
                 continue
             names = job.workload if isinstance(job.workload, tuple) else (job.workload,)
             for name in names:
                 trace_for(name, job.branch_count, job.trace_seed)
+                branches += job.branch_count
+        return branches

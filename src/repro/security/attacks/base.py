@@ -16,8 +16,6 @@ import random
 from dataclasses import dataclass, field
 
 from repro.bpu.common import AccessResult, BranchPredictorModel
-from repro.bpu.composite import CompositeBPU
-from repro.core.stbpu import STBPU
 from repro.trace.branch import BranchRecord, BranchType, PrivilegeMode
 
 #: Default context identifiers used across the attack simulations.
@@ -66,7 +64,14 @@ def make_branch(
 
 
 class AttackHarness:
-    """Runs attacker/victim accesses against one predictor model and keeps score."""
+    """Runs attacker/victim accesses against one predictor model and keeps score.
+
+    The harness speaks only the uniform
+    :class:`~repro.bpu.common.BranchPredictorModel` protocol —
+    ``access_with_events()`` for accesses and ``protection_stats()`` for
+    protection-mechanism counters — so any registry-registered protection
+    scheme is scored correctly, not just the built-in concrete classes.
+    """
 
     def __init__(self, model: BranchPredictorModel, seed: int = 0):
         self.model = model
@@ -75,19 +80,31 @@ class AttackHarness:
 
     @property
     def is_protected(self) -> bool:
-        return isinstance(self.model, STBPU)
+        """Whether the model implements any protection mechanism.
+
+        A protection scheme advertises itself by reporting counters from
+        :meth:`~repro.bpu.common.BranchPredictorModel.protection_stats`;
+        unprotected predictors report none.
+        """
+        return bool(self.model.protection_stats())
+
+    @property
+    def randomizes_tokens(self) -> bool:
+        """Whether the model re-randomizes secret tokens (STBPU-style).
+
+        Token-based schemes key their mappings and encrypt stored targets, so
+        attacks that must plant a *specific* value switch strategy against
+        them (the planted value decrypts with a token the attacker cannot
+        know).
+        """
+        return "rerandomizations" in self.model.protection_stats()
 
     def _rerandomization_count(self) -> int:
-        if isinstance(self.model, STBPU):
-            return self.model.stats.rerandomizations
-        return 0
+        return int(self.model.protection_stats().get("rerandomizations", 0))
 
     def _access(self, branch: BranchRecord) -> AccessResult:
         before = self._rerandomization_count()
-        if isinstance(self.model, (CompositeBPU,)):
-            result = self.model.access_with_events(branch)
-        else:
-            result = self.model.access(branch)
+        result = self.model.access_with_events(branch)
         after = self._rerandomization_count()
         if after > before:
             self.observation.rerandomizations += after - before

@@ -51,11 +51,14 @@ class SpectreV2Injection:
         successes = 0
         first_success_attempt = 0
         for attempt in range(1, attempts + 1):
-            # Under STBPU the attacker cannot compute which stored value decrypts
-            # to the gadget, so the best strategy is varying the trained target.
+            # Under token-based protection the attacker cannot compute which
+            # stored value decrypts to the gadget, so the best strategy is
+            # varying the trained target; against flushing-style schemes the
+            # gadget address can still be planted directly.
             trained_target = (
-                gadget_address if not self.harness.is_protected
-                else (gadget_address ^ self.rng.getrandbits(32))
+                (gadget_address ^ self.rng.getrandbits(32))
+                if self.harness.randomizes_tokens
+                else gadget_address
             )
             self.harness.attacker_access(
                 make_branch(branch_ip, trained_target,

@@ -1,0 +1,38 @@
+"""Process-wide switch between the columnar fast path and the per-item path.
+
+The simulators keep two equivalent replay implementations: the columnar fast
+path (pre-decoded :class:`~repro.trace.branch.TraceColumns`, local-bound inner
+loops) used by default, and the straightforward per-item reference loop kept
+for differential testing.  The parity tests flip this switch to assert both
+paths produce byte-identical result frames; there is no reason to disable the
+fast path in normal operation.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_ENABLED = True
+
+
+def fast_path_enabled() -> bool:
+    """Whether simulators should take the columnar fast path."""
+    return _ENABLED
+
+
+def set_fast_path(enabled: bool) -> None:
+    """Globally enable/disable the columnar fast path (tests only)."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+@contextmanager
+def forced_fast_path(enabled: bool) -> Iterator[None]:
+    """Temporarily force the fast path on or off."""
+    previous = _ENABLED
+    set_fast_path(enabled)
+    try:
+        yield
+    finally:
+        set_fast_path(previous)

@@ -8,19 +8,23 @@ the cycle accounting splits the core's ideal throughput between the threads
 and charges each thread its own misprediction penalties.  Throughput is
 summarised with the harmonic mean of the per-thread IPCs, the metric the
 paper adopts for equally weighted workloads.
+
+Like :class:`~repro.sim.bpu_sim.TraceSimulator`, the co-run loop replays the
+merged trace's columnar view by default (pre-split branch runs, pre-decoded
+per-branch flags) and keeps the per-item reference loop for parity testing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.bpu.common import AccessResult, BranchPredictorModel, PredictorStats
+from repro.bpu.common import BranchPredictorModel, PredictorStats
+from repro.sim import fastpath
+from repro.sim.bpu_sim import dispatch_event
 from repro.sim.config import CPUConfig, SimulationLengths, TABLE_IV_CONFIG
 from repro.sim.metrics import PerformanceReport, harmonic_mean
 from repro.trace.branch import (
     BranchRecord,
-    EventKind,
-    PrivilegeMode,
     Trace,
     TraceEvent,
     merge_round_robin,
@@ -66,14 +70,56 @@ class SMTSimulator:
         self.quantum = quantum
 
     def _dispatch_event(self, model: BranchPredictorModel, event: TraceEvent) -> None:
-        if event.kind is EventKind.CONTEXT_SWITCH:
-            model.on_context_switch(event.context_id)
-        elif event.kind is EventKind.MODE_SWITCH_ENTER_KERNEL:
-            model.on_mode_switch(PrivilegeMode.KERNEL, event.context_id)
-        elif event.kind is EventKind.MODE_SWITCH_EXIT_KERNEL:
-            model.on_mode_switch(PrivilegeMode.USER, event.context_id)
-        elif event.kind is EventKind.INTERRUPT:
-            model.on_interrupt(event.context_id)
+        dispatch_event(model, event)
+
+    def _coreplay_items(
+        self,
+        model: BranchPredictorModel,
+        merged: Trace,
+        thread_offset: int,
+        per_thread_stats: tuple[PredictorStats, PredictorStats],
+    ) -> None:
+        """Reference per-item co-run loop (kept for differential testing)."""
+        warmup = self.lengths.warmup_branches
+        seen = [0, 0]
+        for item in merged:
+            if isinstance(item, TraceEvent):
+                dispatch_event(model, item)
+                continue
+            thread = 0 if item.context_id < thread_offset else 1
+            result = model.access_with_events(item)
+            seen[thread] += 1
+            if seen[thread] > warmup:
+                per_thread_stats[thread].record(result, item)
+
+    def _coreplay_columnar(
+        self,
+        model: BranchPredictorModel,
+        merged: Trace,
+        thread_offset: int,
+        per_thread_stats: tuple[PredictorStats, PredictorStats],
+    ) -> None:
+        """Columnar co-run loop, equivalent to :meth:`_coreplay_items`."""
+        columns = merged.columns()
+        branches = columns.branches
+        takens = columns.takens
+        conditionals = columns.conditionals
+        context_ids = columns.context_ids
+        access = model.access_with_events
+        warmup = self.lengths.warmup_branches
+        seen = [0, 0]
+        for start, stop, event in columns.segments:
+            for index in range(start, stop):
+                result = access(branches[index])
+                thread = 0 if context_ids[index] < thread_offset else 1
+                count = seen[thread] + 1
+                seen[thread] = count
+                if count > warmup:
+                    per_thread_stats[thread].record_outcome(
+                        result, conditionals[index], takens[index]
+                    )
+            if event is not None:
+                dispatch_event(model, event)
 
     def run(
         self,
@@ -99,18 +145,11 @@ class SMTSimulator:
             name=f"{trace_a.name}+{trace_b.name}",
         )
 
-        warmup = self.lengths.warmup_branches
         per_thread_stats = (PredictorStats(), PredictorStats())
-        seen = [0, 0]
-        for item in merged:
-            if isinstance(item, TraceEvent):
-                self._dispatch_event(model, item)
-                continue
-            thread = 0 if item.context_id < thread_offset else 1
-            result: AccessResult = model.access_with_events(item)
-            seen[thread] += 1
-            if seen[thread] > warmup:
-                per_thread_stats[thread].record(result, item)
+        if fastpath.fast_path_enabled():
+            self._coreplay_columnar(model, merged, thread_offset, per_thread_stats)
+        else:
+            self._coreplay_items(model, merged, thread_offset, per_thread_stats)
 
         reports = tuple(
             self._performance(model.name, trace.name, stats)

@@ -10,6 +10,7 @@ from repro.trace.branch import (
     EventKind,
     PrivilegeMode,
     Trace,
+    TraceColumns,
     TraceEvent,
     merge_round_robin,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "EventKind",
     "PrivilegeMode",
     "Trace",
+    "TraceColumns",
     "TraceEvent",
     "merge_round_robin",
     "WorkloadProfile",

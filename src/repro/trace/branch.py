@@ -157,6 +157,62 @@ TraceItem = BranchRecord | TraceEvent
 
 
 @dataclass(slots=True)
+class TraceColumns:
+    """Columnar view of a trace: branches and events pre-split and pre-decoded.
+
+    The replay hot path (millions of branches per grid) pays for per-item
+    ``isinstance`` dispatch and attribute/property chasing when it iterates a
+    :class:`Trace` directly.  ``TraceColumns`` does that decoding exactly once
+    per trace:
+
+    * ``branches`` holds only the branch records, in program order;
+    * ``segments`` encodes the original interleaving as ``(start, stop,
+      event)`` runs — replay ``branches[start:stop]``, then dispatch ``event``
+      (``None`` for the final run); and
+    * the parallel ``ips``/``targets``/``takens``/``conditionals``/
+      ``context_ids`` arrays carry the per-branch fields the simulators read
+      per access, as plain ints/bools.
+
+    Columns are derived data: build them with :meth:`Trace.columns`, which
+    caches per trace and rebuilds when the item count changes.
+    """
+
+    item_count: int
+    branches: list[BranchRecord]
+    segments: list[tuple[int, int, TraceEvent | None]]
+    ips: list[int]
+    targets: list[int]
+    takens: list[bool]
+    conditionals: list[bool]
+    context_ids: list[int]
+
+    @classmethod
+    def from_items(cls, items: Sequence[TraceItem]) -> "TraceColumns":
+        branches: list[BranchRecord] = []
+        segments: list[tuple[int, int, TraceEvent | None]] = []
+        start = 0
+        append_branch = branches.append
+        conditional = BranchType.CONDITIONAL
+        for item in items:
+            if item.__class__ is TraceEvent:
+                segments.append((start, len(branches), item))
+                start = len(branches)
+            else:
+                append_branch(item)
+        segments.append((start, len(branches), None))
+        return cls(
+            item_count=len(items),
+            branches=branches,
+            segments=segments,
+            ips=[b.ip for b in branches],
+            targets=[b.target for b in branches],
+            takens=[b.taken for b in branches],
+            conditionals=[b.branch_type is conditional for b in branches],
+            context_ids=[b.context_id for b in branches],
+        )
+
+
+@dataclass(slots=True)
 class Trace:
     """An ordered stream of branch records and OS events.
 
@@ -167,12 +223,21 @@ class Trace:
 
     items: list[TraceItem] = field(default_factory=list)
     name: str = "trace"
+    _columns: TraceColumns | None = field(default=None, repr=False, compare=False)
 
     def append(self, item: TraceItem) -> None:
         self.items.append(item)
 
     def extend(self, items: Iterable[TraceItem]) -> None:
         self.items.extend(items)
+
+    def columns(self) -> TraceColumns:
+        """The cached columnar view; rebuilt when the item count changed."""
+        columns = self._columns
+        if columns is None or columns.item_count != len(self.items):
+            columns = TraceColumns.from_items(self.items)
+            self._columns = columns
+        return columns
 
     def __len__(self) -> int:
         return len(self.items)

@@ -7,6 +7,7 @@ from repro.core.monitoring import MonitorConfig, RerandomizationMonitor, thresho
 from repro.core.os_interface import STBPUOperatingSystem
 from repro.core.stbpu import KERNEL_CONTEXT_ID, make_stbpu_skl, make_stbpu_tage
 from repro.bpu.tage import TAGE_SC_L_8KB
+from repro.sim.bpu_sim import TraceSimulator
 from repro.trace.branch import BranchRecord, BranchType, PrivilegeMode
 
 
@@ -56,6 +57,24 @@ class TestRerandomizationMonitor:
         assert monitor.observe(branch, _result(mispredicted=True))
         assert monitor.fired_count == 1
         # Counter reloads after firing.
+        assert monitor.counters.mispredictions_remaining == 3
+
+    def test_reset_clears_cumulative_counters_reload_does_not(self):
+        monitor = RerandomizationMonitor(MonitorConfig(3, 100))
+        branch = _branch(btype=BranchType.INDIRECT_JUMP)
+        for _ in range(3):
+            monitor.observe(branch, _result(mispredicted=True, eviction=True))
+        assert monitor.fired_count == 1
+        assert monitor.observed_mispredictions == 3
+        assert monitor.observed_evictions == 3
+        # reload() is the post-firing hardware action: thresholds only.
+        monitor.reload()
+        assert monitor.observed_mispredictions == 3
+        # reset() is the power-on action: observations clear too.
+        monitor.reset()
+        assert monitor.fired_count == 0
+        assert monitor.observed_mispredictions == 0
+        assert monitor.observed_evictions == 0
         assert monitor.counters.mispredictions_remaining == 3
 
     def test_fires_on_eviction_threshold(self):
@@ -148,6 +167,50 @@ class TestSTBPU:
         model.reset()
         assert model.stats.rerandomizations == 0
         assert not model.access(_branch()).btb_hit
+
+    def test_reset_model_reports_same_protection_stats_as_fresh_build(self):
+        # Regression: reset() used to install the initial token *before*
+        # replacing self.stats, so a reset model reported token_loads == 0
+        # while a fresh one reported 1.
+        fresh = make_stbpu_skl(seed=3)
+        reused = make_stbpu_skl(seed=3)
+        for index in range(50):
+            reused.access(_branch(ip=0x40_0000 + index * 64, ctx=index % 3))
+        reused.on_context_switch(2)
+        reused.reset()
+        assert reused.protection_stats() == fresh.protection_stats()
+        assert reused.stats.token_loads == 1
+
+    def test_reset_model_replays_like_fresh_build(self, small_apache_trace):
+        # Token *values* after a reset are fresh random draws by design, but
+        # the protection counters visible to an experiment — token loads and
+        # contexts seen are functions of the trace's context/mode structure
+        # alone — must match a cold start exactly.  Thresholds are set high
+        # enough that no token-dependent re-randomization fires.
+        config = MonitorConfig(10**9, 10**9, None)
+        fresh = make_stbpu_skl(seed=9, monitor_config=config)
+        reused = make_stbpu_skl(seed=9, monitor_config=config)
+        simulator = TraceSimulator()
+        simulator.run(reused, small_apache_trace)
+        reused.reset()
+
+        fresh_result = simulator.run(fresh, small_apache_trace)
+        reused_result = simulator.run(reused, small_apache_trace)
+        assert fresh.protection_stats() == reused.protection_stats()
+        assert fresh_result.stats.branches == reused_result.stats.branches
+
+    def test_reset_clears_monitor_observation_counters(self):
+        # Regression: STBPU.reset() only reloaded the monitor's threshold
+        # counters, so fired_count / observed_* leaked across replays.
+        model = make_stbpu_skl(seed=3, monitor_config=MonitorConfig(2, 2, None))
+        for index in range(2000):
+            model.access(_branch(ip=0x40_0000 + index * 64,
+                                 btype=BranchType.INDIRECT_JUMP))
+        assert model.monitor.observed_mispredictions > 0
+        model.reset()
+        assert model.monitor.fired_count == 0
+        assert model.monitor.observed_mispredictions == 0
+        assert model.monitor.observed_evictions == 0
 
 
 class TestOperatingSystem:

@@ -159,6 +159,61 @@ class TestRunner:
         record = execute_job(job)
         assert record.workload == "spectre_v2"
         assert record.metrics["success_metric"] > 0.9
+        assert record.metrics["protected"] == 0.0
+
+    @pytest.mark.parametrize("attack,params", [
+        ("spectre_rsb", (("attempts", 20),)),
+        ("trojan", (("trials", 10),)),
+        ("btb_reuse", (("trials", 20),)),
+        ("pht_reuse", (("secret_bits", 16),)),
+        ("btb_eviction", (("trials", 8),)),
+        ("rsb_overflow", (("trials", 8),)),
+        ("dos", (("rounds", 3), ("attacker_branches_per_round", 64),
+                 ("hot_branch_count", 8))),
+    ])
+    def test_every_registered_attack_dispatches(self, attack, params):
+        job = Job(
+            index=0, kind="attack", model=ModelSpec.of("baseline", label="unprot"),
+            seed=3, params=tuple(sorted((("attack", attack),) + params)),
+        )
+        record = execute_job(job)
+        assert record.workload == attack
+        for key in ("success_metric", "success", "attempts", "protected"):
+            assert key in record.metrics
+
+    def test_unknown_attack_name_is_rejected(self):
+        job = Job(
+            index=0, kind="attack", model=ModelSpec.of("baseline"),
+            seed=3, params=(("attack", "nonexistent"),),
+        )
+        with pytest.raises(ValueError, match="unknown attack"):
+            execute_job(job)
+
+    def test_attack_matrix_scores_protection_schemes(self):
+        from repro.engine import attack_names
+        from repro.experiments.attacks import attack_matrix_jobs, run_attack_matrix
+
+        assert set(attack_names()) == {
+            "spectre_v2", "spectre_rsb", "trojan", "btb_reuse", "pht_reuse",
+            "btb_eviction", "rsb_overflow", "dos",
+        }
+        result = run_attack_matrix(
+            attacks=["spectre_v2"], models=["baseline", "ST_SKLCond",
+                                            "ucode_protection_2"],
+        )
+        frame = result.frame
+        # Uniform protocol: flushing protection is scored as protected even
+        # though it is not an STBPU subclass (previously isinstance-dispatch
+        # treated it as unprotected).
+        assert frame.metric("ucode_protection_2", "spectre_v2", "protected") == 1.0
+        assert frame.metric("ST_SKLCond", "spectre_v2", "protected") == 1.0
+        assert frame.metric("baseline", "spectre_v2", "protected") == 0.0
+        assert frame.metric("baseline", "spectre_v2", "success") == 1.0
+        assert frame.metric("ST_SKLCond", "spectre_v2", "success") == 0.0
+        # Job expansion is deterministic and parallel-safe by construction.
+        jobs_a = attack_matrix_jobs(attacks=["spectre_v2"], models=["baseline"])
+        jobs_b = attack_matrix_jobs(attacks=["spectre_v2"], models=["baseline"])
+        assert jobs_a == jobs_b
 
     def test_duplicate_result_cells_are_rejected(self):
         from repro.engine import JobRecord, ResultFrame

@@ -1,0 +1,57 @@
+"""Tests for the replay-throughput bench command and its JSON artifact."""
+
+import json
+
+from repro.bench import (
+    BENCH_SEQUENCE,
+    PR1_BASELINE_SECONDS,
+    bench_grids,
+    format_bench,
+    run_bench,
+    write_bench,
+)
+from repro.cli import main
+
+
+class TestBenchGrids:
+    def test_every_grid_has_a_recorded_baseline(self):
+        for quick in (True, False):
+            mode = "quick" if quick else "full"
+            for name in bench_grids(quick):
+                assert f"{name}.{mode}" in PR1_BASELINE_SECONDS
+
+    def test_quick_grids_are_smaller(self):
+        quick = {name: len(grid.jobs()) for name, grid in bench_grids(True).items()}
+        full = {name: len(grid.jobs()) for name, grid in bench_grids(False).items()}
+        assert set(quick) == set(full) == {"figure3", "cpu", "smt"}
+        assert all(quick[name] <= full[name] for name in quick)
+
+
+class TestBenchRun:
+    def test_quick_bench_artifact_structure(self, tmp_path):
+        report = run_bench(quick=True)
+        path = tmp_path / "BENCH_test.json"
+        write_bench(report, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["format"] == BENCH_SEQUENCE
+        assert payload["mode"] == "quick"
+        assert set(payload["benches"]) == {"figure3", "cpu", "smt"}
+        figure3 = payload["benches"]["figure3"]
+        assert figure3["jobs"] == 20
+        assert figure3["seconds"] > 0
+        assert figure3["branches_per_second"] > 0
+        assert len(figure3["result_sha256"]) == 64
+        # The speedup against the recorded pre-columnar baseline is tracked.
+        assert "speedup" in figure3
+        assert figure3["baseline_seconds"] == PR1_BASELINE_SECONDS["figure3.quick"]
+        # Rendering never fails on a populated report.
+        assert "figure3" in format_bench(report)
+
+    def test_cli_bench_writes_artifact(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_cli.json"
+        assert main(["bench", "--quick", "--output", str(output)]) == 0
+        assert output.exists()
+        captured = capsys.readouterr()
+        assert "bench artifact written" in captured.out
+        payload = json.loads(output.read_text())
+        assert payload["mode"] == "quick"
