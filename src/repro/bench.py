@@ -26,7 +26,15 @@ import json
 import time
 from dataclasses import dataclass, field
 
-from repro.engine import EngineRunner, ExperimentScale, SimulationGrid, resolve_workloads
+from repro.engine import (
+    EngineRunner,
+    ExperimentScale,
+    ExperimentSpec,
+    Option,
+    SimulationGrid,
+    register_experiment,
+    resolve_workloads,
+)
 from repro.experiments.figure3 import figure3_grid
 from repro.trace.workloads import GEM5_SMT_PAIRS
 
@@ -193,6 +201,30 @@ def write_bench(report: BenchReport, path: str = DEFAULT_OUTPUT) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def _bench_execute(params: dict, workers: int = 1, progress=None) -> BenchReport:
+    report = run_bench(quick=params["quick"], workers=workers)
+    write_bench(report, params["output"] or DEFAULT_OUTPUT)
+    return report
+
+
+register_experiment(ExperimentSpec(
+    name="bench",
+    description="time representative grids and write the BENCH_*.json artifact",
+    kind="bench",
+    options=(
+        Option("quick", action="store_true",
+               help="reduced-scale smoke run (used by CI)"),
+        Option("output", metavar="PATH", default=None,
+               help=f"artifact path (default: {DEFAULT_OUTPUT})"),
+    ),
+    execute=_bench_execute,
+    formatter=lambda report: format_bench(report),
+    serializer=lambda report: report.to_dict(),
+    epilogue=lambda report, params: (
+        f"bench artifact written to {params['output'] or DEFAULT_OUTPUT}"),
+))
 
 
 def format_bench(report: BenchReport) -> str:

@@ -1,56 +1,49 @@
 """``python -m repro`` — command-line front end for the simulation engine.
 
-Every experiment driver is exposed as a subcommand declared on the engine::
+Every subcommand, its ``--help`` text, and its options are generated from the
+experiment registry (:mod:`repro.engine.spec`); there are no hand-written
+per-experiment argparse blocks.  The canonical entry point is::
 
-    python -m repro figure3 --workers 4 --scale fast
-    python -m repro figure6 --workload-limit 2 --json out.json
-    python -m repro list-models
+    python -m repro run figure3 --workers 4 --scale fast
+    python -m repro run my_sweep.json --workers 8        # scenario file
+    python -m repro run sweeps/rerand.toml
+
+with every experiment name also kept as a top-level alias
+(``python -m repro figure3`` ≡ ``python -m repro run figure3``).
 
 Shared options: ``--workers`` (process-pool size; results are bit-identical
-to serial runs), ``--scale`` (fidelity preset), ``--seed``,
-``--workload-limit``, ``--branches``/``--warmup`` (preset overrides) and
-``--json PATH`` (dump the result dataclasses as JSON).
+to serial runs), ``--progress`` (stream per-job completions to stderr),
+``--scale`` (fidelity preset), ``--seed``, ``--workload-limit``,
+``--branches``/``--warmup`` (preset overrides) and ``--json PATH`` (dump the
+result inside a versioned ``{"schema", "spec", "result"}`` envelope).
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
 import os
 import sys
 from typing import Any, Callable
 
-from repro.engine import ExperimentScale, list_models, resolve_workloads
-from repro.trace.workloads import list_workloads
-
-#: Fidelity presets selectable with ``--scale``.
-SCALE_PRESETS: dict[str, ExperimentScale] = {
-    "fast": ExperimentScale(branch_count=4_000, warmup_branches=400),
-    "default": ExperimentScale(),
-    "full": ExperimentScale(branch_count=60_000, warmup_branches=6_000),
-}
-
-
-def _build_scale(args: argparse.Namespace) -> ExperimentScale:
-    preset = SCALE_PRESETS[args.scale]
-    return ExperimentScale(
-        branch_count=args.branches if args.branches is not None else preset.branch_count,
-        warmup_branches=args.warmup if args.warmup is not None else preset.warmup_branches,
-        seed=args.seed if args.seed is not None else preset.seed,
-        workload_limit=args.workload_limit,
-    )
+from repro.engine import (
+    SCALE_PRESETS,
+    ExperimentSpec,
+    format_scenario,
+    list_experiments,
+    load_builtin_specs,
+    load_scenario,
+    run_experiment,
+    run_scenario,
+    scenario_envelope,
+)
 
 
-def _emit(args: argparse.Namespace, text: str, result: Any) -> None:
+def _emit(args: argparse.Namespace, text: str, payload: Any) -> None:
     # Write the JSON artifact before printing: if stdout is a pipe that closes
     # early (| head), the file must still exist.
     json_path = getattr(args, "json", None)
     if json_path:
-        if dataclasses.is_dataclass(result) and not isinstance(result, type):
-            payload = dataclasses.asdict(result)
-        else:
-            payload = result
         with open(json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True, default=str)
             handle.write("\n")
@@ -59,228 +52,118 @@ def _emit(args: argparse.Namespace, text: str, result: Any) -> None:
         print(f"JSON written to {json_path}")
 
 
-def _cmd_figure2(args: argparse.Namespace) -> None:
-    from repro.experiments.figure2 import format_figure2, run_figure2
+def _progress_printer() -> Callable:
+    """Per-job completion lines on stderr (completion order, timings included)."""
+    def progress(done: int, total: int, record) -> None:
+        what = " ".join(part for part in (record.model, record.workload) if part)
+        print(f"[{done}/{total}] {record.kind} {what} "
+              f"({record.seconds * 1000.0:.0f} ms)", file=sys.stderr)
+    return progress
 
-    result = run_figure2(
-        attempts_per_function=args.attempts,
-        seed=args.seed if args.seed is not None else 0,
-        workers=args.workers,
+
+def _cmd_experiment(args: argparse.Namespace) -> None:
+    """Generic handler: every registered experiment dispatches through here."""
+    spec: ExperimentSpec = args.spec
+    # argparse already applied the option defaults; run_experiment does the
+    # one and only merged_params pass (seed defaulting, unknown-key checks).
+    params = {option.dest: getattr(args, option.dest)
+              for option in spec.cli_options()}
+    if spec.note is not None:
+        note = spec.note(params)
+        if note:
+            print(note, file=sys.stderr)
+    progress = _progress_printer() if getattr(args, "progress", False) else None
+    result = run_experiment(
+        spec, params, workers=getattr(args, "workers", 1), progress=progress
     )
-    _emit(args, format_figure2(result), result)
+    _emit(args, spec.formatter(result), spec.serialize(result))
+    if spec.epilogue is not None:
+        line = spec.epilogue(result, params)
+        if line:
+            print(line)
 
 
-def _cmd_figure3(args: argparse.Namespace) -> None:
-    from repro.experiments.figure3 import format_figure3, run_figure3
-
-    result = run_figure3(
-        scale=_build_scale(args),
-        workloads=resolve_workloads(args.workloads) if args.workloads else None,
-        workers=args.workers,
-    )
-    _emit(args, format_figure3(result), result)
-
-
-def _cmd_figure4(args: argparse.Namespace) -> None:
-    from repro.experiments.figure4 import format_figure4, run_figure4
-
-    result = run_figure4(
-        scale=_build_scale(args),
-        predictors=args.predictors if args.predictors else None,
-        workers=args.workers,
-    )
-    _emit(args, format_figure4(result), result)
-
-
-def _cmd_figure5(args: argparse.Namespace) -> None:
-    from repro.experiments.figure5 import format_figure5, run_figure5
-
-    result = run_figure5(
-        scale=_build_scale(args),
-        predictors=args.predictors if args.predictors else None,
-        workers=args.workers,
-    )
-    _emit(args, format_figure5(result), result)
-
-
-def _cmd_figure6(args: argparse.Namespace) -> None:
-    from repro.experiments.figure6 import (
-        DEFAULT_R_SWEEP,
-        FIGURE6_DEFAULT_PAIR_LIMIT,
-        format_figure6,
-        run_figure6,
-    )
-    from repro.trace.workloads import GEM5_SMT_PAIRS
-
-    r_values = tuple(args.r_values) if args.r_values else DEFAULT_R_SWEEP
-    scale = _build_scale(args)
-    if args.workload_limit is None:
-        scale.workload_limit = FIGURE6_DEFAULT_PAIR_LIMIT
-        print(
-            f"note: averaging over the first {scale.workload_limit} of "
-            f"{len(GEM5_SMT_PAIRS)} SMT pairs; pass --workload-limit "
-            f"{len(GEM5_SMT_PAIRS)} for the full sweep",
-            file=sys.stderr,
+def _cmd_run_scenario(args: argparse.Namespace) -> None:
+    """``run <path>.json|.toml`` — execute a user-authored scenario file."""
+    target = args.target
+    if not os.path.exists(target):
+        raise ValueError(
+            f"{target!r} is neither a registered experiment nor a scenario "
+            f"file; experiments: {', '.join(spec.name for spec in list_experiments())}"
         )
-    result = run_figure6(scale=scale, r_values=r_values, workers=args.workers)
-    _emit(args, format_figure6(result), result)
+    scenario = load_scenario(target)
+    progress = _progress_printer() if args.progress else None
+    result = run_scenario(scenario, workers=args.workers, progress=progress)
+    _emit(args, format_scenario(result), scenario_envelope(result))
 
 
-def _cmd_attacks(args: argparse.Namespace) -> None:
-    from repro.experiments.attacks import format_attack_matrix, run_attack_matrix
-
-    result = run_attack_matrix(
-        attacks=args.attacks if args.attacks else None,
-        models=args.models if args.models else None,
-        seed=args.seed if args.seed is not None else 7,
-        workers=args.workers,
-    )
-    _emit(args, format_attack_matrix(result), result.frame.to_dict())
-
-
-def _cmd_bench(args: argparse.Namespace) -> None:
-    from repro.bench import DEFAULT_OUTPUT, format_bench, run_bench, write_bench
-
-    output = args.output if args.output is not None else DEFAULT_OUTPUT
-    report = run_bench(quick=args.quick, workers=args.workers)
-    write_bench(report, output)
-    _emit(args, format_bench(report), report.to_dict())
-    print(f"bench artifact written to {output}")
-
-
-def _cmd_tables(args: argparse.Namespace) -> None:
-    from repro.experiments.tables import format_thresholds_payload, run_tables
-
-    result = run_tables(workers=args.workers)
-    lines = []
-    for name in ("table1", "table2", "table4"):
-        lines.append(f"{name}:")
-        lines.append(json.dumps(result[name], indent=2, default=str))
-    lines.append(format_thresholds_payload(result["thresholds"]))
-    _emit(args, "\n".join(lines), result)
-
-
-def _cmd_ablation(args: argparse.Namespace) -> None:
-    from repro.experiments.ablation import format_ablation, run_ablation
-
-    scale = _build_scale(args)
-    result = run_ablation(scale=scale, workload=args.workload, workers=args.workers)
-    _emit(args, format_ablation(result), result)
-
-
-def _cmd_list_models(args: argparse.Namespace) -> None:
-    _emit(args, "\n".join(list_models()), list_models())
-
-
-def _cmd_list_workloads(args: argparse.Namespace) -> None:
-    names = list_workloads(args.category)
-    _emit(args, "\n".join(names), names)
+def _add_option(parser: argparse.ArgumentParser, option) -> None:
+    kwargs: dict[str, Any] = {"default": option.default, "help": option.help}
+    if option.action is not None:
+        kwargs["action"] = option.action
+    else:
+        if option.type is not None:
+            kwargs["type"] = option.type
+        if option.nargs is not None:
+            kwargs["nargs"] = option.nargs
+        if option.choices is not None:
+            kwargs["choices"] = list(option.choices)
+        if option.metavar is not None:
+            kwargs["metavar"] = option.metavar
+    parser.add_argument(f"--{option.flag}", **kwargs)
 
 
 def build_parser() -> argparse.ArgumentParser:
+    load_builtin_specs()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the paper's figures and tables on the simulation engine.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    # Split the shared options so each subcommand only accepts the ones it
-    # actually honours: `exec_options` for anything that runs engine jobs,
-    # `sim_options` only for commands driving trace/cpu/smt grids.
-    exec_options = argparse.ArgumentParser(add_help=False)
-    exec_options.add_argument("--workers", type=int, default=1,
-                              help="worker processes (default: 1, serial)")
-    exec_options.add_argument("--json", metavar="PATH", default=None,
-                              help="also dump the result as JSON to PATH")
+    run_parser = subparsers.add_parser(
+        "run",
+        help="run a registered experiment by name, or a .json/.toml scenario file",
+    )
+    run_parser.add_argument(
+        "target",
+        help="experiment name (aliases the top-level subcommand) or scenario path",
+    )
+    run_parser.add_argument("--workers", type=int, default=1,
+                            help="worker processes (default: 1, serial)")
+    run_parser.add_argument("--json", metavar="PATH", default=None,
+                            help="also dump the result as JSON to PATH")
+    run_parser.add_argument("--progress", action=argparse.BooleanOptionalAction,
+                            default=True,
+                            help="stream per-job completions to stderr")
+    run_parser.set_defaults(handler=_cmd_run_scenario)
 
-    sim_options = argparse.ArgumentParser(add_help=False)
-    sim_options.add_argument("--scale", choices=sorted(SCALE_PRESETS), default="default",
-                             help="fidelity preset")
-    sim_options.add_argument("--seed", type=int, default=None, help="grid seed override")
-    sim_options.add_argument("--branches", type=int, default=None,
-                             help="override the preset's measured branch count")
-    sim_options.add_argument("--warmup", type=int, default=None,
-                             help="override the preset's warm-up branch count")
-    sim_options.add_argument("--workload-limit", type=int, default=None,
-                             help="truncate the workload list to the first N entries")
-
-    json_only = argparse.ArgumentParser(add_help=False)
-    json_only.add_argument("--json", metavar="PATH", default=None,
-                           help="also dump the result as JSON to PATH")
-
-    figure2 = subparsers.add_parser("figure2", parents=[exec_options],
-                                    help="R1 remapping-function construction")
-    figure2.add_argument("--seed", type=int, default=None, help="generator seed")
-    figure2.add_argument("--attempts", type=int, default=12,
-                         help="generator attempts per remapping function")
-    figure2.set_defaults(handler=_cmd_figure2)
-
-    figure3 = subparsers.add_parser("figure3", parents=[exec_options, sim_options],
-                                    help="OAE accuracy of the five protection models")
-    figure3.add_argument("--workloads", nargs="*", default=None,
-                         help="workload names or groups (spec, application, all)")
-    figure3.set_defaults(handler=_cmd_figure3)
-
-    for name, handler, description in (
-        ("figure4", _cmd_figure4, "single-workload IPC evaluation of the ST designs"),
-        ("figure5", _cmd_figure5, "SMT workload-pair evaluation of the ST designs"),
-    ):
-        sub = subparsers.add_parser(name, parents=[exec_options, sim_options],
-                                    help=description)
-        sub.add_argument("--predictors", nargs="*", default=None,
-                         help="pair labels to keep (e.g. SKLCond TAGE_SC_L_8KB)")
-        sub.set_defaults(handler=handler)
-
-    figure6 = subparsers.add_parser("figure6", parents=[exec_options, sim_options],
-                                    help="re-randomization aggressiveness sweep")
-    figure6.add_argument("--r-values", nargs="*", type=float, default=None,
-                         help="difficulty factors to sweep (default: paper sweep)")
-    figure6.set_defaults(handler=_cmd_figure6)
-
-    attacks = subparsers.add_parser(
-        "attacks", parents=[exec_options],
-        help="Table I attack matrix against selectable protection models")
-    attacks.add_argument("--attacks", nargs="*", default=None,
-                         help="attack names to run (default: all)")
-    attacks.add_argument("--models", nargs="*", default=None,
-                         help="registry model names to target "
-                              "(default: baseline ST_SKLCond)")
-    attacks.add_argument("--seed", type=int, default=None, help="matrix seed")
-    attacks.set_defaults(handler=_cmd_attacks)
-
-    bench = subparsers.add_parser(
-        "bench", parents=[exec_options],
-        help="time representative grids and write the BENCH_*.json artifact")
-    bench.add_argument("--quick", action="store_true",
-                       help="reduced-scale smoke run (used by CI)")
-    bench.add_argument("--output", metavar="PATH", default=None,
-                       help="artifact path (default: BENCH_2.json)")
-    bench.set_defaults(handler=_cmd_bench)
-
-    tables = subparsers.add_parser("tables", parents=[exec_options],
-                                   help="Tables I/II/IV and the threshold numbers")
-    tables.set_defaults(handler=_cmd_tables)
-
-    ablation = subparsers.add_parser("ablation", parents=[exec_options, sim_options],
-                                     help="STBPU design-choice ablation study")
-    ablation.add_argument("--workload", default="505.mcf",
-                          help="workload used for the accuracy series")
-    ablation.set_defaults(handler=_cmd_ablation)
-
-    list_models_parser = subparsers.add_parser(
-        "list-models", parents=[json_only], help="print the model registry")
-    list_models_parser.set_defaults(handler=_cmd_list_models)
-
-    list_workloads_parser = subparsers.add_parser(
-        "list-workloads", parents=[json_only], help="print the workload registry")
-    list_workloads_parser.add_argument("--category", choices=("spec", "application"),
-                                       default=None)
-    list_workloads_parser.set_defaults(handler=_cmd_list_workloads)
+    for spec in list_experiments():
+        sub = subparsers.add_parser(spec.name, help=spec.description)
+        if spec.takes_workers:
+            sub.add_argument("--workers", type=int, default=1,
+                             help="worker processes (default: 1, serial)")
+            sub.add_argument("--progress", action=argparse.BooleanOptionalAction,
+                             default=False,
+                             help="stream per-job completions to stderr")
+        sub.add_argument("--json", metavar="PATH", default=None,
+                         help="also dump the result as JSON to PATH")
+        for option in spec.cli_options():
+            _add_option(sub, option)
+        sub.set_defaults(handler=_cmd_experiment, spec=spec)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    load_builtin_specs()
+    # `run <experiment>` is an exact alias of the top-level subcommand: rewrite
+    # before parsing so both routes share one parser (and one option set).
+    if len(argv) >= 2 and argv[0] == "run" and any(
+        spec.name == argv[1] for spec in list_experiments()
+    ):
+        argv = argv[1:]
     args = build_parser().parse_args(argv)
     handler: Callable[[argparse.Namespace], None] = args.handler
     try:

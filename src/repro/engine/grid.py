@@ -32,6 +32,15 @@ class ExperimentScale:
     workload_limit: int | None = None
 
 
+#: Fidelity presets selectable with ``--scale`` on the CLI and usable directly
+#: by library callers (``SCALE_PRESETS["fast"]``).
+SCALE_PRESETS: dict[str, ExperimentScale] = {
+    "fast": ExperimentScale(branch_count=4_000, warmup_branches=400),
+    "default": ExperimentScale(),
+    "full": ExperimentScale(branch_count=60_000, warmup_branches=6_000),
+}
+
+
 def derive_job_seed(base_seed: int, *parts: object) -> int:
     """Stable 63-bit seed derived from the grid seed and job identity.
 

@@ -19,7 +19,13 @@ from repro.sim.metrics import normalized as normalized_value
 
 @dataclass(slots=True)
 class JobRecord:
-    """Outcome of one job: scalar metrics plus an optional structured payload."""
+    """Outcome of one job: scalar metrics plus an optional structured payload.
+
+    ``seconds`` is the wall-clock time the job took in whatever process ran
+    it.  It is excluded from comparison and from :meth:`to_dict` — timings
+    vary run to run, and serialized frames must stay byte-identical between
+    serial and parallel executions of the same grid.
+    """
 
     index: int
     kind: str
@@ -27,6 +33,7 @@ class JobRecord:
     workload: str
     metrics: dict[str, float] = field(default_factory=dict)
     payload: Any = None
+    seconds: float = field(default=0.0, compare=False)
 
     def to_dict(self) -> dict[str, Any]:
         row: dict[str, Any] = {

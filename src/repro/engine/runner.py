@@ -6,13 +6,19 @@ can pickle it.  Because jobs are plain data, seeds are derived from job
 identity, and the synthetic trace generator is deterministic, a parallel run
 produces records bit-identical to a serial run of the same grid — the runner
 only changes wall-clock time, never results.
+
+:meth:`EngineRunner.iter_records` is the streaming form: records are yielded
+in job order as soon as they (and every earlier job) complete, and an optional
+progress callback fires in completion order, so long grids report progress
+instead of blocking until the whole pool drains.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, Sequence
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.engine.grid import Job, SimulationGrid
 from repro.engine.registry import build_model
@@ -177,6 +183,20 @@ def _attack_dos(model, job: Job):
     )
 
 
+#: Default attack-specific work parameters, sized for minutes-long matrices.
+#: Shared by the attack-matrix driver and scenario files, keyed like
+#: :data:`_ATTACKS`.
+DEFAULT_ATTACK_PARAMS: dict[str, tuple[tuple[str, object], ...]] = {
+    "spectre_v2": (("attempts", 150),),
+    "spectre_rsb": (("attempts", 150),),
+    "trojan": (("trials", 100),),
+    "btb_reuse": (("trials", 150),),
+    "pht_reuse": (("secret_bits", 96),),
+    "btb_eviction": (("trials", 60),),
+    "rsb_overflow": (("trials", 60),),
+    "dos": (("rounds", 30),),
+}
+
 #: Attack scenarios runnable as ``kind="attack"`` jobs (the paper's Table I
 #: vectors), keyed by the name used in the job's ``attack`` parameter.
 _ATTACKS = {
@@ -249,12 +269,20 @@ _EXECUTORS = {
 
 
 def execute_job(job: Job) -> JobRecord:
-    """Execute one job in the current process and return its record."""
+    """Execute one job in the current process and return its timed record."""
     try:
         runner = _EXECUTORS[job.kind]
     except KeyError:
         raise ValueError(f"unknown job kind {job.kind!r}") from None
-    return runner(job)
+    started = time.perf_counter()
+    record = runner(job)
+    record.seconds = time.perf_counter() - started
+    return record
+
+
+#: Optional callback fired once per completed job, in completion order:
+#: ``progress(done, total, record)``.
+ProgressCallback = Callable[[int, int, JobRecord], None]
 
 
 class EngineRunner:
@@ -270,22 +298,59 @@ class EngineRunner:
             raise ValueError("workers must be >= 1")
         self.workers = workers
 
-    def run(self, grid: SimulationGrid) -> ResultFrame:
+    def run(self, grid: SimulationGrid,
+            progress: ProgressCallback | None = None) -> ResultFrame:
         """Expand ``grid`` and execute every job."""
-        return self.run_jobs(grid.jobs())
+        return self.run_jobs(grid.jobs(), progress=progress)
 
-    def run_jobs(self, jobs: Sequence[Job]) -> ResultFrame:
+    def run_jobs(self, jobs: Sequence[Job],
+                 progress: ProgressCallback | None = None) -> ResultFrame:
         """Execute an explicit job list (drivers mixing kinds build these)."""
-        if self.workers <= 1 or len(jobs) <= 1:
-            records: Iterable[JobRecord] = [execute_job(job) for job in jobs]
-        else:
-            context = self._fork_context()
-            if context is not None:
-                self._prewarm_traces(jobs)
-            workers = min(self.workers, len(jobs))
-            with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-                records = list(pool.map(execute_job, jobs))
-        return ResultFrame(records)
+        return ResultFrame(self.iter_records(jobs, progress=progress))
+
+    def iter_records(self, jobs: Iterable[Job],
+                     progress: ProgressCallback | None = None) -> Iterator[JobRecord]:
+        """Stream records as jobs finish, reassembled into job order.
+
+        Records are yielded in the order of ``jobs`` regardless of which
+        worker finishes first, so consuming the iterator is deterministic and
+        ``ResultFrame(iter_records(...))`` equals a blocking run.  The
+        ``progress`` callback, by contrast, fires in *completion* order —
+        that is its purpose: honest liveness for long grids.  Each record
+        carries the wall-clock ``seconds`` its job took in the process that
+        ran it.
+        """
+        jobs = list(jobs)
+        total = len(jobs)
+        done = 0
+        if self.workers <= 1 or total <= 1:
+            for job in jobs:
+                record = execute_job(job)
+                done += 1
+                if progress is not None:
+                    progress(done, total, record)
+                yield record
+            return
+        context = self._fork_context()
+        if context is not None:
+            self._prewarm_traces(jobs)
+        workers = min(self.workers, total)
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            positions = {
+                pool.submit(execute_job, job): position
+                for position, job in enumerate(jobs)
+            }
+            ready: dict[int, JobRecord] = {}
+            next_position = 0
+            for future in as_completed(positions):
+                record = future.result()
+                done += 1
+                if progress is not None:
+                    progress(done, total, record)
+                ready[positions[future]] = record
+                while next_position in ready:
+                    yield ready.pop(next_position)
+                    next_position += 1
 
     @staticmethod
     def _fork_context():

@@ -12,6 +12,11 @@ from repro.experiments.ablation import (
     format_ablation,
     run_ablation,
 )
+from repro.experiments.attacks import (
+    AttackMatrixResult,
+    format_attack_matrix,
+    run_attack_matrix,
+)
 from repro.experiments.figure2 import Figure2Result, format_figure2, run_figure2
 from repro.experiments.figure3 import Figure3Result, Figure3Row, format_figure3, run_figure3
 from repro.experiments.figure4 import Figure4Cell, Figure4Result, format_figure4, run_figure4
@@ -25,6 +30,7 @@ from repro.experiments.figure6 import (
 )
 from repro.experiments.tables import (
     ThresholdReport,
+    format_tables,
     format_thresholds,
     run_table1,
     run_table2,
@@ -39,6 +45,9 @@ __all__ = [
     "AblationRow",
     "format_ablation",
     "run_ablation",
+    "AttackMatrixResult",
+    "format_attack_matrix",
+    "run_attack_matrix",
     "ExperimentScale",
     "clear_trace_cache",
     "default_monitor_config",
@@ -64,6 +73,7 @@ __all__ = [
     "format_figure6",
     "run_figure6",
     "ThresholdReport",
+    "format_tables",
     "format_thresholds",
     "run_table1",
     "run_table2",

@@ -24,7 +24,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.engine import EngineRunner, ExperimentScale, Job, ModelSpec, SimulationGrid
+from repro.engine import (
+    EngineRunner,
+    ExperimentScale,
+    ExperimentSpec,
+    Job,
+    ModelSpec,
+    Option,
+    ResultFrame,
+    SimulationGrid,
+    build_scale,
+    register_experiment,
+)
 from repro.sim.metrics import normalized
 
 #: (display label, mechanism switches or None for the unprotected baseline).
@@ -96,13 +107,8 @@ def ablation_jobs(scale: ExperimentScale, workload: str) -> list[Job]:
     return jobs
 
 
-def run_ablation(scale: ExperimentScale | None = None,
-                 workload: str = "505.mcf",
-                 workers: int = 1) -> AblationResult:
-    """Measure accuracy and attack resistance for each design variant."""
-    scale = scale if scale is not None else ExperimentScale(branch_count=8_000,
-                                                            warmup_branches=800)
-    frame = EngineRunner(workers=workers).run_jobs(ablation_jobs(scale, workload))
+def collect_ablation(frame: ResultFrame, workload: str = "505.mcf") -> AblationResult:
+    """Reduce an executed ablation frame to per-variant rows."""
     baseline_oae = frame.metric("unprotected", workload, "oae_accuracy")
 
     result = AblationResult()
@@ -120,6 +126,16 @@ def run_ablation(scale: ExperimentScale | None = None,
     return result
 
 
+def run_ablation(scale: ExperimentScale | None = None,
+                 workload: str = "505.mcf",
+                 workers: int = 1) -> AblationResult:
+    """Measure accuracy and attack resistance for each design variant."""
+    scale = scale if scale is not None else ExperimentScale(branch_count=8_000,
+                                                            warmup_branches=800)
+    frame = EngineRunner(workers=workers).run_jobs(ablation_jobs(scale, workload))
+    return collect_ablation(frame, workload)
+
+
 def format_ablation(result: AblationResult) -> str:
     lines = [f"{'variant':24s} {'OAE':>8s} {'norm':>7s} {'spectre-v2':>11s} {'trojan':>8s}"]
     for row in result.rows:
@@ -128,6 +144,22 @@ def format_ablation(result: AblationResult) -> str:
             f"{row.spectre_v2_rate:11.3f} {row.trojan_rate:8.3f}"
         )
     return "\n".join(lines)
+
+
+register_experiment(ExperimentSpec(
+    name="ablation",
+    description="STBPU design-choice ablation study",
+    kind="trace",
+    uses_scale=True,
+    default_seed=7,
+    options=(
+        Option("workload", default="505.mcf",
+               help="workload used for the accuracy series"),
+    ),
+    build_jobs=lambda params: ablation_jobs(build_scale(params), params["workload"]),
+    post_process=lambda frame, params: collect_ablation(frame, params["workload"]),
+    formatter=format_ablation,
+))
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

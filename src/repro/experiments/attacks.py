@@ -15,28 +15,30 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.engine import (
+    DEFAULT_ATTACK_PARAMS,
     EngineRunner,
+    ExperimentSpec,
     Job,
+    Option,
     ResultFrame,
     attack_names,
     derive_job_seed,
+    register_experiment,
 )
 from repro.engine.grid import as_spec
 
 #: Models every attack is run against unless the caller narrows the list.
 DEFAULT_ATTACK_MODELS: tuple[str, ...] = ("baseline", "ST_SKLCond")
 
-#: Default attack-specific work parameters, sized for minutes-long matrices.
-DEFAULT_ATTACK_PARAMS: dict[str, tuple[tuple[str, object], ...]] = {
-    "spectre_v2": (("attempts", 150),),
-    "spectre_rsb": (("attempts", 150),),
-    "trojan": (("trials", 100),),
-    "btb_reuse": (("trials", 150),),
-    "pht_reuse": (("secret_bits", 96),),
-    "btb_eviction": (("trials", 60),),
-    "rsb_overflow": (("trials", 60),),
-    "dos": (("rounds", 30),),
-}
+__all__ = [
+    "DEFAULT_ATTACK_MODELS",
+    "DEFAULT_ATTACK_PARAMS",  # canonical home: repro.engine.runner
+    "AttackMatrixResult",
+    "attack_matrix_jobs",
+    "collect_attack_matrix",
+    "run_attack_matrix",
+    "format_attack_matrix",
+]
 
 
 @dataclass(slots=True)
@@ -85,6 +87,15 @@ def attack_matrix_jobs(
     return jobs
 
 
+def collect_attack_matrix(frame: ResultFrame) -> AttackMatrixResult:
+    """Wrap an executed matrix frame with its render orderings."""
+    return AttackMatrixResult(
+        frame=frame,
+        attack_order=frame.workloads(),
+        model_order=frame.models(),
+    )
+
+
 def run_attack_matrix(
     attacks: list[str] | None = None,
     models: list[str] | None = None,
@@ -93,12 +104,7 @@ def run_attack_matrix(
 ) -> AttackMatrixResult:
     """Run the attack matrix and return the populated result frame."""
     jobs = attack_matrix_jobs(attacks=attacks, models=models, seed=seed)
-    frame = EngineRunner(workers=workers).run_jobs(jobs)
-    return AttackMatrixResult(
-        frame=frame,
-        attack_order=frame.workloads(),
-        model_order=frame.models(),
-    )
+    return collect_attack_matrix(EngineRunner(workers=workers).run_jobs(jobs))
 
 
 def format_attack_matrix(result: AttackMatrixResult) -> str:
@@ -117,6 +123,28 @@ def format_attack_matrix(result: AttackMatrixResult) -> str:
             cells.append(f"{record.metrics.get('success_metric', 0.0):18.3f} {verdict:>9s}")
         lines.append(f"{attack:{width}s}" + "".join(cells))
     return "\n".join(lines)
+
+
+register_experiment(ExperimentSpec(
+    name="attacks",
+    description="Table I attack matrix against selectable protection models",
+    kind="attack",
+    default_seed=7,
+    options=(
+        Option("attacks", nargs="*", help="attack names to run (default: all)"),
+        Option("models", nargs="*",
+               help="registry model names to target (default: baseline ST_SKLCond)"),
+        Option("seed", type=int, default=None, help="matrix seed"),
+    ),
+    build_jobs=lambda params: attack_matrix_jobs(
+        attacks=params["attacks"] or None,
+        models=params["models"] or None,
+        seed=params["seed"],
+    ),
+    post_process=lambda frame, params: collect_attack_matrix(frame),
+    formatter=format_attack_matrix,
+    serializer=lambda result: result.frame.to_dict(),
+))
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -17,7 +17,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.engine import EngineRunner, Job
+from repro.engine import (
+    EngineRunner,
+    ExperimentSpec,
+    Job,
+    Option,
+    ResultFrame,
+    register_experiment,
+)
 from repro.hashgen.constraints import HardwareConstraints, check_design, summarize_cost
 from repro.hashgen.generator import build_reference_r1
 from repro.hashgen.metrics import measure_avalanche, measure_uniformity
@@ -60,14 +67,12 @@ def figure2_jobs(
     ]
 
 
-def run_figure2(
-    attempts_per_function: int = 12,
+def collect_figure2(
+    frame: ResultFrame,
     uniformity_samples: int = 3_000,
     avalanche_samples: int = 60,
-    seed: int = 0,
-    workers: int = 1,
 ) -> Figure2Result:
-    """Rebuild the reference R1 and run the generator for every remapping function."""
+    """Rebuild the reference R1 and fold in the executed generator searches."""
     constraints = HardwareConstraints(input_bits=80, output_bits=22)
     reference = build_reference_r1(constraints)
     cost = summarize_cost(reference.layers)
@@ -83,15 +88,25 @@ def run_figure2(
         reference_avalanche_mean=avalanche.mean_flip_fraction,
         reference_sac=avalanche.satisfies_sac,
     )
-
-    jobs = figure2_jobs(attempts_per_function, uniformity_samples, avalanche_samples, seed)
-    frame = EngineRunner(workers=workers).run_jobs(jobs)
     for record in frame:
         # Functions for which no candidate satisfied the constraints are
         # omitted, mirroring the paper's "best found" table.
         if "score" in record.metrics:
             result.generated[record.workload] = dict(record.metrics)
     return result
+
+
+def run_figure2(
+    attempts_per_function: int = 12,
+    uniformity_samples: int = 3_000,
+    avalanche_samples: int = 60,
+    seed: int = 0,
+    workers: int = 1,
+) -> Figure2Result:
+    """Rebuild the reference R1 and run the generator for every remapping function."""
+    jobs = figure2_jobs(attempts_per_function, uniformity_samples, avalanche_samples, seed)
+    frame = EngineRunner(workers=workers).run_jobs(jobs)
+    return collect_figure2(frame, uniformity_samples, avalanche_samples)
 
 
 def format_figure2(result: Figure2Result) -> str:
@@ -112,6 +127,23 @@ def format_figure2(result: Figure2Result) -> str:
             f"avalanche {metrics['avalanche_mean']:.3f}, score {metrics['score']:.3f}"
         )
     return "\n".join(lines)
+
+
+register_experiment(ExperimentSpec(
+    name="figure2",
+    description="R1 remapping-function construction",
+    kind="hashgen",
+    default_seed=0,
+    options=(
+        Option("seed", type=int, default=None, help="generator seed"),
+        Option("attempts", type=int, default=12,
+               help="generator attempts per remapping function"),
+    ),
+    build_jobs=lambda params: figure2_jobs(
+        attempts_per_function=params["attempts"], seed=params["seed"]),
+    post_process=lambda frame, params: collect_figure2(frame),
+    formatter=format_figure2,
+))
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

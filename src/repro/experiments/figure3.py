@@ -17,7 +17,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.engine import EngineRunner, ExperimentScale, SimulationGrid, resolve_workloads
+from repro.engine import (
+    EngineRunner,
+    ExperimentScale,
+    ExperimentSpec,
+    Option,
+    ResultFrame,
+    SimulationGrid,
+    build_scale,
+    register_experiment,
+    resolve_workloads,
+)
 from repro.experiments.common import mean
 
 #: The five protection models compared in Figure 3, by registry name.
@@ -67,15 +77,8 @@ def figure3_grid(
     )
 
 
-def run_figure3(
-    scale: ExperimentScale | None = None,
-    workloads: list[str] | None = None,
-    workers: int = 1,
-) -> Figure3Result:
-    """Regenerate the Figure 3 data series."""
-    grid = figure3_grid(scale, workloads)
-    frame = EngineRunner(workers=workers).run(grid)
-
+def collect_figure3(frame: ResultFrame) -> Figure3Result:
+    """Reduce an executed Figure 3 frame to the paper's data series."""
     baseline_name = FIGURE3_MODELS[0]
     normalized = frame.normalized("oae_accuracy", baseline_name)
     rows = [
@@ -87,6 +90,16 @@ def run_figure3(
         for workload in frame.workloads()
     ]
     return Figure3Result(rows=rows, model_order=list(FIGURE3_MODELS))
+
+
+def run_figure3(
+    scale: ExperimentScale | None = None,
+    workloads: list[str] | None = None,
+    workers: int = 1,
+) -> Figure3Result:
+    """Regenerate the Figure 3 data series."""
+    grid = figure3_grid(scale, workloads)
+    return collect_figure3(EngineRunner(workers=workers).run(grid))
 
 
 def format_figure3(result: Figure3Result) -> str:
@@ -102,6 +115,23 @@ def format_figure3(result: Figure3Result) -> str:
     cells = "".join(f"{averages[name]:22.3f}" for name in result.model_order)
     lines.append(f"{'average':28s}{cells}")
     return "\n".join(lines)
+
+
+register_experiment(ExperimentSpec(
+    name="figure3",
+    description="OAE accuracy of the five protection models",
+    kind="trace",
+    uses_scale=True,
+    default_seed=7,
+    options=(
+        Option("workloads", nargs="*",
+               help="workload names or groups (spec, application, all)"),
+    ),
+    build_jobs=lambda params: figure3_grid(
+        build_scale(params), params["workloads"] or None).jobs(),
+    post_process=lambda frame, params: collect_figure3(frame),
+    formatter=format_figure3,
+))
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

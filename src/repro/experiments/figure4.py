@@ -21,7 +21,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.engine import EngineRunner, ExperimentScale, SimulationGrid
+from repro.engine import (
+    EngineRunner,
+    ExperimentScale,
+    ExperimentSpec,
+    Option,
+    ResultFrame,
+    SimulationGrid,
+    build_scale,
+    register_experiment,
+)
 from repro.experiments.common import mean
 from repro.sim.metrics import normalized, reduction
 from repro.trace.workloads import GEM5_SINGLE_WORKLOADS
@@ -98,16 +107,9 @@ def figure4_grid(
     return SimulationGrid(kind="cpu", models=models, workloads=workload_names, scale=scale)
 
 
-def run_figure4(
-    scale: ExperimentScale | None = None,
-    workloads: tuple[str, ...] | None = None,
-    predictors: list[str] | None = None,
-    workers: int = 1,
-) -> Figure4Result:
-    """Regenerate the Figure 4 data series."""
-    grid = figure4_grid(scale, workloads, predictors)
-    frame = EngineRunner(workers=workers).run(grid)
-
+def collect_figure4(frame: ResultFrame,
+                    predictors: list[str] | None = None) -> Figure4Result:
+    """Reduce an executed Figure 4 frame to per-pair reductions and IPC."""
     result = Figure4Result()
     pairs = selected_pairs(predictors)
     for workload in frame.workloads():
@@ -133,6 +135,18 @@ def run_figure4(
     return result
 
 
+def run_figure4(
+    scale: ExperimentScale | None = None,
+    workloads: tuple[str, ...] | None = None,
+    predictors: list[str] | None = None,
+    workers: int = 1,
+) -> Figure4Result:
+    """Regenerate the Figure 4 data series."""
+    grid = figure4_grid(scale, workloads, predictors)
+    frame = EngineRunner(workers=workers).run(grid)
+    return collect_figure4(frame, predictors)
+
+
 def format_figure4(result: Figure4Result) -> str:
     lines = []
     for predictor in result.predictors():
@@ -143,6 +157,27 @@ def format_figure4(result: Figure4Result) -> str:
             f"avg normalized IPC {result.average_normalized_ipc(predictor):.3f}"
         )
     return "\n".join(lines)
+
+
+#: Shared ``--predictors`` option of the Figure 4/5 pair experiments.
+PREDICTORS_OPTION = Option(
+    "predictors", nargs="*",
+    help="pair labels to keep (e.g. SKLCond TAGE_SC_L_8KB)")
+
+
+register_experiment(ExperimentSpec(
+    name="figure4",
+    description="single-workload IPC evaluation of the ST designs",
+    kind="cpu",
+    uses_scale=True,
+    default_seed=7,
+    options=(PREDICTORS_OPTION,),
+    build_jobs=lambda params: figure4_grid(
+        build_scale(params), predictors=params["predictors"] or None).jobs(),
+    post_process=lambda frame, params: collect_figure4(
+        frame, params["predictors"] or None),
+    formatter=format_figure4,
+))
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -16,9 +16,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.engine import EngineRunner, ExperimentScale, SimulationGrid
+from repro.engine import (
+    EngineRunner,
+    ExperimentScale,
+    ExperimentSpec,
+    ResultFrame,
+    SimulationGrid,
+    build_scale,
+    register_experiment,
+)
 from repro.experiments.common import mean
-from repro.experiments.figure4 import selected_pairs
+from repro.experiments.figure4 import PREDICTORS_OPTION, selected_pairs
 from repro.sim.metrics import normalized, reduction
 from repro.trace.workloads import GEM5_SMT_PAIRS
 
@@ -67,16 +75,9 @@ def figure5_grid(
     return SimulationGrid(kind="smt", models=models, workloads=workload_pairs, scale=scale)
 
 
-def run_figure5(
-    scale: ExperimentScale | None = None,
-    pairs: tuple[tuple[str, str], ...] | None = None,
-    predictors: list[str] | None = None,
-    workers: int = 1,
-) -> Figure5Result:
-    """Regenerate the Figure 5 data series."""
-    grid = figure5_grid(scale, pairs, predictors)
-    frame = EngineRunner(workers=workers).run(grid)
-
+def collect_figure5(frame: ResultFrame,
+                    predictors: list[str] | None = None) -> Figure5Result:
+    """Reduce an executed Figure 5 frame to per-pair reductions and Hmean IPC."""
     result = Figure5Result()
     predictor_pairs = selected_pairs(predictors)
     for pair_label in frame.workloads():
@@ -103,6 +104,18 @@ def run_figure5(
     return result
 
 
+def run_figure5(
+    scale: ExperimentScale | None = None,
+    pairs: tuple[tuple[str, str], ...] | None = None,
+    predictors: list[str] | None = None,
+    workers: int = 1,
+) -> Figure5Result:
+    """Regenerate the Figure 5 data series."""
+    grid = figure5_grid(scale, pairs, predictors)
+    frame = EngineRunner(workers=workers).run(grid)
+    return collect_figure5(frame, predictors)
+
+
 def format_figure5(result: Figure5Result) -> str:
     lines = []
     for predictor in result.predictors():
@@ -113,6 +126,21 @@ def format_figure5(result: Figure5Result) -> str:
             f"avg normalized Hmean IPC {result.average_normalized_hmean_ipc(predictor):.3f}"
         )
     return "\n".join(lines)
+
+
+register_experiment(ExperimentSpec(
+    name="figure5",
+    description="SMT workload-pair evaluation of the ST designs",
+    kind="smt",
+    uses_scale=True,
+    default_seed=7,
+    options=(PREDICTORS_OPTION,),
+    build_jobs=lambda params: figure5_grid(
+        build_scale(params), predictors=params["predictors"] or None).jobs(),
+    post_process=lambda frame, params: collect_figure5(
+        frame, params["predictors"] or None),
+    formatter=format_figure5,
+))
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -17,7 +17,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.engine import EngineRunner, ExperimentScale, ModelSpec, SimulationGrid
+from repro.engine import (
+    EngineRunner,
+    ExperimentScale,
+    ExperimentSpec,
+    ModelSpec,
+    Option,
+    ResultFrame,
+    SimulationGrid,
+    build_scale,
+    register_experiment,
+)
 from repro.experiments.common import default_monitor_config, mean
 from repro.trace.workloads import GEM5_SMT_PAIRS
 
@@ -71,16 +81,9 @@ def figure6_grid(
     return SimulationGrid(kind="smt", models=models, workloads=workload_pairs, scale=scale)
 
 
-def run_figure6(
-    scale: ExperimentScale | None = None,
-    r_values: tuple[float, ...] = DEFAULT_R_SWEEP,
-    pairs: tuple[tuple[str, str], ...] | None = None,
-    workers: int = 1,
-) -> Figure6Result:
-    """Regenerate the Figure 6 sweep (averaged over SMT workload pairs)."""
-    grid = figure6_grid(scale, r_values, pairs)
-    frame = EngineRunner(workers=workers).run(grid)
-
+def collect_figure6(frame: ResultFrame,
+                    r_values: tuple[float, ...] = DEFAULT_R_SWEEP) -> Figure6Result:
+    """Reduce an executed Figure 6 frame to the averaged sweep points."""
     result = Figure6Result()
     for r in r_values:
         monitor = default_monitor_config(r=r, separate_direction_register=True)
@@ -126,6 +129,18 @@ def run_figure6(
     return result
 
 
+def run_figure6(
+    scale: ExperimentScale | None = None,
+    r_values: tuple[float, ...] = DEFAULT_R_SWEEP,
+    pairs: tuple[tuple[str, str], ...] | None = None,
+    workers: int = 1,
+) -> Figure6Result:
+    """Regenerate the Figure 6 sweep (averaged over SMT workload pairs)."""
+    grid = figure6_grid(scale, r_values, pairs)
+    frame = EngineRunner(workers=workers).run(grid)
+    return collect_figure6(frame, r_values)
+
+
 def format_figure6(result: Figure6Result) -> str:
     lines = [
         f"{'r':>10s} {'misp thr':>10s} {'evic thr':>10s} {'dir acc':>9s} "
@@ -139,6 +154,46 @@ def format_figure6(result: Figure6Result) -> str:
             f"{point.rerandomizations_per_kilo_branch:>11.3f}"
         )
     return "\n".join(lines)
+
+
+def _figure6_r_values(params: dict) -> tuple[float, ...]:
+    return tuple(params["r_values"]) if params["r_values"] else DEFAULT_R_SWEEP
+
+
+def _figure6_scale(params: dict) -> ExperimentScale:
+    scale = build_scale(params)
+    if params["workload_limit"] is None:
+        scale.workload_limit = FIGURE6_DEFAULT_PAIR_LIMIT
+    return scale
+
+
+def _figure6_note(params: dict) -> str | None:
+    if params["workload_limit"] is not None:
+        return None
+    return (
+        f"note: averaging over the first {FIGURE6_DEFAULT_PAIR_LIMIT} of "
+        f"{len(GEM5_SMT_PAIRS)} SMT pairs; pass --workload-limit "
+        f"{len(GEM5_SMT_PAIRS)} for the full sweep"
+    )
+
+
+register_experiment(ExperimentSpec(
+    name="figure6",
+    description="re-randomization aggressiveness sweep",
+    kind="smt",
+    uses_scale=True,
+    default_seed=7,
+    options=(
+        Option("r-values", nargs="*", type=float,
+               help="difficulty factors to sweep (default: paper sweep)"),
+    ),
+    build_jobs=lambda params: figure6_grid(
+        _figure6_scale(params), _figure6_r_values(params)).jobs(),
+    post_process=lambda frame, params: collect_figure6(
+        frame, _figure6_r_values(params)),
+    note=_figure6_note,
+    formatter=format_figure6,
+))
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -7,9 +7,10 @@ jobs so the CLI can regenerate and export them like any other grid.
 
 from __future__ import annotations
 
+import json
 from dataclasses import asdict, dataclass
 
-from repro.engine import EngineRunner, Job
+from repro.engine import EngineRunner, ExperimentSpec, Job, register_experiment
 
 from repro.core.remapping import TABLE_II
 from repro.security.analysis import (
@@ -121,10 +122,24 @@ def tables_jobs() -> list[Job]:
     ]
 
 
+def collect_tables(frame) -> dict[str, object]:
+    """Reduce an executed tables frame to ``{table name: payload}``."""
+    return {record.workload: record.payload for record in frame}
+
+
 def run_tables(workers: int = 1) -> dict[str, object]:
     """Regenerate every table artifact through the engine runner."""
-    frame = EngineRunner(workers=workers).run_jobs(tables_jobs())
-    return {record.workload: record.payload for record in frame}
+    return collect_tables(EngineRunner(workers=workers).run_jobs(tables_jobs()))
+
+
+def format_tables(result: dict[str, object]) -> str:
+    """Render all four table artifacts (JSON dumps plus the threshold table)."""
+    lines = []
+    for name in ("table1", "table2", "table4"):
+        lines.append(f"{name}:")
+        lines.append(json.dumps(result[name], indent=2, default=str))
+    lines.append(format_thresholds_payload(result["thresholds"]))
+    return "\n".join(lines)
 
 
 def format_thresholds(report: ThresholdReport) -> str:
@@ -167,6 +182,16 @@ def format_thresholds_payload(payload: dict[str, float]) -> str:
             f"{label:44s} {payload[measured_key]:14.3g} {payload[paper_key]:12.3g}"
         )
     return "\n".join(lines)
+
+
+register_experiment(ExperimentSpec(
+    name="tables",
+    description="Tables I/II/IV and the threshold numbers",
+    kind="table",
+    build_jobs=lambda params: tables_jobs(),
+    post_process=lambda frame, params: collect_tables(frame),
+    formatter=format_tables,
+))
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

@@ -256,7 +256,9 @@ class TestCLI:
         output = capsys.readouterr().out
         assert "ST_SKLCond" in output
         payload = json.loads(json_path.read_text())
-        assert payload["model_order"][0] == "baseline"
+        assert payload["schema"] == "repro.figure3/v1"
+        assert payload["spec"] == "figure3"
+        assert payload["result"]["model_order"][0] == "baseline"
 
     def test_list_commands(self, capsys):
         from repro.cli import main
