@@ -8,4 +8,9 @@ installs.
 
 from setuptools import setup
 
-setup()
+setup(
+    # numpy backs the vector replay backend (repro.sim.vector), the columnar
+    # ndarray trace view, and shared-memory trace shipping — a hard runtime
+    # dependency, not a transitive assumption.
+    install_requires=["numpy>=1.24"],
+)

@@ -3,26 +3,37 @@
 The bench times the engine on three representative grids — the Figure 3
 (models × workloads) trace grid, a cycle-approximate CPU grid, and an SMT
 co-run grid — and writes the timings, per-grid branch throughput, and the
-speedup against the recorded baseline to a ``BENCH_<n>.json`` artifact
-(``BENCH_2.json`` for the current format).  Committing one artifact per PR
+speedups against the recorded baselines to a ``BENCH_<n>.json`` artifact
+(``BENCH_4.json`` for the current format).  Committing one artifact per PR
 tracks the perf trajectory of the hot path over time.
 
-Baseline numbers are wall-clock seconds of the same grids measured on the
-pre-columnar engine (PR 1's per-item replay loop) on the reference container;
-a ``speedup`` of 2.0 therefore means "twice as fast as the engine before the
-columnar fast path".  Traces are generated (and memoised) before the clock
-starts, so the measurement covers replay, not synthetic trace construction.
+Two baselines are recorded per grid: wall-clock seconds of the pre-columnar
+engine (PR 1's per-item replay loop) and branches/s of the PR-2 columnar fast
+path (from ``BENCH_2.json``), both measured serially on the reference
+container.  A ``speedup`` of 2.0 therefore means "twice as fast as the engine
+before the columnar fast path", and ``speedup_vs_fast_path`` isolates what
+the vector backend adds on top.  Traces are generated (and memoised) before
+the clock starts, so the measurement covers replay, not synthetic trace
+construction.
 
 Each timing also records a SHA-256 of the grid's serialized
 :class:`~repro.engine.results.ResultFrame`, tying every perf point to the
 exact results it produced — a bench run that got faster by producing
-different numbers is immediately visible.
+different numbers is immediately visible.  The full-mode SHAs are unchanged
+since ``BENCH_2.json``: the vector backend replays bit-identically.
+
+Artifact entries are keyed ``<grid>.<mode>`` and *merged* into an existing
+artifact of the same format, so one file can carry both the full-mode record
+and the quick-mode numbers CI regresses against: ``--check PREV.json`` fails
+the command (exit ≠ 0) when any matching grid's branches/s drops more than
+20% below the recorded value.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -34,15 +45,21 @@ from repro.engine import (
     SimulationGrid,
     register_experiment,
     resolve_workloads,
+    trace_cache_stats,
 )
 from repro.experiments.figure3 import figure3_grid
+from repro.sim import fastpath
 from repro.trace.workloads import GEM5_SMT_PAIRS
 
 #: Format/sequence number of the artifact this module writes.
-BENCH_SEQUENCE = 2
+BENCH_SEQUENCE = 4
 
 #: Default artifact path.
 DEFAULT_OUTPUT = f"BENCH_{BENCH_SEQUENCE}.json"
+
+#: Fractional branches/s drop versus the recorded artifact that fails a
+#: ``--check`` run.
+CHECK_TOLERANCE = 0.20
 
 #: Pre-change (PR 1, per-item replay loop) wall-clock seconds for each bench
 #: grid, measured serially on the reference container.  These are the
@@ -57,10 +74,18 @@ PR1_BASELINE_SECONDS: dict[str, float] = {
     "smt.quick": 0.36,
 }
 
+#: PR-2 columnar fast-path branches/s (from ``BENCH_2.json``, full mode on the
+#: reference container): the denominator of ``speedup_vs_fast_path``.
+PR2_BASELINE_BRANCHES_PER_SECOND: dict[str, float] = {
+    "figure3.full": 98_971.1,
+    "cpu.full": 86_792.0,
+    "smt.full": 92_949.5,
+}
+
 
 @dataclass(slots=True)
 class BenchTiming:
-    """One timed grid: size, wall-clock, throughput, and baseline comparison."""
+    """One timed grid: size, wall-clock, throughput, and baseline comparisons."""
 
     name: str
     mode: str
@@ -69,8 +94,15 @@ class BenchTiming:
     seconds: float
     result_sha256: str
     baseline_seconds: float | None = None
+    fast_path_branches_per_second: float | None = None
     parallel_seconds: float | None = None
     parallel_matches_serial: bool | None = None
+    parallel_workers: int | None = None
+
+    @property
+    def key(self) -> str:
+        """Artifact key: grid and mode (``figure3.full``)."""
+        return f"{self.name}.{self.mode}"
 
     @property
     def branches_per_second(self) -> float:
@@ -81,6 +113,18 @@ class BenchTiming:
         if self.baseline_seconds is None or not self.seconds:
             return None
         return self.baseline_seconds / self.seconds
+
+    @property
+    def speedup_vs_fast_path(self) -> float | None:
+        if self.fast_path_branches_per_second is None or not self.seconds:
+            return None
+        return self.branches_per_second / self.fast_path_branches_per_second
+
+    @property
+    def parallel_speedup(self) -> float | None:
+        if self.parallel_seconds is None or not self.parallel_seconds:
+            return None
+        return self.seconds / self.parallel_seconds
 
     def to_dict(self) -> dict:
         payload = {
@@ -95,9 +139,14 @@ class BenchTiming:
         if self.baseline_seconds is not None:
             payload["baseline_seconds"] = self.baseline_seconds
             payload["speedup"] = round(self.speedup, 3)
+        if self.fast_path_branches_per_second is not None:
+            payload["fast_path_branches_per_second"] = self.fast_path_branches_per_second
+            payload["speedup_vs_fast_path"] = round(self.speedup_vs_fast_path, 3)
         if self.parallel_seconds is not None:
             payload["parallel_seconds"] = round(self.parallel_seconds, 4)
             payload["parallel_matches_serial"] = self.parallel_matches_serial
+            payload["parallel_workers"] = self.parallel_workers
+            payload["parallel_speedup"] = round(self.parallel_speedup, 3)
         return payload
 
 
@@ -106,7 +155,9 @@ class BenchReport:
     """All timings of one bench invocation."""
 
     mode: str
+    backend: str = ""
     timings: list[BenchTiming] = field(default_factory=list)
+    trace_cache: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -116,8 +167,10 @@ class BenchReport:
         return {
             "format": BENCH_SEQUENCE,
             "mode": self.mode,
+            "backend": self.backend,
             "total_seconds": round(self.total_seconds, 4),
-            "benches": {timing.name: timing.to_dict() for timing in self.timings},
+            "trace_cache": dict(self.trace_cache),
+            "benches": {timing.key: timing.to_dict() for timing in self.timings},
         }
 
 
@@ -126,7 +179,7 @@ def bench_grids(quick: bool = False) -> dict[str, SimulationGrid]:
 
     ``quick`` shrinks trace lengths and grid extents for CI smoke runs; the
     full mode matches the scale the recorded baselines were measured at.
-    Changing these definitions invalidates :data:`PR1_BASELINE_SECONDS`.
+    Changing these definitions invalidates the recorded baselines.
     """
     if quick:
         branch_count, warmup = 4_000, 400
@@ -164,11 +217,13 @@ def run_bench(quick: bool = False, workers: int = 1) -> BenchReport:
 
     The timed measurement is always serial so numbers stay comparable across
     machines and worker counts.  With ``workers > 1`` each grid is run a
-    second time on the process pool and the serialized results are compared —
-    the parallel timing and the match verdict land in the artifact.
+    second time on the (batched, executor-reusing) process pool and the
+    serialized results are compared — the parallel timing and the match
+    verdict land in the artifact.
     """
     mode = "quick" if quick else "full"
-    report = BenchReport(mode=mode)
+    report = BenchReport(mode=mode, backend=fastpath.backend())
+    parallel_runner = EngineRunner(workers=workers) if workers > 1 else None
     for name, grid in bench_grids(quick).items():
         jobs = grid.jobs()
         branches = EngineRunner._prewarm_traces(jobs)
@@ -176,6 +231,7 @@ def run_bench(quick: bool = False, workers: int = 1) -> BenchReport:
         started = time.perf_counter()
         frame = runner.run_jobs(jobs)
         seconds = time.perf_counter() - started
+        key = f"{name}.{mode}"
         timing = BenchTiming(
             name=name,
             mode=mode,
@@ -183,29 +239,111 @@ def run_bench(quick: bool = False, workers: int = 1) -> BenchReport:
             branches=branches,
             seconds=seconds,
             result_sha256=_frame_sha256(frame),
-            baseline_seconds=PR1_BASELINE_SECONDS.get(f"{name}.{mode}"),
+            baseline_seconds=PR1_BASELINE_SECONDS.get(key),
+            fast_path_branches_per_second=PR2_BASELINE_BRANCHES_PER_SECOND.get(key),
         )
-        if workers > 1:
+        if parallel_runner is not None:
             started = time.perf_counter()
-            parallel_frame = EngineRunner(workers=workers).run_jobs(jobs)
+            parallel_frame = parallel_runner.run_jobs(jobs)
             timing.parallel_seconds = time.perf_counter() - started
             timing.parallel_matches_serial = (
                 parallel_frame.to_json() == frame.to_json()
             )
+            timing.parallel_workers = workers
         report.timings.append(timing)
+    if parallel_runner is not None:
+        parallel_runner.close()
+    report.trace_cache = trace_cache_stats()
     return report
 
 
 def write_bench(report: BenchReport, path: str = DEFAULT_OUTPUT) -> None:
-    """Write the artifact JSON (stable key order, trailing newline)."""
+    """Write the artifact JSON, merging into a same-format existing artifact.
+
+    Merging keeps one file carrying several modes (``figure3.full`` next to
+    ``figure3.quick``): entries of the current run overwrite same-key
+    entries, every other recorded entry is preserved.
+    """
+    payload = report.to_dict()
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                existing = json.load(handle)
+        except (OSError, ValueError):
+            existing = None
+        if isinstance(existing, dict) and existing.get("format") == BENCH_SEQUENCE:
+            benches = dict(existing.get("benches", {}))
+            benches.update(payload["benches"])
+            payload["benches"] = benches
+            # total_seconds stays the total of the *current run's mode* so it
+            # always describes one real invocation (the one "mode"/"backend"/
+            # "trace_cache" also describe), never a cross-mode sum.
+            payload["total_seconds"] = round(
+                sum(entry.get("seconds", 0.0) for entry in benches.values()
+                    if entry.get("mode") == report.mode), 4)
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
 
+def load_reference(reference_path: str) -> dict:
+    """Load a recorded artifact for :func:`check_regression`.
+
+    Read the reference *before* writing the new artifact: ``--output`` and
+    ``--check`` may name the same file (the in-place refresh EXPERIMENTS.md
+    documents), and a gate that reads the just-merged file would compare the
+    run against itself.
+    """
+    with open(reference_path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check_regression(report: BenchReport, reference: dict | str,
+                     tolerance: float = CHECK_TOLERANCE) -> list[str]:
+    """Compare the run against a recorded artifact; return failure messages.
+
+    ``reference`` is a path or an already-loaded artifact (see
+    :func:`load_reference`).  Only grids recorded under the same
+    ``<name>.<mode>`` key are compared (a quick CI run checks against the
+    artifact's quick entries).  A grid fails when its branches/s drops more
+    than ``tolerance`` below the recorded value.
+    """
+    if isinstance(reference, str):
+        reference = load_reference(reference)
+    recorded = reference.get("benches", {})
+    failures: list[str] = []
+    for timing in report.timings:
+        entry = recorded.get(timing.key)
+        if entry is None:
+            continue
+        recorded_bps = float(entry.get("branches_per_second", 0.0))
+        floor = recorded_bps * (1.0 - tolerance)
+        if recorded_bps and timing.branches_per_second < floor:
+            failures.append(
+                f"{timing.key}: {timing.branches_per_second:,.0f} branches/s is "
+                f">{tolerance:.0%} below the recorded {recorded_bps:,.0f} "
+                f"(floor {floor:,.0f})")
+    return failures
+
+
 def _bench_execute(params: dict, workers: int = 1, progress=None) -> BenchReport:
+    # Validate the gate configuration and snapshot the reference artifact
+    # before the (potentially minutes-long) timed run writes anything.
+    reference_path = params.get("check")
+    reference = None
+    tolerance = params.get("check_tolerance")
+    if reference_path:
+        tolerance = CHECK_TOLERANCE if tolerance is None else float(tolerance)
+        if not 0.0 < tolerance < 1.0:
+            raise ValueError("check-tolerance must be in (0, 1)")
+        reference = load_reference(reference_path)
     report = run_bench(quick=params["quick"], workers=workers)
     write_bench(report, params["output"] or DEFAULT_OUTPUT)
+    if reference is not None:
+        failures = check_regression(report, reference, tolerance)
+        if failures:
+            raise ValueError(
+                "bench regression vs %s: %s" % (reference_path, "; ".join(failures)))
     return report
 
 
@@ -218,6 +356,15 @@ register_experiment(ExperimentSpec(
                help="reduced-scale smoke run (used by CI)"),
         Option("output", metavar="PATH", default=None,
                help=f"artifact path (default: {DEFAULT_OUTPUT})"),
+        Option("check", metavar="PREV.json", default=None,
+               help="fail (exit != 0) when branches/s drops more than "
+                    f"{CHECK_TOLERANCE:.0%} below this recorded artifact's "
+                    "matching grids"),
+        Option("check-tolerance", type=float, default=None, metavar="FRACTION",
+               help="override the --check drop tolerance (same-machine "
+                    f"default: {CHECK_TOLERANCE}; CI compares against an "
+                    "artifact recorded on a different machine and uses a "
+                    "looser bound)"),
     ),
     execute=_bench_execute,
     formatter=lambda report: format_bench(report),
@@ -233,7 +380,8 @@ def format_bench(report: BenchReport) -> str:
         f"{'bench':10s}{'jobs':>6s}{'branches':>12s}{'seconds':>10s}"
         f"{'Mbr/s':>8s}{'speedup':>9s}{'parallel':>10s}"
     )
-    lines = [f"mode: {report.mode}", header, "-" * len(header)]
+    lines = [f"mode: {report.mode}   backend: {report.backend}", header,
+             "-" * len(header)]
     for timing in report.timings:
         speedup = f"{timing.speedup:8.2f}x" if timing.speedup is not None else f"{'n/a':>9s}"
         if timing.parallel_seconds is not None:
@@ -248,4 +396,10 @@ def format_bench(report: BenchReport) -> str:
         )
     lines.append("-" * len(header))
     lines.append(f"{'total':10s}{'':6s}{'':12s}{report.total_seconds:10.3f}")
+    cache = report.trace_cache
+    if cache:
+        lines.append(
+            f"trace cache: {cache.get('size', 0)}/{cache.get('capacity', 0)} "
+            f"entries, {cache.get('hits', 0)} hits / {cache.get('misses', 0)} "
+            f"misses / {cache.get('evictions', 0)} evictions")
     return "\n".join(lines)

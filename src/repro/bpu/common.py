@@ -184,6 +184,16 @@ class BranchPredictorModel(abc.ABC):
     def reset(self) -> None:
         """Return the model to its power-on state."""
 
+    def vector_kernel(self) -> "object | None":
+        """An array-at-a-time replay kernel for :mod:`repro.sim.vector`.
+
+        Returns ``None`` (the default) when the model has no exact vector
+        form; the simulators then fall back to the columnar fast path with a
+        logged notice.  Implementations gate on their exact class so
+        behavioural subclasses never inherit a mismatched kernel.
+        """
+        return None
+
     def protection_stats(self) -> dict[str, int]:
         """Counters of the protection mechanism this model implements.
 

@@ -222,6 +222,11 @@ class CompositeBPU(BranchPredictorModel):
 
     # ------------------------------------------------------------------- admin
 
+    def vector_kernel(self):
+        from repro.sim import vector
+
+        return vector.composite_kernel(self)
+
     def reset(self) -> None:
         self.direction.flush()
         self.btb.flush()

@@ -15,6 +15,8 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.bpu.common import StructureSizes, fold_bits
 from repro.trace.branch import STORED_TARGET_BITS, STORED_TARGET_MASK
 
@@ -72,10 +74,28 @@ class MappingProvider(abc.ABC):
     def perceptron_index(self, ip: int, table_size: int) -> int:
         """Row selection for the perceptron weight table."""
 
+    def vector_maps(self) -> "object | None":
+        """Array-at-a-time view of this provider for the vector replay backend.
+
+        Returns an object exposing ``pht1(ips, contexts)``,
+        ``pht2(ips, ghrs, contexts)``, ``btb1(ips, contexts)`` and
+        ``btb2(ips, bhbs, contexts)`` — NumPy equivalents of the scalar
+        methods — plus a ``token_dependent`` flag, or ``None`` when no exact
+        vectorisation exists (the simulators then fall back to the scalar
+        replay loop).  Implementations gate on their *exact* class so that
+        subclasses overriding scalar behaviour never inherit a mismatched
+        vector view.
+        """
+        return None
+
 
 class TargetCodec(abc.ABC):
     """Encodes targets before they are stored in the BTB/RSB and decodes them
     on the way out (function 5 in Figure 1)."""
+
+    #: Whether encode/decode depend on a live secret token (the vector backend
+    #: then refreshes its encoded-target arrays on every token change).
+    token_dependent = False
 
     @abc.abstractmethod
     def encode(self, target: int) -> int:
@@ -93,6 +113,20 @@ class TargetCodec(abc.ABC):
         """
         high = ip >> STORED_TARGET_BITS
         return (high << STORED_TARGET_BITS) | (self.decode(stored) & STORED_TARGET_MASK)
+
+    def vector_encode(self, targets: "object") -> "object | None":
+        """Array form of :meth:`encode` for the vector replay backend.
+
+        ``targets`` is a ``uint64`` ndarray of (full) resolved targets; the
+        result is the ndarray of values :meth:`encode` would store for each.
+        Returns ``None`` when no exact vectorisation exists, in which case the
+        simulators fall back to the scalar replay loop.  Implementations gate
+        on their exact class (see :meth:`MappingProvider.vector_maps`); the
+        vector backend additionally relies on :meth:`encode`/:meth:`decode`
+        being inverse bijections on the stored-target domain, which holds for
+        both built-in codecs.
+        """
+        return None
 
 
 class BaselineMappingProvider(MappingProvider):
@@ -198,6 +232,83 @@ class BaselineMappingProvider(MappingProvider):
         return fold_bits(self._truncate(ip) >> 2, BASELINE_ADDRESS_BITS,
                          (table_size - 1).bit_length()) % table_size
 
+    def vector_maps(self):
+        if type(self) is not BaselineMappingProvider:
+            return None
+        return _BaselineVectorMaps(self, truncate_bits=BASELINE_ADDRESS_BITS)
+
+
+def fold_bits_array(values: "object", input_bits: int, output_bits: int) -> "object":
+    """Vector form of :func:`~repro.bpu.common.fold_bits` over a uint64 ndarray."""
+    values = values & np.uint64((1 << input_bits) - 1)
+    mask = np.uint64((1 << output_bits) - 1)
+    folded = values & mask
+    shifted = values >> np.uint64(output_bits)
+    shift = np.uint64(output_bits)
+    remaining = input_bits - output_bits
+    while remaining > 0:
+        folded = folded ^ (shifted & mask)
+        shifted = shifted >> shift
+        remaining -= output_bits
+    return folded
+
+
+class _BaselineVectorMaps:
+    """NumPy mirror of :class:`BaselineMappingProvider` (and the full-address
+    variant, which differs only in the truncation mask)."""
+
+    token_dependent = False
+
+    def __init__(self, provider: "BaselineMappingProvider", truncate_bits: int):
+        self.provider = provider
+        self.sizes = provider.sizes
+        self._truncate_mask = (1 << truncate_bits) - 1
+
+    def _truncate(self, ips):
+        return ips & np.uint64(self._truncate_mask)
+
+    def pht1(self, ips, contexts=None):
+        return fold_bits_array(
+            self._truncate(ips) >> np.uint64(1),
+            BASELINE_ADDRESS_BITS, self.sizes.pht_index_bits,
+        )
+
+    def pht2(self, ips, ghrs, contexts=None):
+        provider = self.provider
+        sizes = self.sizes
+        base = self.pht1(ips)
+        if provider._ghr_two_chunk_fold:
+            ghrs = ghrs & np.uint64((1 << sizes.ghr_bits) - 1)
+            history = (ghrs & np.uint64(provider._pht_fold_mask)) ^ (
+                ghrs >> np.uint64(sizes.pht_index_bits))
+        else:
+            history = fold_bits_array(ghrs, sizes.ghr_bits, sizes.pht_index_bits)
+        return (base ^ history) & np.uint64(provider._pht_index_mask)
+
+    def btb1(self, ips, contexts=None):
+        sizes = self.sizes
+        truncated = self._truncate(ips)
+        offset = truncated & np.uint64(self.provider._btb_offset_mask)
+        index = (truncated >> np.uint64(sizes.btb_offset_bits)) & np.uint64(
+            self.provider._btb_index_mask)
+        tag = fold_bits_array(
+            truncated >> np.uint64(self.provider._btb_tag_shift),
+            BASELINE_ADDRESS_BITS, sizes.btb_tag_bits,
+        )
+        return index, (tag << np.uint64(sizes.btb_offset_bits)) | offset
+
+    def btb2(self, ips, bhbs, contexts=None):
+        sizes = self.sizes
+        index, key = self.btb1(ips)
+        offset_bits = np.uint64(sizes.btb_offset_bits)
+        offset = key & np.uint64(self.provider._btb_offset_mask)
+        tag = key >> offset_bits
+        history_tag = fold_bits_array(bhbs, sizes.bhb_bits, sizes.btb_tag_bits)
+        history_index = fold_bits_array(bhbs, sizes.bhb_bits, sizes.btb_index_bits)
+        index = (index ^ history_index) & np.uint64(self.provider._btb_index_mask)
+        tag = (tag ^ history_tag) & np.uint64(self.provider._btb_tag_mask)
+        return index, (tag << offset_bits) | offset
+
 
 class FullAddressMappingProvider(BaselineMappingProvider):
     """Mapping provider for the paper's *conservative* protection model.
@@ -211,6 +322,13 @@ class FullAddressMappingProvider(BaselineMappingProvider):
 
     def _truncate(self, ip: int) -> int:
         return ip
+
+    def vector_maps(self):
+        from repro.trace.branch import VIRTUAL_ADDRESS_BITS
+
+        if type(self) is not FullAddressMappingProvider:
+            return None
+        return _BaselineVectorMaps(self, truncate_bits=VIRTUAL_ADDRESS_BITS)
 
 
 class IdentityTargetCodec(TargetCodec):
@@ -228,3 +346,8 @@ class IdentityTargetCodec(TargetCodec):
         return ((ip >> STORED_TARGET_BITS) << STORED_TARGET_BITS) | (
             stored & STORED_TARGET_MASK
         )
+
+    def vector_encode(self, targets):
+        if type(self) is not IdentityTargetCodec:
+            return None
+        return targets & np.uint64(STORED_TARGET_MASK)

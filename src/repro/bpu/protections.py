@@ -67,6 +67,11 @@ class FlushingProtectedBPU(BranchPredictorModel):
     def protection_stats(self) -> dict[str, int]:
         return {"flushes": self.flush_count}
 
+    def vector_kernel(self):
+        from repro.sim import vector
+
+        return vector.flushing_kernel(self)
+
     def reset(self) -> None:
         self.inner.reset()
         self.flush_count = 0
@@ -147,6 +152,55 @@ class _PartitionedMappingProvider(MappingProvider):
     def perceptron_index(self, ip: int, table_size: int) -> int:
         return self._partition_index(self.base.perceptron_index(ip, table_size), table_size)
 
+    def vector_maps(self):
+        if type(self) is not _PartitionedMappingProvider:
+            return None
+        base_maps = self.base.vector_maps()
+        if base_maps is None:
+            return None
+        return _PartitionedVectorMaps(self, base_maps)
+
+
+class _PartitionedVectorMaps:
+    """NumPy mirror of :class:`_PartitionedMappingProvider`.
+
+    Unlike the scalar provider — which reads ``current_context`` mutated
+    before every access — the vector view receives the per-branch context
+    array explicitly, which is exactly the value each access would have
+    installed.
+    """
+
+    token_dependent = False
+
+    def __init__(self, provider: _PartitionedMappingProvider, base_maps):
+        self.provider = provider
+        self.base = base_maps
+
+    def _partition(self, indices, contexts, table_entries: int):
+        import numpy as np
+
+        partitions = self.provider.partitions
+        slice_size = max(1, table_entries // partitions)
+        slots = (contexts % partitions).astype(np.uint64)
+        return (slots * np.uint64(slice_size)
+                + (indices % np.uint64(slice_size))) % np.uint64(table_entries)
+
+    def pht1(self, ips, contexts=None):
+        return self._partition(self.base.pht1(ips), contexts,
+                               self.provider.sizes.pht_entries)
+
+    def pht2(self, ips, ghrs, contexts=None):
+        return self._partition(self.base.pht2(ips, ghrs), contexts,
+                               self.provider.sizes.pht_entries)
+
+    def btb1(self, ips, contexts=None):
+        index, key = self.base.btb1(ips)
+        return self._partition(index, contexts, self.provider.sizes.btb_sets), key
+
+    def btb2(self, ips, bhbs, contexts=None):
+        index, key = self.base.btb2(ips, bhbs)
+        return self._partition(index, contexts, self.provider.sizes.btb_sets), key
+
 
 class ConservativeBPU(BranchPredictorModel):
     """Structural collision-free baseline: full addresses + per-context partitioning.
@@ -183,6 +237,11 @@ class ConservativeBPU(BranchPredictorModel):
 
     def on_context_switch(self, context_id: int) -> None:
         self._mapping.current_context = context_id
+
+    def vector_kernel(self):
+        from repro.sim import vector
+
+        return vector.conservative_kernel(self)
 
 
 def make_unprotected_baseline(sizes: StructureSizes | None = None) -> CompositeBPU:

@@ -12,10 +12,12 @@ with every experiment name also kept as a top-level alias
 (``python -m repro figure3`` ≡ ``python -m repro run figure3``).
 
 Shared options: ``--workers`` (process-pool size; results are bit-identical
-to serial runs), ``--progress`` (stream per-job completions to stderr),
-``--scale`` (fidelity preset), ``--seed``, ``--workload-limit``,
-``--branches``/``--warmup`` (preset overrides) and ``--json PATH`` (dump the
-result inside a versioned ``{"schema", "spec", "result"}`` envelope).
+to serial runs), ``--backend`` (replay backend: ``reference``/``fast``/
+``vector``; results are bit-identical across backends), ``--progress``
+(stream per-job completions to stderr), ``--scale`` (fidelity preset),
+``--seed``, ``--workload-limit``, ``--branches``/``--warmup`` (preset
+overrides) and ``--json PATH`` (dump the result inside a versioned
+``{"schema", "spec", "result"}`` envelope).
 """
 
 from __future__ import annotations
@@ -37,6 +39,7 @@ from repro.engine import (
     run_scenario,
     scenario_envelope,
 )
+from repro.sim import fastpath
 
 
 def _emit(args: argparse.Namespace, text: str, payload: Any) -> None:
@@ -61,8 +64,17 @@ def _progress_printer() -> Callable:
     return progress
 
 
+def _apply_backend(args: argparse.Namespace) -> None:
+    """Install the requested replay backend for this process (and, via fork,
+    any worker processes the runner starts)."""
+    backend = getattr(args, "backend", None)
+    if backend:
+        fastpath.set_backend(backend)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> None:
     """Generic handler: every registered experiment dispatches through here."""
+    _apply_backend(args)
     spec: ExperimentSpec = args.spec
     # argparse already applied the option defaults; run_experiment does the
     # one and only merged_params pass (seed defaulting, unknown-key checks).
@@ -85,6 +97,7 @@ def _cmd_experiment(args: argparse.Namespace) -> None:
 
 def _cmd_run_scenario(args: argparse.Namespace) -> None:
     """``run <path>.json|.toml`` — execute a user-authored scenario file."""
+    _apply_backend(args)
     target = args.target
     if not os.path.exists(target):
         raise ValueError(
@@ -95,6 +108,22 @@ def _cmd_run_scenario(args: argparse.Namespace) -> None:
     progress = _progress_printer() if args.progress else None
     result = run_scenario(scenario, workers=args.workers, progress=progress)
     _emit(args, format_scenario(result), scenario_envelope(result))
+
+
+def _add_runtime_options(parser: argparse.ArgumentParser,
+                         progress_default: bool) -> None:
+    """The shared execution options every job-running command accepts."""
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (default: 1, serial)")
+    parser.add_argument("--backend", choices=list(fastpath.BACKENDS),
+                        default=None,
+                        help="replay backend (default: "
+                             f"{fastpath.DEFAULT_BACKEND}, or "
+                             "$REPRO_SIM_BACKEND); results are identical "
+                             "across backends")
+    parser.add_argument("--progress", action=argparse.BooleanOptionalAction,
+                        default=progress_default,
+                        help="stream per-job completions to stderr")
 
 
 def _add_option(parser: argparse.ArgumentParser, option) -> None:
@@ -129,23 +158,15 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         help="experiment name (aliases the top-level subcommand) or scenario path",
     )
-    run_parser.add_argument("--workers", type=int, default=1,
-                            help="worker processes (default: 1, serial)")
+    _add_runtime_options(run_parser, progress_default=True)
     run_parser.add_argument("--json", metavar="PATH", default=None,
                             help="also dump the result as JSON to PATH")
-    run_parser.add_argument("--progress", action=argparse.BooleanOptionalAction,
-                            default=True,
-                            help="stream per-job completions to stderr")
     run_parser.set_defaults(handler=_cmd_run_scenario)
 
     for spec in list_experiments():
         sub = subparsers.add_parser(spec.name, help=spec.description)
         if spec.takes_workers:
-            sub.add_argument("--workers", type=int, default=1,
-                             help="worker processes (default: 1, serial)")
-            sub.add_argument("--progress", action=argparse.BooleanOptionalAction,
-                             default=False,
-                             help="stream per-job completions to stderr")
+            _add_runtime_options(sub, progress_default=False)
         sub.add_argument("--json", metavar="PATH", default=None,
                          help="also dump the result as JSON to PATH")
         for option in spec.cli_options():

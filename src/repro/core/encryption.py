@@ -30,6 +30,8 @@ class XorTargetCodec(TargetCodec):
     effect of re-randomization.
     """
 
+    token_dependent = True
+
     def __init__(self, token: SecretToken):
         self._token = token
 
@@ -45,6 +47,14 @@ class XorTargetCodec(TargetCodec):
 
     def decode(self, stored: int) -> int:
         return (stored ^ self._token.phi) & STORED_TARGET_MASK
+
+    def vector_encode(self, targets):
+        import numpy as np
+
+        if type(self) is not XorTargetCodec:
+            return None
+        # phi is 32 bits, so XOR-then-mask equals mask-then-XOR exactly.
+        return (targets ^ np.uint64(self._token.phi)) & np.uint64(STORED_TARGET_MASK)
 
 
 def cross_token_decode(stored_by: SecretToken, decoded_with: SecretToken, target: int) -> int:

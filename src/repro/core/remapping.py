@@ -212,3 +212,102 @@ class STMappingProvider(MappingProvider):
             self._token.psi, ip & VIRTUAL_ADDRESS_MASK,
             output_bits=bits, domain=_DOMAIN_RP,
         ) % table_size
+
+    def vector_maps(self):
+        if type(self) is not STMappingProvider:
+            return None
+        return _STVectorMaps(self)
+
+
+def mix64_array(values: "object") -> "object":
+    """Array form of :func:`mix64` (uint64 arithmetic wraps like the masked ints)."""
+    import numpy as np
+
+    values = (values ^ (values >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    values = (values ^ (values >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return values ^ (values >> np.uint64(31))
+
+
+def keyed_remap_array(psi: int, *inputs: "object", output_bits: int,
+                      domain: int) -> "object":
+    """Array form of :func:`keyed_remap`; each input is a uint64 ndarray."""
+    import numpy as np
+
+    state0 = ((psi << 17) ^ (domain * 0x9E3779B97F4A7C15)) & _MASK64
+    state = None
+    for position, value in enumerate(inputs):
+        absorbed = (value + np.uint64((position + 1) * 0xD1B54A32D192ED03 & _MASK64)
+                    ) * np.uint64(0xFF51AFD7ED558CCD)
+        state = (np.uint64(state0) ^ absorbed) if state is None else (state ^ absorbed)
+        state = (state << np.uint64(13)) | (state >> np.uint64(51))
+    if state is None:  # pragma: no cover - remappings always absorb inputs
+        state = np.uint64(state0)
+    return mix64_array(state) & np.uint64((1 << output_bits) - 1)
+
+
+class _STVectorMaps:
+    """NumPy mirror of :class:`STMappingProvider`.
+
+    Reads the live token at call time, so the kernels' epoch chunking — one
+    chunk per constant-ψ run — sees exactly the key the scalar path would.
+    """
+
+    token_dependent = True
+
+    def __init__(self, provider: STMappingProvider):
+        self.provider = provider
+        self.sizes = provider.sizes
+
+    def pht1(self, ips, contexts=None):
+        import numpy as np
+
+        sizes = self.sizes
+        index = keyed_remap_array(
+            self.provider._token.psi, ips & np.uint64(VIRTUAL_ADDRESS_MASK),
+            output_bits=sizes.pht_index_bits, domain=_DOMAIN_R3,
+        )
+        return index & np.uint64(sizes.pht_entries - 1)
+
+    def pht2(self, ips, ghrs, contexts=None):
+        import numpy as np
+
+        sizes = self.sizes
+        index = keyed_remap_array(
+            self.provider._token.psi, ips & np.uint64(VIRTUAL_ADDRESS_MASK), ghrs,
+            output_bits=sizes.pht_index_bits, domain=_DOMAIN_R4,
+        )
+        return index & np.uint64(sizes.pht_entries - 1)
+
+    def btb1(self, ips, contexts=None):
+        import numpy as np
+
+        sizes = self.sizes
+        total_bits = sizes.btb_index_bits + sizes.btb_tag_bits + sizes.btb_offset_bits
+        digest = keyed_remap_array(
+            self.provider._token.psi, ips & np.uint64(VIRTUAL_ADDRESS_MASK),
+            output_bits=total_bits, domain=_DOMAIN_R1,
+        )
+        offset_bits = np.uint64(sizes.btb_offset_bits)
+        key_mask = np.uint64((1 << (sizes.btb_tag_bits + sizes.btb_offset_bits)) - 1)
+        # The digest's low tag+offset bits are the match key verbatim (offset
+        # low, tag above it — the same packing the scalar key uses).
+        key = digest & key_mask
+        index = (digest >> (offset_bits + np.uint64(sizes.btb_tag_bits))
+                 ) & np.uint64(sizes.btb_sets - 1)
+        return index, key
+
+    def btb2(self, ips, bhbs, contexts=None):
+        import numpy as np
+
+        sizes = self.sizes
+        psi = self.provider._token.psi
+        masked = ips & np.uint64(VIRTUAL_ADDRESS_MASK)
+        _, base_key = self.btb1(ips)
+        offset_bits = np.uint64(sizes.btb_offset_bits)
+        offset = base_key & np.uint64((1 << sizes.btb_offset_bits) - 1)
+        tag = keyed_remap_array(psi, masked, bhbs,
+                                output_bits=sizes.btb_tag_bits, domain=_DOMAIN_R2)
+        index = keyed_remap_array(psi, masked, bhbs,
+                                  output_bits=sizes.btb_index_bits,
+                                  domain=_DOMAIN_R2 + 16)
+        return index & np.uint64(sizes.btb_sets - 1), (tag << offset_bits) | offset

@@ -177,6 +177,11 @@ class STBPU(BranchPredictorModel):
             "contexts_seen": len(self.stats.contexts_seen),
         }
 
+    def vector_kernel(self):
+        from repro.sim import vector
+
+        return vector.stbpu_kernel(self)
+
     def reset(self) -> None:
         self.inner.reset()
         self.monitor.reset()

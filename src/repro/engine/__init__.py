@@ -45,6 +45,8 @@ from repro.engine.runner import (
     EngineRunner,
     attack_names,
     execute_job,
+    execute_job_batch,
+    job_batches,
 )
 from repro.engine.scenario import (
     SCENARIO_SCHEMA,
@@ -68,9 +70,12 @@ from repro.engine.spec import (
     run_experiment,
 )
 from repro.engine.workloads import (
+    TraceCache,
     clear_trace_cache,
+    install_trace,
     resolve_smt_pairs,
     resolve_workloads,
+    trace_cache_stats,
     trace_for,
 )
 
@@ -91,6 +96,8 @@ __all__ = [
     "EngineRunner",
     "attack_names",
     "execute_job",
+    "execute_job_batch",
+    "job_batches",
     "SCENARIO_SCHEMA",
     "Scenario",
     "ScenarioResult",
@@ -108,4 +115,11 @@ __all__ = [
     "load_builtin_specs",
     "register_experiment",
     "run_experiment",
+    "TraceCache",
+    "clear_trace_cache",
+    "install_trace",
+    "resolve_smt_pairs",
+    "resolve_workloads",
+    "trace_cache_stats",
+    "trace_for",
 ]

@@ -42,6 +42,20 @@ ModelFactory = Callable[..., BranchPredictorModel]
 
 _MODELS: dict[str, ModelFactory] = {}
 
+#: Bumped on every (re-)registration; pooled runners compare it to decide
+#: whether their forked workers still mirror the registry.
+_REGISTRY_GENERATION = 0
+
+
+def registry_generation() -> int:
+    """Monotonic counter of model (re-)registrations.
+
+    A forked worker mirrors the registry as of its fork; the runner rebuilds
+    its persistent pool when this counter moved so models registered between
+    runs stay resolvable in workers.
+    """
+    return _REGISTRY_GENERATION
+
 
 @dataclass(frozen=True, slots=True)
 class ModelSpec:
@@ -80,9 +94,11 @@ class ModelSpec:
 
 def register_model(name: str, factory: ModelFactory, replace: bool = False) -> None:
     """Register ``factory`` under ``name``; refuses silent overwrites."""
+    global _REGISTRY_GENERATION
     if name in _MODELS and not replace:
         raise ValueError(f"model {name!r} is already registered")
     _MODELS[name] = factory
+    _REGISTRY_GENERATION += 1
 
 
 def model_factory(name: str) -> ModelFactory:

@@ -1,4 +1,4 @@
-"""Engine runner: executes job lists serially or on a process pool.
+"""Engine runner: executes job lists serially or on a batched process pool.
 
 :func:`execute_job` is the single entry point that knows how to run every job
 kind; it lives at module top level so a :class:`~concurrent.futures.ProcessPoolExecutor`
@@ -6,6 +6,14 @@ can pickle it.  Because jobs are plain data, seeds are derived from job
 identity, and the synthetic trace generator is deterministic, a parallel run
 produces records bit-identical to a serial run of the same grid — the runner
 only changes wall-clock time, never results.
+
+Parallel execution is *batched*: jobs are grouped into contiguous chunks
+(:func:`job_batches`) so each pool round-trip amortises dispatch and result
+pickling over several jobs, one executor persists across ``run`` /
+``iter_records`` calls within a runner's lifetime, and on non-``fork`` start
+methods the distinct traces behind the jobs ship to workers once as
+shared-memory arrays (:mod:`repro.engine.sharing`) instead of being
+re-generated per job.
 
 :meth:`EngineRunner.iter_records` is the streaming form: records are yielded
 in job order as soon as they (and every earlier job) complete, and an optional
@@ -17,6 +25,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+import weakref
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Iterable, Iterator, Sequence
 
@@ -285,18 +294,78 @@ def execute_job(job: Job) -> JobRecord:
 ProgressCallback = Callable[[int, int, JobRecord], None]
 
 
+def execute_job_batch(jobs: Sequence[Job],
+                      shipments: tuple[dict, ...] = ()) -> list[JobRecord]:
+    """Execute a contiguous batch of jobs in the current (worker) process.
+
+    ``shipments`` are shared-memory trace descriptors; each is attached once
+    per process, pre-seeding the worker-local trace cache before the first
+    job replays (see :mod:`repro.engine.sharing`).
+    """
+    if shipments:
+        from repro.engine import sharing
+
+        for descriptor in shipments:
+            sharing.attach_shipment(descriptor)
+    return [execute_job(job) for job in jobs]
+
+
+def job_batches(jobs: Sequence[Job], workers: int,
+                parts_per_worker: int = 4) -> list[list[Job]]:
+    """Split ``jobs`` into contiguous batches sized for pool submission.
+
+    The chunk size balances dispatch overhead (bigger batches → fewer pool
+    round-trips) against load balance (smaller batches → stragglers matter
+    less): ``parts_per_worker`` batches per worker, at least one job each.
+    """
+    total = len(jobs)
+    if total == 0:
+        return []
+    chunk = max(1, -(-total // max(1, workers * parts_per_worker)))
+    return [list(jobs[start:start + chunk]) for start in range(0, total, chunk)]
+
+
+def _distinct_trace_keys(jobs: Sequence[Job]) -> dict:
+    """The distinct ``(workload, branch_count, seed)`` traces the jobs replay."""
+    keys: dict = {}
+    for job in jobs:
+        if job.kind not in ("trace", "cpu", "smt") or job.workload is None:
+            continue
+        names = job.workload if isinstance(job.workload, tuple) else (job.workload,)
+        for name in names:
+            keys[(name, job.branch_count, job.trace_seed)] = None
+    return keys
+
+
 class EngineRunner:
-    """Executes grids/job lists, serially or on a process pool.
+    """Executes grids/job lists, serially or on a batched process pool.
 
     Args:
         workers: Number of worker processes; ``1`` (the default) runs
             everything inline.  Results are identical either way.
+        start_method: Optional multiprocessing start method override
+            (``"fork"``/``"spawn"``).  By default the platform's ``fork`` is
+            preferred; passing ``"spawn"`` exercises the shared-memory trace
+            shipping path that non-fork platforms use.
+
+    One executor is created lazily and reused across ``run`` /
+    ``iter_records`` calls; call :meth:`close` (or use the runner as a
+    context manager) to shut it down eagerly — otherwise a finalizer does it
+    when the runner is garbage collected.
     """
 
-    def __init__(self, workers: int = 1):
+    def __init__(self, workers: int = 1, start_method: str | None = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        self.start_method = start_method
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_used = False
+        self._pool_generation: int | None = None
+        self._shipments: list = []
+        self._shipped_keys: set = set()
+        self._finalizer = weakref.finalize(
+            self, EngineRunner._cleanup, [], [])  # replaced on first pool use
 
     def run(self, grid: SimulationGrid,
             progress: ProgressCallback | None = None) -> ResultFrame:
@@ -331,36 +400,122 @@ class EngineRunner:
                     progress(done, total, record)
                 yield record
             return
-        context = self._fork_context()
-        if context is not None:
+        context = self._context()
+        pool = self._ensure_pool(context)
+        if context.get_start_method() == "fork":
+            # Workers fork at first submit and inherit the parent's trace
+            # cache as of that moment; generate this run's traces first so
+            # a fresh pool inherits them all.  Runs on an *existing* pool
+            # instead ship any new traces through shared memory — the
+            # workers' inherited caches predate them.
             self._prewarm_traces(jobs)
-        workers = min(self.workers, total)
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            positions = {
-                pool.submit(execute_job, job): position
-                for position, job in enumerate(jobs)
-            }
-            ready: dict[int, JobRecord] = {}
-            next_position = 0
-            for future in as_completed(positions):
-                record = future.result()
+            if self._pool_used:
+                shipments = self._ensure_shipments(jobs)
+            else:
+                self._shipped_keys.update(_distinct_trace_keys(jobs))
+                shipments = tuple(s.descriptor for s in self._shipments)
+        else:
+            shipments = self._ensure_shipments(jobs)
+        self._pool_used = True
+        batches = job_batches(jobs, min(self.workers, total))
+        offsets = []
+        position = 0
+        for batch in batches:
+            offsets.append(position)
+            position += len(batch)
+        futures = {
+            pool.submit(execute_job_batch, batch, shipments): index
+            for index, batch in enumerate(batches)
+        }
+        ready: dict[int, list[JobRecord]] = {}
+        next_batch = 0
+        for future in as_completed(futures):
+            index = futures[future]
+            records = future.result()
+            for record in records:
                 done += 1
                 if progress is not None:
                     progress(done, total, record)
-                ready[positions[future]] = record
-                while next_position in ready:
-                    yield ready.pop(next_position)
-                    next_position += 1
+            ready[index] = records
+            while next_batch in ready:
+                yield from ready.pop(next_batch)
+                next_batch += 1
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Shut the pooled executor down and release shipped trace memory."""
+        self._finalizer()
+        self._pool = None
+        self._pool_used = False
+        self._pool_generation = None
+        self._shipments = []
+        self._shipped_keys = set()
+
+    def __enter__(self) -> "EngineRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @staticmethod
+    def _cleanup(pools: list, shipments: list) -> None:
+        for pool in pools:
+            pool.shutdown(wait=True)
+        for shipment in shipments:
+            shipment.close()
+
+    def _context(self):
+        if self.start_method is not None:
+            return multiprocessing.get_context(self.start_method)
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            return multiprocessing.get_context()
+
+    def _ensure_pool(self, context) -> ProcessPoolExecutor:
+        from repro.engine.registry import registry_generation
+
+        generation = registry_generation()
+        if self._pool is not None and self._pool_generation != generation:
+            # Models were (re-)registered since the workers forked; rebuild
+            # the pool so fresh forks mirror the current registry (the old
+            # per-run-pool guarantee).  Spawn workers never saw post-import
+            # registrations either way.
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_used = False
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context)
+            self._pool_generation = generation
+            # Re-register the finalizer with the live pool/shipment lists so
+            # garbage collection tears both down.
+            self._finalizer.detach()
+            self._finalizer = weakref.finalize(
+                self, EngineRunner._cleanup, [self._pool], self._shipments)
+        return self._pool
+
+    def _ensure_shipments(self, jobs: Sequence[Job]) -> tuple[dict, ...]:
+        """Pack any not-yet-shipped distinct traces into a new shipment."""
+        from repro.engine import sharing
+
+        missing = {}
+        for key in _distinct_trace_keys(jobs):
+            if key not in self._shipped_keys:
+                missing[key] = trace_for(*key)
+        if missing:
+            self._shipments.append(sharing.TraceShipment(missing))
+            self._shipped_keys.update(missing)
+        return tuple(shipment.descriptor for shipment in self._shipments)
 
     @staticmethod
     def _fork_context():
         """Prefer the fork start method when the platform offers it.
 
-        Forked workers inherit the parent's state: the memoised trace cache
-        (no per-worker regeneration) and, importantly, any models the caller
-        added with ``register_model`` after import.  Where only spawn exists
-        (e.g. Windows) workers re-import the registry, so parallel runs are
-        limited to the built-in models and regenerate traces themselves.
+        Kept for callers that need the raw context; :class:`EngineRunner`
+        itself now goes through :meth:`_context`, which honours the
+        ``start_method`` override.
         """
         try:
             return multiprocessing.get_context("fork")

@@ -1,14 +1,19 @@
-"""Workload registry and the shared, memoised trace cache.
+"""Workload registry and the shared, bounded trace cache.
 
 Workloads are addressable by name (``"505.mcf"``), by category
 (``"spec"``, ``"application"``, ``"all"``) or by the paper's curated sets
 (``"gem5-single"``, ``"gem5-smt"`` for SMT pairs).  The trace cache memoises
 synthetic traces per ``(workload, branch_count, seed)`` so that every job in a
 grid — and every driver in a session — replays the identical trace object.
+The cache is a capped LRU: grids expand workload-major, so consecutive jobs
+reuse the hot entry while million-job scenario sweeps can no longer grow
+memory without bound.  Hit/miss counters are exposed for the bench report
+(:func:`trace_cache_stats`).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterable, Sequence
 
 from repro.trace.branch import Trace
@@ -28,15 +33,101 @@ WORKLOAD_GROUPS: dict[str, tuple[str, ...]] = {
     "gem5-single": GEM5_SINGLE_WORKLOADS,
 }
 
-_TRACE_CACHE: dict[tuple[str, int, int], Trace] = {}
+#: Default bound of the trace cache, in traces.  Grids expand workload-major,
+#: so this comfortably covers every built-in grid's distinct traces while
+#: bounding unbounded sweeps.
+TRACE_CACHE_CAPACITY = 64
+
+TraceKey = tuple[str, int, int]
+
+
+class TraceCache:
+    """LRU-bounded memoisation of synthetic traces with hit/miss counters."""
+
+    def __init__(self, capacity: int = TRACE_CACHE_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[TraceKey, Trace] = OrderedDict()
+
+    def get(self, key: TraceKey) -> Trace | None:
+        trace = self._entries.get(key)
+        if trace is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return trace
+
+    def put(self, key: TraceKey, trace: Trace) -> None:
+        entries = self._entries
+        entries[key] = trace
+        entries.move_to_end(key)
+        while len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+_TRACE_CACHE = TraceCache()
+
+#: Cache-miss resolvers consulted before falling back to synthetic
+#: generation.  Shared-memory shipments register one so traces evicted from
+#: the bounded cache re-materialise from the mapped arrays (cheap) instead of
+#: being re-generated (expensive).
+_TRACE_SOURCES: list = []
+
+
+def register_trace_source(source) -> None:
+    """Add a ``key -> Trace | None`` resolver tried on every cache miss."""
+    if source not in _TRACE_SOURCES:
+        _TRACE_SOURCES.append(source)
 
 
 def trace_for(name: str, branch_count: int, seed: int) -> Trace:
-    """Generate (and memoise) the synthetic trace for one workload."""
+    """Return (memoised) the synthetic trace for one workload.
+
+    Cache misses first consult the registered trace sources (shared-memory
+    shipments in worker processes), then the deterministic generator.
+    """
     key = (name, branch_count, seed)
-    if key not in _TRACE_CACHE:
-        _TRACE_CACHE[key] = generate_trace(name, seed=seed, branch_count=branch_count)
-    return _TRACE_CACHE[key]
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        for source in _TRACE_SOURCES:
+            trace = source(key)
+            if trace is not None:
+                break
+        if trace is None:
+            trace = generate_trace(name, seed=seed, branch_count=branch_count)
+        _TRACE_CACHE.put(key, trace)
+    return trace
+
+
+def install_trace(key: TraceKey, trace: Trace) -> None:
+    """Pre-seed the cache (worker processes attach shipped traces this way)."""
+    _TRACE_CACHE.put(key, trace)
+
+
+def trace_cache_stats() -> dict[str, int]:
+    """Current size/capacity and cumulative hit/miss/eviction counters."""
+    return _TRACE_CACHE.stats()
 
 
 def clear_trace_cache() -> None:

@@ -9,11 +9,14 @@ per-process tokens.
 
 Replaying is the repository's hot path (a paper-scale grid pushes hundreds of
 millions of branch records through models), so :meth:`TraceSimulator.run`
-iterates the trace's columnar view — branch runs pre-split from OS events,
-direction/conditional flags pre-decoded — and accumulates statistics in local
-integers instead of dispatching on item type and chasing attributes per
-record.  The per-item reference loop is retained and the parity tests pin
-both paths to byte-identical result frames.
+dispatches on the process-wide backend switch (:mod:`repro.sim.fastpath`):
+the default ``vector`` backend replays the trace's ndarray view with the
+array kernels in :mod:`repro.sim.vector` (falling back per model when no
+kernel exists), the ``fast`` backend iterates the columnar view — branch runs
+pre-split from OS events, direction/conditional flags pre-decoded — with
+locally accumulated counters, and the per-item ``reference`` loop is retained
+for differential testing.  The parity tests pin all backends to
+byte-identical result frames.
 """
 
 from __future__ import annotations
@@ -144,10 +147,17 @@ class TraceSimulator:
         :meth:`compare` (or call ``model.reset()`` yourself) for cold replays.
         """
         stats = PredictorStats()
-        if fastpath.fast_path_enabled():
-            self._replay_columnar(model, trace, stats)
-        else:
-            self._replay_items(model, trace, stats)
+        replayed = False
+        if fastpath.vector_enabled():
+            from repro.sim import vector
+
+            replayed = vector.try_replay_trace(
+                model, trace, self.warmup_branches, stats)
+        if not replayed:
+            if fastpath.fast_path_enabled():
+                self._replay_columnar(model, trace, stats)
+            else:
+                self._replay_items(model, trace, stats)
 
         protection = model.protection_stats()
         rerandomizations = int(protection.get("rerandomizations", 0))

@@ -1,38 +1,104 @@
-"""Process-wide switch between the columnar fast path and the per-item path.
+"""Process-wide replay-backend switch: ``reference`` / ``fast`` / ``vector``.
 
-The simulators keep two equivalent replay implementations: the columnar fast
-path (pre-decoded :class:`~repro.trace.branch.TraceColumns`, local-bound inner
-loops) used by default, and the straightforward per-item reference loop kept
-for differential testing.  The parity tests flip this switch to assert both
-paths produce byte-identical result frames; there is no reason to disable the
-fast path in normal operation.
+The simulators keep three equivalent replay implementations:
+
+* ``reference`` — the straightforward per-item loop kept for differential
+  testing;
+* ``fast`` — the columnar loop over pre-decoded
+  :class:`~repro.trace.branch.TraceColumns` (PR 2); and
+* ``vector`` — the NumPy array-at-a-time backend in :mod:`repro.sim.vector`
+  (the default), which replays epoch-chunked array kernels for models that
+  provide one and silently (but with a logged notice) falls back to the
+  ``fast`` loop for models that do not (TAGE/Perceptron directions, ablation
+  variants with facade mappings).
+
+All three produce byte-identical result frames — the parity tests pin that —
+so the switch only ever changes wall-clock time.  The process-wide default can
+be set with the ``REPRO_SIM_BACKEND`` environment variable, programmatically
+with :func:`set_backend`, or per run with the CLI's ``--backend`` option.
 """
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from typing import Iterator
 
-_ENABLED = True
+#: Recognised backend names, slowest first.
+BACKENDS = ("reference", "fast", "vector")
 
+DEFAULT_BACKEND = "vector"
+
+
+def _initial_backend() -> str:
+    name = os.environ.get("REPRO_SIM_BACKEND", DEFAULT_BACKEND)
+    if name not in BACKENDS:
+        import warnings
+
+        warnings.warn(
+            f"ignoring unknown REPRO_SIM_BACKEND={name!r}; expected one of "
+            f"{BACKENDS} — using {DEFAULT_BACKEND!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return DEFAULT_BACKEND
+    return name
+
+
+_BACKEND = _initial_backend()
+
+
+def backend() -> str:
+    """The active replay backend name."""
+    return _BACKEND
+
+
+def set_backend(name: str) -> None:
+    """Select the process-wide replay backend."""
+    if name not in BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; expected one of {BACKENDS}")
+    global _BACKEND
+    _BACKEND = name
+
+
+@contextmanager
+def forced_backend(name: str) -> Iterator[None]:
+    """Temporarily force a specific replay backend (parity tests)."""
+    previous = _BACKEND
+    set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)
+
+
+def vector_enabled() -> bool:
+    """Whether simulators should try the NumPy vector backend first."""
+    return _BACKEND == "vector"
+
+
+# ------------------------------------------------------- legacy two-level API
 
 def fast_path_enabled() -> bool:
-    """Whether simulators should take the columnar fast path."""
-    return _ENABLED
+    """Whether simulators may take the columnar fast path (vector implies it)."""
+    return _BACKEND != "reference"
 
 
 def set_fast_path(enabled: bool) -> None:
-    """Globally enable/disable the columnar fast path (tests only)."""
-    global _ENABLED
-    _ENABLED = bool(enabled)
+    """Legacy two-level switch: ``True`` selects ``fast``, ``False`` ``reference``.
+
+    Kept so pre-vector callers and tests continue to work; new code should use
+    :func:`set_backend`.
+    """
+    set_backend("fast" if enabled else "reference")
 
 
 @contextmanager
 def forced_fast_path(enabled: bool) -> Iterator[None]:
-    """Temporarily force the fast path on or off."""
-    previous = _ENABLED
+    """Temporarily force the columnar fast path on or off (legacy API)."""
+    previous = _BACKEND
     set_fast_path(enabled)
     try:
         yield
     finally:
-        set_fast_path(previous)
+        set_backend(previous)

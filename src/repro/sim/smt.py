@@ -9,9 +9,12 @@ and charges each thread its own misprediction penalties.  Throughput is
 summarised with the harmonic mean of the per-thread IPCs, the metric the
 paper adopts for equally weighted workloads.
 
-Like :class:`~repro.sim.bpu_sim.TraceSimulator`, the co-run loop replays the
-merged trace's columnar view by default (pre-split branch runs, pre-decoded
-per-branch flags) and keeps the per-item reference loop for parity testing.
+Like :class:`~repro.sim.bpu_sim.TraceSimulator`, the co-run replay follows
+the process-wide backend switch: the ``vector`` backend replays the merged
+trace with array kernels where the model provides one (STBPU co-runs decline
+— the scheduling quantum swaps tokens too often for array chunks to pay off —
+and take the columnar loop), ``fast`` iterates the columnar view, and the
+per-item ``reference`` loop is kept for parity testing.
 """
 
 from __future__ import annotations
@@ -134,7 +137,7 @@ class SMTSimulator:
         distinct software entities even when the input traces reuse ids.
         """
         remapped_b = Trace(name=trace_b.name)
-        for item in trace_b.items:
+        for item in trace_b:
             if isinstance(item, BranchRecord):
                 remapped_b.append(item.with_context(item.context_id + thread_offset))
             else:
@@ -146,10 +149,18 @@ class SMTSimulator:
         )
 
         per_thread_stats = (PredictorStats(), PredictorStats())
-        if fastpath.fast_path_enabled():
-            self._coreplay_columnar(model, merged, thread_offset, per_thread_stats)
-        else:
-            self._coreplay_items(model, merged, thread_offset, per_thread_stats)
+        replayed = False
+        if fastpath.vector_enabled():
+            from repro.sim import vector
+
+            replayed = vector.try_replay_smt(
+                model, merged, thread_offset, self.lengths.warmup_branches,
+                per_thread_stats)
+        if not replayed:
+            if fastpath.fast_path_enabled():
+                self._coreplay_columnar(model, merged, thread_offset, per_thread_stats)
+            else:
+                self._coreplay_items(model, merged, thread_offset, per_thread_stats)
 
         reports = tuple(
             self._performance(model.name, trace.name, stats)

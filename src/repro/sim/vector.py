@@ -1,0 +1,1123 @@
+"""NumPy vector replay backend: array-at-a-time prediction, bit-exact.
+
+The scalar replay loops spend almost all their time in per-branch Python
+dispatch.  This backend replays whole event-free branch runs ("epochs") with
+array kernels instead, exploiting one structural property of the composite
+predictor: *training is driven entirely by resolved trace data* (taken bits,
+branch types, addresses), never by the predictions themselves.  That makes
+every piece of predictor state except the BTB/RSB precomputable:
+
+* GHR / BHB histories are shift registers of trace-only data — both are
+  computed for every branch at once with sliding-window shift/XOR kernels
+  seeded by the carried register value;
+* PHT / chooser tables are 2-bit saturating counters whose update stream per
+  table index is known up front.  Each access's *pre-update* counter value is
+  recovered with a segmented Hillis–Steele scan over packed 4-state
+  transition maps (a 2-bit counter is a 4-state FSM, so a whole
+  counter-function composition fits in one byte and composition is a 64K
+  lookup table);
+* the BTB (LRU, set-associative) and RSB (bounded stack) remain genuinely
+  sequential, but replay as a slim Python loop over pre-computed integer
+  keys — no objects, no hashing, no attribute chasing — touching only the
+  branches that actually access them.
+
+Epochs are chunked between protection events so event semantics stay exact:
+OS events delimit epochs, STBPU token swaps (context/mode changes) start new
+chunks, and an STBPU re-randomization fired by the monitoring counters ends
+the chunk *at the firing access* — scans commit only the executed prefix (the
+scan composition is pure until committed) and replay resumes under the fresh
+token.  The parity tests pin all of this to byte-identical results against
+both scalar paths.
+
+Models opt in via ``vector_kernel()``; models without a kernel (TAGE and
+Perceptron directions, ablation facades) fall back to the PR-2 columnar fast
+path with a logged notice.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+
+from repro.bpu.common import PredictorStats
+from repro.trace.branch import (
+    VIRTUAL_ADDRESS_MASK,
+    EventKind,
+    PrivilegeMode,
+    Trace,
+    TraceEvent,
+)
+
+logger = logging.getLogger("repro.sim.vector")
+
+_FALLBACK_LOGGED: set[str] = set()
+
+# Branch-type codes, mirroring repro.trace.branch.BRANCH_TYPE_CODES.
+_COND, _DJ, _DC, _IJ, _IC, _RET = 0, 1, 2, 3, 4, 5
+
+# Structural-loop opcodes.
+_OP_LOOKUP1 = 0   # conditional predicted-taken, or direct: mode-1 lookup (+update if taken)
+_OP_UPDATE1 = 1   # conditional predicted not-taken but taken: mode-1 update only
+_OP_INDIRECT = 2  # mode-2 lookup, mode-1 fallback, mode-2 update if taken
+_OP_RETURN = 3    # RSB pop; mode-2 lookup on underflow; mode-2 update if taken
+
+_U64 = np.uint64
+
+
+def _pack_map(states: tuple[int, int, int, int]) -> int:
+    return states[0] | (states[1] << 2) | (states[2] << 4) | (states[3] << 6)
+
+
+#: Packed 4-state transition maps of a 2-bit saturating counter.
+MAP_IDENTITY = _pack_map((0, 1, 2, 3))
+MAP_INCREMENT = _pack_map((1, 2, 3, 3))
+MAP_DECREMENT = _pack_map((0, 0, 1, 2))
+
+
+def _build_compose_table() -> np.ndarray:
+    """``COMPOSE[a, b]`` = packed map "apply ``a`` first, then ``b``"."""
+    codes = np.arange(256, dtype=np.uint16)
+    shifts = 2 * np.arange(4, dtype=np.uint16)
+    applied_a = (codes[:, None] >> shifts[None, :]) & 3            # [a, state]
+    composed = (codes[None, :, None] >> (2 * applied_a[:, None, :])) & 3
+    return (composed << shifts[None, None, :]).sum(axis=2).astype(np.uint8)
+
+
+COMPOSE = _build_compose_table()
+
+
+class _CounterScan:
+    """A completed (but uncommitted) segmented counter scan over one table."""
+
+    __slots__ = ("order", "idx_sorted", "inclusive", "init_states")
+
+    def __init__(self, order, idx_sorted, inclusive, init_states):
+        self.order = order
+        self.idx_sorted = idx_sorted
+        self.inclusive = inclusive
+        self.init_states = init_states
+
+    def commit(self, table: np.ndarray, upto: int | None = None) -> None:
+        """Scatter final per-index counter states back into ``table``.
+
+        ``upto`` restricts the commit to accesses with original ordinal
+        ``< upto`` (the executed prefix when an STBPU re-randomization fired
+        mid-chunk); ``None`` commits every access.
+        """
+        idx_sorted = self.idx_sorted
+        count = idx_sorted.shape[0]
+        if count == 0:
+            return
+        if upto is None:
+            last = np.empty(count, dtype=bool)
+            last[-1] = True
+            np.not_equal(idx_sorted[1:], idx_sorted[:-1], out=last[:-1])
+            positions = np.flatnonzero(last)
+        else:
+            selected = np.flatnonzero(self.order < upto)
+            if selected.shape[0] == 0:
+                return
+            idx_selected = idx_sorted[selected]
+            last = np.empty(selected.shape[0], dtype=bool)
+            last[-1] = True
+            np.not_equal(idx_selected[1:], idx_selected[:-1], out=last[:-1])
+            positions = selected[last]
+        table[idx_sorted[positions]] = (
+            self.inclusive[positions] >> (self.init_states[positions] << 1)) & 3
+
+
+def _scan_counters(indices: np.ndarray, maps: np.ndarray, table: np.ndarray,
+                   order: np.ndarray | None = None,
+                   ) -> tuple[np.ndarray, _CounterScan | None, np.ndarray]:
+    """Pre-update counter values for a stream of (index, transition) accesses.
+
+    Returns ``(pre_states, scan, order)`` where ``pre_states[k]`` is the
+    counter value access ``k`` observes *before* its own update, ``scan``
+    commits the final states, and ``order`` is the stable argsort of
+    ``indices`` (reusable for further scans over the same index stream).
+    """
+    count = indices.shape[0]
+    if count == 0:
+        empty = np.empty(0, dtype=np.uint8)
+        return empty, None, np.empty(0, dtype=np.int64)
+    if order is None:
+        order = np.argsort(indices, kind="stable")
+    idx_sorted = indices[order]
+    inclusive = maps[order].copy()
+    shift = 1
+    while shift < count:
+        same = idx_sorted[shift:] == idx_sorted[:-shift]
+        composed = COMPOSE[inclusive[:-shift], inclusive[shift:]]
+        inclusive[shift:] = np.where(same, composed, inclusive[shift:])
+        shift <<= 1
+    first = np.empty(count, dtype=bool)
+    first[0] = True
+    np.not_equal(idx_sorted[1:], idx_sorted[:-1], out=first[1:])
+    exclusive = np.empty_like(inclusive)
+    exclusive[1:] = inclusive[:-1]
+    exclusive[first] = MAP_IDENTITY
+    init_states = table[idx_sorted]
+    pre_sorted = (exclusive >> (init_states << 1)) & 3
+    pre = np.empty(count, dtype=np.uint8)
+    pre[order] = pre_sorted
+    return pre, _CounterScan(order, idx_sorted, inclusive, init_states), order
+
+
+def _ghr_window(outcomes: np.ndarray, seed_value: int, bits: int,
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-access GHR values (before each push) plus the extended bit stream.
+
+    ``outcomes`` is the uint64 0/1 stream of conditional outcomes in one
+    chunk; ``seed_value`` is the register value carried into the chunk.  The
+    extended stream (seed bits then outcomes) is returned so callers can
+    reconstruct the register value after any prefix with :func:`_ghr_value_at`.
+    """
+    count = outcomes.shape[0]
+    extended = np.empty(count + bits, dtype=np.uint64)
+    for position in range(bits):
+        extended[position] = (seed_value >> (bits - 1 - position)) & 1
+    extended[bits:] = outcomes
+    values = np.zeros(count, dtype=np.uint64)
+    for distance in range(1, bits + 1):
+        values += extended[bits - distance: bits - distance + count] << _U64(distance - 1)
+    return values, extended
+
+
+def _ghr_value_at(extended: np.ndarray, executed: int, bits: int) -> int:
+    """Register value after ``executed`` pushes of the extended stream."""
+    value = 0
+    for distance in range(bits):
+        value |= int(extended[executed + bits - 1 - distance]) << distance
+    return value
+
+
+def _bhb_states(mixed: np.ndarray, seed_value: int, bits: int) -> np.ndarray:
+    """BHB register value after ``c`` pushes, for every ``c`` in ``0..len``.
+
+    The BHB recurrence ``v = ((v << 2) & mask) ^ mixed`` is GF(2)-linear, so
+    the state after ``c`` pushes is the XOR of the last ``⌈bits/2⌉`` pushed
+    values at staggered shifts plus the carried seed — a sliding-window XOR
+    kernel rather than a sequential loop.
+    """
+    update_count = mixed.shape[0]
+    window = (bits - 1) // 2 + 1
+    states = np.zeros(update_count + 1, dtype=np.uint64)
+    for distance in range(1, min(window, update_count) + 1):
+        states[distance:] ^= mixed[: update_count - distance + 1] << _U64(2 * (distance - 1))
+    mask = (1 << bits) - 1
+    for c in range(0, min(window, update_count + 1)):
+        seed_term = (seed_value << (2 * c)) & mask
+        if seed_term:
+            states[c] ^= _U64(seed_term)
+    states &= _U64(mask)
+    return states
+
+
+def _extend_outcomes(outcomes: list, appended, max_outcomes: int) -> None:
+    """Exactly emulate ``HistoryState.record_conditional``'s deferred trim."""
+    block = max_outcomes + 256
+    existing = len(outcomes)
+    appended = list(appended)
+    total = existing + len(appended)
+    if total <= block:
+        outcomes.extend(appended)
+        return
+    # First trim fires at the append that pushes the length past ``block``;
+    # afterwards the length cycles between ``max_outcomes`` and ``block``.
+    first_trim = block + 1 - existing
+    period = block + 1 - max_outcomes
+    final_length = max_outcomes + ((len(appended) - first_trim) % period)
+    combined = outcomes + appended
+    outcomes[:] = combined[len(combined) - final_length:]
+
+
+class _MonitorMirror:
+    """Loop-local mirror of a :class:`RerandomizationMonitor`'s counters."""
+
+    __slots__ = ("monitor", "mis_threshold", "ev_threshold", "dir_threshold",
+                 "has_direction", "mis_remaining", "ev_remaining",
+                 "dir_remaining", "observed_mis", "observed_ev", "fired")
+
+    def __init__(self, monitor):
+        config = monitor.config
+        counters = monitor.counters
+        self.monitor = monitor
+        self.mis_threshold = config.misprediction_threshold
+        self.ev_threshold = config.eviction_threshold
+        self.has_direction = config.direction_misprediction_threshold is not None
+        self.dir_threshold = (config.direction_misprediction_threshold
+                              if self.has_direction
+                              else config.misprediction_threshold)
+        self.mis_remaining = counters.mispredictions_remaining
+        self.ev_remaining = counters.evictions_remaining
+        self.dir_remaining = counters.direction_remaining
+        self.observed_mis = monitor.observed_mispredictions
+        self.observed_ev = monitor.observed_evictions
+        self.fired = monitor.fired_count
+
+    def write_back(self) -> None:
+        monitor = self.monitor
+        counters = monitor.counters
+        counters.mispredictions_remaining = self.mis_remaining
+        counters.evictions_remaining = self.ev_remaining
+        counters.direction_remaining = self.dir_remaining
+        monitor.observed_mispredictions = self.observed_mis
+        monitor.observed_evictions = self.observed_ev
+        monitor.fired_count = self.fired
+
+
+class _SpanResult:
+    """Outcome of one vectorised chunk: how far it ran and whether it fired."""
+
+    __slots__ = ("executed_to", "fired")
+
+    def __init__(self, executed_to: int, fired: bool):
+        self.executed_to = executed_to
+        self.fired = fired
+
+
+class _CompositeEngine:
+    """Vector replay engine over one :class:`~repro.bpu.composite.CompositeBPU`.
+
+    The engine adopts the composite's structures into flat arrays/lists on
+    ``begin``, replays spans with :meth:`run_span`, and writes every structure
+    back bit-exactly on ``finish``.  Wrapper kernels (flushing, conservative,
+    STBPU) drive the span schedule and event semantics.
+    """
+
+    def __init__(self, composite, pht_maps, btb_maps, codec):
+        self.composite = composite
+        self.pht_maps = pht_maps
+        self.btb_maps = btb_maps
+        self.codec = codec
+        self.sizes = composite.sizes
+        self.token_dependent = bool(
+            getattr(pht_maps, "token_dependent", False)
+            or getattr(btb_maps, "token_dependent", False)
+            or codec.token_dependent
+        )
+
+    # ------------------------------------------------------------------ state
+
+    def begin(self, arrays) -> None:
+        composite = self.composite
+        sizes = self.sizes
+        btb = composite.btb
+        offset_bits = sizes.btb_offset_bits
+        keys: list[int] = []
+        tags: list[int] = []
+        offsets: list[int] = []
+        stored: list[int] = []
+        stamps: list[int] = []
+        for entries in btb._sets:
+            for entry in entries:
+                keys.append(((entry.tag << offset_bits) | entry.offset)
+                            if entry.valid else -1)
+                tags.append(entry.tag)
+                offsets.append(entry.offset)
+                stored.append(entry.stored_target)
+                stamps.append(entry.lru_stamp)
+        self.bt_keys = keys
+        self.bt_tags = tags
+        self.bt_offsets = offsets
+        self.bt_stored = stored
+        self.bt_stamps = stamps
+        self.clock = btb._access_clock
+        self.evictions = btb.eviction_count
+        self.ways = btb.way_count
+        self.set_count = btb.set_count
+
+        direction = composite.direction
+        self.one_table = np.array(direction.one_level._values, dtype=np.uint8)
+        self.two_table = np.array(direction.two_level._values, dtype=np.uint8)
+        self.choice_table = np.array(direction.chooser._values, dtype=np.uint8)
+
+        rsb = composite.rsb
+        self.rsb = list(rsb._stack)
+        self.rsb_capacity = rsb.capacity
+        self.rsb_overflows = rsb.overflow_count
+        self.rsb_underflows = rsb.underflow_count
+
+        history = composite.history
+        self.ghr_value = history.ghr.value
+        self.bhb_value = history.bhb.value
+        self.outcomes = history.outcomes
+        self.max_outcomes = history.max_outcomes
+
+        # ---------------------------------------------- whole-trace invariants
+        self.arrays = arrays
+        ips = arrays.ips
+        targets = arrays.targets
+        types = arrays.types
+        self.n = ips.shape[0]
+        self.is_cond = types == _COND
+        self.is_direct = (types == _DJ) | (types == _DC)
+        self.is_indirect = (types == _IJ) | (types == _IC)
+        self.is_return = types == _RET
+        self.is_call = (types == _DC) | (types == _IC)
+        self.is_ind_or_ret = self.is_indirect | self.is_return
+        self.bhb_updates = arrays.takens & (self.is_cond | self.is_direct)
+        self.mixed = (ips & _U64(0x3F_FFFF)) ^ ((targets & _U64(0x3F_FFFF)) << _U64(1))
+        self.fallthrough_ok = ((ips + _U64(4)) & _U64(VIRTUAL_ADDRESS_MASK)) == targets
+        self.high_ok = (ips >> _U64(32)) == (targets >> _U64(32))
+        opcode = np.empty(self.n, dtype=np.uint8)
+        opcode[self.is_direct] = _OP_LOOKUP1
+        opcode[self.is_indirect] = _OP_INDIRECT
+        opcode[self.is_return] = _OP_RETURN
+        self.base_opcode = opcode  # conditional entries filled per span
+
+        self._mode1_cache = None
+        self._encoded_cache = None
+        self._push_cache = None
+        if not self.token_dependent:
+            self._mode1_cache = self._mode1_keys(slice(0, self.n))
+            self._encoded_cache = np.asarray(self.codec.vector_encode(targets))
+            self._push_cache = np.asarray(self.codec.vector_encode(
+                (ips + _U64(4)) & _U64(VIRTUAL_ADDRESS_MASK)))
+
+        # Whole-trace result flags, filled span by span.
+        self.dir_ok = np.ones(self.n, dtype=bool)
+        self.target_ok = np.ones(self.n, dtype=bool)
+        self.btb_hit = np.zeros(self.n, dtype=bool)
+        self.btb_evict = np.zeros(self.n, dtype=bool)
+        self.rsb_under = np.zeros(self.n, dtype=bool)
+
+    def _mode1_keys(self, span: slice):
+        arrays = self.arrays
+        index, key = self.btb_maps.btb1(arrays.ips[span], arrays.context_ids[span])
+        index = index.astype(np.int64)
+        if self.set_count != self.sizes.btb_sets:
+            index %= self.set_count
+        return index * self.ways, key.astype(np.int64)
+
+    def finish(self) -> None:
+        composite = self.composite
+        btb = composite.btb
+        keys = self.bt_keys
+        tags = self.bt_tags
+        offsets = self.bt_offsets
+        stored = self.bt_stored
+        stamps = self.bt_stamps
+        position = 0
+        for entries in btb._sets:
+            for entry in entries:
+                entry.valid = keys[position] != -1
+                entry.tag = tags[position]
+                entry.offset = offsets[position]
+                entry.stored_target = stored[position]
+                entry.lru_stamp = stamps[position]
+                position += 1
+        btb._access_clock = self.clock
+        btb.eviction_count = self.evictions
+
+        direction = composite.direction
+        direction.one_level._values = self.one_table.tolist()
+        direction.two_level._values = self.two_table.tolist()
+        direction.chooser._values = self.choice_table.tolist()
+
+        rsb = composite.rsb
+        rsb._stack = self.rsb
+        rsb.overflow_count = self.rsb_overflows
+        rsb.underflow_count = self.rsb_underflows
+
+        history = composite.history
+        history.ghr.value = self.ghr_value
+        history.bhb.value = self.bhb_value
+
+    def flush(self) -> None:
+        """Emulate ``CompositeBPU.flush_predictor_state`` on the adopted state."""
+        keys = self.bt_keys
+        for position, key in enumerate(keys):
+            if key != -1:
+                keys[position] = -1
+        self.rsb.clear()
+        self.one_table.fill(1)
+        self.two_table.fill(1)
+        self.choice_table.fill(1)
+        self.ghr_value = 0
+        self.bhb_value = 0
+        self.outcomes.clear()
+
+    # ------------------------------------------------------------------- spans
+
+    def run_span(self, lo: int, hi: int, monitor: _MonitorMirror | None = None,
+                 ) -> _SpanResult:
+        """Replay branches ``[lo, hi)`` under a constant mapping/codec key.
+
+        With ``monitor`` set (STBPU), the structural loop additionally feeds
+        the re-randomization counters and stops — state bit-exact — right
+        after the access that exhausts one; the span result reports how far
+        execution got so the caller can re-key and resume.
+        """
+        if hi <= lo:
+            return _SpanResult(hi, False)
+        arrays = self.arrays
+        span = slice(lo, hi)
+        length = hi - lo
+        ips = arrays.ips[span]
+        targets = arrays.targets[span]
+        takens = arrays.takens[span]
+        contexts = arrays.context_ids[span]
+        is_cond = self.is_cond[span]
+
+        # ----------------------------------------------- direction prediction
+        cond_rel = np.flatnonzero(is_cond)
+        cond_takens = takens[cond_rel]
+        ghr_pre, ghr_extended = _ghr_window(
+            cond_takens.astype(np.uint64), self.ghr_value, self.sizes.ghr_bits)
+        cond_ips = ips[cond_rel]
+        cond_ctx = contexts[cond_rel]
+        one_idx = np.asarray(self.pht_maps.pht1(cond_ips, cond_ctx)).astype(np.int64)
+        two_idx = np.asarray(
+            self.pht_maps.pht2(cond_ips, ghr_pre, cond_ctx)).astype(np.int64)
+        entries = self.sizes.pht_entries
+        if entries & (entries - 1):
+            # Non-power-of-two tables: the scalar PatternHistoryTable wraps
+            # every access with ``index % entries``; fold/mask outputs can
+            # exceed the table, so apply the same wrap up front.
+            one_idx %= entries
+            two_idx %= entries
+        updates = np.where(cond_takens, np.uint8(MAP_INCREMENT),
+                           np.uint8(MAP_DECREMENT))
+        one_pre, one_scan, one_order = _scan_counters(one_idx, updates, self.one_table)
+        two_pre, two_scan, _ = _scan_counters(two_idx, updates, self.two_table)
+        one_pred = one_pre > 1
+        two_pred = two_pre > 1
+        one_correct = one_pred == cond_takens
+        two_correct = two_pred == cond_takens
+        choice_updates = np.where(
+            one_correct != two_correct,
+            np.where(two_correct, np.uint8(MAP_INCREMENT), np.uint8(MAP_DECREMENT)),
+            np.uint8(MAP_IDENTITY))
+        choice_pre, choice_scan, _ = _scan_counters(
+            one_idx, choice_updates, self.choice_table, order=one_order)
+        predicted_taken_cond = np.where(choice_pre > 1, two_pred, one_pred)
+
+        predicted_taken = np.zeros(length, dtype=bool)
+        predicted_taken[cond_rel] = predicted_taken_cond
+
+        # --------------------------------------------------------- histories
+        update_mask = self.bhb_updates[span]
+        mixed = self.mixed[span][update_mask]
+        bhb_states = _bhb_states(mixed, self.bhb_value, self.sizes.bhb_bits)
+        update_cum = np.cumsum(update_mask)
+        ind_ret_rel = np.flatnonzero(self.is_ind_or_ret[span])
+        updates_before = update_cum[ind_ret_rel] - update_mask[ind_ret_rel]
+        bhb_at = bhb_states[updates_before]
+
+        # ---------------------------------------------------------- BTB keys
+        if self._mode1_cache is not None:
+            mode1_base = self._mode1_cache[0][span]
+            mode1_key = self._mode1_cache[1][span]
+            encoded = self._encoded_cache[span]
+            push_values = self._push_cache[span]
+        else:
+            mode1_base, mode1_key = self._mode1_keys(span)
+            encoded = np.asarray(self.codec.vector_encode(targets))
+            push_values = np.asarray(self.codec.vector_encode(
+                (ips + _U64(4)) & _U64(VIRTUAL_ADDRESS_MASK)))
+        mode2_base = np.zeros(length, dtype=np.int64)
+        mode2_key = np.zeros(length, dtype=np.int64)
+        if ind_ret_rel.shape[0]:
+            index2, key2 = self.btb_maps.btb2(
+                ips[ind_ret_rel], bhb_at, contexts[ind_ret_rel])
+            index2 = index2.astype(np.int64)
+            if self.set_count != self.sizes.btb_sets:
+                index2 %= self.set_count
+            mode2_base[ind_ret_rel] = index2 * self.ways
+            mode2_key[ind_ret_rel] = key2.astype(np.int64)
+
+        # -------------------------------------------------------- direction ok
+        dir_ok = ~is_cond | (predicted_taken == takens)
+        self.dir_ok[span] = dir_ok
+
+        # ------------------------------------------------------- participants
+        opcode = self.base_opcode[span].copy()
+        opcode[cond_rel] = np.where(predicted_taken_cond, np.uint8(_OP_LOOKUP1),
+                                    np.uint8(_OP_UPDATE1))
+        part_rel = np.flatnonzero(~is_cond | predicted_taken | takens)
+        loop_result = self._structural_loop(
+            opcode[part_rel].tolist(),
+            takens[part_rel].tolist(),
+            mode1_base[part_rel].tolist(),
+            mode1_key[part_rel].tolist(),
+            mode2_base[part_rel].tolist(),
+            mode2_key[part_rel].tolist(),
+            encoded[part_rel].tolist(),
+            self.high_ok[span][part_rel].tolist(),
+            self.fallthrough_ok[span][part_rel].tolist(),
+            self.is_call[span][part_rel].tolist(),
+            push_values[part_rel].tolist(),
+            dir_ok[part_rel].tolist(),
+            monitor,
+        )
+        target_ok_list, hit_list, evict_list, under_list, stopped_at = loop_result
+
+        fired = stopped_at >= 0
+        if fired:
+            executed_rel = int(part_rel[stopped_at]) + 1
+            part_rel = part_rel[: stopped_at + 1]
+            target_ok_list = target_ok_list[: stopped_at + 1]
+            hit_list = hit_list[: stopped_at + 1]
+            evict_list = evict_list[: stopped_at + 1]
+            under_list = under_list[: stopped_at + 1]
+        else:
+            executed_rel = length
+
+        target_ok = np.ones(length, dtype=bool)
+        target_ok[part_rel] = target_ok_list
+        self.target_ok[span] = target_ok
+        hit = np.zeros(length, dtype=bool)
+        hit[part_rel] = hit_list
+        self.btb_hit[span] = hit
+        evict = np.zeros(length, dtype=bool)
+        evict[part_rel] = evict_list
+        self.btb_evict[span] = evict
+        under = np.zeros(length, dtype=bool)
+        under[part_rel] = under_list
+        self.rsb_under[span] = under
+
+        # ------------------------------------------------ commit predictor state
+        executed_cond = int(np.searchsorted(cond_rel, executed_rel))
+        if one_scan is not None:
+            upto = None if not fired else executed_cond
+            one_scan.commit(self.one_table, upto)
+            two_scan.commit(self.two_table, upto)
+            choice_scan.commit(self.choice_table, upto)
+        self.ghr_value = _ghr_value_at(ghr_extended, executed_cond,
+                                       self.sizes.ghr_bits)
+        if fired:
+            executed_updates = int(update_cum[executed_rel - 1]) if executed_rel else 0
+        else:
+            executed_updates = int(update_cum[-1]) if length else 0
+        self.bhb_value = int(bhb_states[executed_updates])
+        _extend_outcomes(self.outcomes, cond_takens[:executed_cond].tolist(),
+                         self.max_outcomes)
+        return _SpanResult(lo + executed_rel, fired)
+
+    # --------------------------------------------------------- structural loop
+
+    def _structural_loop(self, ops, takens, base1, key1, base2, key2, encoded,
+                         high_ok, fall_ok, calls, pushes, dir_ok, monitor):
+        keys = self.bt_keys
+        tags = self.bt_tags
+        offsets = self.bt_offsets
+        stored = self.bt_stored
+        stamps = self.bt_stamps
+        clock = self.clock
+        evictions = self.evictions
+        ways = self.ways
+        offset_bits = self.sizes.btb_offset_bits
+        offset_mask = (1 << offset_bits) - 1
+        rsb = self.rsb
+        rsb_capacity = self.rsb_capacity
+        count = len(ops)
+        target_ok = [True] * count
+        hits = [False] * count
+        evicts = [False] * count
+        unders = [False] * count
+        valid_bonus = 1 << 62
+        huge = 1 << 63
+        stopped_at = -1
+
+        if monitor is not None:
+            mis_remaining = monitor.mis_remaining
+            ev_remaining = monitor.ev_remaining
+            dir_remaining = monitor.dir_remaining
+            has_direction = monitor.has_direction
+            observed_mis = monitor.observed_mis
+            observed_ev = monitor.observed_ev
+            fired_count = monitor.fired
+        watching = monitor is not None
+
+        for j in range(count):
+            op = ops[j]
+            taken = takens[j]
+            hit = False
+            correct = False
+            evicted = False
+            if op == 0:  # mode-1 lookup (conditional predicted-taken / direct)
+                clock += 1
+                base = base1[j]
+                want = key1[j]
+                stop = base + ways
+                w = base
+                while w < stop:
+                    if keys[w] == want:
+                        stamps[w] = clock
+                        hit = True
+                        if stored[w] == encoded[j] and high_ok[j]:
+                            correct = True
+                        break
+                    w += 1
+                update_base = base
+                update_key = want
+            elif op == 1:  # conditional predicted not-taken but resolved taken
+                update_base = base1[j]
+                update_key = key1[j]
+                correct = fall_ok[j]
+            elif op == 2:  # indirect: mode-2 lookup, mode-1 fallback
+                clock += 1
+                base = base2[j]
+                want = key2[j]
+                stop = base + ways
+                w = base
+                while w < stop:
+                    if keys[w] == want:
+                        stamps[w] = clock
+                        hit = True
+                        if stored[w] == encoded[j] and high_ok[j]:
+                            correct = True
+                        break
+                    w += 1
+                if not hit:
+                    clock += 1
+                    base = base1[j]
+                    want1 = key1[j]
+                    stop = base + ways
+                    w = base
+                    while w < stop:
+                        if keys[w] == want1:
+                            stamps[w] = clock
+                            hit = True
+                            if stored[w] == encoded[j] and high_ok[j]:
+                                correct = True
+                            break
+                        w += 1
+                update_base = base2[j]
+                update_key = key2[j]
+            else:  # return: RSB pop, mode-2 lookup on underflow
+                if rsb:
+                    popped = rsb.pop()
+                    if popped == encoded[j] and high_ok[j]:
+                        correct = True
+                else:
+                    self.rsb_underflows += 1
+                    unders[j] = True
+                    clock += 1
+                    base = base2[j]
+                    want = key2[j]
+                    stop = base + ways
+                    w = base
+                    while w < stop:
+                        if keys[w] == want:
+                            stamps[w] = clock
+                            hit = True
+                            if stored[w] == encoded[j] and high_ok[j]:
+                                correct = True
+                            break
+                        w += 1
+                update_base = base2[j]
+                update_key = key2[j]
+
+            if taken:
+                target_ok[j] = correct
+                # ------------------------------------------------- BTB update
+                clock += 1
+                stop = update_base + ways
+                w = update_base
+                victim = -1
+                victim_rank = huge
+                matched = False
+                while w < stop:
+                    key_w = keys[w]
+                    if key_w == update_key:
+                        stored[w] = encoded[j]
+                        stamps[w] = clock
+                        matched = True
+                        break
+                    rank = stamps[w]
+                    if key_w != -1:
+                        rank += valid_bonus
+                    if rank < victim_rank:
+                        victim_rank = rank
+                        victim = w
+                    w += 1
+                if not matched:
+                    if keys[victim] != -1:
+                        evictions += 1
+                        evicted = True
+                        evicts[j] = True
+                    keys[victim] = update_key
+                    tags[victim] = update_key >> offset_bits
+                    offsets[victim] = update_key & offset_mask
+                    stored[victim] = encoded[j]
+                    stamps[victim] = clock
+            hits[j] = hit
+
+            if calls[j]:
+                if len(rsb) >= rsb_capacity:
+                    del rsb[0]
+                    self.rsb_overflows += 1
+                rsb.append(pushes[j])
+
+            if watching:
+                mispredicted = not (dir_ok[j] and (correct or not taken))
+                if mispredicted or evicted:
+                    fire = False
+                    if evicted:
+                        observed_ev += 1
+                        ev_remaining -= 1
+                        if ev_remaining <= 0:
+                            fire = True
+                    if mispredicted:
+                        observed_mis += 1
+                        if has_direction and not dir_ok[j]:
+                            dir_remaining -= 1
+                            if dir_remaining <= 0:
+                                fire = True
+                        else:
+                            mis_remaining -= 1
+                            if mis_remaining <= 0:
+                                fire = True
+                    if fire:
+                        fired_count += 1
+                        mis_remaining = monitor.mis_threshold
+                        ev_remaining = monitor.ev_threshold
+                        dir_remaining = monitor.dir_threshold
+                        stopped_at = j
+                        break
+
+        self.clock = clock
+        self.evictions = evictions
+        if monitor is not None:
+            monitor.mis_remaining = mis_remaining
+            monitor.ev_remaining = ev_remaining
+            monitor.dir_remaining = dir_remaining
+            monitor.observed_mis = observed_mis
+            monitor.observed_ev = observed_ev
+            monitor.fired = fired_count
+        return target_ok, hits, evicts, unders, stopped_at
+
+
+# --------------------------------------------------------------------- stats
+
+def _accumulate_stats(engine: _CompositeEngine, stats: PredictorStats,
+                      warmup: int) -> None:
+    """Fold the whole-trace flag arrays into ``stats``, exactly like the
+    columnar loop records branches past the global warm-up count."""
+    n = engine.n
+    start = min(max(warmup, 0), n)
+    span = slice(start, n)
+    conditional = engine.is_cond[span]
+    taken = engine.arrays.takens[span]
+    dir_ok = engine.dir_ok[span]
+    target_ok = engine.target_ok[span]
+    effective = dir_ok & target_ok
+    conditional_count = int(np.count_nonzero(conditional))
+    stats.branches += n - start
+    stats.conditional_branches += conditional_count
+    stats.direction_predictions += conditional_count
+    stats.direction_correct += int(np.count_nonzero(conditional & dir_ok))
+    stats.target_predictions += int(np.count_nonzero(taken))
+    stats.target_correct += int(np.count_nonzero(taken & target_ok))
+    stats.effective_correct += int(np.count_nonzero(effective))
+    stats.mispredictions += (n - start) - int(np.count_nonzero(effective))
+    stats.btb_evictions += int(np.count_nonzero(engine.btb_evict[span]))
+    stats.btb_hits += int(np.count_nonzero(engine.btb_hit[span]))
+    stats.rsb_underflows += int(np.count_nonzero(engine.rsb_under[span]))
+
+
+def _accumulate_smt(engine: _CompositeEngine, per_thread_stats,
+                    thread_offset: int, warmup: int) -> None:
+    """Per-thread accumulation for SMT co-runs (per-thread warm-up ordinals)."""
+    contexts = engine.arrays.context_ids
+    thread_one = contexts >= thread_offset
+    for thread, mask in ((0, ~thread_one), (1, thread_one)):
+        positions = np.flatnonzero(mask)
+        measured = positions[warmup:]
+        if measured.shape[0] == 0:
+            continue
+        stats = per_thread_stats[thread]
+        conditional = engine.is_cond[measured]
+        taken = engine.arrays.takens[measured]
+        dir_ok = engine.dir_ok[measured]
+        target_ok = engine.target_ok[measured]
+        effective = dir_ok & target_ok
+        conditional_count = int(np.count_nonzero(conditional))
+        stats.branches += measured.shape[0]
+        stats.conditional_branches += conditional_count
+        stats.direction_predictions += conditional_count
+        stats.direction_correct += int(np.count_nonzero(conditional & dir_ok))
+        stats.target_predictions += int(np.count_nonzero(taken))
+        stats.target_correct += int(np.count_nonzero(taken & target_ok))
+        stats.effective_correct += int(np.count_nonzero(effective))
+        stats.mispredictions += measured.shape[0] - int(np.count_nonzero(effective))
+        stats.btb_evictions += int(np.count_nonzero(engine.btb_evict[measured]))
+        stats.btb_hits += int(np.count_nonzero(engine.btb_hit[measured]))
+        stats.rsb_underflows += int(np.count_nonzero(engine.rsb_under[measured]))
+
+
+# ------------------------------------------------------------------- kernels
+
+class _KernelBase:
+    """Shared replay scaffolding for the per-model vector kernels."""
+
+    #: Kernels whose event hooks are no-ops replay the whole trace as one
+    #: epoch instead of chunking at (inert) event boundaries.
+    merge_events = False
+
+    def __init__(self, engine: _CompositeEngine, model):
+        self.engine = engine
+        self.model = model
+
+    def run_trace(self, trace: Trace, warmup: int, stats: PredictorStats) -> bool:
+        if not self._replay(trace):
+            return False
+        _accumulate_stats(self.engine, stats, warmup)
+        return True
+
+    def run_smt(self, merged: Trace, thread_offset: int, warmup: int,
+                per_thread_stats) -> bool:
+        if not self._replay(merged):
+            return False
+        _accumulate_smt(self.engine, per_thread_stats, thread_offset, warmup)
+        return True
+
+    def _replay(self, trace: Trace) -> bool:
+        columns = trace.columns()
+        engine = self.engine
+        engine.begin(columns.arrays())
+        if not self._prepare(columns):
+            return False
+        if self.merge_events:
+            self._run_block(0, engine.n)
+        else:
+            for start, stop, event in columns.segments:
+                self._run_block(start, stop)
+                if event is not None:
+                    self._on_event(event)
+        engine.finish()
+        self._sync_extra(columns)
+        return True
+
+    def _prepare(self, columns) -> bool:
+        return True
+
+    def _run_block(self, lo: int, hi: int) -> None:
+        self.engine.run_span(lo, hi)
+
+    def _on_event(self, event: TraceEvent) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _sync_extra(self, columns) -> None:
+        pass
+
+
+class _PlainKernel(_KernelBase):
+    """Unprotected :class:`~repro.bpu.composite.CompositeBPU`: every OS-event
+    hook is a no-op, so the whole trace replays as one epoch."""
+
+    merge_events = True
+
+
+class _ConservativeKernel(_KernelBase):
+    """Conservative model: the partition slot is per-branch data (the maps
+    receive the context column), so events only influence the mapping's final
+    ``current_context`` value, restored after replay."""
+
+    merge_events = True
+
+    def _sync_extra(self, columns) -> None:
+        mapping = self.model._mapping
+        context_ids = self.engine.arrays.context_ids
+        for start, stop, event in reversed(columns.segments):
+            if event is not None and event.kind is EventKind.CONTEXT_SWITCH:
+                mapping.current_context = event.context_id
+                return
+            if stop > start:
+                mapping.current_context = int(context_ids[stop - 1])
+                return
+
+
+class _FlushingKernel(_KernelBase):
+    """µcode-style protection: emulates the flush-on-event hooks against the
+    adopted state (the live structures are stale until ``finish``)."""
+
+    def _on_event(self, event: TraceEvent) -> None:
+        model = self.model
+        kind = event.kind
+        if kind is EventKind.CONTEXT_SWITCH:
+            if (model._current_context is not None
+                    and event.context_id != model._current_context
+                    and model.flush_on_context_switch):
+                self.engine.flush()
+                model.flush_count += 1
+            model._current_context = event.context_id
+        elif kind is EventKind.MODE_SWITCH_ENTER_KERNEL or kind is EventKind.INTERRUPT:
+            if model.flush_on_mode_switch:
+                self.engine.flush()
+                model.flush_count += 1
+
+
+class _STBPUKernel(_KernelBase):
+    """STBPU: epoch chunks follow the secret token — one chunk per run of a
+    constant effective context, re-chunked at monitor-fired re-randomizations.
+
+    OS events go to the *real* model hooks (they only touch the token
+    machinery, never the adopted predictor structures)."""
+
+    def _prepare(self, columns) -> bool:
+        from repro.core.stbpu import KERNEL_CONTEXT_ID
+
+        arrays = self.engine.arrays
+        effective = np.where(arrays.kernel_modes, np.int64(KERNEL_CONTEXT_ID),
+                             arrays.context_ids)
+        changes = np.flatnonzero(effective[1:] != effective[:-1]) + 1
+        count = arrays.ips.shape[0]
+        # Token-run chunks shorter than ~a few hundred branches (SMT merges
+        # swap contexts every scheduling quantum) lose the vector advantage;
+        # refuse before mutating anything and let the caller fall back.
+        if count and changes.shape[0] + 1 > max(16, count // 192):
+            return False
+        self._effective = effective
+        self._changes = changes
+        return True
+
+    def _run_block(self, lo: int, hi: int) -> None:
+        model = self.model
+        engine = self.engine
+        changes = self._changes
+        effective = self._effective
+        boundary = int(np.searchsorted(changes, lo, side="right"))
+        position = lo
+        while position < hi:
+            run_hi = hi
+            if boundary < changes.shape[0]:
+                next_change = int(changes[boundary])
+                if next_change < hi:
+                    run_hi = next_change
+                    boundary += 1
+            context = int(effective[position])
+            if context != model._current_context:
+                model._current_context = context
+                model._install_token(model._token_for_context(context))
+            model.stats.contexts_seen.add(context)
+            span_lo = position
+            while span_lo < run_hi:
+                mirror = _MonitorMirror(model.monitor)
+                result = engine.run_span(span_lo, run_hi, mirror)
+                mirror.write_back()
+                span_lo = result.executed_to
+                if result.fired:
+                    model.rerandomize_current()
+            position = run_hi
+
+    def _on_event(self, event: TraceEvent) -> None:
+        model = self.model
+        kind = event.kind
+        if kind is EventKind.CONTEXT_SWITCH:
+            model.on_context_switch(event.context_id)
+        elif kind is EventKind.MODE_SWITCH_ENTER_KERNEL:
+            model.on_mode_switch(PrivilegeMode.KERNEL, event.context_id)
+        elif kind is EventKind.MODE_SWITCH_EXIT_KERNEL:
+            model.on_mode_switch(PrivilegeMode.USER, event.context_id)
+        elif kind is EventKind.INTERRUPT:
+            model.on_interrupt(event.context_id)
+
+
+# ------------------------------------------------------------ kernel builders
+
+def _make_engine(composite) -> _CompositeEngine | None:
+    """Build the vector engine for a composite, or ``None`` when any piece
+    (direction component, mapping, codec, structure subclass) has no exact
+    array form."""
+    from repro.bpu.btb import BranchTargetBuffer
+    from repro.bpu.composite import CompositeBPU
+    from repro.bpu.pht import SKLConditionalPredictor
+    from repro.bpu.rsb import ReturnStackBuffer
+
+    if type(composite) is not CompositeBPU:
+        return None
+    direction = composite.direction
+    if type(direction) is not SKLConditionalPredictor:
+        return None
+    if composite.sizes.pht_counter_bits != 2:
+        return None
+    if type(composite.btb) is not BranchTargetBuffer:
+        return None
+    if type(composite.rsb) is not ReturnStackBuffer:
+        return None
+    codec = composite.btb.codec
+    if codec is not composite.rsb.codec:
+        return None
+    if codec.vector_encode(np.zeros(0, dtype=np.uint64)) is None:
+        return None
+    pht_maps = direction.mapping.vector_maps()
+    btb_maps = composite.btb.mapping.vector_maps()
+    if pht_maps is None or btb_maps is None:
+        return None
+    return _CompositeEngine(composite, pht_maps, btb_maps, codec)
+
+
+def composite_kernel(model):
+    """Vector kernel for an unprotected :class:`CompositeBPU` (or ``None``)."""
+    engine = _make_engine(model)
+    return _PlainKernel(engine, model) if engine is not None else None
+
+
+def flushing_kernel(model):
+    """Vector kernel for :class:`~repro.bpu.protections.FlushingProtectedBPU`."""
+    from repro.bpu.protections import FlushingProtectedBPU
+
+    if type(model) is not FlushingProtectedBPU:
+        return None
+    engine = _make_engine(model.inner)
+    return _FlushingKernel(engine, model) if engine is not None else None
+
+
+def conservative_kernel(model):
+    """Vector kernel for :class:`~repro.bpu.protections.ConservativeBPU`."""
+    from repro.bpu.protections import ConservativeBPU
+
+    if type(model) is not ConservativeBPU:
+        return None
+    engine = _make_engine(model.inner)
+    return _ConservativeKernel(engine, model) if engine is not None else None
+
+
+def stbpu_kernel(model):
+    """Vector kernel for :class:`~repro.core.stbpu.STBPU`."""
+    from repro.core.monitoring import RerandomizationMonitor
+    from repro.core.stbpu import STBPU
+
+    if type(model) is not STBPU:
+        return None
+    if type(model.monitor) is not RerandomizationMonitor:
+        return None
+    engine = _make_engine(model.inner)
+    return _STBPUKernel(engine, model) if engine is not None else None
+
+
+# -------------------------------------------------------------- entry points
+
+def kernel_for(model):
+    """The model's vector kernel, logging one fallback notice per model name."""
+    kernel = model.vector_kernel()
+    if kernel is None:
+        name = getattr(model, "name", type(model).__name__)
+        if name not in _FALLBACK_LOGGED:
+            _FALLBACK_LOGGED.add(name)
+            logger.info(
+                "model %r has no vector kernel; falling back to the columnar "
+                "fast path", name)
+    return kernel
+
+
+def try_replay_trace(model, trace: Trace, warmup: int,
+                     stats: PredictorStats) -> bool:
+    """Vector-replay ``trace`` through ``model`` into ``stats`` if possible."""
+    kernel = kernel_for(model)
+    if kernel is None:
+        return False
+    return kernel.run_trace(trace, warmup, stats)
+
+
+def try_replay_smt(model, merged: Trace, thread_offset: int, warmup: int,
+                   per_thread_stats) -> bool:
+    """Vector-replay an SMT co-run if the model's kernel supports the merge."""
+    kernel = kernel_for(model)
+    if kernel is None:
+        return False
+    return kernel.run_smt(merged, thread_offset, warmup, per_thread_stats)

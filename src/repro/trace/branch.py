@@ -155,6 +155,64 @@ class TraceEvent:
 
 TraceItem = BranchRecord | TraceEvent
 
+#: Stable small-integer codes for :class:`BranchType`, used by the columnar
+#: ndarray view (and the shared-memory trace shipping that serialises it).
+BRANCH_TYPE_CODES: dict[BranchType, int] = {
+    BranchType.CONDITIONAL: 0,
+    BranchType.DIRECT_JUMP: 1,
+    BranchType.DIRECT_CALL: 2,
+    BranchType.INDIRECT_JUMP: 3,
+    BranchType.INDIRECT_CALL: 4,
+    BranchType.RETURN: 5,
+}
+
+#: Inverse of :data:`BRANCH_TYPE_CODES`, index = code.
+BRANCH_TYPES_BY_CODE: tuple[BranchType, ...] = tuple(
+    code_type for code_type, _ in sorted(BRANCH_TYPE_CODES.items(), key=lambda kv: kv[1])
+)
+
+
+@dataclass(slots=True)
+class TraceArrays:
+    """Contiguous NumPy views of the per-branch columns, decoded exactly once.
+
+    The vector replay backend (:mod:`repro.sim.vector`) consumes traces as
+    arrays: 48-bit addresses as ``uint64``, outcome/category flags as ``bool``
+    and small codes, so array kernels can predict whole event-free branch runs
+    at a time.  Like :class:`TraceColumns` this is derived data — build it via
+    :meth:`TraceColumns.arrays`, which caches per columns object.
+
+    Attributes:
+        ips/targets: Branch and resolved-target virtual addresses (``uint64``).
+        takens: Resolved directions (``bool``).
+        types: :data:`BRANCH_TYPE_CODES` codes (``uint8``).
+        context_ids: Software-context identifiers (``int64``).
+        kernel_modes: ``True`` where the branch executed in kernel mode.
+    """
+
+    ips: "object"
+    targets: "object"
+    takens: "object"
+    types: "object"
+    context_ids: "object"
+    kernel_modes: "object"
+
+    @classmethod
+    def from_columns(cls, columns: "TraceColumns") -> "TraceArrays":
+        import numpy as np
+
+        branches = columns.branches
+        codes = BRANCH_TYPE_CODES
+        kernel = PrivilegeMode.KERNEL
+        return cls(
+            ips=np.array(columns.ips, dtype=np.uint64),
+            targets=np.array(columns.targets, dtype=np.uint64),
+            takens=np.array(columns.takens, dtype=bool),
+            types=np.array([codes[b.branch_type] for b in branches], dtype=np.uint8),
+            context_ids=np.array(columns.context_ids, dtype=np.int64),
+            kernel_modes=np.array([b.mode is kernel for b in branches], dtype=bool),
+        )
+
 
 @dataclass(slots=True)
 class TraceColumns:
@@ -185,6 +243,13 @@ class TraceColumns:
     takens: list[bool]
     conditionals: list[bool]
     context_ids: list[int]
+    _arrays: "TraceArrays | None" = None
+
+    def arrays(self) -> "TraceArrays":
+        """The cached NumPy view of the per-branch columns."""
+        if self._arrays is None:
+            self._arrays = TraceArrays.from_columns(self)
+        return self._arrays
 
     @classmethod
     def from_items(cls, items: Sequence[TraceItem]) -> "TraceColumns":
@@ -311,7 +376,9 @@ def merge_round_robin(traces: Sequence[Trace], quantum: int = 64, name: str = "s
     """
     if quantum <= 0:
         raise ValueError("quantum must be positive")
-    iterators = [iter(t.items) for t in traces]
+    # Iterate the traces, not their raw item lists: shared-memory trace views
+    # (repro.engine.sharing) materialise items lazily through __iter__.
+    iterators = [iter(t) for t in traces]
     exhausted = [False] * len(traces)
     merged = Trace(name=name)
     while not all(exhausted):

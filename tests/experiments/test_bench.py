@@ -2,10 +2,13 @@
 
 import json
 
+import pytest
+
 from repro.bench import (
     BENCH_SEQUENCE,
     PR1_BASELINE_SECONDS,
     bench_grids,
+    check_regression,
     format_bench,
     run_bench,
     write_bench,
@@ -35,8 +38,9 @@ class TestBenchRun:
         payload = json.loads(path.read_text())
         assert payload["format"] == BENCH_SEQUENCE
         assert payload["mode"] == "quick"
-        assert set(payload["benches"]) == {"figure3", "cpu", "smt"}
-        figure3 = payload["benches"]["figure3"]
+        assert payload["backend"] in ("reference", "fast", "vector")
+        assert set(payload["benches"]) == {"figure3.quick", "cpu.quick", "smt.quick"}
+        figure3 = payload["benches"]["figure3.quick"]
         assert figure3["jobs"] == 20
         assert figure3["seconds"] > 0
         assert figure3["branches_per_second"] > 0
@@ -44,8 +48,28 @@ class TestBenchRun:
         # The speedup against the recorded pre-columnar baseline is tracked.
         assert "speedup" in figure3
         assert figure3["baseline_seconds"] == PR1_BASELINE_SECONDS["figure3.quick"]
+        # The bounded trace cache reports its counters into the artifact.
+        assert payload["trace_cache"]["capacity"] >= 1
+        assert payload["trace_cache"]["misses"] >= 0
         # Rendering never fails on a populated report.
         assert "figure3" in format_bench(report)
+
+    def test_write_bench_merges_modes(self, tmp_path):
+        path = tmp_path / "BENCH_merge.json"
+        report = run_bench(quick=True)
+        write_bench(report, str(path))
+        # A second write of the same mode overwrites in place…
+        write_bench(report, str(path))
+        payload = json.loads(path.read_text())
+        assert set(payload["benches"]) == {"figure3.quick", "cpu.quick", "smt.quick"}
+        # …and foreign-mode entries survive a merge.
+        payload["benches"]["figure3.full"] = dict(
+            payload["benches"]["figure3.quick"], mode="full")
+        path.write_text(json.dumps(payload))
+        write_bench(report, str(path))
+        merged = json.loads(path.read_text())
+        assert "figure3.full" in merged["benches"]
+        assert "figure3.quick" in merged["benches"]
 
     def test_cli_bench_writes_artifact(self, tmp_path, capsys):
         output = tmp_path / "BENCH_cli.json"
@@ -55,3 +79,99 @@ class TestBenchRun:
         assert "bench artifact written" in captured.out
         payload = json.loads(output.read_text())
         assert payload["mode"] == "quick"
+
+
+class TestBenchCheck:
+    def _report_and_artifact(self, tmp_path):
+        report = run_bench(quick=True)
+        path = tmp_path / "BENCH_ref.json"
+        write_bench(report, str(path))
+        return report, path
+
+    def test_check_passes_against_own_artifact(self, tmp_path):
+        report, path = self._report_and_artifact(tmp_path)
+        assert check_regression(report, str(path)) == []
+
+    def test_check_fails_on_throughput_drop(self, tmp_path):
+        report, path = self._report_and_artifact(tmp_path)
+        inflated = json.loads(path.read_text())
+        for entry in inflated["benches"].values():
+            entry["branches_per_second"] = entry["branches_per_second"] * 10
+        path.write_text(json.dumps(inflated))
+        failures = check_regression(report, str(path))
+        assert len(failures) == len(report.timings)
+        assert "below the recorded" in failures[0]
+
+    def test_check_ignores_foreign_modes(self, tmp_path):
+        report, path = self._report_and_artifact(tmp_path)
+        renamed = json.loads(path.read_text())
+        renamed["benches"] = {
+            key.replace(".quick", ".full"): dict(entry, branches_per_second=1e12)
+            for key, entry in renamed["benches"].items()
+        }
+        path.write_text(json.dumps(renamed))
+        # Only same-mode keys are compared, so the absurd full-mode floor is moot.
+        assert check_regression(report, str(path)) == []
+
+    def test_check_reads_reference_before_writing(self, tmp_path, capsys):
+        # --output and --check naming the same artifact must gate against the
+        # *previous* contents, not the just-merged run (which would always pass).
+        artifact = tmp_path / "BENCH_same.json"
+        report = run_bench(quick=True)
+        write_bench(report, str(artifact))
+        inflated = json.loads(artifact.read_text())
+        for entry in inflated["benches"].values():
+            entry["branches_per_second"] = entry["branches_per_second"] * 10
+        artifact.write_text(json.dumps(inflated))
+        code = main(["bench", "--quick", "--output", str(artifact),
+                     "--check", str(artifact)])
+        assert code != 0
+        assert "bench regression" in capsys.readouterr().err
+
+    def test_check_tolerance_validated_before_running(self, capsys, tmp_path):
+        reference = tmp_path / "BENCH_prev.json"
+        write_bench(run_bench(quick=True), str(reference))
+        import time
+
+        started = time.perf_counter()
+        code = main(["bench", "--quick", "--output", str(tmp_path / "o.json"),
+                     "--check", str(reference), "--check-tolerance", "1.5"])
+        elapsed = time.perf_counter() - started
+        assert code != 0
+        assert "check-tolerance" in capsys.readouterr().err
+        assert elapsed < 1.0  # rejected before the timed run, not after
+        assert not (tmp_path / "o.json").exists()
+
+    def test_cli_check_gate_exits_nonzero(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_out.json"
+        reference = tmp_path / "BENCH_prev.json"
+        report = run_bench(quick=True)
+        write_bench(report, str(reference))
+        inflated = json.loads(reference.read_text())
+        for entry in inflated["benches"].values():
+            entry["branches_per_second"] = entry["branches_per_second"] * 10
+        reference.write_text(json.dumps(inflated))
+        code = main(["bench", "--quick", "--output", str(output),
+                     "--check", str(reference)])
+        assert code != 0
+        assert "bench regression" in capsys.readouterr().err
+
+    def test_check_reference_pass_through_cli(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_out.json"
+        reference = tmp_path / "BENCH_prev.json"
+        write_bench(run_bench(quick=True), str(reference))
+        # Deflate the recorded throughput so machine noise between the two
+        # timed runs cannot trip the 20% floor: the gate logic, not the
+        # container's scheduler, is under test here.
+        deflated = json.loads(reference.read_text())
+        for entry in deflated["benches"].values():
+            entry["branches_per_second"] = entry["branches_per_second"] * 0.1
+        reference.write_text(json.dumps(deflated))
+        assert main(["bench", "--quick", "--output", str(output),
+                     "--check", str(reference)]) == 0
+
+
+@pytest.mark.parametrize("quick", [True])
+def test_report_backend_recorded(quick):
+    report = run_bench(quick=quick)
+    assert report.backend in ("reference", "fast", "vector")

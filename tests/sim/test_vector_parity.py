@@ -1,0 +1,288 @@
+"""Three-way differential tests: ``reference`` / ``fast`` / ``vector``.
+
+The vector backend replays with array kernels (segmented counter scans,
+history window kernels, a slim structural loop); these tests pin it — per
+model family, including a re-randomization-heavy STBPU scenario and an SMT
+pair — to byte-identical serialized result frames against both scalar paths,
+plus unit-level parity of the underlying kernels.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.bpu.common import fold_bits
+from repro.bpu.mapping import fold_bits_array
+from repro.bpu.protections import make_unprotected_baseline
+from repro.core.monitoring import MonitorConfig
+from repro.core.remapping import keyed_remap, keyed_remap_array
+from repro.core.stbpu import make_stbpu_skl
+from repro.engine import EngineRunner, ExperimentScale, ModelSpec, SimulationGrid
+from repro.sim import fastpath, vector
+from repro.sim.bpu_sim import TraceSimulator
+from repro.trace.branch import BranchRecord, BranchType, Trace
+
+BACKENDS = ("reference", "fast", "vector")
+
+
+def _family_jobs():
+    """One representative grid cell per model family, every simulator kind.
+
+    ``ST_SKLCond[r=0.0005]`` has aggressively low monitor thresholds, so its
+    cells re-randomize many times mid-trace — exercising the vector backend's
+    fired-chunk prefix commit; TAGE/Perceptron cells exercise the logged
+    fallback path.
+    """
+    scale = ExperimentScale(branch_count=2_000, warmup_branches=200, seed=13)
+    rerand_heavy = ModelSpec.of("ST_SKLCond", r=0.0005)
+    grids = [
+        SimulationGrid(
+            kind="trace",
+            models=("baseline", "ucode_protection_1", "ucode_protection_2",
+                    "conservative", "ST_SKLCond", rerand_heavy,
+                    "TAGE_SC_L_8KB", "PerceptronBP"),
+            workloads=("505.mcf", "apache2_prefork_c128"), scale=scale),
+        SimulationGrid(
+            kind="cpu", models=("baseline", "conservative", "ST_SKLCond"),
+            workloads=("541.leela",), scale=scale),
+        SimulationGrid(
+            kind="smt",
+            models=("baseline", "ucode_protection_2", "conservative",
+                    "ST_SKLCond"),
+            workloads=(("505.mcf", "541.leela"),), scale=scale),
+    ]
+    jobs = []
+    for grid in grids:
+        jobs.extend(grid.jobs(start_index=len(jobs)))
+    return jobs
+
+
+class TestThreeWayParity:
+    def test_family_grid_json_identical_across_backends(self):
+        frames = {}
+        for backend in BACKENDS:
+            with fastpath.forced_backend(backend):
+                frames[backend] = EngineRunner().run_jobs(_family_jobs())
+        assert frames["vector"].to_json() == frames["fast"].to_json()
+        assert frames["vector"].to_json() == frames["reference"].to_json()
+
+    def test_rerandomization_heavy_replay_matches_scalar_state(self):
+        """Mid-chunk monitor firings must leave *identical model state*, not
+        just identical stats — tokens, counters, tables, BTB and histories."""
+        from repro.engine import trace_for
+
+        trace = trace_for("505.mcf", 5_000, 7)
+        snapshots = {}
+        for backend in ("fast", "vector"):
+            with fastpath.forced_backend(backend):
+                config = MonitorConfig(misprediction_threshold=60,
+                                       eviction_threshold=45,
+                                       direction_misprediction_threshold=None)
+                model = make_stbpu_skl(monitor_config=config, seed=5)
+                TraceSimulator(warmup_branches=250).run(model, trace)
+                inner = model.inner
+                snapshots[backend] = (
+                    model.protection_stats(),
+                    model.current_token().value,
+                    (model.monitor.counters.mispredictions_remaining,
+                     model.monitor.counters.evictions_remaining,
+                     model.monitor.fired_count,
+                     model.monitor.observed_mispredictions,
+                     model.monitor.observed_evictions),
+                    inner.direction.one_level._values,
+                    inner.direction.two_level._values,
+                    inner.direction.chooser._values,
+                    [(e.valid, e.tag, e.offset, e.stored_target, e.lru_stamp)
+                     for s in inner.btb._sets for e in s],
+                    inner.btb._access_clock,
+                    inner.btb.eviction_count,
+                    list(inner.rsb._stack),
+                    inner.history.ghr.value,
+                    inner.history.bhb.value,
+                    list(inner.history.outcomes),
+                )
+        assert snapshots["fast"][0]["rerandomizations"] > 5
+        assert snapshots["fast"] == snapshots["vector"]
+
+    def test_non_power_of_two_pht_entries(self):
+        # The scalar PatternHistoryTable wraps every access with `% entries`;
+        # the vector backend must apply the same wrap (regression: fold
+        # outputs past a 12000-entry table raised IndexError).
+        from repro.bpu.common import StructureSizes
+        from repro.bpu.protections import make_unprotected_baseline
+        from repro.engine import trace_for
+
+        trace = trace_for("505.mcf", 2_000, 7)
+        sizes = StructureSizes(pht_entries=12_000)
+        stats = {}
+        for backend in ("fast", "vector"):
+            with fastpath.forced_backend(backend):
+                model = make_unprotected_baseline(sizes)
+                stats[backend] = TraceSimulator(warmup_branches=100).run(
+                    model, trace).stats
+        assert stats["fast"] == stats["vector"]
+
+    @pytest.mark.parametrize("warmup", [0, 3, 7, 50])
+    def test_warmup_boundaries(self, warmup):
+        trace = Trace(name="edge")
+        for index in range(40):
+            trace.append(BranchRecord(
+                ip=0x4000 + index * 64, target=0x9000 + (index % 5) * 256,
+                taken=index % 3 != 0, branch_type=BranchType.CONDITIONAL))
+        stats = {}
+        for backend in ("fast", "vector"):
+            with fastpath.forced_backend(backend):
+                model = make_unprotected_baseline()
+                stats[backend] = TraceSimulator(warmup_branches=warmup).run(
+                    model, trace).stats
+        assert stats["fast"] == stats["vector"], f"warmup={warmup}"
+
+
+class TestBackendSwitch:
+    def test_default_backend_is_vector(self):
+        assert fastpath.backend() in fastpath.BACKENDS
+        assert fastpath.DEFAULT_BACKEND == "vector"
+
+    def test_forced_backend_restores(self):
+        before = fastpath.backend()
+        with fastpath.forced_backend("reference"):
+            assert fastpath.backend() == "reference"
+            assert not fastpath.fast_path_enabled()
+        assert fastpath.backend() == before
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            fastpath.set_backend("simd")
+
+    def test_legacy_two_level_api_maps_onto_backends(self):
+        with fastpath.forced_fast_path(False):
+            assert fastpath.backend() == "reference"
+        with fastpath.forced_fast_path(True):
+            assert fastpath.backend() == "fast"
+            assert not fastpath.vector_enabled()
+
+    def test_cli_backend_option(self, capsys, tmp_path):
+        from repro.cli import main
+
+        json_path = tmp_path / "f3.json"
+        assert main(["figure3", "--workload-limit", "1", "--branches", "800",
+                     "--warmup", "80", "--backend", "fast",
+                     "--json", str(json_path)]) == 0
+        assert json_path.exists()
+
+    def test_fallback_is_logged_once(self, caplog):
+        from repro.core.stbpu import make_unprotected_tage
+
+        vector._FALLBACK_LOGGED.discard("TAGE_SC_L_64KB")
+        model = make_unprotected_tage()
+        with caplog.at_level(logging.INFO, logger="repro.sim.vector"):
+            assert vector.kernel_for(model) is None
+            assert vector.kernel_for(model) is None
+        notices = [record for record in caplog.records
+                   if "no vector kernel" in record.message]
+        assert len(notices) == 1
+
+
+class TestVectorKernels:
+    def test_counter_scan_matches_naive_walk(self):
+        rng = np.random.default_rng(3)
+        for trial in range(5):
+            entries = 17
+            count = int(rng.integers(1, 200))
+            indices = rng.integers(0, entries, size=count).astype(np.int64)
+            takens = rng.integers(0, 2, size=count).astype(bool)
+            table = rng.integers(0, 4, size=entries).astype(np.uint8)
+            maps = np.where(takens, np.uint8(vector.MAP_INCREMENT),
+                            np.uint8(vector.MAP_DECREMENT))
+            expected_table = table.tolist()
+            expected_pre = []
+            for idx, taken in zip(indices.tolist(), takens.tolist()):
+                value = expected_table[idx]
+                expected_pre.append(value)
+                expected_table[idx] = min(3, value + 1) if taken else max(0, value - 1)
+            scanned = table.copy()
+            pre, scan, _ = vector._scan_counters(indices, maps, scanned)
+            scan.commit(scanned)
+            assert pre.tolist() == expected_pre
+            assert scanned.tolist() == expected_table
+
+    def test_counter_scan_prefix_commit(self):
+        indices = np.array([4, 4, 9, 4, 9], dtype=np.int64)
+        maps = np.full(5, vector.MAP_INCREMENT, dtype=np.uint8)
+        table = np.zeros(16, dtype=np.uint8)
+        _, scan, _ = vector._scan_counters(indices, maps, table)
+        scan.commit(table, upto=3)  # only the first three accesses executed
+        assert table[4] == 2 and table[9] == 1
+
+    def test_ghr_window_matches_shift_register(self):
+        rng = np.random.default_rng(11)
+        bits = 7
+        outcomes = rng.integers(0, 2, size=50).astype(np.uint64)
+        seed = 0b1011001
+        values, extended = vector._ghr_window(outcomes, seed, bits)
+        register = seed
+        for position, outcome in enumerate(outcomes.tolist()):
+            assert values[position] == register
+            register = ((register << 1) | outcome) & ((1 << bits) - 1)
+        assert vector._ghr_value_at(extended, len(outcomes), bits) == register
+
+    def test_bhb_states_match_shift_register(self):
+        rng = np.random.default_rng(17)
+        bits = 58
+        mixed = rng.integers(0, 1 << 23, size=80).astype(np.uint64)
+        seed = int(rng.integers(0, 1 << 58))
+        states = vector._bhb_states(mixed, seed, bits)
+        mask = (1 << bits) - 1
+        register = seed
+        assert states[0] == register & mask
+        for position, value in enumerate(mixed.tolist()):
+            register = (((register << 2) & mask) ^ value) & mask
+            assert states[position + 1] == register
+
+    def test_fold_bits_array_matches_scalar(self):
+        rng = np.random.default_rng(23)
+        values = rng.integers(0, 1 << 58, size=64).astype(np.uint64)
+        for input_bits, output_bits in ((32, 14), (58, 8), (48, 9), (8, 14)):
+            folded = fold_bits_array(values, input_bits, output_bits)
+            for raw, out in zip(values.tolist(), folded.tolist()):
+                assert out == fold_bits(raw, input_bits, output_bits)
+
+    def test_keyed_remap_array_matches_scalar(self):
+        rng = np.random.default_rng(29)
+        ips = rng.integers(0, 1 << 48, size=32).astype(np.uint64)
+        bhbs = rng.integers(0, 1 << 58, size=32).astype(np.uint64)
+        psi = 0xDEADBEEF
+        out = keyed_remap_array(psi, ips, bhbs, output_bits=14, domain=4)
+        for ip, bhb, digest in zip(ips.tolist(), bhbs.tolist(), out.tolist()):
+            assert digest == keyed_remap(psi, ip, bhb, output_bits=14, domain=4)
+
+    def test_outcome_trim_emulation(self):
+        from repro.sim.vector import _extend_outcomes
+
+        for existing_len, appended_len in ((0, 10), (100, 1300), (1280, 1),
+                                           (1280, 2), (0, 1281), (0, 5000),
+                                           (500, 2000)):
+            reference = [True] * existing_len
+            emulated = list(reference)
+            appended = [bool(i % 3) for i in range(appended_len)]
+            for outcome in appended:  # the scalar deferred-trim rule
+                reference.append(outcome)
+                if len(reference) > 1024 + 256:
+                    del reference[: len(reference) - 1024]
+            _extend_outcomes(emulated, appended, 1024)
+            assert emulated == reference, (existing_len, appended_len)
+
+
+class TestTraceArrays:
+    def test_arrays_cached_and_decoded(self):
+        from repro.engine import trace_for
+
+        trace = trace_for("505.mcf", 1_000, 3)
+        columns = trace.columns()
+        arrays = columns.arrays()
+        assert arrays is columns.arrays()  # cached
+        assert arrays.ips.dtype == np.uint64
+        assert arrays.ips.shape[0] == len(columns.branches)
+        assert arrays.takens.tolist() == columns.takens
+        assert (arrays.types == 0).tolist() == columns.conditionals
