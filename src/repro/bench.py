@@ -4,7 +4,7 @@ The bench times the engine on three representative grids — the Figure 3
 (models × workloads) trace grid, a cycle-approximate CPU grid, and an SMT
 co-run grid — and writes the timings, per-grid branch throughput, and the
 speedups against the recorded baselines to a ``BENCH_<n>.json`` artifact
-(``BENCH_4.json`` for the current format).  Committing one artifact per PR
+(``BENCH_5.json`` for the current format).  Committing one artifact per PR
 tracks the perf trajectory of the hot path over time.
 
 Two baselines are recorded per grid: wall-clock seconds of the pre-columnar
@@ -27,6 +27,13 @@ artifact of the same format, so one file can carry both the full-mode record
 and the quick-mode numbers CI regresses against: ``--check PREV.json`` fails
 the command (exit ≠ 0) when any matching grid's branches/s drops more than
 20% below the recorded value.
+
+Since format 5 the report also measures the content-addressed result store
+(:mod:`repro.store`): the figure3 grid is run twice against a fresh on-disk
+store — a cold run that computes and writes every record, then a warm run
+that must execute zero jobs — and the artifact records the store's hit/miss
+counters plus a ``warm_vs_cold_seconds`` entry, so the perf trajectory
+captures caching wins next to replay-speed wins.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 
@@ -49,10 +57,11 @@ from repro.engine import (
 )
 from repro.experiments.figure3 import figure3_grid
 from repro.sim import fastpath
+from repro.store import DiskStore
 from repro.trace.workloads import GEM5_SMT_PAIRS
 
 #: Format/sequence number of the artifact this module writes.
-BENCH_SEQUENCE = 4
+BENCH_SEQUENCE = 5
 
 #: Default artifact path.
 DEFAULT_OUTPUT = f"BENCH_{BENCH_SEQUENCE}.json"
@@ -158,6 +167,7 @@ class BenchReport:
     backend: str = ""
     timings: list[BenchTiming] = field(default_factory=list)
     trace_cache: dict[str, int] = field(default_factory=dict)
+    store: dict = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -170,6 +180,10 @@ class BenchReport:
             "backend": self.backend,
             "total_seconds": round(self.total_seconds, 4),
             "trace_cache": dict(self.trace_cache),
+            # Keyed by mode so a quick refresh merged into a full artifact
+            # never clobbers the full-mode store measurement (same rule as
+            # the per-`<grid>.<mode>` benches entries).
+            "store": {self.mode: dict(self.store)} if self.store else {},
             "benches": {timing.key: timing.to_dict() for timing in self.timings},
         }
 
@@ -210,6 +224,46 @@ def bench_grids(quick: bool = False) -> dict[str, SimulationGrid]:
 
 def _frame_sha256(frame) -> str:
     return hashlib.sha256(frame.to_json().encode("utf-8")).hexdigest()
+
+
+def measure_store(quick: bool = False) -> dict:
+    """Time the figure3 grid cold and warm against a fresh on-disk store.
+
+    The cold run computes and writes every record (store overhead included);
+    the warm run must resolve every job from the store and execute zero
+    simulations.  Counters, both wall-clocks and the resulting speedup land
+    in the artifact's ``store`` block — the caching analogue of the replay
+    ``speedup`` column.
+    """
+    grid = bench_grids(quick)["figure3"]
+    jobs = grid.jobs()
+    EngineRunner._prewarm_traces(jobs)  # measure the store, not trace synthesis
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        store = DiskStore(tmp)
+        cold_runner = EngineRunner(store=store)
+        started = time.perf_counter()
+        cold_frame = cold_runner.run_jobs(jobs)
+        cold_seconds = time.perf_counter() - started
+        warm_runner = EngineRunner(store=store)
+        started = time.perf_counter()
+        warm_frame = warm_runner.run_jobs(jobs)
+        warm_seconds = time.perf_counter() - started
+        stats = store.stats()
+        return {
+            "grid": "figure3",
+            "jobs": len(jobs),
+            "hits": stats["hits"],
+            "misses": stats["misses"],
+            "writes": stats["writes"],
+            "warm_jobs_executed": warm_runner.last_executed,
+            "warm_matches_cold": warm_frame.to_json() == cold_frame.to_json(),
+            "warm_vs_cold_seconds": {
+                "cold": round(cold_seconds, 4),
+                "warm": round(warm_seconds, 4),
+                "speedup": round(cold_seconds / warm_seconds, 1)
+                if warm_seconds else None,
+            },
+        }
 
 
 def run_bench(quick: bool = False, workers: int = 1) -> BenchReport:
@@ -254,6 +308,7 @@ def run_bench(quick: bool = False, workers: int = 1) -> BenchReport:
     if parallel_runner is not None:
         parallel_runner.close()
     report.trace_cache = trace_cache_stats()
+    report.store = measure_store(quick)
     return report
 
 
@@ -275,6 +330,16 @@ def write_bench(report: BenchReport, path: str = DEFAULT_OUTPUT) -> None:
             benches = dict(existing.get("benches", {}))
             benches.update(payload["benches"])
             payload["benches"] = benches
+            store = existing.get("store")
+            if isinstance(store, dict):
+                # Carry over per-mode blocks only (guards against pre-merge
+                # artifacts that stored one unkeyed block).
+                merged_store = {
+                    mode: block for mode, block in store.items()
+                    if isinstance(block, dict) and "warm_vs_cold_seconds" in block
+                }
+                merged_store.update(payload["store"])
+                payload["store"] = merged_store
             # total_seconds stays the total of the *current run's mode* so it
             # always describes one real invocation (the one "mode"/"backend"/
             # "trace_cache" also describe), never a cross-mode sum.
@@ -402,4 +467,14 @@ def format_bench(report: BenchReport) -> str:
             f"trace cache: {cache.get('size', 0)}/{cache.get('capacity', 0)} "
             f"entries, {cache.get('hits', 0)} hits / {cache.get('misses', 0)} "
             f"misses / {cache.get('evictions', 0)} evictions")
+    store = report.store
+    if store:
+        timing = store.get("warm_vs_cold_seconds", {})
+        verdict = "ok" if store.get("warm_matches_cold") else "DIFF"
+        lines.append(
+            f"result store ({store.get('grid')}): cold {timing.get('cold', 0.0):.3f}s "
+            f"-> warm {timing.get('warm', 0.0):.3f}s "
+            f"({timing.get('speedup') or 0.0}x, {store.get('hits', 0)} hits / "
+            f"{store.get('misses', 0)} misses, "
+            f"{store.get('warm_jobs_executed', 0)} jobs executed warm, {verdict})")
     return "\n".join(lines)

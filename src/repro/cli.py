@@ -16,8 +16,13 @@ to serial runs), ``--backend`` (replay backend: ``reference``/``fast``/
 ``vector``; results are bit-identical across backends), ``--progress``
 (stream per-job completions to stderr), ``--scale`` (fidelity preset),
 ``--seed``, ``--workload-limit``, ``--branches``/``--warmup`` (preset
-overrides) and ``--json PATH`` (dump the result inside a versioned
-``{"schema", "spec", "result"}`` envelope).
+overrides), ``--json PATH`` (dump the result inside a versioned
+``{"schema", "spec", "result"}`` envelope), and ``--store DIR`` /
+``--no-store`` (content-addressed result cache; defaults to ``$REPRO_STORE``
+when set).  Beyond the registry-generated experiment subcommands there are
+three hand-written ones: ``run`` (scenario files), ``store``
+(``stats``/``gc``/``verify`` maintenance of a store directory) and ``serve``
+(the HTTP front-end over the store).
 """
 
 from __future__ import annotations
@@ -40,6 +45,8 @@ from repro.engine import (
     scenario_envelope,
 )
 from repro.sim import fastpath
+from repro.store import DiskStore, default_store_path, open_store
+from repro.version import __version__
 
 
 def _emit(args: argparse.Namespace, text: str, payload: Any) -> None:
@@ -72,6 +79,32 @@ def _apply_backend(args: argparse.Namespace) -> None:
         fastpath.set_backend(backend)
 
 
+def _resolve_store(args: argparse.Namespace):
+    """The result store this invocation should use (or ``None``).
+
+    ``--no-store`` always wins; an explicit ``--store DIR`` beats the
+    ``$REPRO_STORE`` default.
+    """
+    return open_store(
+        path=getattr(args, "store", None),
+        enabled=getattr(args, "use_store", True),
+    )
+
+
+def _report_store(store) -> None:
+    """One cache-effectiveness line on stderr (stdout stays byte-identical)."""
+    if store is None:
+        return
+    # Counters live in memory; stats() would os.walk the whole objects tree
+    # just to print this one line.
+    counters = store.counters
+    print(
+        f"store: {counters.hits} hits, {counters.misses} misses, "
+        f"{counters.writes} writes ({getattr(store, 'root', 'memory')})",
+        file=sys.stderr,
+    )
+
+
 def _cmd_experiment(args: argparse.Namespace) -> None:
     """Generic handler: every registered experiment dispatches through here."""
     _apply_backend(args)
@@ -85,10 +118,21 @@ def _cmd_experiment(args: argparse.Namespace) -> None:
         if note:
             print(note, file=sys.stderr)
     progress = _progress_printer() if getattr(args, "progress", False) else None
+    # Only grid experiments run through the incremental store; custom-execute
+    # specs (bench, listings) manage their own execution.
+    if spec.build_jobs is not None:
+        store = _resolve_store(args)
+    else:
+        store = None
+        if getattr(args, "store", None):
+            print(f"note: {spec.name} does not run engine grids; "
+                  "--store is ignored", file=sys.stderr)
     result = run_experiment(
-        spec, params, workers=getattr(args, "workers", 1), progress=progress
+        spec, params, workers=getattr(args, "workers", 1), progress=progress,
+        store=store,
     )
     _emit(args, spec.formatter(result), spec.serialize(result))
+    _report_store(store)
     if spec.epilogue is not None:
         line = spec.epilogue(result, params)
         if line:
@@ -106,8 +150,71 @@ def _cmd_run_scenario(args: argparse.Namespace) -> None:
         )
     scenario = load_scenario(target)
     progress = _progress_printer() if args.progress else None
-    result = run_scenario(scenario, workers=args.workers, progress=progress)
+    store = _resolve_store(args)
+    result = run_scenario(scenario, workers=args.workers, progress=progress,
+                          store=store)
     _emit(args, format_scenario(result), scenario_envelope(result))
+    _report_store(store)
+
+
+def _require_store_dir(args: argparse.Namespace) -> DiskStore:
+    path = args.store or default_store_path()
+    if not path:
+        raise ValueError(
+            "no store directory: pass --store DIR or set $REPRO_STORE")
+    # Maintenance commands inspect an *existing* store; auto-creating one for
+    # a typo'd path would report a fresh empty store as consistent.
+    if not os.path.isdir(path):
+        raise ValueError(f"store directory {path!r} does not exist")
+    return DiskStore(path)
+
+
+def _cmd_store(args: argparse.Namespace) -> None:
+    """``store stats|gc|verify`` — inspect and maintain a store directory."""
+    store = _require_store_dir(args)
+    if args.store_command == "stats":
+        # Hit/miss counters live on the in-process instance; this fresh one
+        # would report zeros, so print occupancy only.
+        occupancy = {key: value for key, value in store.stats().items()
+                     if key not in ("hits", "misses", "writes",
+                                    "evictions", "corrupt")}
+        print(json.dumps(occupancy, indent=2, sort_keys=True))
+    elif args.store_command == "gc":
+        summary = store.gc(max_bytes=args.max_bytes)
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:  # verify
+        issues = store.verify()
+        for issue in issues:
+            print(issue)
+        # verify() just rebuilt the index from its own authoritative walk;
+        # stats() would pay a second full walk for the same numbers.
+        occupancy = store.live_stats()
+        print(f"verified {occupancy['entries']} records "
+              f"({occupancy['bytes']} bytes): "
+              f"{len(issues)} issue(s) found" + (", healed" if issues else ""))
+        if issues:
+            raise ValueError(f"store had {len(issues)} inconsistent record(s)")
+
+
+def _cmd_serve(args: argparse.Namespace) -> None:
+    """``serve`` — run the HTTP front-end over the (incremental) store."""
+    from repro.store.serve import serve_forever
+
+    _apply_backend(args)
+    store = open_store(path=args.store, enabled=args.use_store)
+    serve_forever(host=args.host, port=args.port, store=store,
+                  workers=args.workers)
+
+
+def _add_store_options(parser: argparse.ArgumentParser) -> None:
+    """The result-store options every job-running command accepts."""
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="content-addressed result store directory "
+                             "(default: $REPRO_STORE when set); cached jobs "
+                             "merge from it, fresh jobs write back")
+    parser.add_argument("--no-store", dest="use_store", action="store_false",
+                        default=True,
+                        help="ignore $REPRO_STORE and run without a cache")
 
 
 def _add_runtime_options(parser: argparse.ArgumentParser,
@@ -124,6 +231,7 @@ def _add_runtime_options(parser: argparse.ArgumentParser,
     parser.add_argument("--progress", action=argparse.BooleanOptionalAction,
                         default=progress_default,
                         help="stream per-job completions to stderr")
+    _add_store_options(parser)
 
 
 def _add_option(parser: argparse.ArgumentParser, option) -> None:
@@ -148,6 +256,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate the paper's figures and tables on the simulation engine.",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run_parser = subparsers.add_parser(
@@ -162,6 +272,37 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--json", metavar="PATH", default=None,
                             help="also dump the result as JSON to PATH")
     run_parser.set_defaults(handler=_cmd_run_scenario)
+
+    store_parser = subparsers.add_parser(
+        "store", help="inspect and maintain a content-addressed result store")
+    store_sub = store_parser.add_subparsers(dest="store_command", required=True)
+    for name, help_text in (
+        ("stats", "print occupancy and counters as JSON"),
+        ("gc", "evict LRU records down to a byte cap and sweep temp files"),
+        ("verify", "check every record and the manifest; heal what can be healed"),
+    ):
+        sub = store_sub.add_parser(name, help=help_text)
+        sub.add_argument("--store", metavar="DIR", default=None,
+                         help="store directory (default: $REPRO_STORE)")
+        if name == "gc":
+            sub.add_argument("--max-bytes", type=int, default=None,
+                             help="evict least-recently-used records until "
+                                  "total size fits")
+        sub.set_defaults(handler=_cmd_store)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="HTTP front-end: POST scenarios, GET cached envelopes (ETag/304)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default: 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8765,
+                              help="bind port (default: 8765; 0 = ephemeral)")
+    serve_parser.add_argument("--workers", type=int, default=1,
+                              help="engine worker processes per run")
+    serve_parser.add_argument("--backend", choices=list(fastpath.BACKENDS),
+                              default=None, help="replay backend override")
+    _add_store_options(serve_parser)
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     for spec in list_experiments():
         sub = subparsers.add_parser(spec.name, help=spec.description)

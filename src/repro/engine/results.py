@@ -47,6 +47,25 @@ class JobRecord:
             row["payload"] = self.payload
         return row
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any], index: int | None = None) -> "JobRecord":
+        """Rebuild a record from its :meth:`to_dict` form.
+
+        ``index`` overrides the stored position: a cached record slots into
+        whatever grid cell requested it, so its original index is irrelevant.
+        ``seconds`` restarts at zero — wall-clock is a property of a run, not
+        of a result, and serialized frames never carry it anyway.
+        """
+        return cls(
+            index=int(data["index"] if index is None else index),
+            kind=data["kind"],
+            model=data["model"],
+            workload=data["workload"],
+            metrics={str(key): float(value)
+                     for key, value in data.get("metrics", {}).items()},
+            payload=data.get("payload"),
+        )
+
 
 class ResultFrame:
     """Ordered job records with pivot/normalize/JSON-export helpers."""

@@ -19,10 +19,20 @@ re-generated per job.
 in job order as soon as they (and every earlier job) complete, and an optional
 progress callback fires in completion order, so long grids report progress
 instead of blocking until the whole pool drains.
+
+With a result store attached (``EngineRunner(store=...)``), execution is
+*incremental*: jobs are partitioned into cached and missing by their
+content-addressed fingerprint (:mod:`repro.store.keys`), only the missing
+cells are dispatched (batched as usual), fresh records are written back, and
+the merged frame is byte-identical to a cold run — cached records re-enter at
+the requesting job's index with ``seconds`` zeroed, exactly as serialization
+would have produced them.  ``last_executed`` / ``last_cached`` expose the
+split for assertions and for the CLI's cache-effectiveness report.
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import time
 import weakref
@@ -37,6 +47,10 @@ from repro.sim.bpu_sim import TraceSimulator
 from repro.sim.config import SimulationLengths
 from repro.sim.cpu import CycleApproximateCPU
 from repro.sim.smt import SMTSimulator
+from repro.store.base import JOB_NAMESPACE, ResultStore
+from repro.store.keys import CACHEABLE_KINDS, job_fingerprint
+
+logger = logging.getLogger("repro.engine.runner")
 
 
 def _protection_metrics(protection: dict[str, int]) -> dict[str, float]:
@@ -295,19 +309,63 @@ ProgressCallback = Callable[[int, int, JobRecord], None]
 
 
 def execute_job_batch(jobs: Sequence[Job],
-                      shipments: tuple[dict, ...] = ()) -> list[JobRecord]:
+                      shipments: tuple[dict, ...] = (),
+                      quiet_fallbacks: tuple[str, ...] = ()) -> list[JobRecord]:
     """Execute a contiguous batch of jobs in the current (worker) process.
 
     ``shipments`` are shared-memory trace descriptors; each is attached once
     per process, pre-seeding the worker-local trace cache before the first
-    job replays (see :mod:`repro.engine.sharing`).
+    job replays (see :mod:`repro.engine.sharing`).  ``quiet_fallbacks`` are
+    model names whose "no vector kernel" notice the parent already logged;
+    pre-seeding the worker's logged-set keeps a grid's notice process-global
+    (one line per model name) instead of one line per worker.
     """
     if shipments:
         from repro.engine import sharing
 
         for descriptor in shipments:
             sharing.attach_shipment(descriptor)
+    if quiet_fallbacks:
+        from repro.sim import vector
+
+        vector.suppress_fallback_notices(quiet_fallbacks)
     return [execute_job(job) for job in jobs]
+
+
+#: Model specs already probed for a vector kernel in this process (the
+#: fallback-notice dedup for parallel runs); probing is cheap but builds a
+#: model, so each distinct spec is probed once per process lifetime.
+_PROBED_KERNEL_SPECS: set = set()
+
+
+def _vector_fallback_suppressions(jobs: Sequence[Job]) -> tuple[str, ...]:
+    """Probe each distinct model for a vector kernel in the parent process.
+
+    Probing calls :func:`repro.sim.vector.kernel_for`, which logs the "no
+    vector kernel, falling back" notice — once, here, in the parent — for
+    every kernel-less model the jobs will run.  The returned snapshot of
+    already-logged names is shipped to workers so they stay quiet: a 100-job
+    TAGE grid logs the notice exactly once, regardless of batching, worker
+    count, or start method.
+    """
+    from repro.sim import fastpath
+
+    if not fastpath.vector_enabled():
+        return ()
+    from repro.sim import vector
+
+    for job in jobs:
+        if job.kind not in ("trace", "cpu", "smt") or job.model is None:
+            continue
+        if job.model in _PROBED_KERNEL_SPECS:
+            continue
+        _PROBED_KERNEL_SPECS.add(job.model)
+        try:
+            vector.kernel_for(build_model(job.model, seed=0))
+        except Exception:  # a probe must never take down the run
+            logger.debug("vector-kernel probe failed for %r",
+                         job.model, exc_info=True)
+    return vector.fallback_logged_names()
 
 
 def job_batches(jobs: Sequence[Job], workers: int,
@@ -347,18 +405,34 @@ class EngineRunner:
             (``"fork"``/``"spawn"``).  By default the platform's ``fork`` is
             preferred; passing ``"spawn"`` exercises the shared-memory trace
             shipping path that non-fork platforms use.
+        store: Optional :class:`~repro.store.base.ResultStore`.  When given,
+            cacheable jobs whose fingerprints resolve are merged from the
+            store instead of executing, and fresh records are written back —
+            incremental execution with byte-identical frames.
 
     One executor is created lazily and reused across ``run`` /
     ``iter_records`` calls; call :meth:`close` (or use the runner as a
     context manager) to shut it down eagerly — otherwise a finalizer does it
     when the runner is garbage collected.
+
+    Instrumentation: after every ``run``/``run_jobs``/``iter_records``
+    consumption, ``last_total``/``last_cached``/``last_executed`` describe
+    that run's cached-vs-executed split, and ``total_cached``/
+    ``total_executed`` accumulate across the runner's lifetime.
     """
 
-    def __init__(self, workers: int = 1, start_method: str | None = None):
+    def __init__(self, workers: int = 1, start_method: str | None = None,
+                 store: ResultStore | None = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.start_method = start_method
+        self.store = store
+        self.last_total = 0
+        self.last_cached = 0
+        self.last_executed = 0
+        self.total_cached = 0
+        self.total_executed = 0
         self._pool: ProcessPoolExecutor | None = None
         self._pool_used = False
         self._pool_generation: int | None = None
@@ -387,18 +461,52 @@ class EngineRunner:
         ``progress`` callback, by contrast, fires in *completion* order —
         that is its purpose: honest liveness for long grids.  Each record
         carries the wall-clock ``seconds`` its job took in the process that
-        ran it.
+        ran it (``0.0`` for store hits — they cost no simulation time).
+
+        With a store attached, cached jobs complete instantly (their progress
+        fires first), only the missing jobs are dispatched, and every fresh
+        cacheable record is written back.
         """
         jobs = list(jobs)
         total = len(jobs)
+        cached, missing, positions, fingerprints = self._partition(jobs)
+        self.last_total = total
+        self.last_cached = len(cached)
+        self.last_executed = len(missing)
+        self.total_cached += len(cached)
+        self.total_executed += len(missing)
         done = 0
+        ready: dict[int, JobRecord] = dict(cached)
+        next_position = 0
+        for position in sorted(ready):
+            done += 1
+            if progress is not None:
+                progress(done, total, ready[position])
+        while next_position in ready:
+            yield ready.pop(next_position)
+            next_position += 1
+        for position, record in self._completions(missing, positions):
+            done += 1
+            if progress is not None:
+                progress(done, total, record)
+            fingerprint = fingerprints.get(position)
+            if fingerprint is not None:
+                self._write_back(fingerprint, record)
+            ready[position] = record
+            while next_position in ready:
+                yield ready.pop(next_position)
+                next_position += 1
+
+    def _completions(self, jobs: Sequence[Job], positions: Sequence[int],
+                     ) -> Iterator[tuple[int, JobRecord]]:
+        """Execute ``jobs``, yielding ``(original position, record)`` pairs in
+        completion order (serial: list order; parallel: batch completion)."""
+        total = len(jobs)
+        if total == 0:
+            return
         if self.workers <= 1 or total <= 1:
-            for job in jobs:
-                record = execute_job(job)
-                done += 1
-                if progress is not None:
-                    progress(done, total, record)
-                yield record
+            for position, job in zip(positions, jobs):
+                yield position, execute_job(job)
             return
         context = self._context()
         pool = self._ensure_pool(context)
@@ -416,30 +524,111 @@ class EngineRunner:
                 shipments = tuple(s.descriptor for s in self._shipments)
         else:
             shipments = self._ensure_shipments(jobs)
+        # Probe for kernel-less models while the parent still owns the log:
+        # one fallback notice total, workers silenced via the snapshot.
+        quiet_fallbacks = _vector_fallback_suppressions(jobs)
         self._pool_used = True
         batches = job_batches(jobs, min(self.workers, total))
-        offsets = []
-        position = 0
+        position_batches: list[Sequence[int]] = []
+        offset = 0
         for batch in batches:
-            offsets.append(position)
-            position += len(batch)
+            position_batches.append(positions[offset:offset + len(batch)])
+            offset += len(batch)
         futures = {
-            pool.submit(execute_job_batch, batch, shipments): index
+            pool.submit(execute_job_batch, batch, shipments, quiet_fallbacks): index
             for index, batch in enumerate(batches)
         }
-        ready: dict[int, list[JobRecord]] = {}
-        next_batch = 0
         for future in as_completed(futures):
             index = futures[future]
-            records = future.result()
-            for record in records:
-                done += 1
-                if progress is not None:
-                    progress(done, total, record)
-            ready[index] = records
-            while next_batch in ready:
-                yield from ready.pop(next_batch)
-                next_batch += 1
+            yield from zip(position_batches[index], future.result())
+
+    # ----------------------------------------------------------- store layer
+
+    def _partition(self, jobs: Sequence[Job]) -> tuple[
+            dict[int, JobRecord], list[Job], list[int], dict[int, str]]:
+        """Split jobs into store-resolved records and still-missing jobs.
+
+        Returns ``(cached, missing, positions, fingerprints)``: records by
+        original list position, the jobs to execute, their positions, and the
+        fingerprints to write fresh results back under.
+        """
+        if self.store is None:
+            return {}, list(jobs), list(range(len(jobs))), {}
+        cached: dict[int, JobRecord] = {}
+        missing: list[Job] = []
+        positions: list[int] = []
+        fingerprints: dict[int, str] = {}
+        for position, job in enumerate(jobs):
+            record = None
+            fingerprint = (job_fingerprint(job)
+                           if job.kind in CACHEABLE_KINDS else None)
+            if fingerprint is not None:
+                record = self._cached_record(job, fingerprint)
+            if record is not None:
+                cached[position] = record
+                continue
+            missing.append(job)
+            positions.append(position)
+            if fingerprint is not None:
+                fingerprints[position] = fingerprint
+        return cached, missing, positions, fingerprints
+
+    def _cached_record(self, job: Job, fingerprint: str) -> JobRecord | None:
+        try:
+            payload = self.store.get(JOB_NAMESPACE, fingerprint)
+        except OSError:
+            logger.warning("store read failed for %s; recomputing",
+                           fingerprint[:16], exc_info=True)
+            return None
+        if payload is None:
+            return None
+        if not self._record_matches(job, payload):
+            # The stored record is readable but is not this job's result
+            # (index drift, hand-edited store, fingerprint collision in a
+            # foreign tool): recompute rather than return a wrong frame.
+            logger.warning(
+                "store record %s does not match its job (kind=%r model=%r); "
+                "recomputing", fingerprint[:16], job.kind, job.model_label)
+            self._reclassify_hit_as_miss()
+            return None
+        try:
+            return JobRecord.from_dict(payload, index=job.index)
+        except (KeyError, TypeError, ValueError):
+            logger.warning("store record %s is malformed; recomputing",
+                           fingerprint[:16], exc_info=True)
+            self._reclassify_hit_as_miss()
+            return None
+
+    def _reclassify_hit_as_miss(self) -> None:
+        """The get() above counted a hit, but the record failed job-level
+        validation and the job will execute: keep hits == jobs actually
+        served from cache."""
+        self.store.counters.add(hits=-1, misses=1)
+
+    @staticmethod
+    def _record_matches(job: Job, payload) -> bool:
+        if not isinstance(payload, dict):
+            return False
+        if payload.get("kind") != job.kind:
+            return False
+        if not isinstance(payload.get("metrics"), dict):
+            return False
+        if job.kind in ("trace", "cpu", "smt"):
+            return (payload.get("model") == job.model_label
+                    and payload.get("workload") == job.workload_name)
+        if job.kind == "attack":
+            return (payload.get("model") == job.model_label
+                    and payload.get("workload") == job.param("attack"))
+        return True
+
+    def _write_back(self, fingerprint: str, record: JobRecord) -> None:
+        payload = {key: value for key, value in record.to_dict().items()
+                   if key != "index"}  # position is the grid's, not the result's
+        try:
+            self.store.put(JOB_NAMESPACE, fingerprint, payload)
+        except (OSError, TypeError, ValueError):
+            logger.warning("store write failed for %s; result not cached",
+                           fingerprint[:16], exc_info=True)
 
     # ------------------------------------------------------------- lifecycle
 

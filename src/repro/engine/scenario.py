@@ -287,9 +287,16 @@ def load_scenario(path: str) -> Scenario:
 
 
 def run_scenario(scenario: Scenario, workers: int = 1,
-                 progress: ProgressCallback | None = None) -> ScenarioResult:
-    """Execute the scenario's jobs and return the populated result."""
-    frame = EngineRunner(workers=workers).run_jobs(scenario.jobs(), progress=progress)
+                 progress: ProgressCallback | None = None,
+                 store: Any | None = None) -> ScenarioResult:
+    """Execute the scenario's jobs and return the populated result.
+
+    With a ``store`` (a :class:`~repro.store.base.ResultStore`), execution is
+    incremental: cells already in the store merge back without running, and
+    the resulting envelope is byte-identical to a cold run.
+    """
+    runner = EngineRunner(workers=workers, store=store)
+    frame = runner.run_jobs(scenario.jobs(), progress=progress)
     return ScenarioResult(scenario=scenario, frame=frame)
 
 

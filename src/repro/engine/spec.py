@@ -225,15 +225,23 @@ def run_experiment(
     params: dict[str, Any] | None = None,
     workers: int = 1,
     progress: ProgressCallback | None = None,
+    store: Any | None = None,
 ) -> Any:
-    """Run one experiment by spec (or registered name) and return its result."""
+    """Run one experiment by spec (or registered name) and return its result.
+
+    ``store`` is an optional :class:`~repro.store.base.ResultStore`; grid
+    experiments then execute incrementally (cached cells merge from the
+    store, fresh records write back).  Custom-``execute`` experiments manage
+    their own execution and ignore it.
+    """
     if isinstance(spec, str):
         spec = experiment_spec(spec)
     merged = spec.merged_params(params)
     if spec.execute is not None:
         return spec.execute(merged, workers=workers, progress=progress)
     jobs = spec.build_jobs(merged)
-    frame = EngineRunner(workers=workers).run_jobs(jobs, progress=progress)
+    frame = EngineRunner(workers=workers, store=store).run_jobs(
+        jobs, progress=progress)
     return spec.post_process(frame, merged)
 
 
@@ -245,14 +253,16 @@ def _list_models_execute(params: dict[str, Any], workers: int = 1,
                          progress: ProgressCallback | None = None) -> list[str]:
     from repro.engine.registry import list_models
 
-    return list_models()
+    # Sorted here, not just in the registry: listing output is a stable
+    # interface (serve/store manifests embed it, scripts diff it).
+    return sorted(list_models())
 
 
 def _list_workloads_execute(params: dict[str, Any], workers: int = 1,
                             progress: ProgressCallback | None = None) -> list[str]:
     from repro.trace.workloads import list_workloads
 
-    return list_workloads(params.get("category"))
+    return sorted(list_workloads(params.get("category")))
 
 
 def _list_experiments_execute(params: dict[str, Any], workers: int = 1,

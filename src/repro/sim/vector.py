@@ -1105,6 +1105,26 @@ def kernel_for(model):
     return kernel
 
 
+def fallback_logged_names() -> tuple[str, ...]:
+    """Model names whose fallback notice this process already emitted.
+
+    The engine runner ships this snapshot to its worker processes so a
+    100-job grid of a kernel-less model logs the notice once — in the
+    parent — instead of once per worker batch.
+    """
+    return tuple(sorted(_FALLBACK_LOGGED))
+
+
+def suppress_fallback_notices(names) -> None:
+    """Mark ``names`` as already logged in this process.
+
+    Called by :func:`repro.engine.runner.execute_job_batch` in workers with
+    the parent's :func:`fallback_logged_names` snapshot: the parent probed
+    each model and spoke for the whole process tree.
+    """
+    _FALLBACK_LOGGED.update(names)
+
+
 def try_replay_trace(model, trace: Trace, warmup: int,
                      stats: PredictorStats) -> bool:
     """Vector-replay ``trace`` through ``model`` into ``stats`` if possible."""

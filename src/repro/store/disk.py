@@ -1,0 +1,507 @@
+"""On-disk content-addressed store: sharded gzip-JSON records plus a manifest.
+
+Layout (``repro.store/v1``)::
+
+    <root>/manifest.json                      # index: schema, version, entries
+    <root>/objects/<ns>/<ff>/<fingerprint>.json.gz
+
+where ``<ns>`` is the namespace (``job``, ``envelope``) and ``<ff>`` the
+first two hex digits of the fingerprint — a shard fan-out that keeps
+directory listings short for million-record stores.
+
+Every object is a gzip-compressed canonical-JSON *record envelope*::
+
+    {"schema": "repro.store.record/v1", "namespace": ..., "fingerprint": ...,
+     "version": "<repro version>", "payload": {...}}
+
+Robustness properties, in order of importance:
+
+* **The filesystem is the source of truth.**  Reads resolve straight to the
+  object path; the manifest only accelerates ``stats`` and records the
+  writer's schema/version.  A manifest that lags behind the objects (crashed
+  writer, concurrent writers) degrades gracefully and is rebuilt by
+  :meth:`DiskStore.verify`.
+* **Writes are atomic.**  Records are written to a same-directory temp file
+  and published with :func:`os.replace`; a reader never observes a partial
+  record, and two processes racing on one fingerprint both publish the same
+  (content-addressed, hence identical) bytes.
+* **Corruption degrades to a recompute.**  Truncated gzip, malformed JSON,
+  a record whose embedded fingerprint disagrees with its filename — every
+  such read counts ``corrupt``, deletes the bad object, and reports a miss.
+* **Size is bounded.**  With ``max_bytes`` set, least-recently-*used*
+  records (by file mtime, refreshed on every hit) are evicted after each
+  write; :meth:`gc` applies the same policy on demand.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import tempfile
+import threading
+import time
+import weakref
+from typing import Any, Iterator
+
+from repro.store.base import ResultStore, validate_key
+from repro.store.keys import RESULT_SCHEMA_VERSION, canonical_json
+from repro.version import __version__
+
+#: Schema tag of the store directory layout (written into the manifest).
+STORE_SCHEMA = "repro.store/v1"
+
+#: Schema tag of each on-disk record envelope.
+RECORD_SCHEMA = "repro.store.record/v1"
+
+_MANIFEST_NAME = "manifest.json"
+_OBJECTS_DIR = "objects"
+_SUFFIX = ".json.gz"
+
+
+def _record_matches(record: Any, namespace: str, fingerprint: str) -> bool:
+    """Whether a decoded record envelope is the record its address claims.
+
+    Shared by the read path and :meth:`DiskStore.verify` so both always agree
+    on what counts as corrupt.
+    """
+    return (
+        isinstance(record, dict)
+        and record.get("schema") == RECORD_SCHEMA
+        and record.get("namespace") == namespace
+        and record.get("fingerprint") == fingerprint
+        and "payload" in record
+    )
+
+
+def _write_manifest_file(root: str, entries: dict[str, int]) -> None:
+    """Atomically publish ``manifest.json`` for ``root``."""
+    manifest = {
+        "schema": STORE_SCHEMA,
+        "version": __version__,
+        "result_schema": RESULT_SCHEMA_VERSION,
+        "entries": {key: {"bytes": size}
+                    for key, size in sorted(entries.items())},
+    }
+    descriptor, temp_path = tempfile.mkstemp(
+        prefix="manifest.", suffix=".tmp", dir=root)
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(temp_path, os.path.join(root, _MANIFEST_NAME))
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+def _flush_pending_manifest(root: str, index: dict[str, int],
+                            pending: list[int]) -> None:
+    """Finalizer: persist batched index updates when a store is collected."""
+    if pending[0] > 0:
+        try:
+            _write_manifest_file(root, index)
+        except OSError:  # pragma: no cover - shutdown best-effort
+            pass
+        pending[0] = 0
+
+#: Stores with at most this many entries flush the manifest on every write
+#: (exact index, friendly to tests and small caches); larger stores batch.
+_MANIFEST_EXACT_LIMIT = 128
+
+#: Pending writes a large store accumulates before flushing the manifest.
+#: The filesystem is the source of truth for reads, so a lagging manifest
+#: only staleness stats until the next flush/gc/verify.
+_MANIFEST_FLUSH_BATCH = 64
+
+#: A ``.tmp`` file older than this is a crash leftover gc may sweep; younger
+#: ones may belong to a writer racing gc (held for milliseconds normally).
+_TEMP_STALE_SECONDS = 60.0
+
+
+class DiskStore(ResultStore):
+    """Sharded on-disk store with atomic writes and an LRU byte cap.
+
+    Args:
+        root: Store directory (created on first use).
+        max_bytes: Optional cap on total object bytes; exceeding it after a
+            write evicts least-recently-used records until back under.
+    """
+
+    def __init__(self, root: str, max_bytes: int | None = None):
+        super().__init__()
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.root = os.path.abspath(os.fspath(root))
+        self.max_bytes = max_bytes
+        os.makedirs(os.path.join(self.root, _OBJECTS_DIR), exist_ok=True)
+        # In-memory index: the write-path view of `manifest.json`.  Writes
+        # update it in O(1) and flush it amortized (see _flush_index), so a
+        # cold n-job run costs O(n) manifest I/O, not O(n^2).  Reads never
+        # consult it — the filesystem stays the source of truth — and
+        # verify/gc rebuild it from a disk scan.
+        if os.path.exists(self._manifest_path()):
+            self._index = self._manifest_entries()
+        else:
+            self._index = self._scan_entries()
+            self._write_manifest(self._index)
+        self._index_bytes = sum(self._index.values())
+        self._pending = [0]  # mutable holder so the finalizer sees updates
+        # Index mutations happen from many threads under `repro serve` (a GET
+        # dropping a corrupt object races a POST's write-back); reentrant
+        # because the mutators flush the manifest, which iterates the index.
+        self._index_lock = threading.RLock()
+        self._finalizer = weakref.finalize(
+            self, _flush_pending_manifest, self.root, self._index, self._pending)
+
+    # ------------------------------------------------------------ raw access
+
+    def object_path(self, namespace: str, fingerprint: str) -> str:
+        """Absolute path of the (possibly absent) object for a key."""
+        validate_key(namespace, fingerprint)
+        return os.path.join(
+            self.root, _OBJECTS_DIR, namespace, fingerprint[:2],
+            fingerprint + _SUFFIX,
+        )
+
+    def _read(self, namespace: str, fingerprint: str) -> Any | None:
+        path = self.object_path(namespace, fingerprint)
+        try:
+            with gzip.open(path, "rb") as handle:
+                record = json.loads(handle.read().decode("utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, EOFError, ValueError, UnicodeDecodeError):
+            # Truncated gzip stream, malformed JSON, half-written garbage:
+            # drop the object so the recomputed record can take its place.
+            self._drop_corrupt(namespace, fingerprint, path)
+            return None
+        if not _record_matches(record, namespace, fingerprint):
+            # The record is readable but is not the record the index claims
+            # (copied into the wrong slot, foreign schema, renamed by hand).
+            self._drop_corrupt(namespace, fingerprint, path)
+            return None
+        self._touch(path)
+        return record["payload"]
+
+    def _write(self, namespace: str, fingerprint: str, payload: Any) -> None:
+        path = self.object_path(namespace, fingerprint)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        record = {
+            "schema": RECORD_SCHEMA,
+            "namespace": namespace,
+            "fingerprint": fingerprint,
+            "version": __version__,
+            "payload": payload,
+        }
+        # mtime=0 keeps the compressed bytes deterministic, so concurrent
+        # writers of one fingerprint publish identical files.
+        raw = gzip.compress(canonical_json(record).encode("utf-8"), mtime=0)
+        descriptor, temp_path = tempfile.mkstemp(
+            prefix=fingerprint[:8] + ".", suffix=".tmp", dir=directory)
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(raw)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        self._index_put(f"{namespace}/{fingerprint}", len(raw))
+        if self.max_bytes is not None and self._index_bytes > self.max_bytes:
+            # Evict with hysteresis (down to 90% of the cap): _evict_to walks
+            # the objects tree for authoritative sizes/recency, so a store
+            # sitting at its cap must not pay that walk on every single put.
+            self._evict_to(max(1, (self.max_bytes * 9) // 10), keep=path)
+
+    def contains(self, namespace: str, fingerprint: str) -> bool:
+        return os.path.exists(self.object_path(namespace, fingerprint))
+
+    # ------------------------------------------------------------- manifest
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.root, _MANIFEST_NAME)
+
+    def _load_manifest(self) -> dict[str, Any]:
+        try:
+            with open(self._manifest_path(), encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError):
+            manifest = None
+        if not isinstance(manifest, dict) or manifest.get("schema") != STORE_SCHEMA:
+            manifest = {"schema": STORE_SCHEMA, "entries": {}}
+        manifest.setdefault("entries", {})
+        return manifest
+
+    def _write_manifest(self, entries: dict[str, int]) -> None:
+        _write_manifest_file(self.root, entries)
+
+    def _manifest_entries(self) -> dict[str, int]:
+        entries = {}
+        for key, meta in self._load_manifest()["entries"].items():
+            if isinstance(meta, dict) and isinstance(meta.get("bytes"), int):
+                entries[key] = meta["bytes"]
+        return entries
+
+    def _index_put(self, key: str, size: int) -> None:
+        with self._index_lock:
+            self._index_bytes += size - self._index.get(key, 0)
+            self._index[key] = size
+            self._pending[0] += 1
+            self._flush_index()
+
+    def _index_remove(self, keys: Iterator[str] | list[str]) -> None:
+        with self._index_lock:
+            for key in keys:
+                removed = self._index.pop(key, None)
+                if removed is not None:
+                    self._index_bytes -= removed
+                    self._pending[0] += 1
+            self._flush_index(force=True)
+
+    def _index_replace(self, entries: dict[str, int]) -> None:
+        with self._index_lock:
+            self._index.clear()
+            self._index.update(entries)
+            self._index_bytes = sum(entries.values())
+            self._pending[0] = 0
+            self._write_manifest(self._index)
+
+    def _flush_index(self, force: bool = False) -> None:
+        """Write the manifest when exactness is cheap or the batch is due."""
+        with self._index_lock:
+            if self._pending[0] == 0:
+                return
+            if (force or len(self._index) <= _MANIFEST_EXACT_LIMIT
+                    or self._pending[0] >= _MANIFEST_FLUSH_BATCH):
+                self._write_manifest(self._index)
+                self._pending[0] = 0
+
+    # -------------------------------------------------------------- scanning
+
+    def _scan_objects(self) -> list[tuple[str, str, str]]:
+        """Every object on disk as ``(namespace, fingerprint, path)``."""
+        objects = []
+        objects_root = os.path.join(self.root, _OBJECTS_DIR)
+        for directory, _, filenames in os.walk(objects_root):
+            for filename in filenames:
+                if not filename.endswith(_SUFFIX):
+                    continue
+                relative = os.path.relpath(
+                    os.path.join(directory, filename), objects_root)
+                parts = relative.split(os.sep)
+                if len(parts) != 3:
+                    continue
+                namespace, _, _ = parts
+                fingerprint = filename[: -len(_SUFFIX)]
+                objects.append(
+                    (namespace, fingerprint, os.path.join(directory, filename)))
+        return sorted(objects)
+
+    def _scan_entries(self) -> dict[str, int]:
+        entries = {}
+        for namespace, fingerprint, path in self._scan_objects():
+            try:
+                entries[f"{namespace}/{fingerprint}"] = os.path.getsize(path)
+            except OSError:
+                continue
+        return entries
+
+    # ------------------------------------------------------------ lifecycle
+
+    def _touch(self, path: str) -> None:
+        try:
+            os.utime(path)  # refresh mtime: the LRU recency signal
+        except OSError:
+            pass
+
+    def _drop_corrupt(self, namespace: str, fingerprint: str, path: str) -> None:
+        self.counters.add(corrupt=1)
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        self._index_remove([f"{namespace}/{fingerprint}"])
+
+    def _evict_to(self, max_bytes: int, keep: str | None = None) -> int:
+        """Evict least-recently-used objects until total size fits.
+
+        The walk's sizes are authoritative, so the in-memory index is
+        resynced from it afterwards — drift from foreign writers can never
+        leave ``_index_bytes`` stuck above the cap (which would re-trigger
+        this walk on every put).
+        """
+        aged = []
+        total = 0
+        for namespace, fingerprint, path in self._scan_objects():
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            total += stat.st_size
+            aged.append((stat.st_mtime, namespace, fingerprint, path, stat.st_size))
+        entries = {f"{namespace}/{fingerprint}": size
+                   for _, namespace, fingerprint, _, size in aged}
+        evicted = 0
+        for _, namespace, fingerprint, path, size in sorted(aged):
+            if total <= max_bytes:
+                break
+            if keep is not None and path == keep:
+                continue  # never evict the record that triggered the sweep
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+            del entries[f"{namespace}/{fingerprint}"]
+        self.counters.add(evictions=evicted)
+        self._index_replace(entries)
+        return evicted
+
+    def gc(self, max_bytes: int | None = None) -> dict[str, int]:
+        """Evict LRU records down to ``max_bytes`` (default: the store cap)
+        and sweep stray temp files; returns a summary.
+
+        ``max_bytes=0`` empties the store deliberately; negative caps are
+        rejected rather than silently behaving like 0.
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        removed_temp = 0
+        # Only sweep temp files old enough to be crash leftovers: a live
+        # writer holds its .tmp for milliseconds between mkstemp and
+        # os.replace, and unlinking it would make that replace fail.
+        stale_before = time.time() - _TEMP_STALE_SECONDS
+        for directory, _, filenames in os.walk(self.root):
+            for filename in filenames:
+                if not filename.endswith(".tmp"):
+                    continue
+                path = os.path.join(directory, filename)
+                try:
+                    if os.path.getmtime(path) >= stale_before:
+                        continue
+                    os.unlink(path)
+                    removed_temp += 1
+                except OSError:
+                    pass
+        limit = max_bytes if max_bytes is not None else self.max_bytes
+        if limit is not None:
+            # _evict_to's walk is authoritative and already resyncs the index.
+            evicted = self._evict_to(limit)
+        else:
+            evicted = 0
+            self._index_replace(self._scan_entries())
+        return {
+            "evicted": evicted,
+            "temp_files_removed": removed_temp,
+            **self._index_occupancy(),
+        }
+
+    def verify(self) -> list[str]:
+        """Check every object and the manifest; heal what can be healed.
+
+        Unreadable or mislabelled objects are deleted (counted ``corrupt``),
+        manifest drift in either direction is reported, and the manifest is
+        rebuilt from the surviving objects.  Returns human-readable issue
+        strings (empty means the store was fully consistent).
+        """
+        issues: list[str] = []
+        survivors: dict[str, int] = {}
+        for namespace, fingerprint, path in self._scan_objects():
+            key = f"{namespace}/{fingerprint}"
+            try:
+                with gzip.open(path, "rb") as handle:
+                    record = json.loads(handle.read().decode("utf-8"))
+            except (OSError, EOFError, ValueError, UnicodeDecodeError):
+                issues.append(f"unreadable record {key}: removed")
+                self.counters.add(corrupt=1)
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                continue
+            if not _record_matches(record, namespace, fingerprint):
+                issues.append(
+                    f"record {key} does not match its address "
+                    f"(schema={record.get('schema')!r}, "
+                    f"fingerprint={str(record.get('fingerprint'))[:16]!r}): removed")
+                self.counters.add(corrupt=1)
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                continue
+            try:
+                survivors[key] = os.path.getsize(path)
+            except OSError:
+                continue
+        manifest_keys = set(self._manifest_entries())
+        for key in sorted(manifest_keys - set(survivors)):
+            issues.append(f"manifest lists missing record {key}: dropped")
+        for key in sorted(set(survivors) - manifest_keys):
+            issues.append(f"record {key} was missing from the manifest: indexed")
+        self._index_replace(survivors)
+        return issues
+
+    # ----------------------------------------------------------------- stats
+
+    def _index_occupancy(self) -> dict[str, Any]:
+        """Occupancy from the in-memory index (no disk walk) — for callers
+        that just resynced it from an authoritative scan (gc/verify)."""
+        with self._index_lock:
+            keys = list(self._index)
+            total = self._index_bytes
+        namespaces: dict[str, int] = {}
+        for key in keys:
+            namespace = key.split("/", 1)[0]
+            namespaces[namespace] = namespaces.get(namespace, 0) + 1
+        return {
+            "entries": len(keys),
+            "bytes": total,
+            "namespaces": dict(sorted(namespaces.items())),
+        }
+
+    def _occupancy(self) -> dict[str, Any]:
+        namespaces: dict[str, int] = {}
+        total = 0
+        count = 0
+        for namespace, _, path in self._scan_objects():
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                continue
+            count += 1
+            namespaces[namespace] = namespaces.get(namespace, 0) + 1
+        return {
+            "entries": count,
+            "bytes": total,
+            "namespaces": dict(sorted(namespaces.items())),
+        }
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "backend": "disk",
+            "root": self.root,
+            "max_bytes": self.max_bytes,
+            **self._occupancy(),
+            **self.counters.to_dict(),
+        }
+
+    def live_stats(self) -> dict[str, Any]:
+        """Same shape as :meth:`stats` but from the in-memory index — no
+        disk walk, so ``repro serve`` can answer it per request.  Occupancy
+        may lag foreign writers until the next gc/verify resync."""
+        return {
+            "backend": "disk",
+            "root": self.root,
+            "max_bytes": self.max_bytes,
+            **self._index_occupancy(),
+            **self.counters.to_dict(),
+        }

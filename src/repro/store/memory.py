@@ -1,0 +1,83 @@
+"""In-memory result store: the test double and the ``repro serve`` default.
+
+Payloads round-trip through canonical JSON on the way in, so a
+:class:`MemoryStore` faithfully models the serialization boundary of the
+on-disk store — tuples come back as lists, keys come back as strings, and a
+caller mutating a retrieved payload cannot poison later hits.  An optional
+``max_entries`` cap evicts least-recently-used entries, mirroring the disk
+store's size cap.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.store.base import ResultStore
+from repro.store.keys import canonical_json
+
+
+class MemoryStore(ResultStore):
+    """Dict-backed store with LRU bounding and the shared counters.
+
+    Reads, writes and stats lock the entry map: ``repro serve`` hits one
+    instance from many handler threads, and ``move_to_end`` during another
+    thread's ``stats()`` iteration would raise ``RuntimeError``.
+    """
+
+    def __init__(self, max_entries: int | None = None):
+        super().__init__()
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple[str, str], str] = OrderedDict()
+        self._entries_lock = threading.Lock()
+
+    def _read(self, namespace: str, fingerprint: str) -> Any | None:
+        with self._entries_lock:
+            encoded = self._entries.get((namespace, fingerprint))
+            if encoded is None:
+                return None
+            self._entries.move_to_end((namespace, fingerprint))
+        return json.loads(encoded)
+
+    def _write(self, namespace: str, fingerprint: str, payload: Any) -> None:
+        encoded = canonical_json(payload)
+        with self._entries_lock:
+            entries = self._entries
+            entries[(namespace, fingerprint)] = encoded
+            entries.move_to_end((namespace, fingerprint))
+            if self.max_entries is not None:
+                while len(entries) > self.max_entries:
+                    entries.popitem(last=False)
+                    self.counters.add(evictions=1)
+
+    def contains(self, namespace: str, fingerprint: str) -> bool:
+        with self._entries_lock:
+            return (namespace, fingerprint) in self._entries
+
+    def clear(self) -> None:
+        with self._entries_lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._entries_lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, Any]:
+        namespaces: dict[str, int] = {}
+        total_bytes = 0
+        with self._entries_lock:
+            snapshot = list(self._entries.items())
+        for (namespace, _), encoded in snapshot:
+            namespaces[namespace] = namespaces.get(namespace, 0) + 1
+            total_bytes += len(encoded)
+        return {
+            "backend": "memory",
+            "entries": len(snapshot),  # same view the namespace counts use
+            "bytes": total_bytes,
+            "namespaces": dict(sorted(namespaces.items())),
+            **self.counters.to_dict(),
+        }

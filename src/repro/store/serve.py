@@ -1,0 +1,350 @@
+"""``repro serve`` — a stdlib HTTP front-end over the experiment store.
+
+The server accepts scenario files (the ``repro.scenario/v1`` format) over
+POST, executes them through the incremental runner (so overlapping scenarios
+share job records), caches the resulting ``{"schema","spec","result"}``
+envelope under the scenario's content-addressed fingerprint, and serves
+cached envelopes with strong-ETag / ``304 Not Modified`` semantics.  Being
+pure :mod:`http.server`, it needs no dependency the repository does not
+already have.
+
+Endpoints (all JSON)::
+
+    GET  /                      service info: version, store stats, endpoints
+    GET  /healthz               liveness probe
+    GET  /v1/store/stats        live store counters and occupancy
+    POST /v1/experiments        body = scenario JSON; runs (or serves) it
+    GET  /v1/experiments/<fp>   cached envelope by fingerprint; ETag/304
+
+POST responses carry ``X-Repro-Cache: hit|miss`` (whether the envelope was
+served from the store or computed), ``Location`` (the envelope's canonical
+GET URL) and the same ``ETag`` the GET would return, so a client can POST
+once and revalidate cheaply forever after.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.engine.runner import EngineRunner
+from repro.engine.scenario import (
+    ScenarioResult,
+    parse_scenario,
+    scenario_envelope,
+)
+from repro.store.base import ENVELOPE_NAMESPACE, ResultStore, validate_key
+from repro.store.keys import canonical_json, scenario_fingerprint
+from repro.store.memory import MemoryStore
+from repro.version import __version__
+
+logger = logging.getLogger("repro.store.serve")
+
+#: Schema tag of the service-info and error payloads.
+SERVE_SCHEMA = "repro.serve/v1"
+
+#: Largest accepted POST body.  Scenario files are a few KB; anything close
+#: to this is not a scenario, and an unbounded read would let one request
+#: allocate arbitrary memory or park a handler thread.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def envelope_bytes(envelope: dict[str, Any]) -> bytes:
+    """The canonical wire form of an envelope (stable across cold/warm)."""
+    return (json.dumps(envelope, indent=2, sort_keys=True) + "\n").encode("utf-8")
+
+
+def envelope_etag(body: bytes) -> str:
+    """Strong ETag of an envelope's canonical bytes."""
+    return '"' + hashlib.sha256(body).hexdigest() + '"'
+
+
+class ExperimentService:
+    """The store-backed execution core the HTTP handler delegates to.
+
+    Thread-safe: lookups hit the store concurrently, while actual experiment
+    execution is serialized under one lock — the engine is process-parallel
+    already, and one grid at a time keeps worker-pool usage predictable.
+    """
+
+    def __init__(self, store: ResultStore | None = None, workers: int = 1):
+        if workers < 1:
+            # Fail at startup; deferring to the first EngineRunner would
+            # surface a server config error as a 400 on every valid POST.
+            raise ValueError("workers must be >= 1")
+        self.store = store if store is not None else MemoryStore()
+        self.workers = workers
+        self.runs = 0
+        self._lock = threading.Lock()
+        # One long-lived runner: executions are serialized under the lock, so
+        # reusing it is safe and keeps PR 4's pool/shipped-trace reuse instead
+        # of paying process-pool startup per POST.
+        self._runner: EngineRunner | None = None
+
+    def _ensure_runner(self) -> EngineRunner:
+        if self._runner is None:
+            self._runner = EngineRunner(workers=self.workers, store=self.store)
+        return self._runner
+
+    def close(self) -> None:
+        """Shut the pooled runner down (service lifetime, not per request)."""
+        if self._runner is not None:
+            self._runner.close()
+            self._runner = None
+
+    def cached_envelope(self, fingerprint: str) -> dict[str, Any] | None:
+        """The stored envelope for ``fingerprint``, or ``None``."""
+        validate_key(ENVELOPE_NAMESPACE, fingerprint)
+        return self.store.get(ENVELOPE_NAMESPACE, fingerprint)
+
+    def submit(self, scenario_data: Any) -> tuple[str, dict[str, Any], bool]:
+        """Validate, fingerprint and (if needed) execute a scenario.
+
+        Returns ``(fingerprint, envelope, cache_hit)``.  Raises
+        :class:`ValueError` for invalid scenario data — the handler maps that
+        to a 400.
+        """
+        scenario = parse_scenario(scenario_data)
+        fingerprint = scenario_fingerprint(scenario)
+        # Fast path without the lock so cached scenarios serve during a long
+        # run; probe with contains() first to keep the miss counter honest
+        # (one logical lookup, not a pre-lock miss plus an in-lock miss).
+        counted_miss = False
+        if self.store.contains(ENVELOPE_NAMESPACE, fingerprint):
+            envelope = self.store.get(ENVELOPE_NAMESPACE, fingerprint)
+            if envelope is not None:
+                return fingerprint, envelope, True
+            # The probe said present but the read missed (evicted or corrupt
+            # in between): that get() already counted this lookup's miss.
+            counted_miss = True
+        with self._lock:
+            envelope = None
+            if not counted_miss or self.store.contains(
+                    ENVELOPE_NAMESPACE, fingerprint):
+                envelope = self.store.get(ENVELOPE_NAMESPACE, fingerprint)
+            if envelope is not None:
+                return fingerprint, envelope, True
+            try:
+                frame = self._ensure_runner().run_jobs(scenario.jobs())
+            except Exception:
+                # The pooled runner may now hold a broken ProcessPoolExecutor;
+                # keeping it would 500 every later POST.  Drop it so the next
+                # submission rebuilds a fresh pool.
+                try:
+                    self.close()
+                except Exception:  # pragma: no cover - shutdown best-effort
+                    self._runner = None
+                raise
+            envelope = scenario_envelope(
+                ScenarioResult(scenario=scenario, frame=frame))
+            try:
+                self.store.put(ENVELOPE_NAMESPACE, fingerprint, envelope)
+            except (OSError, TypeError, ValueError):
+                # Disk full / permissions: the computed envelope is still
+                # good — serve it uncached (later GETs will 404 until a
+                # healthy POST can write it back).
+                logger.warning("envelope write failed for %s; serving uncached",
+                               fingerprint[:16], exc_info=True)
+            self.runs += 1
+            # Normalize like a store round-trip (tuples → lists, keys →
+            # strings) so the POST response is byte-identical to every later
+            # GET — without a counted get() that would log a cache hit for
+            # an envelope this request just computed.
+            return fingerprint, json.loads(canonical_json(envelope)), False
+
+    def info(self) -> dict[str, Any]:
+        return {
+            "schema": SERVE_SCHEMA,
+            "service": "repro.serve",
+            "version": __version__,
+            "endpoints": {
+                "GET /": "this document",
+                "GET /healthz": "liveness probe",
+                "GET /v1/store/stats": "store counters and occupancy",
+                "POST /v1/experiments": "run (or serve) a repro.scenario/v1 file",
+                "GET /v1/experiments/<fingerprint>": "cached envelope; ETag/304",
+            },
+            "store": self.store.live_stats(),
+            "runs": self.runs,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> ExperimentService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        logger.info("%s %s", self.address_string(), format % args)
+
+    # ------------------------------------------------------------- plumbing
+
+    def _send_json(self, status: int, payload: Any,
+                   extra_headers: dict[str, str] | None = None) -> None:
+        body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"schema": SERVE_SCHEMA, "error": message})
+
+    def _send_envelope(self, fingerprint: str, envelope: dict[str, Any],
+                       extra_headers: dict[str, str] | None = None,
+                       conditional: bool = False) -> None:
+        body = envelope_bytes(envelope)
+        etag = envelope_etag(body)
+        # RFC 9110 defines 304 for conditional GET/HEAD only; a POST always
+        # gets the full envelope (with its Location/fingerprint headers).
+        if conditional and self._etag_matches(etag):
+            self.send_response(304)
+            self.send_header("ETag", etag)
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("ETag", etag)
+        self.send_header("X-Repro-Fingerprint", fingerprint)
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _etag_matches(self, etag: str) -> bool:
+        candidates = self.headers.get("If-None-Match")
+        if not candidates:
+            return False
+        if candidates.strip() == "*":
+            return True
+        # RFC 9110 §13.1.2: If-None-Match uses weak comparison — a proxy may
+        # have weakened our strong ETag (e.g. on-the-fly gzip), so strip the
+        # W/ prefix before comparing.
+        entries = [entry.strip() for entry in candidates.split(",")]
+        return any(
+            etag == (entry[2:] if entry.startswith("W/") else entry)
+            for entry in entries
+        )
+
+    # -------------------------------------------------------------- routing
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        # Same catch-all as do_POST: a store-layer failure (read-only mount,
+        # disk full) must come back as a JSON 500, not a dropped connection.
+        try:
+            self._route_get()
+        except Exception:
+            logger.exception("GET %s failed", self.path)
+            try:
+                self._send_error_json(500, "internal error; see server log")
+            except OSError:  # pragma: no cover - client already gone
+                pass
+
+    def _route_get(self) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path in ("/", "/v1"):
+            self._send_json(200, self.service.info())
+        elif path == "/healthz":
+            self._send_json(200, {"status": "ok", "version": __version__})
+        elif path == "/v1/store/stats":
+            self._send_json(200, self.service.store.live_stats())
+        elif path.startswith("/v1/experiments/"):
+            fingerprint = path[len("/v1/experiments/"):]
+            try:
+                envelope = self.service.cached_envelope(fingerprint)
+            except ValueError as error:
+                self._send_error_json(400, str(error))
+                return
+            if envelope is None:
+                self._send_error_json(
+                    404, f"no cached envelope for fingerprint {fingerprint!r}")
+                return
+            self._send_envelope(fingerprint, envelope,
+                                {"X-Repro-Cache": "hit"}, conditional=True)
+        else:
+            self._send_error_json(404, f"unknown path {path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        # Drain the declared body before any reply: with keep-alive (the
+        # HTTP/1.1 default) unread body bytes would be parsed as the next
+        # request line, desyncing the connection on every error response.
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        if length > MAX_BODY_BYTES:
+            # Too large to drain; reply and drop the connection instead of
+            # reading an attacker-chosen number of bytes into memory.
+            self.close_connection = True
+            self._send_error_json(
+                413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+            return
+        raw = self.rfile.read(length) if length > 0 else b""
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/v1/experiments":
+            self._send_error_json(404, f"unknown path {path!r}")
+            return
+        if not raw:
+            self._send_error_json(400, "request body must be a scenario JSON")
+            return
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            self._send_error_json(400, f"request body is not JSON: {error}")
+            return
+        try:
+            fingerprint, envelope, cache_hit = self.service.submit(data)
+        except ValueError as error:
+            self._send_error_json(400, str(error))
+            return
+        except Exception:
+            logger.exception("scenario execution failed")
+            self._send_error_json(500, "scenario execution failed; see server log")
+            return
+        self._send_envelope(fingerprint, envelope, {
+            "X-Repro-Cache": "hit" if cache_hit else "miss",
+            "Location": f"/v1/experiments/{fingerprint}",
+        })
+
+
+def make_server(host: str = "127.0.0.1", port: int = 8765,
+                store: ResultStore | None = None,
+                workers: int = 1) -> ThreadingHTTPServer:
+    """Build (but do not start) the threaded HTTP server.
+
+    ``port=0`` binds an ephemeral port (tests); the bound address is on
+    ``server.server_address``.
+    """
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    server.service = ExperimentService(store=store, workers=workers)  # type: ignore[attr-defined]
+    return server
+
+
+def serve_forever(host: str = "127.0.0.1", port: int = 8765,
+                  store: ResultStore | None = None, workers: int = 1) -> None:
+    """Run the server until interrupted (the ``repro serve`` entry point)."""
+    server = make_server(host=host, port=port, store=store, workers=workers)
+    bound_host, bound_port = server.server_address[:2]
+    backend = server.service.store.stats().get("backend")  # type: ignore[attr-defined]
+    print(f"repro serve {__version__} listening on http://{bound_host}:{bound_port} "
+          f"(store backend: {backend}, workers: {workers})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.service.close()  # type: ignore[attr-defined]
+        server.server_close()

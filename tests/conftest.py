@@ -2,7 +2,16 @@
 
 import pytest
 
+from repro.store import STORE_ENV
 from repro.trace.synthetic import generate_trace
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_result_store(monkeypatch):
+    """Keep CLI-driven tests hermetic: a developer's exported $REPRO_STORE
+    must never attach a real store to `main([...])` invocations (stale
+    cached records would mask regressions and the suite would pollute it)."""
+    monkeypatch.delenv(STORE_ENV, raising=False)
 
 
 @pytest.fixture(scope="session")

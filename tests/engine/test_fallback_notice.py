@@ -1,0 +1,79 @@
+"""Tests for the process-global vector-fallback notice: a batched grid of a
+kernel-less model (TAGE, Perceptron) logs "no vector kernel" once — in the
+parent — and the shipped suppression snapshot keeps workers quiet."""
+
+import logging
+
+import pytest
+
+from repro.engine import EngineRunner, ExperimentScale, SimulationGrid
+from repro.engine import runner as runner_module
+from repro.engine.runner import (
+    _vector_fallback_suppressions,
+    execute_job_batch,
+)
+from repro.sim import fastpath, vector
+
+_SCALE = ExperimentScale(branch_count=400, warmup_branches=50, seed=13)
+
+
+def _tage_jobs(workloads=("505.mcf", "519.lbm")):
+    return SimulationGrid(kind="trace", models=("TAGE_SC_L_64KB",),
+                          workloads=workloads, scale=_SCALE).jobs()
+
+
+@pytest.fixture()
+def clean_fallback_state(monkeypatch):
+    monkeypatch.setattr(vector, "_FALLBACK_LOGGED", set())
+    monkeypatch.setattr(runner_module, "_PROBED_KERNEL_SPECS", set())
+
+
+class TestFallbackSuppressions:
+    def test_probe_logs_once_and_returns_the_snapshot(
+            self, caplog, clean_fallback_state):
+        jobs = _tage_jobs()
+        with fastpath.forced_backend("vector"):
+            with caplog.at_level(logging.INFO, logger="repro.sim.vector"):
+                quiet = _vector_fallback_suppressions(jobs)
+                quiet_again = _vector_fallback_suppressions(jobs)
+        notices = [record for record in caplog.records
+                   if "no vector kernel" in record.message]
+        assert len(notices) == 1
+        assert quiet == quiet_again == ("TAGE_SC_L_64KB",)
+
+    def test_kernel_models_produce_no_notice(self, caplog, clean_fallback_state):
+        jobs = SimulationGrid(kind="trace", models=("baseline", "ST_SKLCond"),
+                              workloads=("505.mcf",), scale=_SCALE).jobs()
+        with fastpath.forced_backend("vector"):
+            with caplog.at_level(logging.INFO, logger="repro.sim.vector"):
+                quiet = _vector_fallback_suppressions(jobs)
+        assert quiet == ()
+        assert not [r for r in caplog.records if "no vector kernel" in r.message]
+
+    def test_non_vector_backend_skips_probing(self, clean_fallback_state):
+        with fastpath.forced_backend("fast"):
+            assert _vector_fallback_suppressions(_tage_jobs()) == ()
+        assert runner_module._PROBED_KERNEL_SPECS == set()
+
+    def test_shipped_suppressions_keep_a_worker_batch_quiet(
+            self, caplog, clean_fallback_state):
+        # Simulate the worker side in-process: a batch that would log gets
+        # the parent's snapshot first and stays silent.
+        jobs = _tage_jobs(workloads=("505.mcf",))
+        with fastpath.forced_backend("vector"):
+            with caplog.at_level(logging.INFO, logger="repro.sim.vector"):
+                execute_job_batch(jobs, (), ("TAGE_SC_L_64KB",))
+        assert not [r for r in caplog.records if "no vector kernel" in r.message]
+
+    def test_parallel_tage_grid_logs_the_notice_once(
+            self, caplog, clean_fallback_state):
+        # End-to-end: multiple batches across two workers, one parent notice.
+        jobs = _tage_jobs()
+        with fastpath.forced_backend("vector"):
+            with caplog.at_level(logging.INFO, logger="repro.sim.vector"):
+                with EngineRunner(workers=2) as runner:
+                    parallel = runner.run_jobs(jobs)
+        notices = [record for record in caplog.records
+                   if "no vector kernel" in record.message]
+        assert len(notices) == 1
+        assert parallel.to_json() == EngineRunner().run_jobs(jobs).to_json()

@@ -51,8 +51,18 @@ class TestBenchRun:
         # The bounded trace cache reports its counters into the artifact.
         assert payload["trace_cache"]["capacity"] >= 1
         assert payload["trace_cache"]["misses"] >= 0
+        # Format 5: the result-store cold/warm measurement is recorded,
+        # keyed by mode (like benches) so cross-mode merges keep both.
+        store = payload["store"]["quick"]
+        assert store["grid"] == "figure3"
+        assert store["hits"] == store["misses"] == store["writes"] == store["jobs"]
+        assert store["warm_jobs_executed"] == 0
+        assert store["warm_matches_cold"] is True
+        timing = store["warm_vs_cold_seconds"]
+        assert timing["cold"] > 0 and timing["warm"] >= 0
         # Rendering never fails on a populated report.
         assert "figure3" in format_bench(report)
+        assert "result store" in format_bench(report)
 
     def test_write_bench_merges_modes(self, tmp_path):
         path = tmp_path / "BENCH_merge.json"
@@ -62,14 +72,16 @@ class TestBenchRun:
         write_bench(report, str(path))
         payload = json.loads(path.read_text())
         assert set(payload["benches"]) == {"figure3.quick", "cpu.quick", "smt.quick"}
-        # …and foreign-mode entries survive a merge.
+        # …and foreign-mode entries survive a merge, store block included.
         payload["benches"]["figure3.full"] = dict(
             payload["benches"]["figure3.quick"], mode="full")
+        payload["store"]["full"] = dict(payload["store"]["quick"])
         path.write_text(json.dumps(payload))
         write_bench(report, str(path))
         merged = json.loads(path.read_text())
         assert "figure3.full" in merged["benches"]
         assert "figure3.quick" in merged["benches"]
+        assert set(merged["store"]) == {"full", "quick"}
 
     def test_cli_bench_writes_artifact(self, tmp_path, capsys):
         output = tmp_path / "BENCH_cli.json"

@@ -1,0 +1,337 @@
+"""Tests for the on-disk content-addressed store: layout, atomicity, LRU,
+corruption handling, manifest healing, and concurrent writers."""
+
+import gzip
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.store import DiskStore, MemoryStore, RECORD_SCHEMA, canonical_json
+
+FP_A = "a" * 64
+FP_B = "b" * 64
+FP_C = "c" * 64
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return DiskStore(str(tmp_path / "store"))
+
+
+class TestRoundTrip:
+    def test_get_returns_none_on_absence(self, store):
+        assert store.get("job", FP_A) is None
+        assert store.counters.misses == 1
+
+    def test_put_get_roundtrip(self, store):
+        payload = {"kind": "trace", "metrics": {"oae_accuracy": 0.875}}
+        store.put("job", FP_A, payload)
+        assert store.get("job", FP_A) == payload
+        assert store.counters.hits == 1
+        assert store.counters.writes == 1
+
+    def test_json_boundary_normalizes_tuples(self, store):
+        store.put("job", FP_A, {"pair": ("505.mcf", "519.lbm")})
+        assert store.get("job", FP_A) == {"pair": ["505.mcf", "519.lbm"]}
+
+    def test_objects_are_sharded_by_fingerprint_prefix(self, store):
+        store.put("job", FP_A, {})
+        path = store.object_path("job", FP_A)
+        assert os.path.exists(path)
+        assert os.sep + os.path.join("objects", "job", "aa") + os.sep in path
+
+    def test_namespaces_are_distinct(self, store):
+        store.put("job", FP_A, {"x": 1})
+        store.put("envelope", FP_A, {"x": 2})
+        assert store.get("job", FP_A) == {"x": 1}
+        assert store.get("envelope", FP_A) == {"x": 2}
+
+    def test_invalid_keys_are_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.put("..", FP_A, {})
+        with pytest.raises(ValueError):
+            store.get("job", "../escape")
+        with pytest.raises(ValueError):
+            store.get("job", "short")
+
+    def test_manifest_indexes_written_records(self, store):
+        store.put("job", FP_A, {"x": 1})
+        manifest = json.loads(
+            (open(os.path.join(store.root, "manifest.json")).read()))
+        assert manifest["schema"] == "repro.store/v1"
+        assert f"job/{FP_A}" in manifest["entries"]
+
+    def test_no_temp_files_survive_a_write(self, store):
+        store.put("job", FP_A, {"x": 1})
+        leftovers = [name for _, _, files in os.walk(store.root)
+                     for name in files if name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_identical_writes_produce_identical_bytes(self, store, tmp_path):
+        # Content-addressed writes are deterministic, so two processes racing
+        # on one fingerprint publish the same file — last-wins is harmless.
+        other = DiskStore(str(tmp_path / "other"))
+        store.put("job", FP_A, {"metrics": {"x": 1.5}})
+        other.put("job", FP_A, {"metrics": {"x": 1.5}})
+        with open(store.object_path("job", FP_A), "rb") as a, \
+                open(other.object_path("job", FP_A), "rb") as b:
+            assert a.read() == b.read()
+
+
+class TestCorruption:
+    def test_truncated_record_degrades_to_a_miss(self, store):
+        store.put("job", FP_A, {"metrics": {"x": 1.0}})
+        path = store.object_path("job", FP_A)
+        raw = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(raw[: len(raw) // 2])
+        assert store.get("job", FP_A) is None
+        assert store.counters.corrupt == 1
+        assert not os.path.exists(path), "corrupt object must be dropped"
+        # The slot is reusable afterwards.
+        store.put("job", FP_A, {"metrics": {"x": 2.0}})
+        assert store.get("job", FP_A) == {"metrics": {"x": 2.0}}
+
+    def test_garbage_bytes_degrade_to_a_miss(self, store):
+        path = store.object_path("job", FP_A)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(b"this is not gzip")
+        assert store.get("job", FP_A) is None
+        assert store.counters.corrupt == 1
+
+    def test_record_under_wrong_address_degrades_to_a_miss(self, store):
+        # A record whose embedded fingerprint disagrees with its filename
+        # (hand-copied, renamed, index drift) must not be served.
+        store.put("job", FP_A, {"x": 1})
+        import shutil
+
+        target = store.object_path("job", FP_B)
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        shutil.copy(store.object_path("job", FP_A), target)
+        assert store.get("job", FP_B) is None
+        assert store.counters.corrupt == 1
+        assert store.get("job", FP_A) == {"x": 1}
+
+    def test_foreign_schema_record_is_rejected(self, store):
+        path = store.object_path("job", FP_A)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        body = {"schema": "someone.elses/v9", "namespace": "job",
+                "fingerprint": FP_A, "payload": {"x": 1}}
+        with open(path, "wb") as handle:
+            handle.write(gzip.compress(canonical_json(body).encode()))
+        assert store.get("job", FP_A) is None
+        assert store.counters.corrupt == 1
+
+
+class TestVerify:
+    def test_clean_store_verifies_silently(self, store):
+        store.put("job", FP_A, {"x": 1})
+        assert store.verify() == []
+
+    def test_verify_removes_unreadable_records(self, store):
+        store.put("job", FP_A, {"x": 1})
+        store.put("job", FP_B, {"x": 2})
+        path = store.object_path("job", FP_B)
+        with open(path, "wb") as handle:
+            handle.write(b"junk")
+        issues = store.verify()
+        assert any("unreadable" in issue for issue in issues)
+        assert not os.path.exists(path)
+        assert store.get("job", FP_A) == {"x": 1}
+
+    def test_verify_heals_manifest_drift_both_ways(self, store):
+        store.put("job", FP_A, {"x": 1})
+        manifest_path = os.path.join(store.root, "manifest.json")
+        manifest = json.load(open(manifest_path))
+        # Manifest lists a record that does not exist...
+        manifest["entries"][f"job/{FP_C}"] = {"bytes": 123}
+        # ...and omits one that does.
+        del manifest["entries"][f"job/{FP_A}"]
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        issues = store.verify()
+        assert any("missing record" in issue for issue in issues)
+        assert any("missing from the manifest" in issue for issue in issues)
+        healed = json.load(open(manifest_path))
+        assert set(healed["entries"]) == {f"job/{FP_A}"}
+
+    def test_large_store_batches_manifest_flushes(self, tmp_path):
+        import gc as gc_module
+        import hashlib
+
+        from repro.store.disk import (
+            _MANIFEST_EXACT_LIMIT,
+            _MANIFEST_FLUSH_BATCH,
+        )
+
+        root = str(tmp_path / "big")
+        store = DiskStore(root)
+        count = _MANIFEST_EXACT_LIMIT + _MANIFEST_FLUSH_BATCH + 8
+        for value in range(count):
+            fingerprint = hashlib.sha256(str(value).encode()).hexdigest()
+            store.put("job", fingerprint, {"n": value})
+        manifest_path = os.path.join(root, "manifest.json")
+        flushed = len(json.load(open(manifest_path))["entries"])
+        # Past the exact limit the manifest lags (amortized flushes)...
+        assert _MANIFEST_EXACT_LIMIT <= flushed < count
+        # ...reads are unaffected (filesystem is the source of truth)...
+        assert store.stats()["entries"] == count
+        # ...and dropping the store flushes the remainder via its finalizer.
+        del store
+        gc_module.collect()
+        assert len(json.load(open(manifest_path))["entries"]) == count
+
+    def test_corrupt_manifest_is_rebuilt(self, store):
+        store.put("job", FP_A, {"x": 1})
+        with open(os.path.join(store.root, "manifest.json"), "w") as handle:
+            handle.write("{not json")
+        assert store.get("job", FP_A) == {"x": 1}  # reads never need it
+        assert store.verify() == [
+            f"record job/{FP_A} was missing from the manifest: indexed"]
+
+
+class TestEviction:
+    def test_lru_eviction_under_byte_cap(self, tmp_path):
+        probe = DiskStore(str(tmp_path / "probe"))
+        probe.put("job", FP_A, {"n": 0, "pad": "x" * 50})
+        record_bytes = os.path.getsize(probe.object_path("job", FP_A))
+        # Room for two records but not three.
+        cap = record_bytes * 2 + record_bytes // 2
+        store = DiskStore(str(tmp_path / "capped"), max_bytes=cap)
+        for index, fingerprint in enumerate((FP_A, FP_B, FP_C)):
+            store.put("job", fingerprint, {"n": index, "pad": "x" * 50})
+        assert store.counters.evictions >= 1
+        stats = store.stats()
+        assert stats["bytes"] <= cap
+        # The newest record always survives its own write.
+        assert store.contains("job", FP_C)
+
+    def test_gc_with_explicit_cap(self, store):
+        for fingerprint in (FP_A, FP_B, FP_C):
+            store.put("job", fingerprint, {"pad": "y" * 50})
+        summary = store.gc(max_bytes=1)
+        assert summary["evicted"] == 3
+        assert store.stats()["entries"] == 0
+
+    def test_gc_sweeps_stale_temp_files_only(self, store):
+        store.put("job", FP_A, {"x": 1})
+        directory = os.path.dirname(store.object_path("job", FP_A))
+        stale = os.path.join(directory, "deadbeef.123.tmp")
+        fresh = os.path.join(directory, "cafebabe.456.tmp")
+        for path in (stale, fresh):
+            with open(path, "wb") as handle:
+                handle.write(b"partial")
+        # Age the crash leftover; the fresh one models a live writer racing
+        # gc between mkstemp and os.replace and must survive.
+        old = time.time() - 3600
+        os.utime(stale, (old, old))
+        summary = store.gc()
+        assert summary["temp_files_removed"] == 1
+        assert not os.path.exists(stale)
+        assert os.path.exists(fresh)
+        assert store.get("job", FP_A) == {"x": 1}
+
+    def test_gc_rejects_negative_caps(self, store):
+        store.put("job", FP_A, {"x": 1})
+        with pytest.raises(ValueError):
+            store.gc(max_bytes=-5)
+        assert store.contains("job", FP_A)
+
+    def test_gc_without_cap_only_reindexes(self, store):
+        store.put("job", FP_A, {"x": 1})
+        summary = store.gc()
+        assert summary["evicted"] == 0
+        assert summary["entries"] == 1
+
+
+def _hammer_store(root: str, fingerprint: str, payload_value: int) -> None:
+    store = DiskStore(root)
+    for _ in range(25):
+        store.put("job", fingerprint, {"metrics": {"x": float(payload_value)}})
+
+
+class TestConcurrentWriters:
+    def test_two_processes_writing_the_same_fingerprint(self, tmp_path):
+        # Identical fingerprint => identical content by construction; the
+        # store must survive the race with a readable record and no crash.
+        root = str(tmp_path / "shared")
+        DiskStore(root)  # pre-create so both children race on objects only
+        context = multiprocessing.get_context("fork")
+        workers = [
+            context.Process(target=_hammer_store, args=(root, FP_A, 7))
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+            assert worker.exitcode == 0
+        store = DiskStore(root)
+        assert store.get("job", FP_A) == {"metrics": {"x": 7.0}}
+        assert store.verify() == []
+
+    def test_distinct_fingerprints_from_two_processes(self, tmp_path):
+        root = str(tmp_path / "shared2")
+        DiskStore(root)
+        context = multiprocessing.get_context("fork")
+        workers = [
+            context.Process(target=_hammer_store, args=(root, fingerprint, value))
+            for fingerprint, value in ((FP_A, 1), (FP_B, 2))
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+            assert worker.exitcode == 0
+        store = DiskStore(root)
+        assert store.get("job", FP_A) == {"metrics": {"x": 1.0}}
+        assert store.get("job", FP_B) == {"metrics": {"x": 2.0}}
+        # The manifest may lag behind a racing writer, but verify reconciles
+        # it from the objects on disk.
+        store.verify()
+        assert store.stats()["entries"] == 2
+
+
+class TestMemoryStore:
+    def test_roundtrip_and_counters(self):
+        store = MemoryStore()
+        assert store.get("job", FP_A) is None
+        store.put("job", FP_A, {"metrics": {"x": 1.0}})
+        assert store.get("job", FP_A) == {"metrics": {"x": 1.0}}
+        assert store.counters.hits == 1
+        assert store.counters.misses == 1
+
+    def test_mutating_a_hit_does_not_poison_the_store(self):
+        store = MemoryStore()
+        store.put("job", FP_A, {"metrics": {"x": 1.0}})
+        hit = store.get("job", FP_A)
+        hit["metrics"]["x"] = 999.0
+        assert store.get("job", FP_A) == {"metrics": {"x": 1.0}}
+
+    def test_lru_bound(self):
+        store = MemoryStore(max_entries=2)
+        store.put("job", FP_A, {})
+        store.put("job", FP_B, {})
+        store.get("job", FP_A)  # refresh A; B becomes the eviction victim
+        store.put("job", FP_C, {})
+        assert store.contains("job", FP_A)
+        assert not store.contains("job", FP_B)
+        assert store.counters.evictions == 1
+
+    def test_stats_shape_matches_disk(self, tmp_path):
+        memory = MemoryStore()
+        disk = DiskStore(str(tmp_path / "s"))
+        memory.put("job", FP_A, {"x": 1})
+        disk.put("job", FP_A, {"x": 1})
+        shared_keys = {"entries", "bytes", "namespaces", "hits", "misses",
+                       "writes", "evictions", "corrupt", "backend"}
+        assert shared_keys <= set(memory.stats())
+        assert shared_keys <= set(disk.stats())
+
+
+def test_record_schema_constant_is_versioned():
+    assert RECORD_SCHEMA.endswith("/v1")

@@ -1,0 +1,104 @@
+"""Tests for canonical job/scenario fingerprints."""
+
+import dataclasses
+
+from repro.engine import ExperimentScale, Job, ModelSpec
+from repro.engine.scenario import parse_scenario
+from repro.store import (
+    CACHEABLE_KINDS,
+    RESULT_SCHEMA_VERSION,
+    job_fingerprint,
+    job_fingerprint_fields,
+    scenario_fingerprint,
+)
+
+
+def _job(**overrides):
+    base = dict(
+        index=0, kind="trace", model=ModelSpec.of("ST_SKLCond", r=0.05),
+        workload="505.mcf", branch_count=2_000, warmup_branches=200,
+        seed=7, trace_seed=7,
+    )
+    base.update(overrides)
+    return Job(**base)
+
+
+class TestJobFingerprint:
+    def test_is_a_sha256_hex_digest(self):
+        fingerprint = job_fingerprint(_job())
+        assert len(fingerprint) == 64
+        assert set(fingerprint) <= set("0123456789abcdef")
+
+    def test_stable_across_identical_jobs(self):
+        assert job_fingerprint(_job()) == job_fingerprint(_job())
+
+    def test_index_is_not_identity(self):
+        # A grid cell's position is presentation; the same work in a
+        # different grid must reuse the same stored record.
+        assert job_fingerprint(_job(index=0)) == job_fingerprint(_job(index=17))
+
+    def test_every_identity_field_changes_the_fingerprint(self):
+        base = job_fingerprint(_job())
+        variants = [
+            _job(kind="cpu"),
+            _job(model=ModelSpec.of("baseline")),
+            _job(model=ModelSpec.of("ST_SKLCond", r=0.005)),
+            _job(model=ModelSpec.of("ST_SKLCond", label="renamed", r=0.05)),
+            _job(workload="519.lbm"),
+            _job(branch_count=4_000),
+            _job(warmup_branches=100),
+            _job(seed=8),
+            _job(trace_seed=8),
+            _job(params=(("attempts", 10),)),
+        ]
+        fingerprints = [job_fingerprint(variant) for variant in variants]
+        assert base not in fingerprints
+        assert len(set(fingerprints)) == len(fingerprints)
+
+    def test_smt_pair_workload_fingerprints(self):
+        pair = _job(kind="smt", workload=("505.mcf", "519.lbm"))
+        swapped = _job(kind="smt", workload=("519.lbm", "505.mcf"))
+        assert job_fingerprint(pair) != job_fingerprint(swapped)
+
+    def test_fields_embed_the_result_schema_version(self):
+        fields = job_fingerprint_fields(_job())
+        assert fields["result_schema"] == RESULT_SCHEMA_VERSION
+        assert fields["model"]["label"] == "ST_SKLCond[r=0.05]"
+
+    def test_cacheable_kinds_exclude_tables(self):
+        assert "table" not in CACHEABLE_KINDS
+        assert {"trace", "cpu", "smt", "attack", "hashgen"} <= CACHEABLE_KINDS
+
+
+def _scenario(**overrides):
+    data = {
+        "schema": "repro.scenario/v1",
+        "name": "fingerprint-test",
+        "kind": "trace",
+        "models": ["baseline", "ST_SKLCond"],
+        "workloads": ["505.mcf"],
+        "scale": {"branch_count": 1000, "warmup_branches": 100, "seed": 7},
+        "baseline": "baseline",
+    }
+    data.update(overrides)
+    return parse_scenario(data)
+
+
+class TestScenarioFingerprint:
+    def test_stable_for_equal_scenarios(self):
+        assert scenario_fingerprint(_scenario()) == scenario_fingerprint(_scenario())
+
+    def test_sensitive_to_payload_shaping_fields(self):
+        base = scenario_fingerprint(_scenario())
+        assert scenario_fingerprint(_scenario(name="other")) != base
+        assert scenario_fingerprint(_scenario(metrics=["oae_accuracy"])) != base
+        assert scenario_fingerprint(_scenario(baseline=None)) != base
+        assert scenario_fingerprint(
+            _scenario(scale={"branch_count": 999, "warmup_branches": 100,
+                             "seed": 7})) != base
+
+    def test_insensitive_to_description(self):
+        # The description never reaches the serialized envelope.
+        scenario = _scenario()
+        described = dataclasses.replace(scenario, description="какой-то текст")
+        assert scenario_fingerprint(scenario) == scenario_fingerprint(described)

@@ -1,0 +1,295 @@
+"""Tests for the ``repro serve`` HTTP front-end: scenario POSTs, cached
+envelope GETs, ETag/304 revalidation, and error mapping."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.store import MemoryStore, scenario_fingerprint
+from repro.engine.scenario import parse_scenario
+from repro.store.serve import (
+    MAX_BODY_BYTES,
+    ExperimentService,
+    envelope_bytes,
+    envelope_etag,
+    make_server,
+)
+
+SCENARIO = {
+    "schema": "repro.scenario/v1",
+    "name": "serve-test",
+    "kind": "trace",
+    "models": ["baseline"],
+    "workloads": ["505.mcf"],
+    "scale": {"branch_count": 600, "warmup_branches": 60, "seed": 7},
+}
+
+
+@pytest.fixture(scope="module")
+def server():
+    instance = make_server(port=0, store=MemoryStore())
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown()
+    instance.server_close()
+
+
+@pytest.fixture(scope="module")
+def base_url(server):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+def _request(base_url, method, path, body=None, headers=None):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(base_url + path, data=data, method=method,
+                                     headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+class TestEndpoints:
+    def test_info_and_health(self, base_url):
+        status, _, body = _request(base_url, "GET", "/")
+        info = json.loads(body)
+        assert status == 200
+        assert info["schema"] == "repro.serve/v1"
+        assert "POST /v1/experiments" in info["endpoints"]
+        status, _, body = _request(base_url, "GET", "/healthz")
+        assert status == 200 and json.loads(body)["status"] == "ok"
+
+    def test_post_then_get_then_304(self, base_url):
+        status, headers, body = _request(
+            base_url, "POST", "/v1/experiments", SCENARIO)
+        assert status == 200
+        assert headers["X-Repro-Cache"] == "miss"
+        fingerprint = headers["X-Repro-Fingerprint"]
+        assert headers["Location"] == f"/v1/experiments/{fingerprint}"
+        etag = headers["ETag"]
+        envelope = json.loads(body)
+        assert envelope["schema"] == "repro.scenario/v1"
+        assert envelope["result"]["records"]
+
+        # Second POST: envelope-level cache hit, byte-identical body.
+        status, headers2, body2 = _request(
+            base_url, "POST", "/v1/experiments", SCENARIO)
+        assert status == 200
+        assert headers2["X-Repro-Cache"] == "hit"
+        assert body2 == body and headers2["ETag"] == etag
+
+        # GET by fingerprint: same bytes, same ETag.
+        status, headers3, body3 = _request(
+            base_url, "GET", f"/v1/experiments/{fingerprint}")
+        assert status == 200 and body3 == body and headers3["ETag"] == etag
+
+        # Conditional GET revalidates to 304 with an empty body.
+        status, headers4, body4 = _request(
+            base_url, "GET", f"/v1/experiments/{fingerprint}",
+            headers={"If-None-Match": etag})
+        assert status == 304 and body4 == b""
+        assert headers4["ETag"] == etag
+
+        # A stale ETag still gets the full body.
+        status, _, body5 = _request(
+            base_url, "GET", f"/v1/experiments/{fingerprint}",
+            headers={"If-None-Match": '"deadbeef"'})
+        assert status == 200 and body5 == body
+
+        # RFC 9110: If-None-Match compares weakly — a proxy-weakened
+        # validator (W/ prefix) must still revalidate to 304.
+        status, _, body6 = _request(
+            base_url, "GET", f"/v1/experiments/{fingerprint}",
+            headers={"If-None-Match": f"W/{etag}"})
+        assert status == 304 and body6 == b""
+
+    def test_unknown_fingerprint_is_404(self, base_url):
+        status, _, body = _request(
+            base_url, "GET", "/v1/experiments/" + "0" * 64)
+        assert status == 404
+        assert "no cached envelope" in json.loads(body)["error"]
+
+    def test_invalid_fingerprint_is_400(self, base_url):
+        status, _, _ = _request(base_url, "GET", "/v1/experiments/not-hex!")
+        assert status == 400
+
+    def test_invalid_scenario_is_400(self, base_url):
+        status, _, body = _request(base_url, "POST", "/v1/experiments",
+                                   {"kind": "nope"})
+        assert status == 400
+        assert "invalid scenario" in json.loads(body)["error"]
+
+    def test_non_json_body_is_400(self, base_url):
+        request = urllib.request.Request(
+            base_url + "/v1/experiments", data=b"{broken", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=30)
+        assert info.value.code == 400
+
+    def test_oversized_body_is_413(self, server):
+        # The declared body is never read: the server must refuse up front
+        # rather than allocate MAX_BODY_BYTES+ of attacker-chosen bytes.
+        import http.client
+
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            connection.putrequest("POST", "/v1/experiments")
+            connection.putheader("Content-Type", "application/json")
+            connection.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 413
+            assert "exceeds" in json.loads(response.read())["error"]
+        finally:
+            connection.close()
+
+    def test_unknown_paths_are_404(self, base_url):
+        assert _request(base_url, "GET", "/nope")[0] == 404
+        assert _request(base_url, "POST", "/v1/nope")[0] == 404
+
+    def test_store_failure_on_get_is_a_500(self):
+        # A read-only mount / disk-full store must map to a JSON 500 on GET
+        # paths too (do_POST already had the catch-all), not a dropped
+        # connection with no status line.
+        class BrokenStore(MemoryStore):
+            def get(self, namespace, fingerprint):
+                raise OSError("store root unreadable")
+
+        instance = make_server(port=0, store=BrokenStore())
+        thread = threading.Thread(target=instance.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = instance.server_address[:2]
+            status, _, body = _request(
+                f"http://{host}:{port}", "GET", "/v1/experiments/" + "0" * 64)
+            assert status == 500
+            assert "internal error" in json.loads(body)["error"]
+        finally:
+            instance.shutdown()
+            instance.server_close()
+
+    def test_store_stats_endpoint(self, base_url):
+        status, _, body = _request(base_url, "GET", "/v1/store/stats")
+        stats = json.loads(body)
+        assert status == 200
+        assert stats["backend"] == "memory"
+        assert stats["entries"] >= 1
+
+
+class TestService:
+    def test_submit_reuses_job_records_across_scenarios(self):
+        # Two scenarios sharing cells: the second runs only its new cells.
+        service = ExperimentService(store=MemoryStore())
+        _, _, hit = service.submit(SCENARIO)
+        assert not hit
+        wider = dict(SCENARIO, name="serve-test-wider",
+                     models=["baseline", "ST_SKLCond"])
+        fingerprint, envelope, hit = service.submit(wider)
+        assert not hit  # new envelope...
+        assert len(envelope["result"]["records"]) == 2
+        # ...but the baseline cell was merged from the job-record cache.
+        assert service.store.counters.hits >= 1
+        assert service.runs == 2
+
+    def test_cold_submit_counts_one_envelope_miss(self):
+        # The pre-lock fast path probes with contains(): a cold scenario is
+        # one envelope miss plus one per missing job, not a pre-lock miss
+        # plus an in-lock miss for the same envelope.
+        service = ExperimentService(store=MemoryStore())
+        service.submit(SCENARIO)  # one job (1 model x 1 workload)
+        assert service.store.counters.misses == 2
+        # Nothing was served from cache: the post-put normalization must not
+        # count a hit for an envelope this very request computed.
+        assert service.store.counters.hits == 0
+
+    def test_fingerprint_matches_keys_module(self):
+        service = ExperimentService(store=MemoryStore())
+        fingerprint, _, _ = service.submit(SCENARIO)
+        assert fingerprint == scenario_fingerprint(parse_scenario(SCENARIO))
+
+    def test_etag_is_stable_for_equal_envelopes(self):
+        envelope = {"schema": "repro.scenario/v1", "spec": "scenario",
+                    "result": {"records": []}}
+        assert envelope_etag(envelope_bytes(envelope)) == \
+            envelope_etag(envelope_bytes(json.loads(json.dumps(envelope))))
+
+    def test_envelope_write_failure_still_serves_the_result(self, monkeypatch):
+        # Disk-full on the envelope put must degrade to an uncached response,
+        # not discard a successfully computed scenario as a 500.
+        service = ExperimentService(store=MemoryStore())
+        monkeypatch.setattr(
+            service.store, "put",
+            lambda *args, **kwargs: (_ for _ in ()).throw(OSError("disk full")))
+        fingerprint, envelope, hit = service.submit(SCENARIO)
+        assert not hit and envelope["result"]["records"]
+        assert service.store.get("envelope", fingerprint) is None
+
+    def test_invalid_workers_fail_at_construction(self):
+        with pytest.raises(ValueError, match="workers"):
+            ExperimentService(store=MemoryStore(), workers=0)
+
+    def test_failed_execution_drops_the_pooled_runner(self, monkeypatch):
+        # A worker crash mid-run leaves the pooled runner (and its process
+        # pool) suspect; keeping it would 500 every later POST.
+        service = ExperimentService(store=MemoryStore())
+        service.submit(SCENARIO)
+        runner = service._runner
+        monkeypatch.setattr(
+            runner, "run_jobs",
+            lambda jobs: (_ for _ in ()).throw(RuntimeError("pool died")))
+        broken = dict(SCENARIO, name="serve-test-broken")
+        with pytest.raises(RuntimeError):
+            service.submit(broken)
+        assert service._runner is None
+        fingerprint, envelope, hit = service.submit(broken)
+        assert not hit and envelope["result"]["records"]
+
+    def test_service_reuses_one_runner_across_submits(self):
+        service = ExperimentService(store=MemoryStore())
+        service.submit(SCENARIO)
+        runner = service._runner
+        assert runner is not None
+        service.submit(dict(SCENARIO, name="again"))
+        assert service._runner is runner
+        service.close()
+        assert service._runner is None
+
+
+class TestKeepAlive:
+    def test_post_error_paths_drain_the_body(self, base_url, server):
+        # With HTTP/1.1 keep-alive, an error reply that leaves the POST body
+        # unread would desync the connection: the next request on it would be
+        # parsed starting at the stale body bytes.
+        import http.client
+
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            body = json.dumps({"x": 1})
+            connection.request("POST", "/nope", body=body,
+                               headers={"Content-Type": "application/json"})
+            assert connection.getresponse().read() is not None
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["status"] == "ok"
+        finally:
+            connection.close()
+
+    def test_post_never_returns_304(self, base_url):
+        status, headers, _ = _request(base_url, "POST", "/v1/experiments",
+                                      SCENARIO)
+        etag = headers["ETag"]
+        status, headers, body = _request(
+            base_url, "POST", "/v1/experiments", SCENARIO,
+            headers={"If-None-Match": etag})
+        # RFC 9110: 304 is defined for conditional GET/HEAD only.
+        assert status == 200
+        assert body and headers["X-Repro-Fingerprint"]
