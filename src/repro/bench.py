@@ -4,7 +4,7 @@ The bench times the engine on three representative grids — the Figure 3
 (models × workloads) trace grid, a cycle-approximate CPU grid, and an SMT
 co-run grid — and writes the timings, per-grid branch throughput, and the
 speedups against the recorded baselines to a ``BENCH_<n>.json`` artifact
-(``BENCH_5.json`` for the current format).  Committing one artifact per PR
+(``BENCH_6.json`` for the current format).  Committing one artifact per PR
 tracks the perf trajectory of the hot path over time.
 
 Two baselines are recorded per grid: wall-clock seconds of the pre-columnar
@@ -34,6 +34,14 @@ store — a cold run that computes and writes every record, then a warm run
 that must execute zero jobs — and the artifact records the store's hit/miss
 counters plus a ``warm_vs_cold_seconds`` entry, so the perf trajectory
 captures caching wins next to replay-speed wins.
+
+Since format 6 the report also carries a ``predictors`` block: every registry
+model replays the same trace under the forced ``vector`` backend, and the
+artifact records each model's branches/s, its kernel class
+(:func:`repro.sim.vector.kernel_status`), and ``gap_vs_vector`` — the
+composite reference kernel's throughput divided by the model's.  That ratio
+is the number the TAGE/Perceptron guarded kernels are closing; ``--check``
+gates on the per-model branches/s exactly like it gates on the grids.
 """
 
 from __future__ import annotations
@@ -61,7 +69,7 @@ from repro.store import DiskStore
 from repro.trace.workloads import GEM5_SMT_PAIRS
 
 #: Format/sequence number of the artifact this module writes.
-BENCH_SEQUENCE = 5
+BENCH_SEQUENCE = 6
 
 #: Default artifact path.
 DEFAULT_OUTPUT = f"BENCH_{BENCH_SEQUENCE}.json"
@@ -90,6 +98,16 @@ PR2_BASELINE_BRANCHES_PER_SECOND: dict[str, float] = {
     "cpu.full": 86_792.0,
     "smt.full": 92_949.5,
 }
+
+#: Registry model whose vector kernel is the ``gap_vs_vector`` denominator in
+#: the ``predictors`` block: the SKL composite, whose fully-array kernel the
+#: other predictor families chase.
+PREDICTOR_REFERENCE_MODEL = "baseline"
+
+#: Serial timing repetitions per model in the predictors block; the block
+#: records the best run, which damps scheduler noise on the short per-model
+#: replays.
+PREDICTOR_REPS = 3
 
 
 @dataclass(slots=True)
@@ -168,6 +186,7 @@ class BenchReport:
     timings: list[BenchTiming] = field(default_factory=list)
     trace_cache: dict[str, int] = field(default_factory=dict)
     store: dict = field(default_factory=dict)
+    predictors: dict = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -184,6 +203,8 @@ class BenchReport:
             # never clobbers the full-mode store measurement (same rule as
             # the per-`<grid>.<mode>` benches entries).
             "store": {self.mode: dict(self.store)} if self.store else {},
+            "predictors": (
+                {self.mode: dict(self.predictors)} if self.predictors else {}),
             "benches": {timing.key: timing.to_dict() for timing in self.timings},
         }
 
@@ -266,6 +287,55 @@ def measure_store(quick: bool = False) -> dict:
         }
 
 
+def measure_predictors(quick: bool = False) -> dict:
+    """Per-model vector-backend throughput versus the composite kernel.
+
+    Every registry model — the TAGE and Perceptron families, the ablation
+    facades, and the composite itself — replays the same trace under the
+    forced ``vector`` backend, serially, best of :data:`PREDICTOR_REPS`
+    repetitions.  The block records each model's branches/s, its kernel
+    class (``kernel`` / ``guarded`` / ``fallback``, see
+    :func:`repro.sim.vector.kernel_status`), and ``gap_vs_vector``: the
+    reference composite kernel's throughput divided by the model's.  The
+    composite reads 1.0 by construction; the guarded TAGE/Perceptron
+    steppers are chasing it from above.
+    """
+    from repro.engine.registry import build_model, list_models
+    from repro.sim import vector
+
+    branch_count, warmup = (4_000, 400) if quick else (20_000, 2_000)
+    scale = ExperimentScale(
+        branch_count=branch_count, warmup_branches=warmup, seed=7)
+    workload = "505.mcf"
+    models: dict[str, dict] = {}
+    with fastpath.forced_backend("vector"):
+        for name in sorted(list_models()):
+            jobs = SimulationGrid(kind="trace", models=(name,),
+                                  workloads=(workload,), scale=scale).jobs()
+            branches = EngineRunner._prewarm_traces(jobs)
+            best: float | None = None
+            for _ in range(PREDICTOR_REPS):
+                started = time.perf_counter()
+                EngineRunner(workers=1).run_jobs(jobs)
+                seconds = time.perf_counter() - started
+                best = seconds if best is None else min(best, seconds)
+            models[name] = {
+                "vector": vector.kernel_status(build_model(name, seed=0)),
+                "branches": branches,
+                "branches_per_second": round(branches / best, 1) if best else 0.0,
+            }
+    reference = models[PREDICTOR_REFERENCE_MODEL]["branches_per_second"]
+    for entry in models.values():
+        bps = entry["branches_per_second"]
+        entry["gap_vs_vector"] = round(reference / bps, 2) if bps else None
+    return {
+        "workload": workload,
+        "reference": PREDICTOR_REFERENCE_MODEL,
+        "reps": PREDICTOR_REPS,
+        "models": models,
+    }
+
+
 def run_bench(quick: bool = False, workers: int = 1) -> BenchReport:
     """Time every bench grid; optionally cross-check a parallel run.
 
@@ -309,6 +379,7 @@ def run_bench(quick: bool = False, workers: int = 1) -> BenchReport:
         parallel_runner.close()
     report.trace_cache = trace_cache_stats()
     report.store = measure_store(quick)
+    report.predictors = measure_predictors(quick)
     return report
 
 
@@ -340,6 +411,14 @@ def write_bench(report: BenchReport, path: str = DEFAULT_OUTPUT) -> None:
                 }
                 merged_store.update(payload["store"])
                 payload["store"] = merged_store
+            predictors = existing.get("predictors")
+            if isinstance(predictors, dict):
+                merged_predictors = {
+                    mode: block for mode, block in predictors.items()
+                    if isinstance(block, dict) and "models" in block
+                }
+                merged_predictors.update(payload["predictors"])
+                payload["predictors"] = merged_predictors
             # total_seconds stays the total of the *current run's mode* so it
             # always describes one real invocation (the one "mode"/"backend"/
             # "trace_cache" also describe), never a cross-mode sum.
@@ -371,23 +450,36 @@ def check_regression(report: BenchReport, reference: dict | str,
     :func:`load_reference`).  Only grids recorded under the same
     ``<name>.<mode>`` key are compared (a quick CI run checks against the
     artifact's quick entries).  A grid fails when its branches/s drops more
-    than ``tolerance`` below the recorded value.
+    than ``tolerance`` below the recorded value.  The per-model
+    ``predictors`` block is gated the same way: a model recorded under the
+    run's mode fails when its vector-backend branches/s falls below the
+    tolerance floor.
     """
     if isinstance(reference, str):
         reference = load_reference(reference)
     recorded = reference.get("benches", {})
     failures: list[str] = []
-    for timing in report.timings:
-        entry = recorded.get(timing.key)
-        if entry is None:
-            continue
+
+    def gate(key: str, measured_bps: float, entry: dict) -> None:
         recorded_bps = float(entry.get("branches_per_second", 0.0))
         floor = recorded_bps * (1.0 - tolerance)
-        if recorded_bps and timing.branches_per_second < floor:
+        if recorded_bps and measured_bps < floor:
             failures.append(
-                f"{timing.key}: {timing.branches_per_second:,.0f} branches/s is "
+                f"{key}: {measured_bps:,.0f} branches/s is "
                 f">{tolerance:.0%} below the recorded {recorded_bps:,.0f} "
                 f"(floor {floor:,.0f})")
+
+    for timing in report.timings:
+        entry = recorded.get(timing.key)
+        if entry is not None:
+            gate(timing.key, timing.branches_per_second, entry)
+    recorded_models = (reference.get("predictors", {})
+                       .get(report.mode, {}).get("models", {}))
+    for name, entry in (report.predictors.get("models") or {}).items():
+        recorded_entry = recorded_models.get(name)
+        if isinstance(recorded_entry, dict):
+            gate(f"predictors.{report.mode}.{name}",
+                 float(entry.get("branches_per_second", 0.0)), recorded_entry)
     return failures
 
 
@@ -477,4 +569,18 @@ def format_bench(report: BenchReport) -> str:
             f"({timing.get('speedup') or 0.0}x, {store.get('hits', 0)} hits / "
             f"{store.get('misses', 0)} misses, "
             f"{store.get('warm_jobs_executed', 0)} jobs executed warm, {verdict})")
+    predictors = report.predictors
+    if predictors:
+        models = predictors.get("models", {})
+        width = max(len(name) for name in models)
+        lines.append(
+            f"predictors ({predictors.get('workload')}, vector backend, "
+            f"gap vs {predictors.get('reference')}):")
+        for name, entry in models.items():
+            gap = entry.get("gap_vs_vector")
+            gap_text = f"gap {gap:.2f}x" if gap is not None else "gap n/a"
+            lines.append(
+                f"  {name:{width}s}  {entry.get('vector', '?'):8s}"
+                f"{entry.get('branches_per_second', 0.0) / 1e3:8.0f} Kbr/s"
+                f"   {gap_text}")
     return "\n".join(lines)

@@ -223,6 +223,15 @@ class CompositeBPU(BranchPredictorModel):
     # ------------------------------------------------------------------- admin
 
     def vector_kernel(self):
+        """Array-kernel replay engine for this composite, or ``None``.
+
+        Since the TAGE/Perceptron span steppers every shipped direction
+        component is covered: SKL composites replay fully in array kernels,
+        TAGE and Perceptron composites through guarded per-span
+        specialization.  ``None`` (scalar fallback, logged once per model
+        name) only remains for unrecognized structure variants — see
+        :func:`repro.sim.vector.kernel_status`.
+        """
         from repro.sim import vector
 
         return vector.composite_kernel(self)

@@ -309,6 +309,26 @@ class _BaselineVectorMaps:
         tag = (tag ^ history_tag) & np.uint64(self.provider._btb_tag_mask)
         return index, (tag << offset_bits) | offset
 
+    def tage_indices(self, ips, folded, table, index_bits, contexts=None):
+        truncated = self._truncate(ips)
+        mixed = (truncated ^ (truncated >> np.uint64(index_bits))
+                 ^ folded
+                 ^ np.asarray(table, dtype=np.uint64) * np.uint64(0x9E5))
+        return mixed & np.uint64((1 << index_bits) - 1)
+
+    def tage_tags(self, ips, folded, table, tag_bits, contexts=None):
+        # The scalar tage_tag folds from BASELINE_ADDRESS_BITS even for the
+        # full-address provider (only the truncation differs), mirrored here.
+        mixed = (self._truncate(ips) ^ (folded << np.uint64(1))
+                 ^ np.asarray(table, dtype=np.uint64) * np.uint64(0x1F3))
+        return fold_bits_array(mixed, BASELINE_ADDRESS_BITS, tag_bits)
+
+    def perceptron_rows(self, ips, table_size, contexts=None):
+        folded = fold_bits_array(self._truncate(ips) >> np.uint64(2),
+                                 BASELINE_ADDRESS_BITS,
+                                 (table_size - 1).bit_length())
+        return folded % np.uint64(table_size)
+
 
 class FullAddressMappingProvider(BaselineMappingProvider):
     """Mapping provider for the paper's *conservative* protection model.

@@ -7,6 +7,14 @@ of the weights with the recent global-history outcomes (encoded ±1), and
 predicts taken when the sum is non-negative.  Training updates the weights on
 a misprediction or whenever the magnitude of the sum is below the
 length-dependent threshold.
+
+The vector backend replays this predictor through a guarded span stepper
+(:class:`repro.sim.vector._PerceptronStepper`) that batches the dot products
+from a weight-table snapshot and aborts an access to a live computation when
+its row was retrained inside the block.  The stepper mirrors the prediction
+and training rules below exactly — any semantic change here must be made
+there too, and is pinned by the fast/vector state-parity suite
+(``tests/sim/test_vector_parity.py``).
 """
 
 from __future__ import annotations

@@ -15,6 +15,16 @@ functional TAGE-SC-L:
 All index and tag computations are delegated to the installed
 :class:`~repro.bpu.mapping.MappingProvider`, which is how the STBPU keyed
 remapping ``Rt`` is applied without touching the prediction algorithm.
+
+The vector backend replays this predictor through a guarded span stepper
+(:class:`repro.sim.vector._TAGEStepper`) that precomputes per-span fold
+registers, table indices/tags and tagged-entry hit bits with array kernels,
+repairing the speculative hit bits when an allocation lands in a table
+mid-span.  The stepper (and the closed-form fold in
+:func:`repro.sim.vector._fold_values`, which must match
+:class:`_IncrementalFold`) mirrors the update rules below exactly — any
+semantic change here must be made there too, and is pinned by the
+fast/vector state-parity suite (``tests/sim/test_vector_parity.py``).
 """
 
 from __future__ import annotations

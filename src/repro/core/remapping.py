@@ -311,3 +311,37 @@ class _STVectorMaps:
                                   output_bits=sizes.btb_index_bits,
                                   domain=_DOMAIN_R2 + 16)
         return index & np.uint64(sizes.btb_sets - 1), (tag << offset_bits) | offset
+
+    def tage_indices(self, ips, folded, table, index_bits, contexts=None):
+        import numpy as np
+
+        tables = np.asarray(table, dtype=np.uint64)
+        if tables.shape != np.shape(ips):
+            tables = np.full(np.shape(ips), tables, dtype=np.uint64)
+        return keyed_remap_array(
+            self.provider._token.psi, ips & np.uint64(VIRTUAL_ADDRESS_MASK),
+            folded, tables,
+            output_bits=index_bits, domain=_DOMAIN_RT_INDEX,
+        )
+
+    def tage_tags(self, ips, folded, table, tag_bits, contexts=None):
+        import numpy as np
+
+        tables = np.asarray(table, dtype=np.uint64)
+        if tables.shape != np.shape(ips):
+            tables = np.full(np.shape(ips), tables, dtype=np.uint64)
+        return keyed_remap_array(
+            self.provider._token.psi, ips & np.uint64(VIRTUAL_ADDRESS_MASK),
+            folded, tables,
+            output_bits=tag_bits, domain=_DOMAIN_RT_TAG,
+        )
+
+    def perceptron_rows(self, ips, table_size, contexts=None):
+        import numpy as np
+
+        bits = max(1, (table_size - 1).bit_length())
+        rows = keyed_remap_array(
+            self.provider._token.psi, ips & np.uint64(VIRTUAL_ADDRESS_MASK),
+            output_bits=bits, domain=_DOMAIN_RP,
+        )
+        return rows % np.uint64(table_size)

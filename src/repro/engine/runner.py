@@ -332,10 +332,13 @@ def execute_job_batch(jobs: Sequence[Job],
     return [execute_job(job) for job in jobs]
 
 
-#: Model specs already probed for a vector kernel in this process (the
-#: fallback-notice dedup for parallel runs); probing is cheap but builds a
-#: model, so each distinct spec is probed once per process lifetime.
-_PROBED_KERNEL_SPECS: set = set()
+#: Probe results for model specs already probed for a vector kernel in this
+#: process: the model name the parent's fallback notice covers, or ``None``
+#: when the spec's model has a kernel.  Keyed by spec because probing is
+#: cheap but builds a model; keeping the *result* (not a bare "seen" set)
+#: lets a later run re-derive which of *its* models are kernel-less without
+#: re-probing.  Failed probes are not cached, so they are retried.
+_PROBED_KERNEL_SPECS: dict = {}
 
 
 def _vector_fallback_suppressions(jobs: Sequence[Job]) -> tuple[str, ...]:
@@ -344,9 +347,14 @@ def _vector_fallback_suppressions(jobs: Sequence[Job]) -> tuple[str, ...]:
     Probing calls :func:`repro.sim.vector.kernel_for`, which logs the "no
     vector kernel, falling back" notice — once, here, in the parent — for
     every kernel-less model the jobs will run.  The returned snapshot of
-    already-logged names is shipped to workers so they stay quiet: a 100-job
-    TAGE grid logs the notice exactly once, regardless of batching, worker
-    count, or start method.
+    names is shipped to workers so they stay quiet: a 100-job grid of a
+    kernel-less model logs the notice exactly once, regardless of batching,
+    worker count, or start method.
+
+    The snapshot covers exactly the kernel-less models of *these* jobs —
+    never the whole process-global logged set.  Shipping every name ever
+    logged would silently pre-suppress first notices in workers for
+    unrelated models that still lack a kernel.
     """
     from repro.sim import fastpath
 
@@ -354,18 +362,27 @@ def _vector_fallback_suppressions(jobs: Sequence[Job]) -> tuple[str, ...]:
         return ()
     from repro.sim import vector
 
+    quiet: set[str] = set()
     for job in jobs:
         if job.kind not in ("trace", "cpu", "smt") or job.model is None:
             continue
         if job.model in _PROBED_KERNEL_SPECS:
+            name = _PROBED_KERNEL_SPECS[job.model]
+            if name is not None:
+                quiet.add(name)
             continue
-        _PROBED_KERNEL_SPECS.add(job.model)
         try:
-            vector.kernel_for(build_model(job.model, seed=0))
+            model = build_model(job.model, seed=0)
+            fallback_name = (getattr(model, "name", type(model).__name__)
+                             if vector.kernel_for(model) is None else None)
         except Exception:  # a probe must never take down the run
             logger.debug("vector-kernel probe failed for %r",
                          job.model, exc_info=True)
-    return vector.fallback_logged_names()
+            continue
+        _PROBED_KERNEL_SPECS[job.model] = fallback_name
+        if fallback_name is not None:
+            quiet.add(fallback_name)
+    return tuple(sorted(quiet))
 
 
 def job_batches(jobs: Sequence[Job], workers: int,

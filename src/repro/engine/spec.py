@@ -250,12 +250,24 @@ def run_experiment(
 # and library users can introspect everything through one registry.
 
 def _list_models_execute(params: dict[str, Any], workers: int = 1,
-                         progress: ProgressCallback | None = None) -> list[str]:
-    from repro.engine.registry import list_models
+                         progress: ProgressCallback | None = None,
+                         ) -> dict[str, str]:
+    from repro.engine.registry import build_model, list_models
+    from repro.sim import vector
 
     # Sorted here, not just in the registry: listing output is a stable
-    # interface (serve/store manifests embed it, scripts diff it).
-    return sorted(list_models())
+    # interface (serve/store manifests embed it, scripts diff it).  Each
+    # model carries its vector-backend coverage class (kernel / guarded /
+    # fallback, see :func:`repro.sim.vector.kernel_status`) so backend
+    # coverage is visible at a glance.
+    listing: dict[str, str] = {}
+    for name in sorted(list_models()):
+        try:
+            status = vector.kernel_status(build_model(name, seed=0))
+        except Exception:  # a listing probe must never fail the command
+            status = "unavailable"
+        listing[name] = status
+    return listing
 
 
 def _list_workloads_execute(params: dict[str, Any], workers: int = 1,
@@ -275,6 +287,12 @@ def _format_names(names: list[str]) -> str:
     return "\n".join(names)
 
 
+def _format_model_table(table: dict[str, str]) -> str:
+    width = max(len(name) for name in table)
+    return "\n".join(f"{name:{width}s}  {status}"
+                     for name, status in table.items())
+
+
 def _format_experiment_table(table: dict[str, str]) -> str:
     width = max(len(name) for name in table)
     return "\n".join(f"{name:{width}s}  {description}"
@@ -283,11 +301,12 @@ def _format_experiment_table(table: dict[str, str]) -> str:
 
 register_experiment(ExperimentSpec(
     name="list-models",
-    description="print the model registry",
+    description="print the model registry with vector-backend coverage",
     kind="meta",
+    schema_version=2,
     takes_workers=False,
     execute=_list_models_execute,
-    formatter=_format_names,
+    formatter=_format_model_table,
 ))
 
 register_experiment(ExperimentSpec(

@@ -85,14 +85,26 @@ def make_stbpu_variant(
         def perceptron_index(self, ip, table_size):
             return self._base.perceptron_index(ip, table_size)
 
+        def vector_maps(self):
+            # Every scalar method above delegates to the baseline provider,
+            # so the baseline's vector maps are this facade's exact mirror.
+            return self._base.vector_maps()
+
     class _StaticCodec(XorTargetCodec):
         """ϕ-codec facade that stores targets verbatim (encryption disabled)."""
+
+        token_dependent = False
 
         def encode(self, target):
             return target & 0xFFFF_FFFF
 
         def decode(self, stored):
             return stored & 0xFFFF_FFFF
+
+        def vector_encode(self, targets):
+            import numpy as np
+
+            return targets & np.uint64(0xFFFF_FFFF)
 
     if not remapping:
         mapping_for_stbpu = _StaticMapping()

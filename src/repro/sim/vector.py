@@ -29,9 +29,24 @@ scan composition is pure until committed) and replay resumes under the fresh
 token.  The parity tests pin all of this to byte-identical results against
 both scalar paths.
 
-Models opt in via ``vector_kernel()``; models without a kernel (TAGE and
-Perceptron directions, ablation facades) fall back to the PR-2 columnar fast
-path with a logged notice.
+TAGE and Perceptron direction components have no closed-form counter scan —
+TAGE allocation rewrites tags mid-span and perceptron training feeds its own
+weights back — so both replay through *span steppers*: every prediction input
+(folded histories, table indices and tags, hit bits, dot-product totals) is
+precomputed for a whole span with array kernels, and a slim per-conditional
+step over plain lists applies the sequential updates.  Where the sequential
+dependence bites, the steppers speculate in the trace-specialization style:
+the TAGE stepper precomputes tagged-table hit bits against span-start tags
+and repairs exactly the later same-index accesses when an allocation rewrites
+an entry; the perceptron stepper batches dot-products for a block of
+accesses from a weight snapshot under a "no row retrained since the
+snapshot" guard, and on a guard failure (aliasing conflict / saturation
+already applied) commits the executed prefix and re-specializes the rest of
+the block from live weights — the same commit/resume shape the epoch
+chunking uses for mid-chunk re-randomizations.
+
+Models opt in via ``vector_kernel()``; models with neither a kernel nor a
+stepper fall back to the PR-2 columnar fast path with a logged notice.
 """
 
 from __future__ import annotations
@@ -214,9 +229,15 @@ def _bhb_states(mixed: np.ndarray, seed_value: int, bits: int) -> np.ndarray:
     return states
 
 
-def _extend_outcomes(outcomes: list, appended, max_outcomes: int) -> None:
-    """Exactly emulate ``HistoryState.record_conditional``'s deferred trim."""
-    block = max_outcomes + 256
+def _extend_outcomes(outcomes: list, appended, max_outcomes: int, *,
+                     slack: int = 256) -> None:
+    """Exactly emulate a deferred-trim append-only history list.
+
+    ``slack=256`` matches ``HistoryState.record_conditional``; the TAGE
+    private global history trims with the same shape but ``slack=64``
+    (``TAGEPredictor._push_history``).
+    """
+    block = max_outcomes + slack
     existing = len(outcomes)
     appended = list(appended)
     total = existing + len(appended)
@@ -230,6 +251,91 @@ def _extend_outcomes(outcomes: list, appended, max_outcomes: int) -> None:
     final_length = max_outcomes + ((len(appended) - first_trim) % period)
     combined = outcomes + appended
     outcomes[:] = combined[len(combined) - final_length:]
+
+
+#: Upper bound on one stepper span (see ``_CompositeEngine._run_span_stepper``).
+_STEPPER_SPAN_LIMIT = 4096
+
+
+def _strided_parity(bits: np.ndarray, width: int) -> np.ndarray:
+    """Per-residue running parity: ``out[i]`` is the parity of
+    ``bits[i % width], bits[i % width + width], ..., bits[i]``."""
+    length = bits.shape[0]
+    rows = -(-length // width)
+    grid = np.zeros((rows, width), dtype=np.int64)
+    grid.ravel()[:length] = bits
+    # One axis-0 cumsum covers every residue class at once: column ``r`` of the
+    # row-major grid is exactly the stride-``width`` slice starting at ``r``.
+    np.cumsum(grid, axis=0, out=grid)
+    parity = grid.ravel()[:length]
+    parity &= 1
+    return parity.view(np.uint64)
+
+
+def _fold_values(parity: np.ndarray, pad: int, carried: int, count: int,
+                 history_length: int, width: int) -> np.ndarray:
+    """Folded-history register values for ``count`` consecutive predictions.
+
+    Closed form of TAGE's :class:`~repro.bpu.tage._IncrementalFold`: after the
+    register has absorbed a bit stream, its value is the XOR of the newest
+    ``history_length`` bits placed at staggered positions —
+    ``XOR_k stream[-1-k] << (k % width)`` — with missing (pre-stream) bits
+    reading as 0.  ``parity`` is :func:`_strided_parity` of the extended
+    stream ``[0]*pad + carried_history + span_outcomes``; the XOR of any
+    same-residue run collapses to two parity reads, so each of the
+    ``min(width, history_length)`` bit planes costs one vector XOR.
+    ``pad`` must be at least ``history_length + width`` so every read stays
+    in bounds.
+    """
+    if parity.dtype != np.uint64:
+        parity = parity.view(np.uint64)
+    first_newest = pad + carried - 1
+    plane_count = min(width, history_length)
+    if count * plane_count <= 16384:
+        # Short spans: one 2-D gather beats a per-plane Python loop.
+        planes = np.arange(plane_count, dtype=np.int64)
+        chunks = (history_length - planes + width - 1) // width
+        high_idx = ((first_newest + np.arange(count, dtype=np.int64))[None, :]
+                    - planes[:, None])
+        low_idx = high_idx - (chunks * width)[:, None]
+        bits = parity[high_idx] ^ parity[low_idx]
+        bits <<= planes[:, None].astype(np.uint64)
+        return np.bitwise_or.reduce(bits, axis=0)
+    values = np.zeros(count, dtype=np.uint64)
+    plane_bits = np.empty(count, dtype=np.uint64)
+    for plane in range(plane_count):
+        chunks = (history_length - plane + width - 1) // width
+        high = first_newest - plane
+        low = high - chunks * width
+        # ``j0`` is an arange, so each bit plane's reads are contiguous
+        # slices — views, not gathers.
+        np.bitwise_xor(parity[high:high + count], parity[low:low + count],
+                       out=plane_bits)
+        np.left_shift(plane_bits, _U64(plane), out=plane_bits)
+        values |= plane_bits
+    return values
+
+
+def _fold_register_value(ghist: list, history_length: int, width: int) -> int:
+    """The same closed form for one register over a final history list."""
+    value = 0
+    length = len(ghist)
+    for k in range(min(history_length, length)):
+        if ghist[length - 1 - k]:
+            value ^= 1 << (k % width)
+    return value
+
+
+def _ghr_commit(seed: int, executed_bits, bits: int) -> int:
+    """GHR register value after pushing ``executed_bits`` onto ``seed``."""
+    mask = (1 << bits) - 1
+    tail = executed_bits[-bits:]
+    packed = 0
+    for bit in tail:
+        packed = (packed << 1) | (1 if bit else 0)
+    if len(executed_bits) >= bits:
+        return packed & mask
+    return ((seed << len(executed_bits)) | packed) & mask
 
 
 class _MonitorMirror:
@@ -277,6 +383,576 @@ class _SpanResult:
         self.fired = fired
 
 
+class _TAGEStepper:
+    """Span-stepping replay of a :class:`~repro.bpu.tage.TAGEPredictor`.
+
+    Prediction inputs for a whole span — per-table folded histories (via the
+    prefix-parity closed form of the incremental fold), table indices and
+    tags (vectorised mapping kernels), tagged-entry hit bits, bimodal / loop /
+    statistical-corrector indices — are precomputed with array kernels; a
+    slim per-conditional closure then applies the scalar predict/update
+    algorithm over plain lists in exact order.
+
+    The speculative piece is the hit-bit precompute: it assumes span-start
+    tag-store contents, but a TAGE allocation rewrites a tag mid-span.  An
+    allocation scans the remainder of the span's index column for later
+    accesses of the overwritten entry and repairs exactly the precomputed
+    hit bits the rewrite invalidated — speculate on "no allocation touches
+    my entry", patch precisely where that guard fails.
+    """
+
+    guarded = True
+
+    def __init__(self, direction, maps):
+        self.direction = direction
+        self.maps = maps
+        self.config = direction.config
+        self._pad = direction._max_history + 64
+
+    # ------------------------------------------------------------------ state
+
+    def begin(self) -> None:
+        direction = self.direction
+        self.valid = [np.array([entry.valid for entry in table], dtype=bool)
+                      for table in direction._tables]
+        self.tags = [np.array([entry.tag for entry in table], dtype=np.int64)
+                     for table in direction._tables]
+        self.counters = [[entry.counter for entry in table]
+                         for table in direction._tables]
+        self.useful = [[entry.useful for entry in table]
+                       for table in direction._tables]
+        self.bimodal = direction._bimodal          # live list, mutated in place
+        self.sc_tables = direction._sc_tables      # live lists
+        loop = direction._loop_table
+        self.loop_valid = [entry.valid for entry in loop]
+        self.loop_tags = [entry.tag for entry in loop]
+        self.loop_past = [entry.past_iterations for entry in loop]
+        self.loop_current = [entry.current_iterations for entry in loop]
+        self.loop_conf = [entry.confidence for entry in loop]
+        self.ghist = direction._ghist              # live list of 0/1 ints
+        self.use_alt = direction._use_alt_on_na
+        self.access_count = direction._access_count
+
+    def finish(self) -> None:
+        direction = self.direction
+        for table_no, table in enumerate(direction._tables):
+            valid = self.valid[table_no].tolist()
+            tags = self.tags[table_no].tolist()
+            counters = self.counters[table_no]
+            useful = self.useful[table_no]
+            for position, entry in enumerate(table):
+                entry.valid = valid[position]
+                entry.tag = tags[position]
+                entry.counter = counters[position]
+                entry.useful = useful[position]
+        for position, entry in enumerate(direction._loop_table):
+            entry.valid = self.loop_valid[position]
+            entry.tag = self.loop_tags[position]
+            entry.past_iterations = self.loop_past[position]
+            entry.current_iterations = self.loop_current[position]
+            entry.confidence = self.loop_conf[position]
+        direction._use_alt_on_na = self.use_alt
+        direction._access_count = self.access_count
+        # The incremental fold registers equal the closed form over the final
+        # history (the same identity the span kernels use), so they are
+        # recomputed once here instead of being carried bit by bit.
+        ghist = self.ghist
+        for fold in (*direction._index_folds, *direction._tag_folds):
+            fold.value = _fold_register_value(
+                ghist, fold.history_length, fold.folded_bits)
+
+    def flush(self) -> None:
+        """Emulate ``TAGEPredictor.flush`` on the adopted state (note: the
+        scalar flush keeps loop tags and the access count)."""
+        for table_no in range(len(self.valid)):
+            self.valid[table_no][:] = False
+            self.tags[table_no][:] = 0
+            self.counters[table_no] = [0] * len(self.counters[table_no])
+            self.useful[table_no] = [0] * len(self.useful[table_no])
+        bimodal = self.bimodal
+        for position in range(len(bimodal)):
+            bimodal[position] = 1
+        for position in range(len(self.loop_valid)):
+            self.loop_valid[position] = False
+            self.loop_conf[position] = 0
+            self.loop_current[position] = 0
+            self.loop_past[position] = 0
+        for table in self.sc_tables:
+            for position in range(len(table)):
+                table[position] = 0
+        self.ghist.clear()
+        self.use_alt = 8
+
+    def commit_span(self, cond_takens, executed_cond: int) -> None:
+        self.access_count += executed_cond
+        if executed_cond:
+            _extend_outcomes(
+                self.ghist,
+                cond_takens[:executed_cond].astype(np.int64).tolist(),
+                self.direction._max_history, slack=64)
+
+    # ------------------------------------------------------------------- spans
+
+    def prepare_span(self, cond_ips, cond_ctx, cond_takens, outcomes):
+        config = self.config
+        direction = self.direction
+        maps = self.maps
+        ncond = cond_ips.shape[0]
+        pad = self._pad
+
+        # ---------------------------------------- folded histories per table
+        ghist_tail = self.ghist[-direction._max_history:]
+        carried = len(ghist_tail)
+        ext = np.zeros(pad + carried + ncond, dtype=np.int64)
+        if carried:
+            ext[pad:pad + carried] = ghist_tail
+        ext[pad + carried:] = cond_takens
+        parity_cache: dict[int, np.ndarray] = {}
+
+        def parity(width: int) -> np.ndarray:
+            cached = parity_cache.get(width)
+            if cached is None:
+                cached = _strided_parity(ext, width)
+                parity_cache[width] = cached
+            return cached
+
+        # ------------------------------------- indices / tags / hit bits
+        table_count = config.table_count
+        history_lengths = config.history_lengths
+        index_widths = direction._table_index_bits
+        tag_widths = config.tag_bits
+
+        def batched_maps(method, fold_list, widths):
+            """One vectorised map call per distinct output width (the map
+            kernels accept per-element table numbers, so same-width tables
+            share a single hash pass)."""
+            out = [None] * table_count
+            groups: dict[int, list[int]] = {}
+            for table_no, width in enumerate(widths):
+                groups.setdefault(width, []).append(table_no)
+            for width, members in groups.items():
+                if len(members) == 1:
+                    table_no = members[0]
+                    out[table_no] = np.asarray(method(
+                        cond_ips, fold_list[table_no], table_no, width,
+                        cond_ctx))
+                    continue
+                stacked = np.asarray(method(
+                    np.concatenate([cond_ips] * len(members)),
+                    np.concatenate([fold_list[t] for t in members]),
+                    np.repeat(np.asarray(members, dtype=np.uint64), ncond),
+                    width,
+                    None if cond_ctx is None
+                    else np.concatenate([cond_ctx] * len(members))))
+                for position, table_no in enumerate(members):
+                    out[table_no] = stacked[position * ncond:
+                                            (position + 1) * ncond]
+            return out
+
+        fold_idx = [_fold_values(parity(index_widths[t]), pad, carried, ncond,
+                                 history_lengths[t], index_widths[t])
+                    for t in range(table_count)]
+        fold_tag = [_fold_values(parity(tag_widths[t]), pad, carried, ncond,
+                                 history_lengths[t], tag_widths[t])
+                    for t in range(table_count)]
+        idx_list = batched_maps(maps.tage_indices, fold_idx, index_widths)
+        tag_list = batched_maps(maps.tage_tags, fold_tag, tag_widths)
+
+        hit_bits = np.zeros(ncond, dtype=np.int64)
+        idx_matrix = np.empty((table_count, ncond), dtype=np.int64)
+        tag_matrix = np.empty((table_count, ncond), dtype=np.int64)
+        for table_no, entries in enumerate(config.tagged_table_entries):
+            idx = (idx_list[table_no] % _U64(entries)).astype(np.int64)
+            tag = tag_list[table_no].astype(np.int64)
+            idx_matrix[table_no] = idx
+            tag_matrix[table_no] = tag
+            hit = self.valid[table_no][idx] & (self.tags[table_no][idx] == tag)
+            hit_bits |= hit.astype(np.int64) << table_no
+        hbs = hit_bits.tolist()
+
+        # ------------------------------------------------- bimodal and loop
+        bim_idx = (np.asarray(maps.pht1(cond_ips, cond_ctx))
+                   % _U64(config.bimodal_entries)).astype(np.int64).tolist()
+        use_loop = config.use_loop_predictor
+        if use_loop:
+            loop_idx = ((cond_ips >> _U64(2)) % _U64(config.loop_entries)
+                        ).astype(np.int64).tolist()
+            loop_tag_vals = ((cond_ips >> _U64(8)) & _U64(0x3FF)
+                             ).astype(np.int64).tolist()
+        else:
+            loop_idx = loop_tag_vals = None
+
+        # ------------------------------------------- statistical corrector
+        use_sc = config.use_statistical_corrector
+        sc_idx: list[list[int]] = []
+        if use_sc:
+            max_sc = max(config.sc_history_lengths)
+            tail = outcomes[-max_sc:]
+            carried_sc = len(tail)
+            ext_sc = np.zeros(carried_sc + ncond, dtype=np.int64)
+            if carried_sc:
+                ext_sc[:carried_sc] = np.array(tail, dtype=bool)
+            ext_sc[carried_sc:] = cond_takens
+            for component, depth in enumerate(config.sc_history_lengths):
+                folded = np.zeros(ncond, dtype=np.int64)
+                cold = max(0, min(depth - carried_sc, ncond))
+                for position in range(cold):
+                    # Shorter-than-depth histories anchor fold positions at
+                    # the oldest outcome (``FoldedHistory.fold``).
+                    value = 0
+                    for offset in range(carried_sc + position):
+                        if ext_sc[offset]:
+                            value ^= 1 << (offset % 10)
+                    folded[position] = value
+                if ncond > cold:
+                    windows = np.lib.stride_tricks.sliding_window_view(
+                        ext_sc, depth)
+                    block = windows[carried_sc + cold - depth:
+                                    carried_sc + ncond - depth]
+                    warm = np.zeros(ncond - cold, dtype=np.int64)
+                    for position in range(depth):
+                        warm ^= block[:, position] << (position % 10)
+                    folded[cold:] = warm
+                mixed = ((cond_ips >> _U64(2))
+                         ^ (folded.astype(np.uint64) * _U64(3))
+                         ^ _U64(component * 0x61))
+                sc_idx.append((mixed % _U64(config.sc_table_entries))
+                              .astype(np.int64).tolist())
+        sc_count = len(sc_idx)
+        if sc_count == 3:
+            sc_i0, sc_i1, sc_i2 = sc_idx
+            sc_t0, sc_t1, sc_t2 = self.sc_tables
+        else:
+            sc_i0 = sc_i1 = sc_i2 = sc_t0 = sc_t1 = sc_t2 = None
+
+        # ----------------------------------------------------- the step closure
+        takens_list = cond_takens.tolist()
+        idx_rows = idx_matrix.T.tolist()
+        # Next-occurrence chains for allocation repair, built lazily: a table
+        # pays for its chain (one stable argsort) only on its first
+        # allocation this span.
+        span_next: list[list[int] | None] = [None] * table_count
+        span_tags: list[list[int] | None] = [None] * table_count
+        counters = self.counters
+        useful = self.useful
+        valid_arrays = self.valid
+        tag_arrays = self.tags
+        bimodal = self.bimodal
+        sc_tables = self.sc_tables
+        loop_valid = self.loop_valid
+        loop_tags = self.loop_tags
+        loop_past = self.loop_past
+        loop_current = self.loop_current
+        loop_conf = self.loop_conf
+        low, high = direction._counter_limits()
+        useful_max = (1 << config.useful_bits) - 1
+        reset_period = config.useful_reset_period
+        sc_threshold = direction._sc_threshold
+        sc_train_band = sc_threshold * 2
+        # Spans are far shorter than the useful-reset period, so at most one
+        # ordinal inside this span can trip the periodic reset; the running
+        # access count itself is committed once per span (``commit_span``).
+        reset_ordinal = (-(self.access_count + 1)) % reset_period
+        if reset_ordinal >= ncond:
+            reset_ordinal = -1
+
+        def step(ordinal: int) -> bool:
+            taken = takens_list[ordinal]
+
+            # ---------------------------------------------------- predict
+            bim_position = bim_idx[ordinal]
+            bimodal_taken = bimodal[bim_position] >= 2
+            hit_mask = hbs[ordinal]
+            if hit_mask:
+                idx_row = idx_rows[ordinal]
+                provider = hit_mask.bit_length() - 1
+                provider_position = idx_row[provider]
+                provider_counter = counters[provider][provider_position]
+                provider_taken = provider_counter >= 0
+                rest = hit_mask ^ (1 << provider)
+                if rest:
+                    alt = rest.bit_length() - 1
+                    alt_taken = counters[alt][idx_row[alt]] >= 0
+                else:
+                    alt_taken = bimodal_taken
+                weak = (useful[provider][provider_position] == 0
+                        and (provider_counter == -1 or provider_counter == 0))
+                if weak and self.use_alt >= 8:
+                    tage_taken = alt_taken
+                else:
+                    tage_taken = provider_taken
+            else:
+                provider = -1
+                weak = False
+                tage_taken = alt_taken = bimodal_taken
+            prediction_taken = tage_taken
+
+            if use_loop:
+                loop_position = loop_idx[ordinal]
+                loop_tag = loop_tag_vals[ordinal]
+                loop_match = (loop_valid[loop_position]
+                              and loop_tags[loop_position] == loop_tag)
+                if loop_match and loop_conf[loop_position] >= 3:
+                    prediction_taken = (loop_current[loop_position] + 1
+                                        < loop_past[loop_position])
+            if sc_count == 3:
+                # Unrolled for the standard three-component corrector.
+                total = (2 if prediction_taken else -2) \
+                    + sc_t0[sc_i0[ordinal]] + sc_t1[sc_i1[ordinal]] \
+                    + sc_t2[sc_i2[ordinal]]
+                sc_used = False
+                if ((total >= sc_threshold or total <= -sc_threshold)
+                        and (total >= 0) != prediction_taken):
+                    sc_used = True
+                    prediction_taken = total >= 0
+            elif sc_count:
+                total = 2 if prediction_taken else -2
+                for component in range(sc_count):
+                    total += sc_tables[component][sc_idx[component][ordinal]]
+                sc_used = False
+                if ((total >= sc_threshold or total <= -sc_threshold)
+                        and (total >= 0) != prediction_taken):
+                    sc_used = True
+                    prediction_taken = total >= 0
+
+            # ----------------------------------------------------- update
+            if use_loop:
+                if loop_match:
+                    if taken:
+                        loop_current[loop_position] += 1
+                    else:
+                        if (loop_current[loop_position]
+                                == loop_past[loop_position]):
+                            confidence = loop_conf[loop_position]
+                            loop_conf[loop_position] = (
+                                confidence + 1 if confidence < 7 else 7)
+                        else:
+                            loop_past[loop_position] = (
+                                loop_current[loop_position])
+                            loop_conf[loop_position] = 0
+                        loop_current[loop_position] = 0
+                elif not taken:
+                    if (not loop_valid[loop_position]
+                            or loop_conf[loop_position] == 0):
+                        loop_valid[loop_position] = True
+                        loop_tags[loop_position] = loop_tag
+                        loop_past[loop_position] = 0
+                        loop_current[loop_position] = 0
+                        loop_conf[loop_position] = 0
+
+            if sc_count and (sc_used or -sc_train_band < total < sc_train_band):
+                delta = 1 if taken else -1
+                if sc_count == 3:
+                    position = sc_i0[ordinal]
+                    value = sc_t0[position] + delta
+                    sc_t0[position] = (-31 if value < -31
+                                       else (31 if value > 31 else value))
+                    position = sc_i1[ordinal]
+                    value = sc_t1[position] + delta
+                    sc_t1[position] = (-31 if value < -31
+                                       else (31 if value > 31 else value))
+                    position = sc_i2[ordinal]
+                    value = sc_t2[position] + delta
+                    sc_t2[position] = (-31 if value < -31
+                                       else (31 if value > 31 else value))
+                else:
+                    for component in range(sc_count):
+                        table = sc_tables[component]
+                        position = sc_idx[component][ordinal]
+                        value = table[position] + delta
+                        table[position] = (-31 if value < -31
+                                           else (31 if value > 31 else value))
+
+            if hit_mask:
+                if weak and tage_taken != alt_taken:
+                    if alt_taken == taken:
+                        if self.use_alt < 15:
+                            self.use_alt += 1
+                    elif self.use_alt > 0:
+                        self.use_alt -= 1
+                table = counters[provider]
+                value = table[provider_position] + 1 if taken else (
+                    table[provider_position] - 1)
+                table[provider_position] = (high if value > high
+                                            else (low if value < low else value))
+                if tage_taken != alt_taken:
+                    table = useful[provider]
+                    if tage_taken == taken:
+                        if table[provider_position] < useful_max:
+                            table[provider_position] += 1
+                    elif table[provider_position] > 0:
+                        table[provider_position] -= 1
+            else:
+                value = bimodal[bim_position]
+                bimodal[bim_position] = ((value + 1 if value < 3 else 3)
+                                         if taken
+                                         else (value - 1 if value > 0 else 0))
+
+            if tage_taken != taken:
+                start = provider + 1
+                allocated = False
+                idx_row = idx_rows[ordinal]
+                for table_no in range(start, table_count):
+                    position = idx_row[table_no]
+                    if (not valid_arrays[table_no][position]
+                            or useful[table_no][position] == 0):
+                        new_tag = int(tag_matrix[table_no, ordinal])
+                        valid_arrays[table_no][position] = True
+                        tag_arrays[table_no][position] = new_tag
+                        counters[table_no][position] = 0 if taken else -1
+                        useful[table_no][position] = 0
+                        # Guard repair: later accesses of this span computed
+                        # their hit bit against the overwritten tag — walk
+                        # this entry's same-index followers and patch them.
+                        chain = span_next[table_no]
+                        if chain is None:
+                            idx_col = idx_matrix[table_no]
+                            nxt = np.full(ncond, -1, dtype=np.int64)
+                            if ncond > 1:
+                                order = np.argsort(idx_col, kind="stable")
+                                ordered = idx_col[order]
+                                same = ordered[1:] == ordered[:-1]
+                                nxt[order[:-1][same]] = order[1:][same]
+                            chain = span_next[table_no] = nxt.tolist()
+                            span_tags[table_no] = tag_matrix[table_no].tolist()
+                        table_tags = span_tags[table_no]
+                        bit = 1 << table_no
+                        follower = chain[ordinal]
+                        while follower != -1:
+                            if table_tags[follower] == new_tag:
+                                hbs[follower] |= bit
+                            else:
+                                hbs[follower] &= ~bit
+                            follower = chain[follower]
+                        allocated = True
+                        break
+                if not allocated:
+                    for table_no in range(start, table_count):
+                        position = idx_row[table_no]
+                        if useful[table_no][position] > 0:
+                            useful[table_no][position] -= 1
+
+            if ordinal == reset_ordinal:
+                for table in useful:
+                    for position in range(len(table)):
+                        table[position] >>= 1
+
+            return prediction_taken
+
+        return step
+
+
+class _PerceptronStepper:
+    """Span-stepping replay of a :class:`~repro.bpu.perceptron.PerceptronPredictor`.
+
+    Dot products are batched per block from a weight-table snapshot gather
+    over the sliding ±1 history window; the per-conditional step runs under
+    the guard "no weight row in this block was retrained since the snapshot".
+    Training a row (which also applies saturation or an aliasing write)
+    fails the guard for that row's later accesses — those abort to a live
+    dot product while the rest of the block's speculative totals, whose
+    rows are untouched, stay committed and resume exactly.
+    """
+
+    guarded = True
+
+    #: Block size for the speculative dot-product batches.
+    _BLOCK = 128
+
+    def __init__(self, direction, maps):
+        self.direction = direction
+        self.maps = maps
+        config = direction.config
+        self.table_size = config.table_size
+        self.history_length = config.history_length
+
+    def begin(self) -> None:
+        self.weights = np.array(self.direction._weights, dtype=np.int64)
+
+    def finish(self) -> None:
+        self.direction._weights = self.weights.tolist()
+
+    def flush(self) -> None:
+        self.weights.fill(0)
+
+    def commit_span(self, cond_takens, executed_cond: int) -> None:
+        pass  # the perceptron keeps no history of its own
+
+    def prepare_span(self, cond_ips, cond_ctx, cond_takens, outcomes):
+        depth = self.history_length
+        ncond = cond_ips.shape[0]
+        rows = np.asarray(self.maps.perceptron_rows(
+            cond_ips, self.table_size, cond_ctx)).astype(np.int64)
+        tail = outcomes[-depth:]
+        carried = len(tail)
+        # ±1 stream: "not taken" pads for missing pre-trace history, then the
+        # carried outcomes, then this span's outcomes.
+        ext = np.full(depth + carried + ncond, -1, dtype=np.int64)
+        if carried:
+            ext[depth:depth + carried][np.array(tail, dtype=bool)] = 1
+        ext[depth + carried:] = np.where(cond_takens, 1, -1)
+        windows = np.lib.stride_tricks.sliding_window_view(ext, depth)
+
+        weights = self.weights
+        rows_list = rows.tolist()
+        takens_list = cond_takens.tolist()
+        threshold = self.direction._threshold
+        limit = self.direction._weight_limit
+        floor = -limit - 1
+        block = self._BLOCK
+
+        state = {"lo": 0, "hi": 0, "totals": None}
+        trained: set[int] = set()
+
+        def specialize(start: int) -> None:
+            stop = min(ncond, start + block)
+            selected = rows[start:stop]
+            gathered = weights[selected]
+            window_block = windows[carried + start:carried + stop]
+            state["totals"] = (gathered[:, 0]
+                               + (gathered[:, 1:] * window_block).sum(axis=1)
+                               ).tolist()
+            state["lo"] = start
+            state["hi"] = stop
+            trained.clear()
+
+        def step(ordinal: int) -> bool:
+            row = rows_list[ordinal]
+            if ordinal >= state["hi"]:
+                specialize(ordinal)
+            if row in trained:
+                # Guard failure: this row was retrained after the block
+                # snapshot, so its batched total is stale.  Other rows'
+                # weights are untouched — abort only this access to a live
+                # dot product and keep the rest of the block's prefix.
+                weight_row = weights[row]
+                total = int(weight_row[0]) + int(
+                    weight_row[1:] @ windows[carried + ordinal])
+            else:
+                total = state["totals"][ordinal - state["lo"]]
+            taken = takens_list[ordinal]
+            predicted = total >= 0
+            if predicted != taken or -threshold <= total <= threshold:
+                weight_row = weights[row]
+                delta = 1 if taken else -1
+                bias = weight_row[0] + delta
+                weight_row[0] = (limit if bias > limit
+                                 else (floor if bias < floor else bias))
+                # In-place ±1 then clamp equals the scalar clamp(w ± bit):
+                # one step overshoots the band by at most one on either side.
+                history_row = weight_row[1:]
+                if taken:
+                    history_row += windows[carried + ordinal]
+                else:
+                    history_row -= windows[carried + ordinal]
+                np.maximum(history_row, floor, out=history_row)
+                np.minimum(history_row, limit, out=history_row)
+                trained.add(row)
+            return predicted
+
+        return step
+
+
 class _CompositeEngine:
     """Vector replay engine over one :class:`~repro.bpu.composite.CompositeBPU`.
 
@@ -286,11 +962,15 @@ class _CompositeEngine:
     STBPU) drive the span schedule and event semantics.
     """
 
-    def __init__(self, composite, pht_maps, btb_maps, codec):
+    def __init__(self, composite, pht_maps, btb_maps, codec, stepper=None):
         self.composite = composite
         self.pht_maps = pht_maps
         self.btb_maps = btb_maps
         self.codec = codec
+        #: Direction stepper for non-SKL components (TAGE, Perceptron); when
+        #: set, the per-span direction work routes through it instead of the
+        #: closed-form counter scans.
+        self.stepper = stepper
         self.sizes = composite.sizes
         self.token_dependent = bool(
             getattr(pht_maps, "token_dependent", False)
@@ -328,10 +1008,13 @@ class _CompositeEngine:
         self.ways = btb.way_count
         self.set_count = btb.set_count
 
-        direction = composite.direction
-        self.one_table = np.array(direction.one_level._values, dtype=np.uint8)
-        self.two_table = np.array(direction.two_level._values, dtype=np.uint8)
-        self.choice_table = np.array(direction.chooser._values, dtype=np.uint8)
+        if self.stepper is None:
+            direction = composite.direction
+            self.one_table = np.array(direction.one_level._values, dtype=np.uint8)
+            self.two_table = np.array(direction.two_level._values, dtype=np.uint8)
+            self.choice_table = np.array(direction.chooser._values, dtype=np.uint8)
+        else:
+            self.stepper.begin()
 
         rsb = composite.rsb
         self.rsb = list(rsb._stack)
@@ -411,10 +1094,13 @@ class _CompositeEngine:
         btb._access_clock = self.clock
         btb.eviction_count = self.evictions
 
-        direction = composite.direction
-        direction.one_level._values = self.one_table.tolist()
-        direction.two_level._values = self.two_table.tolist()
-        direction.chooser._values = self.choice_table.tolist()
+        if self.stepper is None:
+            direction = composite.direction
+            direction.one_level._values = self.one_table.tolist()
+            direction.two_level._values = self.two_table.tolist()
+            direction.chooser._values = self.choice_table.tolist()
+        else:
+            self.stepper.finish()
 
         rsb = composite.rsb
         rsb._stack = self.rsb
@@ -432,9 +1118,12 @@ class _CompositeEngine:
             if key != -1:
                 keys[position] = -1
         self.rsb.clear()
-        self.one_table.fill(1)
-        self.two_table.fill(1)
-        self.choice_table.fill(1)
+        if self.stepper is None:
+            self.one_table.fill(1)
+            self.two_table.fill(1)
+            self.choice_table.fill(1)
+        else:
+            self.stepper.flush()
         self.ghr_value = 0
         self.bhb_value = 0
         self.outcomes.clear()
@@ -452,6 +1141,8 @@ class _CompositeEngine:
         """
         if hi <= lo:
             return _SpanResult(hi, False)
+        if self.stepper is not None:
+            return self._run_span_stepper(lo, hi, monitor)
         arrays = self.arrays
         span = slice(lo, hi)
         length = hi - lo
@@ -552,7 +1243,7 @@ class _CompositeEngine:
             dir_ok[part_rel].tolist(),
             monitor,
         )
-        target_ok_list, hit_list, evict_list, under_list, stopped_at = loop_result
+        target_ok_list, hit_list, evict_list, under_list, stopped_at, _ = loop_result
 
         fired = stopped_at >= 0
         if fired:
@@ -596,10 +1287,114 @@ class _CompositeEngine:
                          self.max_outcomes)
         return _SpanResult(lo + executed_rel, fired)
 
+    def _run_span_stepper(self, lo: int, hi: int,
+                          monitor: _MonitorMirror | None) -> _SpanResult:
+        """Replay ``[lo, hi)`` through the direction stepper.
+
+        The stepper precomputes the span's array-kernel inputs (folded
+        histories, table rows, speculative hit bits / batched dot products)
+        and hands back a per-conditional ``step`` closure; the structural
+        loop interleaves it with the BTB/RSB accesses so monitor-fired stops
+        land bit-exactly and resume from the executed prefix.
+
+        Spans are capped at ``_STEPPER_SPAN_LIMIT`` branches: the TAGE
+        allocation guard repairs same-index accesses of the *current* span,
+        so bounded spans bound the repair walks (and the speculative fold /
+        window arrays).  Callers already resume from ``executed_to``.
+        """
+        hi = min(hi, lo + _STEPPER_SPAN_LIMIT)
+        arrays = self.arrays
+        span = slice(lo, hi)
+        length = hi - lo
+        ips = arrays.ips[span]
+        takens = arrays.takens[span]
+        contexts = arrays.context_ids[span]
+        is_cond = self.is_cond[span]
+        cond_rel = np.flatnonzero(is_cond)
+        cond_takens = takens[cond_rel]
+        step = self.stepper.prepare_span(
+            ips[cond_rel], contexts[cond_rel], cond_takens, self.outcomes)
+
+        # --------------------------------------------------------- histories
+        update_mask = self.bhb_updates[span]
+        mixed = self.mixed[span][update_mask]
+        bhb_states = _bhb_states(mixed, self.bhb_value, self.sizes.bhb_bits)
+        update_cum = np.cumsum(update_mask)
+        ind_ret_rel = np.flatnonzero(self.is_ind_or_ret[span])
+        updates_before = update_cum[ind_ret_rel] - update_mask[ind_ret_rel]
+        bhb_at = bhb_states[updates_before]
+
+        # ---------------------------------------------------------- BTB keys
+        if self._mode1_cache is not None:
+            mode1_base = self._mode1_cache[0][span]
+            mode1_key = self._mode1_cache[1][span]
+            encoded = self._encoded_cache[span]
+            push_values = self._push_cache[span]
+        else:
+            mode1_base, mode1_key = self._mode1_keys(span)
+            encoded = np.asarray(self.codec.vector_encode(arrays.targets[span]))
+            push_values = np.asarray(self.codec.vector_encode(
+                (ips + _U64(4)) & _U64(VIRTUAL_ADDRESS_MASK)))
+        mode2_base = np.zeros(length, dtype=np.int64)
+        mode2_key = np.zeros(length, dtype=np.int64)
+        if ind_ret_rel.shape[0]:
+            index2, key2 = self.btb_maps.btb2(
+                ips[ind_ret_rel], bhb_at, contexts[ind_ret_rel])
+            index2 = index2.astype(np.int64)
+            if self.set_count != self.sizes.btb_sets:
+                index2 %= self.set_count
+            mode2_base[ind_ret_rel] = index2 * self.ways
+            mode2_key[ind_ret_rel] = key2.astype(np.int64)
+
+        dir_ok_list = [True] * length
+        loop_result = self._structural_loop(
+            self.base_opcode[span].tolist(),
+            takens.tolist(),
+            mode1_base.tolist(),
+            mode1_key.tolist(),
+            mode2_base.tolist(),
+            mode2_key.tolist(),
+            encoded.tolist(),
+            self.high_ok[span].tolist(),
+            self.fallthrough_ok[span].tolist(),
+            self.is_call[span].tolist(),
+            push_values.tolist(),
+            dir_ok_list,
+            monitor,
+            conds=is_cond.tolist(),
+            step=step,
+        )
+        (target_ok_list, hit_list, evict_list, under_list, stopped_at,
+         executed_cond) = loop_result
+        fired = stopped_at >= 0
+        executed_rel = stopped_at + 1 if fired else length
+
+        # Full-length result lists: entries past a fired stop keep their
+        # defaults and are overwritten when the resumed span replays them.
+        self.dir_ok[span] = dir_ok_list
+        self.target_ok[span] = target_ok_list
+        self.btb_hit[span] = hit_list
+        self.btb_evict[span] = evict_list
+        self.rsb_under[span] = under_list
+
+        # ------------------------------------------------ commit predictor state
+        executed_outcomes = cond_takens[:executed_cond].tolist()
+        self.ghr_value = _ghr_commit(self.ghr_value, executed_outcomes,
+                                     self.sizes.ghr_bits)
+        if fired:
+            executed_updates = int(update_cum[executed_rel - 1]) if executed_rel else 0
+        else:
+            executed_updates = int(update_cum[-1]) if length else 0
+        self.bhb_value = int(bhb_states[executed_updates])
+        self.stepper.commit_span(cond_takens, executed_cond)
+        _extend_outcomes(self.outcomes, executed_outcomes, self.max_outcomes)
+        return _SpanResult(lo + executed_rel, fired)
+
     # --------------------------------------------------------- structural loop
 
     def _structural_loop(self, ops, takens, base1, key1, base2, key2, encoded,
-                         high_ok, fall_ok, calls, pushes, dir_ok, monitor):
+                         high_ok, fall_ok, calls, pushes, dir_ok, monitor,
+                         conds=None, step=None):
         keys = self.bt_keys
         tags = self.bt_tags
         offsets = self.bt_offsets
@@ -620,6 +1415,7 @@ class _CompositeEngine:
         valid_bonus = 1 << 62
         huge = 1 << 63
         stopped_at = -1
+        conds_stepped = 0
 
         if monitor is not None:
             mis_remaining = monitor.mis_remaining
@@ -632,8 +1428,23 @@ class _CompositeEngine:
         watching = monitor is not None
 
         for j in range(count):
-            op = ops[j]
             taken = takens[j]
+            if conds is not None and conds[j]:
+                # Stepper mode: resolve the direction prediction in place.
+                predicted = step(conds_stepped)
+                conds_stepped += 1
+                dir_ok[j] = predicted == taken
+                if predicted:
+                    op = 0
+                elif taken:
+                    op = 1
+                else:
+                    # Predicted and resolved not-taken: the fall-through
+                    # target is implicitly correct, no structure is touched,
+                    # and the monitor sees neither misprediction nor eviction.
+                    continue
+            else:
+                op = ops[j]
             hit = False
             correct = False
             evicted = False
@@ -788,7 +1599,7 @@ class _CompositeEngine:
             monitor.observed_mis = observed_mis
             monitor.observed_ev = observed_ev
             monitor.fired = fired_count
-        return target_ok, hits, evicts, unders, stopped_at
+        return target_ok, hits, evicts, unders, stopped_at, conds_stepped
 
 
 # --------------------------------------------------------------------- stats
@@ -896,7 +1707,11 @@ class _KernelBase:
         return True
 
     def _run_block(self, lo: int, hi: int) -> None:
-        self.engine.run_span(lo, hi)
+        engine = self.engine
+        position = lo
+        while position < hi:
+            # run_span may stop early (stepper span cap); resume until done.
+            position = engine.run_span(position, hi).executed_to
 
     def _on_event(self, event: TraceEvent) -> None:  # pragma: no cover
         raise NotImplementedError
@@ -1025,15 +1840,23 @@ def _make_engine(composite) -> _CompositeEngine | None:
     array form."""
     from repro.bpu.btb import BranchTargetBuffer
     from repro.bpu.composite import CompositeBPU
+    from repro.bpu.perceptron import PerceptronPredictor
     from repro.bpu.pht import SKLConditionalPredictor
     from repro.bpu.rsb import ReturnStackBuffer
+    from repro.bpu.tage import TAGEPredictor
 
     if type(composite) is not CompositeBPU:
         return None
     direction = composite.direction
-    if type(direction) is not SKLConditionalPredictor:
-        return None
-    if composite.sizes.pht_counter_bits != 2:
+    stepper_type = None
+    if type(direction) is SKLConditionalPredictor:
+        if composite.sizes.pht_counter_bits != 2:
+            return None
+    elif type(direction) is TAGEPredictor:
+        stepper_type = _TAGEStepper
+    elif type(direction) is PerceptronPredictor:
+        stepper_type = _PerceptronStepper
+    else:
         return None
     if type(composite.btb) is not BranchTargetBuffer:
         return None
@@ -1048,7 +1871,17 @@ def _make_engine(composite) -> _CompositeEngine | None:
     btb_maps = composite.btb.mapping.vector_maps()
     if pht_maps is None or btb_maps is None:
         return None
-    return _CompositeEngine(composite, pht_maps, btb_maps, codec)
+    stepper = None
+    if stepper_type is _TAGEStepper:
+        if not (hasattr(pht_maps, "tage_indices")
+                and hasattr(pht_maps, "tage_tags")):
+            return None
+        stepper = _TAGEStepper(direction, pht_maps)
+    elif stepper_type is _PerceptronStepper:
+        if not hasattr(pht_maps, "perceptron_rows"):
+            return None
+        stepper = _PerceptronStepper(direction, pht_maps)
+    return _CompositeEngine(composite, pht_maps, btb_maps, codec, stepper)
 
 
 def composite_kernel(model):
@@ -1103,6 +1936,27 @@ def kernel_for(model):
                 "model %r has no vector kernel; falling back to the columnar "
                 "fast path", name)
     return kernel
+
+
+def kernel_status(model) -> str:
+    """Backend coverage class for ``model``.
+
+    ``"kernel"``
+        Closed-form array kernels end to end (SKL composites).
+    ``"guarded"``
+        Array kernels plus a guarded-specialization direction stepper
+        (TAGE, Perceptron): span inputs are speculative and repaired or
+        re-batched when a guard fails.
+    ``"fallback"``
+        No vector kernel; replay drops to the columnar fast path.
+    """
+    kernel = model.vector_kernel()
+    if kernel is None:
+        return "fallback"
+    engine = getattr(kernel, "engine", None)
+    if engine is not None and getattr(engine, "stepper", None) is not None:
+        return "guarded"
+    return "kernel"
 
 
 def fallback_logged_names() -> tuple[str, ...]:

@@ -75,6 +75,9 @@ class TestRunExperiment:
     def test_meta_experiments_execute_without_jobs(self):
         models = run_experiment("list-models")
         assert "ST_SKLCond" in models
+        assert models["ST_SKLCond"] == "kernel"
+        assert models["TAGE_SC_L_64KB"] == "guarded"
+        assert models["PerceptronBP"] == "guarded"
         table = run_experiment("list-experiments")
         assert set(LEGACY_COMMANDS) <= set(table)
 

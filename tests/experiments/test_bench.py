@@ -14,6 +14,7 @@ from repro.bench import (
     write_bench,
 )
 from repro.cli import main
+from repro.engine import run_experiment
 
 
 class TestBenchGrids:
@@ -60,9 +61,22 @@ class TestBenchRun:
         assert store["warm_matches_cold"] is True
         timing = store["warm_vs_cold_seconds"]
         assert timing["cold"] > 0 and timing["warm"] >= 0
+        # Format 6: the per-model predictors block is recorded, keyed by
+        # mode, with each model's kernel class and its gap vs the composite.
+        predictors = payload["predictors"]["quick"]
+        assert predictors["reference"] == "baseline"
+        models = predictors["models"]
+        assert set(models) == set(run_experiment("list-models"))
+        assert models["baseline"]["vector"] == "kernel"
+        assert models["baseline"]["gap_vs_vector"] == 1.0
+        assert models["TAGE_SC_L_64KB"]["vector"] == "guarded"
+        for entry in models.values():
+            assert entry["branches_per_second"] > 0
+            assert entry["gap_vs_vector"] > 0
         # Rendering never fails on a populated report.
         assert "figure3" in format_bench(report)
         assert "result store" in format_bench(report)
+        assert "predictors" in format_bench(report)
 
     def test_write_bench_merges_modes(self, tmp_path):
         path = tmp_path / "BENCH_merge.json"
@@ -76,12 +90,14 @@ class TestBenchRun:
         payload["benches"]["figure3.full"] = dict(
             payload["benches"]["figure3.quick"], mode="full")
         payload["store"]["full"] = dict(payload["store"]["quick"])
+        payload["predictors"]["full"] = dict(payload["predictors"]["quick"])
         path.write_text(json.dumps(payload))
         write_bench(report, str(path))
         merged = json.loads(path.read_text())
         assert "figure3.full" in merged["benches"]
         assert "figure3.quick" in merged["benches"]
         assert set(merged["store"]) == {"full", "quick"}
+        assert set(merged["predictors"]) == {"full", "quick"}
 
     def test_cli_bench_writes_artifact(self, tmp_path, capsys):
         output = tmp_path / "BENCH_cli.json"
@@ -110,9 +126,20 @@ class TestBenchCheck:
         for entry in inflated["benches"].values():
             entry["branches_per_second"] = entry["branches_per_second"] * 10
         path.write_text(json.dumps(inflated))
-        failures = check_regression(report, str(path))
+        failures = [failure for failure in check_regression(report, str(path))
+                    if not failure.startswith("predictors.")]
         assert len(failures) == len(report.timings)
         assert "below the recorded" in failures[0]
+
+    def test_check_gates_the_predictors_block(self, tmp_path):
+        report, path = self._report_and_artifact(tmp_path)
+        inflated = json.loads(path.read_text())
+        for entry in inflated["predictors"]["quick"]["models"].values():
+            entry["branches_per_second"] = entry["branches_per_second"] * 10
+        path.write_text(json.dumps(inflated))
+        failures = [failure for failure in check_regression(report, str(path))
+                    if failure.startswith("predictors.quick.")]
+        assert len(failures) == len(report.predictors["models"])
 
     def test_check_ignores_foreign_modes(self, tmp_path):
         report, path = self._report_and_artifact(tmp_path)
@@ -172,11 +199,14 @@ class TestBenchCheck:
         output = tmp_path / "BENCH_out.json"
         reference = tmp_path / "BENCH_prev.json"
         write_bench(run_bench(quick=True), str(reference))
-        # Deflate the recorded throughput so machine noise between the two
-        # timed runs cannot trip the 20% floor: the gate logic, not the
-        # container's scheduler, is under test here.
+        # Deflate the recorded throughput (grids and predictors alike) so
+        # machine noise between the two timed runs cannot trip the 20%
+        # floor: the gate logic, not the container's scheduler, is under
+        # test here.
         deflated = json.loads(reference.read_text())
         for entry in deflated["benches"].values():
+            entry["branches_per_second"] = entry["branches_per_second"] * 0.1
+        for entry in deflated["predictors"]["quick"]["models"].values():
             entry["branches_per_second"] = entry["branches_per_second"] * 0.1
         reference.write_text(json.dumps(deflated))
         assert main(["bench", "--quick", "--output", str(output),

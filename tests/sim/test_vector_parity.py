@@ -31,8 +31,10 @@ def _family_jobs():
 
     ``ST_SKLCond[r=0.0005]`` has aggressively low monitor thresholds, so its
     cells re-randomize many times mid-trace — exercising the vector backend's
-    fired-chunk prefix commit; TAGE/Perceptron cells exercise the logged
-    fallback path.
+    fired-chunk prefix commit.  The TAGE and Perceptron cells (both sizes,
+    protected and unprotected) replay through the guarded span steppers, and
+    every ablation facade rides along, so each registry family's kernel is
+    pinned against both scalar paths.
     """
     scale = ExperimentScale(branch_count=2_000, warmup_branches=200, seed=13)
     rerand_heavy = ModelSpec.of("ST_SKLCond", r=0.0005)
@@ -40,16 +42,19 @@ def _family_jobs():
         SimulationGrid(
             kind="trace",
             models=("baseline", "ucode_protection_1", "ucode_protection_2",
-                    "conservative", "ST_SKLCond", rerand_heavy,
-                    "TAGE_SC_L_8KB", "PerceptronBP"),
+                    "conservative", "stbpu_variant", "ST_SKLCond", rerand_heavy,
+                    "TAGE_SC_L_8KB", "TAGE_SC_L_64KB", "PerceptronBP",
+                    "ST_TAGE_SC_L_8KB", "ST_TAGE_SC_L_64KB",
+                    "ST_PerceptronBP"),
             workloads=("505.mcf", "apache2_prefork_c128"), scale=scale),
         SimulationGrid(
-            kind="cpu", models=("baseline", "conservative", "ST_SKLCond"),
+            kind="cpu", models=("baseline", "conservative", "ST_SKLCond",
+                                "TAGE_SC_L_8KB", "PerceptronBP"),
             workloads=("541.leela",), scale=scale),
         SimulationGrid(
             kind="smt",
             models=("baseline", "ucode_protection_2", "conservative",
-                    "ST_SKLCond"),
+                    "ST_SKLCond", "ST_TAGE_SC_L_8KB", "ST_PerceptronBP"),
             workloads=(("505.mcf", "541.leela"),), scale=scale),
     ]
     jobs = []
@@ -139,6 +144,158 @@ class TestThreeWayParity:
         assert stats["fast"] == stats["vector"], f"warmup={warmup}"
 
 
+def _tage_state(direction):
+    """Complete TAGE-SC-L predictor state, every table and register."""
+    return (
+        list(direction._bimodal),
+        [[(e.valid, e.tag, e.counter, e.useful) for e in t]
+         for t in direction._tables],
+        [f.value for f in direction._index_folds],
+        [f.value for f in direction._tag_folds],
+        list(direction._ghist),
+        direction._use_alt_on_na,
+        direction._access_count,
+        [(e.tag, e.past_iterations, e.current_iterations, e.confidence,
+          e.valid) for e in direction._loop_table],
+        [list(t) for t in direction._sc_tables],
+    )
+
+
+def _perceptron_state(direction):
+    return [list(row) for row in direction._weights]
+
+
+def _composite_state(composite):
+    """Shared composite structures: BTB, RSB and the history registers."""
+    return (
+        [(e.valid, e.tag, e.offset, e.stored_target, e.lru_stamp)
+         for btb_set in composite.btb._sets for e in btb_set],
+        composite.btb._access_clock,
+        composite.btb.eviction_count,
+        list(composite.rsb._stack),
+        composite.history.ghr.value,
+        composite.history.bhb.value,
+        list(composite.history.outcomes),
+    )
+
+
+class TestPredictorStateParity:
+    """Fast-vs-vector *state* parity for the guarded TAGE/Perceptron kernels.
+
+    The frame-level grid above already pins the serialized stats; these
+    tests additionally require the post-replay predictor state — every
+    tagged entry, fold register, weight row, BTB entry and history register
+    — to be bit-identical, which is what makes mid-trace guard aborts and
+    resumes observable even when they happen to leave the stats alone.
+    """
+
+    def _replay(self, factory, workload, state_fn, branches=6_000):
+        from repro.engine import trace_for
+
+        trace = trace_for(workload, branches, 7)
+        snapshots = {}
+        for backend in ("fast", "vector"):
+            with fastpath.forced_backend(backend):
+                model = factory()
+                result = TraceSimulator(warmup_branches=250).run(model, trace)
+                inner = getattr(model, "inner", model)
+                token = (model.current_token().value
+                         if hasattr(model, "current_token") else None)
+                stats = (model.protection_stats()
+                         if hasattr(model, "current_token") else None)
+                snapshots[backend] = (result, stats, token,
+                                      state_fn(inner.direction),
+                                      _composite_state(inner))
+        return snapshots
+
+    @pytest.mark.parametrize("workload", ["505.mcf", "apache2_prefork_c128"])
+    @pytest.mark.parametrize("config_name", ["TAGE_SC_L_8KB", "TAGE_SC_L_64KB"])
+    def test_unprotected_tage_state(self, config_name, workload):
+        from repro.bpu import tage as tage_module
+        from repro.core.stbpu import make_unprotected_tage
+
+        config = getattr(tage_module, config_name)
+        snapshots = self._replay(lambda: make_unprotected_tage(config),
+                                 workload, _tage_state)
+        assert snapshots["fast"] == snapshots["vector"]
+
+    @pytest.mark.parametrize("workload", ["505.mcf", "apache2_prefork_c128"])
+    def test_unprotected_perceptron_state(self, workload):
+        from repro.core.stbpu import make_unprotected_perceptron
+
+        snapshots = self._replay(make_unprotected_perceptron, workload,
+                                 _perceptron_state)
+        assert snapshots["fast"] == snapshots["vector"]
+
+    @pytest.mark.parametrize("config_name", ["TAGE_SC_L_8KB", "TAGE_SC_L_64KB"])
+    def test_rerand_heavy_st_tage_state(self, config_name):
+        # Aggressive monitor thresholds force the monitor to fire *inside*
+        # stepper spans: the stepper must commit the executed prefix, abort
+        # the rest of the block, re-specialize under the new token, and
+        # resume exactly.  The rerandomization count pins that the abort
+        # path actually ran.
+        from repro.bpu import tage as tage_module
+        from repro.core.stbpu import make_stbpu_tage
+
+        config = getattr(tage_module, config_name)
+        monitor = MonitorConfig(misprediction_threshold=60,
+                                eviction_threshold=45,
+                                direction_misprediction_threshold=None)
+        snapshots = self._replay(
+            lambda: make_stbpu_tage(config, monitor_config=monitor, seed=5),
+            "505.mcf", _tage_state)
+        assert snapshots["fast"][1]["rerandomizations"] > 5
+        assert snapshots["fast"] == snapshots["vector"]
+
+    def test_rerand_heavy_st_perceptron_state(self):
+        from repro.core.stbpu import make_stbpu_perceptron
+
+        monitor = MonitorConfig(misprediction_threshold=60,
+                                eviction_threshold=45,
+                                direction_misprediction_threshold=None)
+        snapshots = self._replay(
+            lambda: make_stbpu_perceptron(monitor_config=monitor, seed=5),
+            "505.mcf", _perceptron_state)
+        assert snapshots["fast"][1]["rerandomizations"] > 5
+        assert snapshots["fast"] == snapshots["vector"]
+
+    def test_perceptron_guard_abort_resumes_exactly(self):
+        """A single hot conditional drives every access into one weight row:
+        the first training in each speculative block stales the whole rest of
+        the block, so nearly every later access takes the guard-abort path
+        (live dot product) and must resume on the committed prefix."""
+        from repro.core.stbpu import make_unprotected_perceptron
+
+        trace = Trace(name="hot-row")
+        for index in range(1_500):
+            trace.append(BranchRecord(
+                ip=0x4040, target=0x9000,
+                taken=(index * 7) % 11 < 6,
+                branch_type=BranchType.CONDITIONAL))
+        snapshots = {}
+        for backend in ("fast", "vector"):
+            with fastpath.forced_backend(backend):
+                model = make_unprotected_perceptron()
+                result = TraceSimulator(warmup_branches=100).run(model, trace)
+                snapshots[backend] = (result,
+                                      _perceptron_state(model.direction))
+        # The row trained (so block snapshots went stale mid-block) …
+        assert any(any(weight for weight in row)
+                   for row in snapshots["vector"][1])
+        # … and the aborted accesses resumed bit-identically.
+        assert snapshots["fast"] == snapshots["vector"]
+
+    def test_tage_span_boundaries_resume_exactly(self, monkeypatch):
+        # A tiny span cap forces many prepare/commit cycles mid-trace; the
+        # carried history and fold registers must reseed each span exactly.
+        from repro.core.stbpu import make_unprotected_tage
+
+        monkeypatch.setattr(vector, "_STEPPER_SPAN_LIMIT", 64)
+        snapshots = self._replay(make_unprotected_tage, "505.mcf",
+                                 _tage_state, branches=2_000)
+        assert snapshots["fast"] == snapshots["vector"]
+
+
 class TestBackendSwitch:
     def test_default_backend_is_vector(self):
         assert fastpath.backend() in fastpath.BACKENDS
@@ -172,16 +329,33 @@ class TestBackendSwitch:
         assert json_path.exists()
 
     def test_fallback_is_logged_once(self, caplog):
-        from repro.core.stbpu import make_unprotected_tage
+        from repro.bpu.common import StructureSizes
+        from repro.bpu.composite import make_skl_composite
 
-        vector._FALLBACK_LOGGED.discard("TAGE_SC_L_64KB")
-        model = make_unprotected_tage()
+        # Every registry model has a vector kernel now, so the fallback path
+        # is pinned with a 3-bit-counter SKL composite (the SKL engine
+        # builder only handles the 2-bit transition tables).
+        vector._FALLBACK_LOGGED.discard("ThreeBitCond")
+        model = make_skl_composite(
+            sizes=StructureSizes(pht_counter_bits=3), name="ThreeBitCond")
         with caplog.at_level(logging.INFO, logger="repro.sim.vector"):
+            assert vector.kernel_status(model) == "fallback"
             assert vector.kernel_for(model) is None
             assert vector.kernel_for(model) is None
         notices = [record for record in caplog.records
                    if "no vector kernel" in record.message]
         assert len(notices) == 1
+
+    def test_every_registry_model_has_a_kernel(self):
+        from repro.engine.registry import build_model, list_models
+
+        statuses = {name: vector.kernel_status(build_model(name, seed=0))
+                    for name in list_models()}
+        assert set(statuses.values()) <= {"kernel", "guarded"}
+        assert statuses["TAGE_SC_L_64KB"] == "guarded"
+        assert statuses["ST_PerceptronBP"] == "guarded"
+        assert statuses["baseline"] == "kernel"
+        assert statuses["stbpu_variant"] == "kernel"
 
 
 class TestVectorKernels:
@@ -256,6 +430,89 @@ class TestVectorKernels:
         out = keyed_remap_array(psi, ips, bhbs, output_bits=14, domain=4)
         for ip, bhb, digest in zip(ips.tolist(), bhbs.tolist(), out.tolist()):
             assert digest == keyed_remap(psi, ip, bhb, output_bits=14, domain=4)
+
+    @pytest.mark.parametrize("width,history,count", [
+        (11, 130, 40),     # short span: 2-D gather path
+        (8, 3, 25),        # history shorter than the register
+        (13, 640, 3_000),  # long span: per-plane slice path
+        (1, 27, 80),       # degenerate single-bit register
+    ])
+    def test_fold_values_matches_incremental_fold(self, width, history, count):
+        rng = np.random.default_rng(41)
+        carried = [bool(b) for b in rng.integers(0, 2, size=137)]
+        span = [bool(b) for b in rng.integers(0, 2, size=count)]
+        pad = history + width + 8
+        extended = np.zeros(pad + len(carried) + count, dtype=np.int64)
+        extended[pad:pad + len(carried)] = carried
+        extended[pad + len(carried):] = span
+        parity = vector._strided_parity(extended, width)
+        values = vector._fold_values(parity, pad, len(carried), count,
+                                     history, width)
+        for position in range(count):
+            # The register the scalar fold holds when predicting span
+            # outcome `position`: everything earlier has been absorbed.
+            expected = vector._fold_register_value(
+                carried + span[:position], history, width)
+            assert int(values[position]) == expected, position
+
+    def test_tage_map_kernels_match_scalar_and_batch(self):
+        from repro.bpu.common import StructureSizes
+        from repro.bpu.mapping import BaselineMappingProvider
+        from repro.core.remapping import STMappingProvider
+        from repro.core.secret_token import SecretToken
+
+        rng = np.random.default_rng(43)
+        count, index_bits, tag_bits = 48, 10, 12
+        ips = rng.integers(0, 1 << 48, size=count).astype(np.uint64)
+        folded = rng.integers(0, 1 << index_bits, size=count).astype(np.uint64)
+        tables = (1, 2, 5)
+        providers = [
+            BaselineMappingProvider(StructureSizes()),
+            STMappingProvider(SecretToken(0xA5A5_1234_DEAD_BEEF)),
+        ]
+        for provider in providers:
+            maps = provider.vector_maps()
+            per_table_idx, per_table_tag = [], []
+            for table in tables:
+                idx = maps.tage_indices(ips, folded, table, index_bits)
+                tag = maps.tage_tags(ips, folded, table, tag_bits)
+                per_table_idx.append(idx)
+                per_table_tag.append(tag)
+                for position in range(count):
+                    assert int(idx[position]) == provider.tage_index(
+                        int(ips[position]), int(folded[position]), table,
+                        index_bits)
+                    assert int(tag[position]) == provider.tage_tag(
+                        int(ips[position]), int(folded[position]), table,
+                        tag_bits)
+            # Array-table batching: one concatenated call per output width
+            # must reproduce the per-table calls exactly.
+            batched_ips = np.concatenate([ips] * len(tables))
+            batched_folded = np.concatenate([folded] * len(tables))
+            batched_tables = np.repeat(
+                np.asarray(tables, dtype=np.uint64), count)
+            batched_idx = maps.tage_indices(
+                batched_ips, batched_folded, batched_tables, index_bits)
+            batched_tag = maps.tage_tags(
+                batched_ips, batched_folded, batched_tables, tag_bits)
+            assert batched_idx.tolist() == np.concatenate(per_table_idx).tolist()
+            assert batched_tag.tolist() == np.concatenate(per_table_tag).tolist()
+
+    def test_perceptron_rows_match_scalar(self):
+        from repro.bpu.common import StructureSizes
+        from repro.bpu.mapping import BaselineMappingProvider
+        from repro.core.remapping import STMappingProvider
+        from repro.core.secret_token import SecretToken
+
+        rng = np.random.default_rng(47)
+        ips = rng.integers(0, 1 << 48, size=64).astype(np.uint64)
+        table_size = 1_097  # non-power-of-two exercises the modulo
+        for provider in (BaselineMappingProvider(StructureSizes()),
+                         STMappingProvider(SecretToken(0x0123_4567_89AB_CDEF))):
+            rows = provider.vector_maps().perceptron_rows(ips, table_size)
+            for position in range(ips.shape[0]):
+                assert int(rows[position]) == provider.perceptron_index(
+                    int(ips[position]), table_size)
 
     def test_outcome_trim_emulation(self):
         from repro.sim.vector import _extend_outcomes

@@ -126,10 +126,12 @@ class TestVersionAndListings:
         assert info.value.code == 0
         assert capsys.readouterr().out.strip() == f"repro {__version__}"
 
-    def test_list_models_is_sorted(self, capsys):
+    def test_list_models_is_sorted_with_vector_column(self, capsys):
         assert main(["list-models"]) == 0
-        names = capsys.readouterr().out.strip().splitlines()
+        rows = [line.split() for line in capsys.readouterr().out.strip().splitlines()]
+        names = [row[0] for row in rows]
         assert names == sorted(names) and len(names) == len(set(names))
+        assert {row[1] for row in rows} <= {"kernel", "guarded", "fallback"}
 
     def test_list_workloads_is_sorted(self, capsys):
         assert main(["list-workloads"]) == 0
