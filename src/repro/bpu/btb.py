@@ -64,6 +64,9 @@ class BranchTargetBuffer:
             budget.  A value of 0.5 halves the number of sets.
     """
 
+    __slots__ = ("sizes", "mapping", "codec", "_set_count", "_ways", "_sets",
+                 "_access_clock", "eviction_count")
+
     def __init__(
         self,
         sizes: StructureSizes | None = None,

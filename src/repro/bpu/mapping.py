@@ -43,6 +43,8 @@ class BTBLookupKey:
 class MappingProvider(abc.ABC):
     """Computes the structure-addressing bits for every BPU lookup."""
 
+    __slots__ = ("sizes",)
+
     def __init__(self, sizes: StructureSizes | None = None):
         self.sizes = sizes if sizes is not None else StructureSizes()
 
@@ -93,6 +95,8 @@ class TargetCodec(abc.ABC):
     """Encodes targets before they are stored in the BTB/RSB and decodes them
     on the way out (function 5 in Figure 1)."""
 
+    __slots__ = ()
+
     #: Whether encode/decode depend on a live secret token (the vector backend
     #: then refreshes its encoded-target arrays on every token change).
     token_dependent = False
@@ -142,6 +146,10 @@ class BaselineMappingProvider(MappingProvider):
     are precomputed once instead of being re-derived from the sizes on every
     lookup.
     """
+
+    __slots__ = ("_btb_offset_mask", "_btb_index_mask", "_btb_tag_mask",
+                 "_btb_tag_shift", "_pht_index_mask", "_pht_fold_mask",
+                 "_ghr_two_chunk_fold", "_mode1_cache", "_pht1_cache")
 
     #: Entry bound for the per-instance memoisation of address-only maps.
     _CACHE_LIMIT = 1 << 18
@@ -257,6 +265,8 @@ class _BaselineVectorMaps:
     """NumPy mirror of :class:`BaselineMappingProvider` (and the full-address
     variant, which differs only in the truncation mask)."""
 
+    __slots__ = ("provider", "sizes", "_truncate_mask")
+
     token_dependent = False
 
     def __init__(self, provider: "BaselineMappingProvider", truncate_bits: int):
@@ -340,6 +350,8 @@ class FullAddressMappingProvider(BaselineMappingProvider):
     :mod:`repro.bpu.protections`.
     """
 
+    __slots__ = ()
+
     def _truncate(self, ip: int) -> int:
         return ip
 
@@ -353,6 +365,8 @@ class FullAddressMappingProvider(BaselineMappingProvider):
 
 class IdentityTargetCodec(TargetCodec):
     """Baseline stored-target handling: the 32 low target bits are stored verbatim."""
+
+    __slots__ = ()
 
     def encode(self, target: int) -> int:
         return target & STORED_TARGET_MASK

@@ -40,6 +40,10 @@ class FlushingProtectedBPU(BranchPredictorModel):
             the SMT simulator partitions structures by thread instead.
     """
 
+    __slots__ = ("inner", "name", "flush_on_context_switch",
+                 "flush_on_mode_switch", "stibp", "flush_count",
+                 "_current_context")
+
     def __init__(
         self,
         inner: CompositeBPU,
@@ -107,6 +111,8 @@ class _PartitionedMappingProvider(MappingProvider):
     physically partitioned or way-partitioned structure).
     """
 
+    __slots__ = ("base", "partitions", "current_context")
+
     def __init__(self, base: MappingProvider, partitions: int = 4):
         super().__init__(base.sizes)
         self.base = base
@@ -170,6 +176,8 @@ class _PartitionedVectorMaps:
     installed.
     """
 
+    __slots__ = ("provider", "base")
+
     token_dependent = False
 
     def __init__(self, provider: _PartitionedMappingProvider, base_maps):
@@ -211,6 +219,8 @@ class ConservativeBPU(BranchPredictorModel):
     collisions are possible; the partition count adapts to how many contexts
     have been observed.
     """
+
+    __slots__ = ("sizes", "_mapping", "inner", "name")
 
     def __init__(self, sizes: StructureSizes | None = None, partitions: int = 4):
         self.sizes = sizes if sizes is not None else StructureSizes()

@@ -31,6 +31,9 @@ class ReturnStackBuffer:
     popping an empty stack reports an underflow.
     """
 
+    __slots__ = ("capacity", "codec", "_stack", "overflow_count",
+                 "underflow_count")
+
     def __init__(self, entries: int = 16, codec: TargetCodec | None = None):
         if entries <= 0:
             raise ValueError("entries must be positive")

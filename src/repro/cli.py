@@ -44,6 +44,7 @@ from repro.engine import (
     run_scenario,
     scenario_envelope,
 )
+from repro.lint.cli import add_lint_parser
 from repro.sim import fastpath
 from repro.store import DiskStore, default_store_path, open_store
 from repro.version import __version__
@@ -304,6 +305,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_options(serve_parser)
     serve_parser.set_defaults(handler=_cmd_serve)
 
+    add_lint_parser(subparsers)
+
     for spec in list_experiments():
         sub = subparsers.add_parser(spec.name, help=spec.description)
         if spec.takes_workers:
@@ -327,9 +330,11 @@ def main(argv: list[str] | None = None) -> int:
     ):
         argv = argv[1:]
     args = build_parser().parse_args(argv)
-    handler: Callable[[argparse.Namespace], None] = args.handler
+    handler: Callable[[argparse.Namespace], int | None] = args.handler
     try:
-        handler(args)
+        # Handlers may return an exit code (``lint`` exits 1 on findings);
+        # None means success.
+        status = handler(args)
         # Flush inside the try: with buffered stdout the EPIPE from a closed
         # pipe (| head) would otherwise only surface at interpreter shutdown,
         # as "Exception ignored" noise and exit code 120.
@@ -348,7 +353,7 @@ def main(argv: list[str] | None = None) -> int:
                    if isinstance(error, KeyError) and error.args else str(error))
         print(f"error: {message}", file=sys.stderr)
         return 2
-    return 0
+    return status if isinstance(status, int) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -297,9 +297,9 @@ def execute_job(job: Job) -> JobRecord:
         runner = _EXECUTORS[job.kind]
     except KeyError:
         raise ValueError(f"unknown job kind {job.kind!r}") from None
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro-lint: disable=determinism -- wall time only; JobRecord.seconds is excluded from serialized frames
     record = runner(job)
-    record.seconds = time.perf_counter() - started
+    record.seconds = time.perf_counter() - started  # repro-lint: disable=determinism -- wall time only; JobRecord.seconds is excluded from serialized frames
     return record
 
 

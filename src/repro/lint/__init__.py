@@ -1,0 +1,58 @@
+"""``repro.lint`` — AST-based invariant checks for this repository.
+
+The test suite can only spot-check the three invariants the system rests on;
+this package encodes them as static-analysis rules so every change is checked
+mechanically:
+
+* **determinism** — results are content-addressed by fingerprint (PR 5), so
+  any hidden nondeterminism on the fingerprint/result path silently poisons
+  the cache;
+* **backend parity** — every replay backend must stay bit-identical (PR 4/6),
+  so a model must never half-join the vector backend;
+* **serve-tier thread safety** — everything reachable from ``repro serve``'s
+  threaded handlers must be lock-disciplined.
+
+Rules walk the AST only — nothing is imported or executed.  Findings can be
+suppressed inline (``# repro-lint: disable=<rule> -- <why>``) or grandfathered
+in a checked-in baseline file (``lint-baseline.json``); see
+:mod:`repro.lint.framework` and :mod:`repro.lint.baseline`.  The CLI front end
+is ``python -m repro lint`` (:mod:`repro.lint.cli`).
+"""
+
+from repro.lint.baseline import (
+    BASELINE_SCHEMA,
+    DEFAULT_BASELINE_NAME,
+    baseline_payload,
+    load_baseline,
+)
+from repro.lint.findings import LINT_SCHEMA, Finding, Severity
+from repro.lint.framework import (
+    LintReport,
+    ModuleUnit,
+    Project,
+    Rule,
+    list_rules,
+    load_builtin_rules,
+    register_rule,
+    rule_by_id,
+    run_lint,
+)
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LINT_SCHEMA",
+    "LintReport",
+    "ModuleUnit",
+    "Project",
+    "Rule",
+    "Severity",
+    "baseline_payload",
+    "list_rules",
+    "load_baseline",
+    "load_builtin_rules",
+    "register_rule",
+    "rule_by_id",
+    "run_lint",
+]

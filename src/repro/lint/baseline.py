@@ -1,0 +1,67 @@
+"""The lint baseline: checked-in grandfathered findings.
+
+When a new rule lands, pre-existing violations that are deliberate (or whose
+fix is deferred to a named follow-up) are recorded here instead of being
+suppressed inline, so the CI gate stays red for *new* findings only.  Entries
+match on ``(rule, path, message)`` — no line numbers, so unrelated edits never
+churn the file, while fixing (or reworking) the flagged code makes its entry
+stale.  ``repro lint --write-baseline`` regenerates the file from a fresh
+scan; the shipped baseline is pinned by a self-check test against ``src/``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.lint.findings import Finding
+
+#: Schema tag of the baseline file.
+BASELINE_SCHEMA = "repro.lint-baseline/v1"
+
+#: Conventional baseline filename, looked up in the working directory.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+def baseline_payload(findings: Iterable[Finding]) -> dict[str, Any]:
+    """The serialized form of ``findings`` as a baseline document."""
+    entries = sorted(
+        {finding.baseline_key for finding in findings})
+    return {
+        "schema": BASELINE_SCHEMA,
+        "entries": [
+            {"rule": rule, "path": path, "message": message}
+            for rule, path, message in entries
+        ],
+    }
+
+
+def dump_baseline(findings: Iterable[Finding], path: str | Path) -> int:
+    """Write ``findings`` as a baseline file; returns the entry count."""
+    payload = baseline_payload(findings)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(payload["entries"])
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
+    """Read a baseline file into the match-key set :func:`run_lint` takes."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{str(path)!r} is not a {BASELINE_SCHEMA} baseline file")
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {str(path)!r} has no entry list")
+    keys: set[tuple[str, str, str]] = set()
+    for entry in entries:
+        try:
+            keys.add((entry["rule"], entry["path"], entry["message"]))
+        except (TypeError, KeyError):
+            raise ValueError(
+                f"baseline {str(path)!r} has a malformed entry: {entry!r}"
+            ) from None
+    return keys

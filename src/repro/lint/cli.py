@@ -1,0 +1,132 @@
+"""``python -m repro lint`` — the CLI front end of :mod:`repro.lint`.
+
+Exit codes follow the convention the CI gate relies on: **0** clean (no
+active finding — suppressed and baselined ones do not count), **1** findings,
+**2** usage error (unknown rule, missing path, unreadable baseline).
+
+``--json`` emits the versioned ``repro.lint/v1`` envelope — the same
+``{"schema", "spec", "result"}`` shape as every other ``--json`` artifact —
+to stdout (bare flag) or to a file (``--json PATH``), so CI can upload and
+diff reports.  ``--list-rules`` prints the sorted rule registry like the
+other pinned listings; ``--write-baseline`` regenerates the grandfathered
+findings file from a fresh scan.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    dump_baseline,
+    load_baseline,
+)
+from repro.lint.findings import LINT_SCHEMA
+from repro.lint.framework import LintReport, list_rules, run_lint
+
+
+def lint_envelope(report: LintReport) -> dict[str, Any]:
+    """The ``repro.lint/v1`` findings envelope for ``report``."""
+    return {"schema": LINT_SCHEMA, "spec": "lint",
+            "result": report.to_payload()}
+
+
+def format_rules() -> str:
+    """The sorted rule listing (id, severity, one-line description)."""
+    rules = list_rules()
+    width = max(len(rule.id) for rule in rules)
+    return "\n".join(
+        f"{rule.id:{width}s}  {rule.severity.value:7s}  {rule.description}"
+        for rule in rules)
+
+
+def format_report(report: LintReport) -> str:
+    lines = [finding.render() for finding in report.findings]
+    tally = (f"{len(report.findings)} finding(s), "
+             f"{report.suppressed} suppressed, {report.baselined} baselined")
+    lines.append(f"lint: {tally}" if report.findings
+                 else f"lint: clean ({tally})")
+    return "\n".join(lines)
+
+
+def add_lint_parser(subparsers) -> None:
+    """Register the ``lint`` subcommand on the main CLI's subparsers."""
+    parser = subparsers.add_parser(
+        "lint",
+        help="run the repository's AST invariant checks "
+             "(determinism, fingerprint coverage, thread safety, backend "
+             "parity, hot-path hygiene)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to scan (default: src)")
+    parser.add_argument(
+        "--rule", action="append", metavar="ID", default=None,
+        help="run only this rule (repeatable; default: all rules)")
+    parser.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit the repro.lint/v1 findings envelope to PATH "
+             "(bare --json: stdout)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the sorted rule registry and exit")
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="grandfathered-findings file "
+             f"(default: {DEFAULT_BASELINE_NAME} when present)")
+    parser.add_argument(
+        "--no-baseline", dest="use_baseline", action="store_false",
+        default=True, help="ignore any baseline file")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="regenerate the baseline from this scan's findings and exit 0")
+    parser.set_defaults(handler=cmd_lint)
+
+
+def _resolve_baseline(args: argparse.Namespace):
+    """The baseline key set for this run (or ``None``), honouring flags."""
+    if not args.use_baseline:
+        return None, None
+    if args.baseline is not None:
+        if not os.path.exists(args.baseline) and not args.write_baseline:
+            raise ValueError(
+                f"baseline file {args.baseline!r} does not exist")
+        path = args.baseline
+    elif os.path.exists(DEFAULT_BASELINE_NAME):
+        path = DEFAULT_BASELINE_NAME
+    else:
+        return None, None
+    if args.write_baseline or not os.path.exists(path):
+        return None, path
+    return load_baseline(path), path
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Handler for ``repro lint``; returns the process exit code."""
+    if args.list_rules:
+        print(format_rules())
+        return 0
+    baseline, baseline_path = _resolve_baseline(args)
+    report = run_lint(args.paths, rule_ids=args.rule, baseline=baseline)
+    if args.write_baseline:
+        target = baseline_path or args.baseline or DEFAULT_BASELINE_NAME
+        count = dump_baseline(report.findings, target)
+        print(f"baseline written to {target} ({count} entrie(s))")
+        return 0
+    if args.json:
+        payload = lint_envelope(report)
+        if args.json == "-":
+            json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+            sys.stdout.write("\n")
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"JSON written to {args.json}")
+    if args.json != "-":
+        print(format_report(report))
+    return 0 if report.clean else 1

@@ -1,0 +1,23 @@
+"""Built-in lint rules.  Importing this package registers every rule.
+
+Each module encodes one repository invariant:
+
+* :mod:`~repro.lint.rules.determinism` — nothing nondeterministic on the
+  fingerprint/result path;
+* :mod:`~repro.lint.rules.fingerprint` — serialized job/scenario fields are
+  fingerprinted or explicitly exempted;
+* :mod:`~repro.lint.rules.threadsafety` — serve-tier shared state mutates
+  only under its lock;
+* :mod:`~repro.lint.rules.parity` — models join the vector backend fully or
+  not at all;
+* :mod:`~repro.lint.rules.hotpath` — replay hot paths keep ``__slots__`` and
+  stay free of per-item ``isinstance`` dispatch.
+"""
+
+from repro.lint.rules import (  # noqa: F401  (import-time registration)
+    determinism,
+    fingerprint,
+    hotpath,
+    parity,
+    threadsafety,
+)

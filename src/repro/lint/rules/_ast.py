@@ -1,0 +1,147 @@
+"""Small AST helpers shared by the rule modules (no registration here)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.framework import ModuleUnit, Rule
+
+
+def finding_at(rule: Rule, unit: ModuleUnit, node: ast.AST,
+               message: str) -> Finding:
+    """A :class:`Finding` for ``rule`` anchored at ``node`` in ``unit``."""
+    return Finding(
+        rule=rule.id, severity=rule.severity, path=unit.rel,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        message=message,
+    )
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for an attribute chain rooted at a plain name, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name → canonical dotted origin for every import in ``tree``.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from random import Random``
+    maps ``Random -> random.Random``.  Lets rules reason about canonical names
+    regardless of the import spelling.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                aliases[name.asname or name.name.split(".")[0]] = (
+                    name.name if name.asname else name.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def canonical_call(aliases: dict[str, str], node: ast.Call) -> str | None:
+    """The canonical dotted name a call resolves to, through the import map."""
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    origin = aliases.get(head)
+    if origin is None:
+        return name
+    return f"{origin}.{rest}" if rest else origin
+
+
+def self_attribute_chain(node: ast.AST) -> str | None:
+    """``"x"`` for ``self.x`` / ``self.x.y`` / ``self.x[k]`` targets: the
+    first-level attribute of an access rooted at ``self``, else ``None``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        parent = node.value
+        if (isinstance(node, ast.Attribute)
+                and isinstance(parent, ast.Name) and parent.id == "self"):
+            return node.attr
+        node = parent
+    return None
+
+
+def class_methods(node: ast.ClassDef) -> Iterator[ast.FunctionDef]:
+    for child in node.body:
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield child
+
+
+def has_own_slots(node: ast.ClassDef) -> bool:
+    """Whether the class body assigns ``__slots__`` directly."""
+    for child in node.body:
+        targets: list[ast.expr] = []
+        if isinstance(child, ast.Assign):
+            targets = child.targets
+        elif isinstance(child, ast.AnnAssign):
+            targets = [child.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+def dataclass_slots(node: ast.ClassDef) -> bool:
+    """Whether the class is decorated ``@dataclass(..., slots=True)``."""
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        name = dotted_name(decorator.func)
+        if name is None or name.split(".")[-1] != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if keyword.arg == "slots" and isinstance(keyword.value, ast.Constant):
+                if keyword.value.value is True:
+                    return True
+    return False
+
+
+def string_set_constant(tree: ast.Module, name: str) -> set[str] | None:
+    """The value of a module-level ``NAME = {...}`` / ``frozenset({...})``
+    assignment of string constants, or ``None`` when absent."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == name
+                   for t in node.targets):
+            continue
+        value = node.value
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name) \
+                and value.func.id in ("frozenset", "set") and value.args:
+            value = value.args[0]
+        if isinstance(value, (ast.Set, ast.List, ast.Tuple)):
+            elements = value.elts
+        else:
+            return None
+        result: set[str] = set()
+        for element in elements:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                result.add(element.value)
+            else:
+                return None
+        return result
+    return None
+
+
+def string_tuple_constant(tree: ast.Module, name: str) -> tuple[str, ...] | None:
+    """The value of a module-level ``NAME = ("a", ...)`` assignment."""
+    values = string_set_constant(tree, name)
+    if values is None:
+        return None
+    return tuple(sorted(values))

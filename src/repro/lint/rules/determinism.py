@@ -1,0 +1,147 @@
+"""``determinism``: no hidden nondeterminism on the fingerprint/result path.
+
+The content-addressed store (PR 5) caches records by a fingerprint over a
+job's *declared* inputs.  Any value that leaks into a result from outside
+those inputs — wall-clock time, kernel entropy, an unseeded RNG, randomized
+``str`` hashing, set iteration order — makes identical fingerprints map to
+different payloads and silently poisons every warm run.  This rule bans the
+known sources in the modules on that path: the engine, the fingerprint module
+itself (``repro.store.keys``), the experiment drivers, and trace generation.
+
+Out of scope by design: ``repro.bench`` (a timing harness measures wall time)
+and the rest of ``repro.store`` (e.g. the disk store's temp-file staleness
+clock never reaches a payload).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.framework import Project, Rule, register_rule
+from repro.lint.rules._ast import canonical_call, finding_at, import_aliases
+
+#: Modules on the fingerprint/result path (``.`` suffix = whole subtree).
+SCOPE = (
+    "repro.engine", "repro.engine.",
+    "repro.store.keys",
+    "repro.experiments", "repro.experiments.",
+    "repro.trace", "repro.trace.",
+)
+
+#: Canonical call name → why it is banned here.
+BANNED_CALLS = {
+    "time.time": "wall-clock time",
+    "time.time_ns": "wall-clock time",
+    "time.monotonic": "process-relative time",
+    "time.monotonic_ns": "process-relative time",
+    "time.perf_counter": "process-relative time",
+    "time.perf_counter_ns": "process-relative time",
+    "datetime.datetime.now": "wall-clock time",
+    "datetime.datetime.utcnow": "wall-clock time",
+    "datetime.datetime.today": "wall-clock time",
+    "datetime.date.today": "wall-clock time",
+    "os.urandom": "kernel entropy",
+    "uuid.uuid1": "host/time-derived identity",
+    "uuid.uuid4": "kernel entropy",
+}
+
+#: Set-producing expressions whose direct iteration order is undefined.
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+})
+
+
+def _flag(rule: Rule, unit, node, name: str, why: str) -> Finding:
+    return finding_at(
+        rule, unit, node,
+        f"{name}() is {why}; on the fingerprint/result path every value "
+        "must derive from declared job inputs (seeds, params)")
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Set):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _SET_METHODS:
+            return True
+    return False
+
+
+def _check_call(rule: Rule, unit, aliases, node: ast.Call) -> Iterator[Finding]:
+    name = canonical_call(aliases, node)
+    if name is None:
+        if isinstance(node.func, ast.Name) and node.func.id == "hash":
+            yield finding_at(
+                rule, unit, node,
+                "builtin hash() is randomized per process for str/bytes "
+                "(PYTHONHASHSEED); use zlib.crc32 or hashlib for stable keys")
+        return
+    why = BANNED_CALLS.get(name)
+    if why is not None:
+        yield _flag(rule, unit, node, name, why)
+        return
+    if name == "hash":
+        yield finding_at(
+            rule, unit, node,
+            "builtin hash() is randomized per process for str/bytes "
+            "(PYTHONHASHSEED); use zlib.crc32 or hashlib for stable keys")
+        return
+    if name.startswith("secrets."):
+        yield _flag(rule, unit, node, name, "kernel entropy")
+        return
+    if name == "random.Random":
+        if not node.args:
+            yield _flag(rule, unit, node, name,
+                        "an unseeded RNG (seeded from OS entropy)")
+        return
+    if name.startswith("random."):
+        yield _flag(rule, unit, node, name,
+                    "the shared module-level RNG (unseeded, cross-call state)")
+        return
+    if name == "numpy.random.default_rng":
+        if not node.args:
+            yield _flag(rule, unit, node, name,
+                        "an unseeded RNG (seeded from OS entropy)")
+        return
+    if name.startswith("numpy.random."):
+        yield _flag(rule, unit, node, name,
+                    "the legacy global NumPy RNG (process-wide hidden state)")
+
+
+def _check_set_iteration(rule: Rule, unit, tree: ast.Module) -> Iterator[Finding]:
+    iterables: list[ast.AST] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iterables.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iterables.extend(gen.iter for gen in node.generators)
+    for iterable in iterables:
+        if _is_set_expr(iterable):
+            yield finding_at(
+                rule, unit, iterable,
+                "iterating a set directly has no defined order; wrap it in "
+                "sorted() before anything that feeds serialization")
+
+
+def _check(project: Project) -> Iterator[Finding]:
+    for unit in project.in_scope(SCOPE):
+        aliases = import_aliases(unit.tree)
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.Call):
+                yield from _check_call(RULE, unit, aliases, node)
+        yield from _check_set_iteration(RULE, unit, unit.tree)
+
+
+RULE = register_rule(Rule(
+    id="determinism",
+    severity=Severity.ERROR,
+    description="nondeterministic call or set iteration on the "
+                "fingerprint/result path (engine, store.keys, experiments, "
+                "trace)",
+    check=_check,
+))

@@ -1,0 +1,140 @@
+"""``fingerprint-coverage``: serialized fields must be fingerprinted.
+
+The cache-correctness contract of :mod:`repro.store.keys`: every field of a
+:class:`~repro.engine.grid.Job` (and of a
+:class:`~repro.engine.scenario.Scenario`) that can shape a serialized result
+must feed the content-address, or two logically different runs would collide
+on one cache key.  Exclusions must be *explicit* — named in the
+``JOB_FINGERPRINT_EXEMPT`` / ``SCENARIO_FINGERPRINT_EXEMPT`` constants next
+to the fingerprint functions, with a comment saying why (e.g. ``index`` is
+presentation, not identity).  This rule cross-references the dataclass
+definitions against the attribute reads in the fingerprint functions and the
+exemption constants, so adding a field without deciding its cache identity is
+a lint error, and a stale exemption (field removed, or exempted *and*
+fingerprinted) is flagged too — the mechanical form of the
+``RESULT_SCHEMA_VERSION`` invalidation rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.framework import ModuleUnit, Project, Rule, register_rule
+from repro.lint.rules._ast import finding_at, string_set_constant
+
+#: (dataclass module, class name, fingerprint function, exemption constant).
+CONTRACTS = (
+    ("repro.engine.grid", "Job", "job_fingerprint_fields",
+     "JOB_FINGERPRINT_EXEMPT"),
+    ("repro.engine.scenario", "Scenario", "scenario_fingerprint",
+     "SCENARIO_FINGERPRINT_EXEMPT"),
+)
+
+#: Module holding the fingerprint functions and exemption constants.
+KEYS_MODULE = "repro.store.keys"
+
+
+def _dataclass_fields(unit: ModuleUnit, class_name: str) -> dict[str, ast.AST]:
+    for node in unit.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            fields: dict[str, ast.AST] = {}
+            for child in node.body:
+                if isinstance(child, ast.AnnAssign) and isinstance(
+                        child.target, ast.Name):
+                    if not child.target.id.startswith("_"):
+                        fields[child.target.id] = child
+            return fields
+    return {}
+
+
+def _function(unit: ModuleUnit, name: str) -> ast.FunctionDef | None:
+    for node in unit.tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _read_attributes(func: ast.FunctionDef) -> set[str]:
+    """Attribute names read off the function's first parameter."""
+    if not func.args.args:
+        return set()
+    param = func.args.args[0].arg
+    reads: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id == param:
+                reads.add(node.attr)
+    return reads
+
+
+def _check_contract(keys_unit: ModuleUnit, data_unit: ModuleUnit,
+                    class_name: str, func_name: str,
+                    exempt_name: str) -> Iterator[Finding]:
+    fields = _dataclass_fields(data_unit, class_name)
+    func = _function(keys_unit, func_name)
+    if func is None:
+        yield finding_at(
+            RULE, keys_unit, keys_unit.tree,
+            f"fingerprint function {func_name}() not found; the "
+            f"{class_name} coverage contract cannot be checked")
+        return
+    if not fields:
+        yield finding_at(
+            RULE, data_unit, data_unit.tree,
+            f"dataclass {class_name} not found in {data_unit.module}; the "
+            "fingerprint coverage contract cannot be checked")
+        return
+    reads = _read_attributes(func)
+    exempt = string_set_constant(keys_unit.tree, exempt_name)
+    if exempt is None:
+        yield finding_at(
+            RULE, keys_unit, func,
+            f"exemption constant {exempt_name} is missing; declare it (even "
+            "empty) next to the fingerprint function so exclusions are "
+            "explicit")
+        exempt = set()
+    for name, node in sorted(fields.items()):
+        if name in reads or name in exempt:
+            continue
+        yield finding_at(
+            RULE, data_unit, node,
+            f"{class_name}.{name} is neither read by {func_name}() nor "
+            f"listed in {exempt_name}; fingerprint it or exempt it "
+            "explicitly (two runs differing only in this field would share "
+            "a cache key)")
+    for name in sorted(exempt):
+        if name not in fields:
+            yield finding_at(
+                RULE, keys_unit, func,
+                f"{exempt_name} exempts {name!r}, which is not a field of "
+                f"{class_name}; drop the stale entry")
+        elif name in reads:
+            yield finding_at(
+                RULE, keys_unit, func,
+                f"{exempt_name} exempts {name!r}, but {func_name}() reads "
+                "it; drop the contradictory entry")
+
+
+def _check(project: Project) -> Iterator[Finding]:
+    keys_unit = project.by_module(KEYS_MODULE)
+    if keys_unit is None or keys_unit.tree is None:
+        return
+    for data_module, class_name, func_name, exempt_name in CONTRACTS:
+        data_unit = project.by_module(data_module)
+        if data_unit is None or data_unit.tree is None:
+            # Scanning keys.py alone (or a fixture subset) is not a coverage
+            # violation; the contract needs both sides in the scan set.
+            continue
+        yield from _check_contract(
+            keys_unit, data_unit, class_name, func_name, exempt_name)
+
+
+RULE = register_rule(Rule(
+    id="fingerprint-coverage",
+    severity=Severity.ERROR,
+    description="Job/Scenario fields must feed the store fingerprint or be "
+                "explicitly exempted in repro.store.keys",
+    check=_check,
+))

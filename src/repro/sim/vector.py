@@ -383,6 +383,15 @@ class _SpanResult:
         self.fired = fired
 
 
+#: The guarded-stepper protocol: every span stepper class must implement all
+#: of these (enforced by the ``backend-parity`` lint rule).  ``begin``/
+#: ``finish`` bracket a replay, ``flush`` mirrors a predictor flush,
+#: ``prepare_span`` speculatively batches one span's prediction inputs, and
+#: ``commit_span`` trains on the span's resolved outcomes (repairing or
+#: re-batching when a guard failed mid-span).
+STEPPER_PROTOCOL = ("begin", "prepare_span", "commit_span", "flush", "finish")
+
+
 class _TAGEStepper:
     """Span-stepping replay of a :class:`~repro.bpu.tage.TAGEPredictor`.
 

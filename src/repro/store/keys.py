@@ -73,6 +73,23 @@ def _canonical_model(model: Any) -> Any:
     }
 
 
+#: :class:`~repro.engine.grid.Job` fields *deliberately* excluded from result
+#: identity.  The ``fingerprint-coverage`` lint rule enforces that every
+#: other field is read by :func:`job_fingerprint_fields`, so a new field
+#: cannot be serialized into records without deciding its cache identity.
+#:
+#: * ``index`` — position in a grid is presentation, not identity; excluding
+#:   it is what lets a new grid reuse the overlapping half of an old one.
+JOB_FINGERPRINT_EXEMPT = frozenset({"index"})
+
+#: :class:`~repro.engine.scenario.Scenario` fields excluded from the
+#: envelope fingerprint (same lint contract as above).
+#:
+#: * ``description`` — free-text documentation; it never reaches
+#:   ``serialize_scenario``'s payload, so it cannot shape a cached envelope.
+SCENARIO_FINGERPRINT_EXEMPT = frozenset({"description"})
+
+
 def job_fingerprint_fields(job: Any) -> dict[str, Any]:
     """The canonical field mapping a job fingerprint hashes (for debugging,
     ``repro store verify`` reports, and the docs)."""

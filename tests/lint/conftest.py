@@ -1,0 +1,41 @@
+"""Shared fixtures for the lint suite: tiny on-disk source trees.
+
+The rules scope on dotted module names derived from the path (everything from
+the last ``repro`` component), so fixtures replicate the ``repro/...`` layout
+under ``tmp_path`` and scan the tree exactly like the CLI scans ``src/``.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import run_lint
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    """Write ``{relative_path: source}`` files under ``tmp_path``; returns it."""
+
+    def build(files):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return tmp_path
+
+    return build
+
+
+@pytest.fixture
+def lint_tree(make_tree):
+    """Build a fixture tree and lint it; returns the report.
+
+    ``rules=None`` runs the full set (including suppression hygiene);
+    passing rule ids restricts the run like ``--rule`` does.
+    """
+
+    def run(files, rules=None, baseline=None):
+        root = make_tree(files)
+        return run_lint([root / "repro"], rule_ids=rules, baseline=baseline)
+
+    return run

@@ -1,0 +1,195 @@
+"""Framework semantics: module naming, syntax findings, suppressions,
+baseline matching, and the report payload."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    BASELINE_SCHEMA,
+    Finding,
+    Severity,
+    baseline_payload,
+    load_baseline,
+    run_lint,
+)
+from repro.lint.baseline import dump_baseline
+from repro.lint.framework import discover_files, module_name_for
+
+BAD_ENGINE = """\
+    import time
+
+    def stamp():
+        return time.time()
+    """
+
+
+class TestModuleNaming:
+    def test_dotted_name_from_last_repro_component(self):
+        assert module_name_for(
+            Path("src/repro/engine/runner.py")) == "repro.engine.runner"
+
+    def test_package_init_names_the_package(self):
+        assert module_name_for(
+            Path("src/repro/store/__init__.py")) == "repro.store"
+
+    def test_file_outside_a_repro_tree_falls_back_to_its_stem(self):
+        assert module_name_for(Path("scripts/helper.py")) == "helper"
+
+
+class TestDiscovery:
+    def test_missing_path_is_a_usage_error(self):
+        with pytest.raises(ValueError, match="does not exist"):
+            discover_files(["no/such/dir"])
+
+    def test_pycache_is_skipped_and_listing_is_sorted(self, make_tree):
+        root = make_tree({
+            "repro/b.py": "",
+            "repro/a.py": "",
+            "repro/__pycache__/a.cpython-311.py": "",
+        })
+        names = [path.name for path in discover_files([root / "repro"])]
+        assert names == ["a.py", "b.py"]
+
+
+class TestSyntaxRule:
+    def test_unparseable_file_reports_syntax_instead_of_crashing(self, lint_tree):
+        report = lint_tree({"repro/engine/broken.py": "def oops(:\n"})
+        assert [f.rule for f in report.findings] == ["syntax"]
+        assert "does not parse" in report.findings[0].message
+
+
+class TestSuppressions:
+    def test_justified_suppression_hides_the_finding(self, lint_tree):
+        report = lint_tree({"repro/engine/timed.py": """\
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: disable=determinism -- test fixture
+            """})
+        assert report.clean
+        assert report.suppressed == 1
+
+    def test_unjustified_suppression_is_its_own_finding(self, lint_tree):
+        report = lint_tree({"repro/engine/timed.py": """\
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: disable=determinism
+            """})
+        # The determinism finding is still suppressed, but hygiene flags the
+        # missing justification.
+        assert report.suppressed == 1
+        assert [f.rule for f in report.findings] == ["suppression"]
+        assert "justification" in report.findings[0].message
+
+    def test_unknown_rule_id_is_flagged(self, lint_tree):
+        report = lint_tree({"repro/engine/ok.py": """\
+            x = 1  # repro-lint: disable=not-a-rule -- because
+            """})
+        messages = [f.message for f in report.findings]
+        assert any("unknown rule 'not-a-rule'" in m for m in messages)
+
+    def test_unused_suppression_is_flagged_on_a_full_run(self, lint_tree):
+        report = lint_tree({"repro/engine/ok.py": """\
+            x = 1  # repro-lint: disable=determinism -- stale
+            """})
+        assert [f.rule for f in report.findings] == ["suppression"]
+        assert "matched no finding" in report.findings[0].message
+
+    def test_unused_marker_is_not_stale_under_a_rule_filter(self, lint_tree):
+        # With --rule the unrun rule's marker cannot be judged unused.
+        report = lint_tree({"repro/engine/ok.py": """\
+            x = 1  # repro-lint: disable=determinism -- stale
+            """}, rules=["hot-path"])
+        assert report.clean
+
+    def test_suppression_only_covers_the_named_rule(self, lint_tree):
+        report = lint_tree({"repro/engine/timed.py": """\
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: disable=hot-path -- wrong rule
+            """})
+        rules = sorted(f.rule for f in report.findings)
+        # The determinism finding survives and the marker is unused.
+        assert rules == ["determinism", "suppression"]
+
+
+class TestBaseline:
+    def test_baselined_finding_is_counted_but_not_active(self, lint_tree, tmp_path):
+        first = lint_tree({"repro/engine/timed.py": BAD_ENGINE})
+        assert len(first.findings) == 1
+        path = tmp_path / "baseline.json"
+        dump_baseline(first.findings, path)
+        second = run_lint([tmp_path / "repro"], baseline=load_baseline(path))
+        assert second.clean
+        assert second.baselined == 1
+
+    def test_baseline_matches_without_line_numbers(self, make_tree, tmp_path):
+        root = make_tree({"repro/engine/timed.py": BAD_ENGINE})
+        first = run_lint([root / "repro"])
+        baseline_file = tmp_path / "baseline.json"
+        dump_baseline(first.findings, baseline_file)
+        # Shift the finding to a different line; the entry must still match.
+        source = (root / "repro/engine/timed.py").read_text()
+        (root / "repro/engine/timed.py").write_text("\n\n\n" + source)
+        moved = run_lint([root / "repro"])
+        assert not run_lint(
+            [root / "repro"], baseline=load_baseline(baseline_file)).findings
+        assert moved.findings[0].line == first.findings[0].line + 3
+
+    def test_stale_baseline_entry_does_not_hide_new_findings(self, lint_tree):
+        stale = {("determinism", "repro/engine/gone.py", "old message")}
+        report = lint_tree({"repro/engine/timed.py": BAD_ENGINE}, baseline=stale)
+        assert len(report.findings) == 1
+        assert report.baselined == 0
+
+    def test_payload_sorts_and_dedupes_entries(self):
+        finding = Finding(rule="hot-path", severity=Severity.WARNING,
+                          path="a.py", line=3, col=1, message="m")
+        shifted = Finding(rule="hot-path", severity=Severity.WARNING,
+                          path="a.py", line=9, col=1, message="m")
+        payload = baseline_payload([shifted, finding])
+        assert payload["schema"] == BASELINE_SCHEMA
+        assert payload["entries"] == [
+            {"rule": "hot-path", "path": "a.py", "message": "m"}]
+
+    def test_load_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "other/v1", "entries": []}')
+        with pytest.raises(ValueError, match="baseline"):
+            load_baseline(path)
+
+
+class TestReport:
+    def test_full_run_lists_every_registered_rule(self, lint_tree):
+        report = lint_tree({"repro/engine/ok.py": "x = 1\n"})
+        assert report.rules == sorted(report.rules)
+        for rule_id in ("determinism", "fingerprint-coverage", "thread-safety",
+                        "backend-parity", "hot-path", "syntax", "suppression"):
+            assert rule_id in report.rules
+
+    def test_filtered_run_lists_only_the_selected_rules(self, lint_tree):
+        report = lint_tree({"repro/engine/ok.py": "x = 1\n"},
+                           rules=["determinism"])
+        assert report.rules == ["determinism"]
+
+    def test_payload_counts_and_findings_shape(self, lint_tree):
+        report = lint_tree({"repro/engine/timed.py": BAD_ENGINE})
+        payload = report.to_payload()
+        assert payload["counts"] == {
+            "active": 1, "suppressed": 0, "baselined": 0}
+        (entry,) = payload["findings"]
+        assert entry["rule"] == "determinism"
+        assert entry["severity"] == "error"
+        assert entry["path"].endswith("repro/engine/timed.py")
+        assert entry["line"] == 4
+
+    def test_findings_sort_by_location(self, lint_tree):
+        report = lint_tree({
+            "repro/engine/b.py": BAD_ENGINE,
+            "repro/engine/a.py": BAD_ENGINE,
+        })
+        assert [f.path for f in report.findings] == sorted(
+            f.path for f in report.findings)

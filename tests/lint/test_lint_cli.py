@@ -1,0 +1,172 @@
+"""The ``repro lint`` command: exit codes, --json envelope, --list-rules,
+baseline flags, and the CI gate invocation."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import BASELINE_SCHEMA, LINT_SCHEMA
+
+CLEAN = {"repro/engine/ok.py": "def ok():\n    return 1\n"}
+DIRTY = {"repro/engine/timed.py": (
+    "import time\n\n\ndef stamp():\n    return time.time()\n")}
+
+
+@pytest.fixture
+def tree(make_tree, monkeypatch, tmp_path):
+    """Build a fixture tree and chdir into it (no repo baseline in scope)."""
+
+    def build(files):
+        make_tree(files)
+        monkeypatch.chdir(tmp_path)
+        return tmp_path
+
+    return build
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tree, capsys):
+        tree(CLEAN)
+        assert main(["lint", "repro"]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_findings_exit_one_with_rendered_lines(self, tree, capsys):
+        tree(DIRTY)
+        assert main(["lint", "repro"]) == 1
+        out = capsys.readouterr().out
+        assert "repro/engine/timed.py:5:12: error[determinism]" in out
+        assert "lint: 1 finding(s)" in out
+
+    def test_unknown_rule_is_a_usage_error(self, tree, capsys):
+        tree(CLEAN)
+        assert main(["lint", "--rule", "no-such-rule", "repro"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_missing_path_is_a_usage_error(self, tree, capsys):
+        tree(CLEAN)
+        assert main(["lint", "no/such/dir"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_missing_explicit_baseline_is_a_usage_error(self, tree, capsys):
+        tree(CLEAN)
+        assert main(["lint", "--baseline", "absent.json", "repro"]) == 2
+        assert "absent.json" in capsys.readouterr().err
+
+    def test_rule_filter_runs_only_that_rule(self, tree, capsys):
+        tree(DIRTY)
+        assert main(["lint", "--rule", "hot-path", "repro"]) == 0
+        assert main(["lint", "--rule", "determinism", "repro"]) == 1
+
+
+class TestJsonEnvelope:
+    def test_stdout_envelope_shape(self, tree, capsys):
+        tree(DIRTY)
+        assert main(["lint", "repro", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == LINT_SCHEMA
+        assert payload["spec"] == "lint"
+        result = payload["result"]
+        assert result["counts"] == {
+            "active": 1, "suppressed": 0, "baselined": 0}
+        (finding,) = result["findings"]
+        assert finding == {
+            "rule": "determinism",
+            "severity": "error",
+            "path": "repro/engine/timed.py",
+            "line": 5,
+            "col": 12,
+            "message": finding["message"],
+        }
+        assert "time.time()" in finding["message"]
+
+    def test_file_envelope_plus_text_report(self, tree, capsys):
+        root = tree(DIRTY)
+        assert main(["lint", "--json", "report.json", "repro"]) == 1
+        out = capsys.readouterr().out
+        assert "JSON written to report.json" in out
+        assert "error[determinism]" in out
+        payload = json.loads((root / "report.json").read_text())
+        assert payload["schema"] == LINT_SCHEMA
+        assert payload["result"]["counts"]["active"] == 1
+
+    def test_clean_envelope_lists_all_rules(self, tree, capsys):
+        tree(CLEAN)
+        assert main(["lint", "repro", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"]["findings"] == []
+        assert payload["result"]["rules"] == sorted(
+            payload["result"]["rules"])
+        assert "determinism" in payload["result"]["rules"]
+
+
+class TestListRules:
+    EXPECTED = [
+        "backend-parity",
+        "determinism",
+        "fingerprint-coverage",
+        "hot-path",
+        "suppression",
+        "syntax",
+        "thread-safety",
+    ]
+
+    def test_listing_is_pinned_and_sorted(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert [line.split()[0] for line in lines] == self.EXPECTED
+
+    def test_each_line_carries_severity_and_description(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        for line in lines:
+            fields = line.split(maxsplit=2)
+            assert fields[1] in ("error", "warning")
+            assert fields[2]
+
+
+class TestBaselineFlags:
+    def test_write_baseline_then_gate_is_green(self, tree, capsys):
+        root = tree(DIRTY)
+        assert main(["lint", "--write-baseline", "repro"]) == 0
+        assert "baseline written" in capsys.readouterr().out
+        payload = json.loads((root / "lint-baseline.json").read_text())
+        assert payload["schema"] == BASELINE_SCHEMA
+        assert len(payload["entries"]) == 1
+        # The default baseline in the working directory now grandfathers it.
+        assert main(["lint", "repro"]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_no_baseline_ignores_the_default_file(self, tree, capsys):
+        tree(DIRTY)
+        assert main(["lint", "--write-baseline", "repro"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--no-baseline", "repro"]) == 1
+
+    def test_explicit_baseline_path(self, tree, capsys):
+        tree(DIRTY)
+        assert main(["lint", "--write-baseline", "--baseline", "b.json",
+                     "repro"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--baseline", "b.json", "repro"]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+
+class TestCIGate:
+    def test_ci_invocation_fails_on_a_non_baselined_finding(self, tree, capsys):
+        """The exact gate CI runs: --json artifact + non-zero on findings."""
+        root = tree(DIRTY)
+        assert main(["lint", "--json", "lint-report.json", "repro"]) == 1
+        payload = json.loads((root / "lint-report.json").read_text())
+        assert payload["result"]["counts"]["active"] == 1
+        capsys.readouterr()
+        # Fixing the violation (here: suppressing with a justification)
+        # turns the same invocation green.
+        timed = root / "repro/engine/timed.py"
+        timed.write_text(timed.read_text().replace(
+            "time.time()",
+            "time.time()  # repro-lint: disable=determinism -- fixture"))
+        assert main(["lint", "--json", "lint-report.json", "repro"]) == 0
+        payload = json.loads((root / "lint-report.json").read_text())
+        assert payload["result"]["counts"] == {
+            "active": 0, "suppressed": 1, "baselined": 0}

@@ -1,0 +1,49 @@
+"""Dogfood self-checks: the shipped tree must satisfy its own linter.
+
+These tests run from the repository root (the suite's working directory) and
+pin three facts: ``repro lint src/`` is green under the shipped baseline, the
+checked-in ``lint-baseline.json`` matches a fresh scan byte-for-byte (no
+stale or missing grandfathered entries), and the inline suppressions in the
+source tree are all used and justified.
+"""
+
+import json
+
+from repro.cli import main
+from repro.lint import baseline_payload, run_lint
+
+BASELINE_FILE = "lint-baseline.json"
+
+
+class TestShippedTree:
+    def test_repro_lint_src_is_clean(self, capsys):
+        assert main(["lint", "src"]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_shipped_baseline_matches_a_fresh_scan(self):
+        report = run_lint(["src"], baseline=None)
+        fresh = baseline_payload(report.findings)
+        with open(BASELINE_FILE, encoding="utf-8") as handle:
+            shipped = json.load(handle)
+        assert fresh == shipped, (
+            "lint-baseline.json is out of date; regenerate it with "
+            "`python -m repro lint src/ --write-baseline` after deciding "
+            "whether each change should instead be fixed")
+
+    def test_baseline_entries_are_grandfathered_not_new(self):
+        # Every shipped entry must still match a real finding: a fixed
+        # violation must leave the baseline too.
+        report = run_lint(["src"], baseline=None)
+        live = {finding.baseline_key for finding in report.findings}
+        with open(BASELINE_FILE, encoding="utf-8") as handle:
+            shipped = json.load(handle)
+        for entry in shipped["entries"]:
+            assert (entry["rule"], entry["path"], entry["message"]) in live
+
+    def test_suppressions_in_src_are_used_and_justified(self):
+        # A full run flags unknown/unjustified/unused markers via the
+        # `suppression` rule; clean-with-baseline implies none exist, and the
+        # counter pins that the runner.py wall-time markers stay live.
+        report = run_lint(["src"], baseline=None)
+        assert report.suppressed >= 2
+        assert not [f for f in report.findings if f.rule == "suppression"]
