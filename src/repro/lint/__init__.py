@@ -12,11 +12,17 @@ mechanically:
 * **serve-tier thread safety** — everything reachable from ``repro serve``'s
   threaded handlers must be lock-disciplined.
 
-Rules walk the AST only — nothing is imported or executed.  Findings can be
-suppressed inline (``# repro-lint: disable=<rule> -- <why>``) or grandfathered
-in a checked-in baseline file (``lint-baseline.json``); see
-:mod:`repro.lint.framework` and :mod:`repro.lint.baseline`.  The CLI front end
-is ``python -m repro lint`` (:mod:`repro.lint.cli`).
+Module-scoped rules walk one file's AST at a time.  Project-scoped rules
+(``repro lint --project``) additionally query the interprocedural analysis in
+:mod:`repro.lint.graph` — a call graph plus per-function summaries, cached
+content-addressed under ``.lint-cache/`` (:mod:`repro.lint.cache`) — to prove
+cross-module invariants: lock-order soundness, taint-free fingerprints, and a
+stable serialized schema surface (``api-surface.json``).  Nothing is imported
+or executed — AST only.  Findings can be suppressed inline (``# repro-lint:
+disable=<rule> -- <why>``) or grandfathered in a checked-in baseline file
+(``lint-baseline.json``); see :mod:`repro.lint.framework` and
+:mod:`repro.lint.baseline`.  The CLI front end is ``python -m repro lint``
+(:mod:`repro.lint.cli`).
 """
 
 from repro.lint.baseline import (
@@ -25,29 +31,43 @@ from repro.lint.baseline import (
     baseline_payload,
     load_baseline,
 )
-from repro.lint.findings import LINT_SCHEMA, Finding, Severity
+from repro.lint.cache import CACHE_SCHEMA, DEFAULT_CACHE_DIR, SummaryCache
+from repro.lint.findings import LINT_SCHEMA, Finding, Scope, Severity
 from repro.lint.framework import (
     LintReport,
     ModuleUnit,
     Project,
     Rule,
+    analyze_project,
     list_rules,
     load_builtin_rules,
     register_rule,
     rule_by_id,
     run_lint,
 )
+from repro.lint.graph import (
+    ANALYSIS_VERSION,
+    ProjectAnalysis,
+    summarize_module,
+)
 
 __all__ = [
+    "ANALYSIS_VERSION",
     "BASELINE_SCHEMA",
+    "CACHE_SCHEMA",
     "DEFAULT_BASELINE_NAME",
+    "DEFAULT_CACHE_DIR",
     "Finding",
     "LINT_SCHEMA",
     "LintReport",
     "ModuleUnit",
     "Project",
+    "ProjectAnalysis",
     "Rule",
+    "Scope",
     "Severity",
+    "SummaryCache",
+    "analyze_project",
     "baseline_payload",
     "list_rules",
     "load_baseline",
@@ -55,4 +75,5 @@ __all__ = [
     "register_rule",
     "rule_by_id",
     "run_lint",
+    "summarize_module",
 ]

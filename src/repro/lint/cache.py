@@ -1,0 +1,98 @@
+"""Incremental analysis cache: content-addressed per-module summaries.
+
+Whole-project analysis re-reads every module on every run; the summaries it
+consumes, though, depend only on each module's own source text.  So they get
+the same treatment the experiment store gives simulation results: content
+addressing.  A summary is stored under the SHA-256 of
+``"<module>\\0<ANALYSIS_VERSION>\\0<source>"`` (see
+:func:`repro.lint.graph.source_sha256`), which makes invalidation automatic —
+edit a module and its key changes; bump the analysis format and *every* key
+changes.  There is no eviction and no staleness: a hit is exact by
+construction.
+
+Layout mirrors the disk store's sharded objects directory::
+
+    .lint-cache/
+      summaries/
+        3f/
+          3fa4c2...e1.json     # {"schema": "repro.lint-cache/v1",
+                               #  "key": "3fa4c2...e1", "summary": {...}}
+
+Writes are atomic (temp file + ``os.replace``) so a Ctrl-C mid-run never
+leaves a truncated summary for a later run to trip over; unreadable entries
+are treated as misses and rewritten.  Hit/miss/write counters surface in the
+``repro.lint/v2`` envelope's ``project`` block — the same cache-effectiveness
+discipline ``repro.store`` reports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+#: Schema tag of each cached summary file.
+CACHE_SCHEMA = "repro.lint-cache/v1"
+
+#: Default cache directory (repo-root relative), mirrored by the CLI flag.
+DEFAULT_CACHE_DIR = ".lint-cache"
+
+
+class SummaryCache:
+    """Content-addressed store of module summaries under ``root``."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self._hits = 0
+        self._misses = 0
+        self._writes = 0
+
+    def _path_for(self, key: str) -> Path:
+        return self.root / "summaries" / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached summary for ``key``, or ``None`` (counted as a miss).
+
+        A corrupt or wrong-schema entry is a miss too: the caller re-analyzes
+        and :meth:`put` overwrites it.
+        """
+        path = self._path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self._misses += 1
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("schema") != CACHE_SCHEMA
+                or payload.get("key") != key
+                or not isinstance(payload.get("summary"), dict)):
+            self._misses += 1
+            return None
+        self._hits += 1
+        return payload["summary"]
+
+    def put(self, key: str, summary: dict[str, Any]) -> None:
+        """Store ``summary`` under ``key`` atomically."""
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": CACHE_SCHEMA, "key": key, "summary": summary}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._writes += 1
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/write counters for the envelope's ``project`` block."""
+        return {"cache_hits": self._hits, "cache_misses": self._misses,
+                "cache_writes": self._writes}

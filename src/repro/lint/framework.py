@@ -21,11 +21,12 @@ from __future__ import annotations
 
 import ast
 import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path, PurePosixPath
 from typing import Any, Callable, Iterable, Iterator
 
-from repro.lint.findings import Finding, Severity
+from repro.lint.findings import Finding, Scope, Severity
 
 #: Suppression marker: ``# repro-lint: disable=<id>[,<id>...] -- <why>``.
 _SUPPRESSION_RE = re.compile(
@@ -46,12 +47,18 @@ class Rule:
     ``suppression``) which the runner handles itself but which still live in
     the registry so ``--list-rules`` shows them and suppression markers can
     validate their ids.
+
+    ``scope`` declares how much of the tree the rule needs:
+    :attr:`Scope.MODULE` rules run on every scan, :attr:`Scope.PROJECT` rules
+    need the interprocedural analysis and run only under ``--project`` (or
+    when selected explicitly with ``--rule``, which forces the analysis).
     """
 
     id: str
     severity: Severity
     description: str
     check: Callable[["Project"], Iterable[Finding]] | None = None
+    scope: Scope = Scope.MODULE
 
 
 _RULES: dict[str, Rule] = {}
@@ -159,9 +166,20 @@ def _parse_suppressions(unit: ModuleUnit) -> None:
 
 @dataclass(slots=True)
 class Project:
-    """Every module of one lint run, addressable by dotted name."""
+    """Every module of one lint run, addressable by dotted name.
+
+    In project mode the runner attaches the interprocedural view before any
+    rule runs: ``analysis`` is the :class:`repro.lint.graph.ProjectAnalysis`
+    built from (possibly cached) module summaries, and ``surface_doc`` /
+    ``surface_path`` carry the loaded ``api-surface.json`` for the
+    schema-drift rule.  Module-scope rules ignore all three (``analysis`` is
+    ``None`` on a plain scan).
+    """
 
     modules: list[ModuleUnit]
+    analysis: Any = None
+    surface_doc: dict[str, Any] | None = None
+    surface_path: str | None = None
 
     def by_module(self, name: str) -> ModuleUnit | None:
         for unit in self.modules:
@@ -191,14 +209,22 @@ class LintReport:
     findings: list[Finding]
     suppressed: int
     baselined: int
+    timing: dict[str, float] = field(default_factory=dict)
+    project: dict[str, Any] | None = None
 
     @property
     def clean(self) -> bool:
         return not self.findings
 
     def to_payload(self) -> dict[str, Any]:
-        """The ``result`` half of the ``repro.lint/v1`` envelope."""
-        return {
+        """The ``result`` half of the ``repro.lint/v2`` envelope.
+
+        ``timing`` maps rule id → seconds spent in its check; ``project``
+        (present only when the interprocedural analysis ran) carries the
+        module/analyzed/cached counts and the summary cache's
+        hit/miss/write counters.
+        """
+        payload: dict[str, Any] = {
             "rules": list(self.rules),
             "paths": list(self.paths),
             "findings": [finding.to_dict() for finding in self.findings],
@@ -207,7 +233,12 @@ class LintReport:
                 "suppressed": self.suppressed,
                 "baselined": self.baselined,
             },
+            "timing": {rule: round(seconds, 6)
+                       for rule, seconds in sorted(self.timing.items())},
         }
+        if self.project is not None:
+            payload["project"] = dict(self.project)
+        return payload
 
 
 def discover_files(paths: Iterable[str | Path]) -> list[Path]:
@@ -257,10 +288,13 @@ def parse_project(paths: Iterable[str | Path]) -> tuple[Project, list[Finding]]:
     return Project(modules=units), findings
 
 
-def _resolve_rules(rule_ids: Iterable[str] | None) -> list[Rule]:
+def _resolve_rules(rule_ids: Iterable[str] | None,
+                   project_mode: bool = False) -> list[Rule]:
     load_builtin_rules()
     if rule_ids is None:
-        return [rule for rule in list_rules() if rule.check is not None]
+        return [rule for rule in list_rules()
+                if rule.check is not None
+                and (project_mode or rule.scope is Scope.MODULE)]
     return [rule_by_id(rule_id) for rule_id in rule_ids]
 
 
@@ -282,7 +316,12 @@ def _apply_suppressions(project: Project,
     return active, suppressed
 
 
-def _suppression_hygiene(project: Project, full_rule_set: bool) -> list[Finding]:
+def _suppression_hygiene(project: Project,
+                         ran_rule_ids: set[str] | None) -> list[Finding]:
+    """Malformed/unknown/unjustified markers are always findings; *unused*
+    markers only when every rule the marker names actually ran this scan
+    (``ran_rule_ids``) — a marker for a project rule is not stale just
+    because this was a module-mode scan, nor under a ``--rule`` filter."""
     load_builtin_rules()
     findings: list[Finding] = []
     for unit in project.modules:
@@ -308,10 +347,10 @@ def _suppression_hygiene(project: Project, full_rule_set: bool) -> list[Finding]
                         severity=SUPPRESSION_RULE.severity,
                         path=unit.rel, line=mark.line, col=1,
                         message="suppression lacks a '-- <why>' justification"))
-                # Unused markers are only decidable when every rule ran: under
-                # a --rule filter a marker for an unrun rule is not stale.
-                if full_rule_set and not mark.used and all(
-                        rule_id in _RULES for rule_id in mark.rule_ids):
+                if (ran_rule_ids is not None and not mark.used
+                        and mark.rule_ids
+                        and all(rule_id in ran_rule_ids
+                                for rule_id in mark.rule_ids)):
                     findings.append(Finding(
                         rule=SUPPRESSION_RULE.id,
                         severity=SUPPRESSION_RULE.severity,
@@ -321,28 +360,73 @@ def _suppression_hygiene(project: Project, full_rule_set: bool) -> list[Finding]
     return findings
 
 
+def _build_analysis(project: Project, cache_dir: str | Path | None):
+    """Attach the interprocedural analysis to ``project`` (idempotent)."""
+    if project.analysis is not None:
+        return project.analysis
+    # Local import: graph (and cache) are only paid for in project mode.
+    from repro.lint.cache import SummaryCache
+    from repro.lint.graph import build_analysis
+
+    cache = SummaryCache(cache_dir) if cache_dir is not None else None
+    project.analysis = build_analysis(
+        [unit for unit in project.modules if unit.tree is not None], cache)
+    return project.analysis
+
+
+def analyze_project(paths: Iterable[str | Path],
+                    cache_dir: str | Path | None = None):
+    """Parse ``paths`` and build just the :class:`ProjectAnalysis` — what
+    ``repro lint --write-surface`` uses to record the schema surface."""
+    project, _ = parse_project(paths)
+    return _build_analysis(project, cache_dir)
+
+
 def run_lint(paths: Iterable[str | Path],
              rule_ids: Iterable[str] | None = None,
-             baseline: set[tuple[str, str, str]] | None = None) -> LintReport:
+             baseline: set[tuple[str, str, str]] | None = None,
+             *,
+             project_mode: bool = False,
+             cache_dir: str | Path | None = None,
+             surface_doc: dict[str, Any] | None = None,
+             surface_path: str | None = None) -> LintReport:
     """Run the (selected) rules over ``paths`` and return a report.
 
     ``baseline`` is a set of grandfathered finding identities
     (:attr:`Finding.baseline_key`); matching findings are counted but not
-    reported as active.
+    reported as active.  ``project_mode`` enables the project-scoped rules
+    and builds the interprocedural analysis (through the summary cache at
+    ``cache_dir`` when given); selecting a project rule explicitly via
+    ``rule_ids`` forces the analysis too.  ``surface_doc``/``surface_path``
+    hand the loaded ``api-surface.json`` to the schema-drift rule.
     """
-    rules = _resolve_rules(rule_ids)
+    rules = _resolve_rules(rule_ids, project_mode)
     project, findings = parse_project(paths)
+    project.surface_doc = surface_doc
+    project.surface_path = surface_path
+    if any(rule.scope is Scope.PROJECT and rule.check is not None
+           for rule in rules):
+        _build_analysis(project, cache_dir)
+    timing: dict[str, float] = {}
     for rule in rules:
         if rule.check is None:
             continue
+        started = time.perf_counter()
         for finding in rule.check(project):
             if finding.rule != rule.id:
                 raise ValueError(
                     f"rule {rule.id!r} produced a finding labelled "
                     f"{finding.rule!r}")
             findings.append(finding)
+        timing[rule.id] = time.perf_counter() - started
     active, suppressed = _apply_suppressions(project, findings)
-    active.extend(_suppression_hygiene(project, full_rule_set=rule_ids is None))
+    # Unused-marker hygiene needs to know which rules ran: under a --rule
+    # filter it is disabled entirely (historical behavior — a partial scan
+    # proves nothing about other markers), otherwise a marker is stale only
+    # if every rule it names was part of this scan.
+    ran_for_hygiene = (None if rule_ids is not None
+                       else {rule.id for rule in rules})
+    active.extend(_suppression_hygiene(project, ran_for_hygiene))
     baselined = 0
     if baseline:
         surviving = []
@@ -353,14 +437,19 @@ def run_lint(paths: Iterable[str | Path],
                 surviving.append(finding)
         active = surviving
     active.sort(key=lambda finding: finding.sort_key)
-    # With no filter the framework rules (syntax, suppression) ran too;
-    # the envelope lists everything that was enforced.
-    ran = (sorted(_RULES) if rule_ids is None
-           else [rule.id for rule in rules])
+    # With no filter the framework rules (syntax, suppression) ran too; the
+    # envelope lists everything that was enforced this scan (project rules
+    # only in project mode).
+    ran = (sorted({rule.id for rule in rules}
+                  | {SYNTAX_RULE.id, SUPPRESSION_RULE.id})
+           if rule_ids is None else [rule.id for rule in rules])
+    analysis = project.analysis
     return LintReport(
         rules=ran,
         paths=[str(path) for path in paths],
         findings=active,
         suppressed=suppressed,
         baselined=baselined,
+        timing=timing,
+        project=dict(analysis.stats) if analysis is not None else None,
     )

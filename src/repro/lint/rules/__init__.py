@@ -12,12 +12,25 @@ Each module encodes one repository invariant:
   not at all;
 * :mod:`~repro.lint.rules.hotpath` — replay hot paths keep ``__slots__`` and
   stay free of per-item ``isinstance`` dispatch.
+
+Project-scoped rules (run under ``repro lint --project``, backed by the
+interprocedural analysis in :mod:`repro.lint.graph`):
+
+* :mod:`~repro.lint.rules.lock_order` — the cross-module lock-acquisition
+  graph is cycle-free and no lock is held across blocking I/O;
+* :mod:`~repro.lint.rules.taint_determinism` — no nondeterminism source
+  flows through any call chain into a fingerprint sink;
+* :mod:`~repro.lint.rules.schema_drift` — serialized field sets match the
+  checked-in ``api-surface.json`` and only move with a version bump.
 """
 
 from repro.lint.rules import (  # noqa: F401  (import-time registration)
     determinism,
     fingerprint,
     hotpath,
+    lock_order,
     parity,
+    schema_drift,
+    taint_determinism,
     threadsafety,
 )

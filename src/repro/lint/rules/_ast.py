@@ -16,7 +16,17 @@ def finding_at(rule: Rule, unit: ModuleUnit, node: ast.AST,
         rule=rule.id, severity=rule.severity, path=unit.rel,
         line=getattr(node, "lineno", 1),
         col=getattr(node, "col_offset", 0) + 1,
-        message=message,
+        message=message, scope=rule.scope,
+    )
+
+
+def project_finding(rule: Rule, path: str, line: int,
+                    message: str, col: int = 1) -> Finding:
+    """A :class:`Finding` for a project rule anchored by path/line (project
+    rules locate witnesses through analysis summaries, not AST nodes)."""
+    return Finding(
+        rule=rule.id, severity=rule.severity, path=path,
+        line=line, col=col, message=message, scope=rule.scope,
     )
 
 

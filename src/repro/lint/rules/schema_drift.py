@@ -1,0 +1,130 @@
+"""``schema-drift`` (project): serialized field sets may not move silently.
+
+Every persisted or served artifact in this repo carries a schema tag
+(``repro.scenario/v1``, ``repro.store.record/v1``, ``RESULT_SCHEMA_VERSION``,
+...), and the store's cache-invalidation rule is exactly that tag: a record
+whose field set changes without its version string bumping is
+indistinguishable from the old records already on disk — warm caches then
+serve the old shape forever.  PR 5 enforced this by convention; this rule
+enforces it by analysis.
+
+The analysis extracts the tree's **schema surface**: for every dict literal
+that cites a schema constant (an envelope) and every ``@dataclass`` in a
+schema-bearing module, the entry's field set plus the version values it is
+tied to.  The checked-in ``api-surface.json`` records the last *intentional*
+surface.  On every project scan the two are diffed:
+
+* fields changed while every tied version value stayed put → the silent
+  drift the store cannot detect — the finding says to bump the version;
+* anything else out of sync (new entry, removed entry, fields changed with
+  a bump, version bumped alone) → the surface file is stale; re-record it
+  with ``repro lint --write-surface`` so the *next* drift has a correct
+  reference point.
+
+Either way the scan fails until ``api-surface.json`` matches the tree again,
+which is what keeps the recorded surface trustworthy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.lint.findings import Finding, Scope, Severity
+from repro.lint.framework import Project, Rule, register_rule
+from repro.lint.rules._ast import project_finding
+
+#: Schema tag of the ``api-surface.json`` document itself.
+SURFACE_SCHEMA = "repro.api-surface/v1"
+
+
+def surface_payload(analysis) -> dict[str, Any]:
+    """The ``api-surface.json`` document for the analyzed tree (location
+    fields stripped: the surface records *what* is serialized, not where)."""
+    entries = []
+    for entry in analysis.surface_entries():
+        entries.append({
+            "id": entry["id"],
+            "kind": entry["kind"],
+            "constants": dict(sorted(entry["constants"].items())),
+            "fields": list(entry["fields"]),
+        })
+    return {"schema": SURFACE_SCHEMA, "entries": entries}
+
+
+def _field_diff(old: list[str], new: list[str]) -> str:
+    added = sorted(set(new) - set(old))
+    removed = sorted(set(old) - set(new))
+    parts = []
+    if added:
+        parts.append(f"added {', '.join(added)}")
+    if removed:
+        parts.append(f"removed {', '.join(removed)}")
+    return "; ".join(parts) or "reordered"
+
+
+def _check(project: Project) -> Iterator[Finding]:
+    analysis = project.analysis
+    if analysis is None:
+        return
+    current = {entry["id"]: entry for entry in analysis.surface_entries()}
+    doc = project.surface_doc
+    if doc is None:
+        if current:
+            anchor = min(current.values(),
+                         key=lambda entry: (entry["path"], entry["line"]))
+            yield project_finding(
+                RULE, anchor["path"], anchor["line"],
+                f"{len(current)} schema-tagged entr(ies) found but no "
+                "schema surface is recorded; check in api-surface.json via "
+                "`repro lint --write-surface`")
+        return
+    recorded = {entry["id"]: entry for entry in doc.get("entries", ())
+                if isinstance(entry, dict) and "id" in entry}
+    surface_path = project.surface_path or "api-surface.json"
+    for entry_id in sorted(set(current) | set(recorded)):
+        now = current.get(entry_id)
+        was = recorded.get(entry_id)
+        if was is None:
+            yield project_finding(
+                RULE, now["path"], now["line"],
+                f"schema entry {entry_id} ({now['kind']}) is not recorded "
+                f"in {surface_path}; re-record with `repro lint "
+                "--write-surface`")
+            continue
+        if now is None:
+            yield project_finding(
+                RULE, surface_path, 1,
+                f"recorded schema entry {entry_id} no longer exists in the "
+                f"tree; re-record {surface_path} with `repro lint "
+                "--write-surface`")
+            continue
+        fields_moved = list(was.get("fields", ())) != list(now["fields"])
+        old_constants = dict(was.get("constants", ()))
+        bumped = any(old_constants.get(name) not in (None, value)
+                     for name, value in now["constants"].items())
+        if fields_moved and not bumped:
+            yield project_finding(
+                RULE, now["path"], now["line"],
+                f"fields of schema entry {entry_id} changed "
+                f"({_field_diff(list(was.get('fields', ())), now['fields'])}) "
+                "but its version "
+                f"({', '.join(f'{k}={v}' for k, v in sorted(now['constants'].items()))}) "
+                "did not bump; stored records with the old shape become "
+                "indistinguishable — bump the version string")
+        elif fields_moved or old_constants != now["constants"]:
+            yield project_finding(
+                RULE, now["path"], now["line"],
+                f"schema entry {entry_id} changed with a version bump; "
+                f"{surface_path} is stale — re-record with `repro lint "
+                "--write-surface`")
+
+
+RULE = register_rule(Rule(
+    id="schema-drift",
+    severity=Severity.ERROR,
+    description="a schema-tagged envelope/dataclass field set changed "
+                "without bumping its version string (or api-surface.json "
+                "is out of date)",
+    check=_check,
+    scope=Scope.PROJECT,
+))

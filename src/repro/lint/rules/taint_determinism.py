@@ -1,0 +1,69 @@
+"""``taint-determinism`` (project): no nondeterminism reaches a fingerprint.
+
+The module-scoped ``determinism`` rule bans wall-clock/entropy calls *inside*
+the fingerprint-path modules — but a helper one module over can launder the
+same value::
+
+    # repro/util/stamp.py
+    def build_stamp():
+        return time.time()          # fine by the module rule: not in scope
+
+    # repro/store/keys.py
+    payload["stamp"] = build_stamp()
+    fingerprint_of(payload)          # nondeterministic fingerprint!
+
+This rule closes that hole interprocedurally.  Its *sinks* are the two
+functions every fingerprint funnels through — ``repro.store.keys:
+canonical_json`` and ``repro.store.keys:fingerprint_of`` — plus, via the
+sink-parameter fixpoint, every function that forwards a parameter into them
+(``job_fingerprint``, ``scenario_fingerprint``, ...).  Its *sources* are
+:data:`repro.lint.graph.NONDETERMINISM_SOURCES` (wall clock, ``os.urandom``,
+uuid1/uuid4, ``secrets``, module-level ``random``, unseeded RNG
+constructors, builtin ``hash``).  A finding fires where a call argument that
+feeds a sink parameter carries a source — directly in the argument
+expression, or through any chain of calls whose returns are (transitively)
+tainted.  The message names the source, the sink, and the laundering
+function when there is one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.findings import Finding, Scope, Severity
+from repro.lint.framework import Project, Rule, register_rule
+from repro.lint.rules._ast import project_finding
+
+#: Fully-sinking functions: every argument ends up in a fingerprint digest.
+SINK_ROOTS = (
+    "repro.store.keys:canonical_json",
+    "repro.store.keys:fingerprint_of",
+)
+
+
+def _check(project: Project) -> Iterator[Finding]:
+    analysis = project.analysis
+    if analysis is None:
+        return
+    from repro.lint.graph import NONDETERMINISM_SOURCES
+
+    for flow in analysis.sink_flows(SINK_ROOTS):
+        why = NONDETERMINISM_SOURCES.get(flow["source"], "nondeterministic")
+        via = (f" laundered through {flow['via']}" if flow["via"] is not None
+               else "")
+        yield project_finding(
+            RULE, flow["path"], flow["line"],
+            f"{flow['source']} ({why}) flows into fingerprint sink "
+            f"{flow['sink']}{via}; fingerprinted payloads must be "
+            "deterministic functions of the experiment spec",
+            col=flow["col"])
+
+
+RULE = register_rule(Rule(
+    id="taint-determinism",
+    severity=Severity.ERROR,
+    description="a wall-clock/entropy/unseeded-RNG value flows through a "
+                "call chain into a fingerprinted or canonical-JSON payload",
+    check=_check,
+    scope=Scope.PROJECT,
+))

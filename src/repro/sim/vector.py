@@ -410,6 +410,13 @@ class _TAGEStepper:
     my entry", patch precisely where that guard fails.
     """
 
+    __slots__ = (
+        "direction", "maps", "config", "_pad", "valid", "tags", "counters",
+        "useful", "bimodal", "sc_tables", "loop_valid", "loop_tags",
+        "loop_past", "loop_current", "loop_conf", "ghist", "use_alt",
+        "access_count",
+    )
+
     guarded = True
 
     def __init__(self, direction, maps):
@@ -863,6 +870,9 @@ class _PerceptronStepper:
     rows are untouched, stay committed and resume exactly.
     """
 
+    __slots__ = ("direction", "maps", "table_size", "history_length",
+                 "weights")
+
     guarded = True
 
     #: Block size for the speculative dot-product batches.
@@ -970,6 +980,19 @@ class _CompositeEngine:
     back bit-exactly on ``finish``.  Wrapper kernels (flushing, conservative,
     STBPU) drive the span schedule and event semantics.
     """
+
+    __slots__ = (
+        "composite", "pht_maps", "btb_maps", "codec", "stepper", "sizes",
+        "token_dependent", "bt_keys", "bt_tags", "bt_offsets", "bt_stored",
+        "bt_stamps", "clock", "evictions", "ways", "set_count", "rsb",
+        "rsb_capacity", "rsb_overflows", "rsb_underflows", "ghr_value",
+        "bhb_value", "outcomes", "max_outcomes", "arrays", "n", "is_cond",
+        "is_direct", "is_indirect", "is_return", "is_call", "is_ind_or_ret",
+        "bhb_updates", "mixed", "fallthrough_ok", "high_ok", "base_opcode",
+        "_mode1_cache", "_encoded_cache", "_push_cache", "dir_ok",
+        "target_ok", "btb_hit", "btb_evict", "rsb_under", "one_table",
+        "two_table", "choice_table",
+    )
 
     def __init__(self, composite, pht_maps, btb_maps, codec, stepper=None):
         self.composite = composite
@@ -1674,6 +1697,8 @@ def _accumulate_smt(engine: _CompositeEngine, per_thread_stats,
 class _KernelBase:
     """Shared replay scaffolding for the per-model vector kernels."""
 
+    __slots__ = ("engine", "model")
+
     #: Kernels whose event hooks are no-ops replay the whole trace as one
     #: epoch instead of chunking at (inert) event boundaries.
     merge_events = False
@@ -1733,6 +1758,8 @@ class _PlainKernel(_KernelBase):
     """Unprotected :class:`~repro.bpu.composite.CompositeBPU`: every OS-event
     hook is a no-op, so the whole trace replays as one epoch."""
 
+    __slots__ = ()
+
     merge_events = True
 
 
@@ -1740,6 +1767,8 @@ class _ConservativeKernel(_KernelBase):
     """Conservative model: the partition slot is per-branch data (the maps
     receive the context column), so events only influence the mapping's final
     ``current_context`` value, restored after replay."""
+
+    __slots__ = ()
 
     merge_events = True
 
@@ -1758,6 +1787,8 @@ class _ConservativeKernel(_KernelBase):
 class _FlushingKernel(_KernelBase):
     """µcode-style protection: emulates the flush-on-event hooks against the
     adopted state (the live structures are stale until ``finish``)."""
+
+    __slots__ = ()
 
     def _on_event(self, event: TraceEvent) -> None:
         model = self.model
@@ -1781,6 +1812,8 @@ class _STBPUKernel(_KernelBase):
 
     OS events go to the *real* model hooks (they only touch the token
     machinery, never the adopted predictor structures)."""
+
+    __slots__ = ("_effective", "_changes")
 
     def _prepare(self, columns) -> bool:
         from repro.core.stbpu import KERNEL_CONTEXT_ID

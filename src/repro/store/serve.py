@@ -129,7 +129,10 @@ class ExperimentService:
             if envelope is not None:
                 return fingerprint, envelope, True
             try:
-                frame = self._ensure_runner().run_jobs(scenario.jobs())
+                # Known single-flight bottleneck: the execution lock is held
+                # across the whole run, so concurrent distinct POSTs queue
+                # behind one simulation (ROADMAP: replace with a job queue).
+                frame = self._ensure_runner().run_jobs(scenario.jobs())  # repro-lint: disable=lock-order -- single-flight by design until the job-queue rework; cached scenarios bypass the lock above
             except Exception:
                 # The pooled runner may now hold a broken ProcessPoolExecutor;
                 # keeping it would 500 every later POST.  Drop it so the next

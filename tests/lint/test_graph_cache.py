@@ -1,0 +1,207 @@
+"""The interprocedural engine and its incremental cache.
+
+Covers the pieces the rule tests exercise only indirectly: call-target
+resolution through attribute and return types, the taint fixpoint across
+module boundaries, the lock/blocking summaries, and — the part CI leans on —
+cache semantics: a warm project run re-analyzes zero modules, a single-module
+edit re-analyzes exactly that module, and corrupt cache entries degrade to
+misses instead of poisoning the analysis.
+"""
+
+import json
+
+import pytest
+
+from repro.lint import SummaryCache, run_lint
+from repro.lint.framework import analyze_project, parse_project
+from repro.lint.graph import build_analysis, source_sha256, summarize_module
+
+
+@pytest.fixture
+def analyze(make_tree):
+    def run(files, cache=None):
+        root = make_tree(files)
+        project, _ = parse_project([root / "repro"])
+        return build_analysis(
+            [unit for unit in project.modules if unit.tree is not None],
+            cache)
+    return run
+
+
+TREE = {
+    "repro/store/keys.py": """\
+        def fingerprint_of(payload):
+            return hash(payload)  # repro-lint: disable=determinism -- fixture
+        """,
+    "repro/engine/runner.py": """\
+        import threading
+        import time
+        from concurrent.futures import as_completed
+
+        class Runner:
+            def __init__(self, workers: int):
+                self._lock = threading.Lock()
+                self.workers = workers
+
+            def wait(self, futures):
+                return list(as_completed(futures))
+
+            def run(self, futures):
+                with self._lock:
+                    return self.wait(futures)
+        """,
+    "repro/store/serve.py": """\
+        from repro.engine.runner import Runner
+
+        class Service:
+            def __init__(self):
+                self._runner = None
+
+            def _ensure_runner(self) -> Runner:
+                if self._runner is None:
+                    self._runner = Runner(workers=2)
+                return self._runner
+
+            def submit(self, futures):
+                return self._ensure_runner().run(futures)
+        """,
+}
+
+
+class TestCallResolution:
+    def test_method_resolution_through_return_types(self, analyze):
+        # Service.submit -> _ensure_runner() (annotation + attr type) ->
+        # Runner.run -> Runner.wait -> as_completed: the blocking fixpoint
+        # must see the whole chain.
+        analysis = analyze(TREE)
+        blocking = analysis.blocking_functions()
+        assert "repro.store.serve:Service.submit" in blocking
+        chain = analysis.blocking_chain("repro.store.serve:Service.submit")
+        assert chain[-1] == "concurrent.futures.as_completed"
+        assert "repro.engine.runner:Runner.wait" in chain
+
+    def test_lock_edges_cross_call_boundaries(self, analyze):
+        analysis = analyze(TREE)
+        acquires = analysis.transitive_acquires()
+        # submit never touches a lock lexically; it inherits Runner.run's.
+        assert acquires["repro.store.serve:Service.submit"] == {
+            "repro.engine.runner:Runner._lock"}
+
+    def test_import_graph_projects_resolved_calls(self, analyze):
+        analysis = analyze(TREE)
+        graph = analysis.import_graph()
+        assert "repro.engine.runner" in graph["repro.store.serve"]
+
+    def test_tainted_returns_propagate_across_modules(self, analyze):
+        analysis = analyze({
+            "repro/util/a.py": """\
+                import time
+
+                def now():
+                    return time.time()
+                """,
+            "repro/util/b.py": """\
+                from repro.util.a import now
+
+                def launder():
+                    return now()
+                """,
+        })
+        tainted = analysis.tainted_returns()
+        assert tainted["repro.util.a:now"] == {"time.time": None}
+        assert tainted["repro.util.b:launder"] == {
+            "time.time": "repro.util.a:now"}
+
+
+class TestSummaries:
+    def test_summaries_are_json_serializable(self, make_tree):
+        root = make_tree(TREE)
+        project, _ = parse_project([root / "repro"])
+        for unit in project.modules:
+            summary = summarize_module(unit.module, unit.rel, unit.tree)
+            assert json.loads(json.dumps(summary)) == summary
+
+    def test_source_hash_keys_on_module_name_and_content(self):
+        assert source_sha256("a", "x = 1\n") != source_sha256("b", "x = 1\n")
+        assert source_sha256("a", "x = 1\n") != source_sha256("a", "x = 2\n")
+        assert source_sha256("a", "x = 1\n") == source_sha256("a", "x = 1\n")
+
+
+class TestCacheSemantics:
+    def test_warm_run_analyzes_zero_modules(self, make_tree, tmp_path):
+        root = make_tree(TREE)
+        cache_dir = tmp_path / "cache"
+        cold = run_lint([root / "repro"], rule_ids=["lock-order"],
+                        project_mode=True, cache_dir=cache_dir)
+        assert cold.project["analyzed"] == cold.project["modules"] == 3
+        assert cold.project["cache_misses"] == 3
+        warm = run_lint([root / "repro"], rule_ids=["lock-order"],
+                        project_mode=True, cache_dir=cache_dir)
+        assert warm.project["analyzed"] == 0
+        assert warm.project["cached"] == 3
+        assert warm.project["cache_hits"] == 3
+
+    def test_single_module_edit_reanalyzes_only_that_module(
+            self, make_tree, tmp_path):
+        root = make_tree(TREE)
+        cache_dir = tmp_path / "cache"
+        run_lint([root / "repro"], rule_ids=["lock-order"],
+                 project_mode=True, cache_dir=cache_dir)
+        serve = root / "repro/store/serve.py"
+        serve.write_text(serve.read_text() + "\n# touched\n")
+        report = run_lint([root / "repro"], rule_ids=["lock-order"],
+                          project_mode=True, cache_dir=cache_dir)
+        assert report.project["analyzed"] == 1
+        assert report.project["cached"] == 2
+
+    def test_corrupt_entry_degrades_to_a_miss(self, tmp_path):
+        cache = SummaryCache(tmp_path / "cache")
+        key = source_sha256("m", "x = 1\n")
+        cache.put(key, {"module": "m"})
+        path = tmp_path / "cache" / "summaries" / key[:2] / f"{key}.json"
+        path.write_text("{ truncated", encoding="utf-8")
+        assert cache.get(key) is None
+        cache.put(key, {"module": "m"})
+        assert cache.get(key) == {"module": "m"}
+        stats = cache.stats()
+        assert stats["cache_misses"] == 1
+        assert stats["cache_writes"] == 2
+
+    def test_wrong_key_or_schema_is_a_miss(self, tmp_path):
+        cache = SummaryCache(tmp_path / "cache")
+        key = source_sha256("m", "x = 1\n")
+        other = source_sha256("m", "x = 2\n")
+        cache.put(key, {"module": "m"})
+        path = tmp_path / "cache" / "summaries" / other[:2] / f"{other}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # A payload copied under the wrong key must not be trusted.
+        stored = json.loads(
+            (tmp_path / "cache" / "summaries" / key[:2] /
+             f"{key}.json").read_text())
+        path.write_text(json.dumps(stored), encoding="utf-8")
+        assert cache.get(other) is None
+
+    def test_analysis_version_is_part_of_the_key(self, make_tree, tmp_path,
+                                                 monkeypatch):
+        root = make_tree(TREE)
+        cache_dir = tmp_path / "cache"
+        run_lint([root / "repro"], rule_ids=["lock-order"],
+                 project_mode=True, cache_dir=cache_dir)
+        import repro.lint.graph as graph_mod
+        monkeypatch.setattr(graph_mod, "ANALYSIS_VERSION",
+                            graph_mod.ANALYSIS_VERSION + 1)
+        report = run_lint([root / "repro"], rule_ids=["lock-order"],
+                          project_mode=True, cache_dir=cache_dir)
+        assert report.project["analyzed"] == 3, (
+            "bumping ANALYSIS_VERSION must invalidate every cached summary")
+
+
+class TestAnalyzeProjectHelper:
+    def test_analyze_project_populates_the_cache(self, make_tree, tmp_path):
+        root = make_tree(TREE)
+        cache_dir = tmp_path / "cache"
+        analysis = analyze_project([root / "repro"], cache_dir)
+        assert analysis.stats["analyzed"] == 3
+        again = analyze_project([root / "repro"], cache_dir)
+        assert again.stats["cached"] == 3
+        assert again.summaries == analysis.summaries

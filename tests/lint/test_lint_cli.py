@@ -73,12 +73,14 @@ class TestJsonEnvelope:
         assert finding == {
             "rule": "determinism",
             "severity": "error",
+            "scope": "module",
             "path": "repro/engine/timed.py",
             "line": 5,
             "col": 12,
             "message": finding["message"],
         }
         assert "time.time()" in finding["message"]
+        assert result["timing"].keys() >= {"determinism", "hot-path"}
 
     def test_file_envelope_plus_text_report(self, tree, capsys):
         root = tree(DIRTY)
@@ -106,8 +108,11 @@ class TestListRules:
         "determinism",
         "fingerprint-coverage",
         "hot-path",
+        "lock-order",
+        "schema-drift",
         "suppression",
         "syntax",
+        "taint-determinism",
         "thread-safety",
     ]
 
@@ -116,13 +121,14 @@ class TestListRules:
         lines = capsys.readouterr().out.strip().splitlines()
         assert [line.split()[0] for line in lines] == self.EXPECTED
 
-    def test_each_line_carries_severity_and_description(self, capsys):
+    def test_each_line_carries_severity_scope_and_description(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         lines = capsys.readouterr().out.strip().splitlines()
         for line in lines:
-            fields = line.split(maxsplit=2)
+            fields = line.split(maxsplit=3)
             assert fields[1] in ("error", "warning")
-            assert fields[2]
+            assert fields[2] in ("module", "project")
+            assert fields[3]
 
 
 class TestBaselineFlags:

@@ -1,18 +1,22 @@
 """Dogfood self-checks: the shipped tree must satisfy its own linter.
 
 These tests run from the repository root (the suite's working directory) and
-pin three facts: ``repro lint src/`` is green under the shipped baseline, the
-checked-in ``lint-baseline.json`` matches a fresh scan byte-for-byte (no
-stale or missing grandfathered entries), and the inline suppressions in the
-source tree are all used and justified.
+pin the facts the CI gate relies on: ``repro lint src/`` and ``repro lint
+--project src/`` are both green, the checked-in ``lint-baseline.json`` is
+**empty** (the PR 7 grandfathered findings are fixed — the ratchet keeps it
+that way), the checked-in ``api-surface.json`` matches a fresh analysis of
+the tree, and the inline suppressions in the source tree are all used and
+justified.
 """
 
 import json
 
 from repro.cli import main
-from repro.lint import baseline_payload, run_lint
+from repro.lint import analyze_project, baseline_payload, run_lint
+from repro.lint.rules.schema_drift import surface_payload
 
 BASELINE_FILE = "lint-baseline.json"
+SURFACE_FILE = "api-surface.json"
 
 
 class TestShippedTree:
@@ -20,30 +24,51 @@ class TestShippedTree:
         assert main(["lint", "src"]) == 0
         assert "lint: clean" in capsys.readouterr().out
 
-    def test_shipped_baseline_matches_a_fresh_scan(self):
-        report = run_lint(["src"], baseline=None)
-        fresh = baseline_payload(report.findings)
+    def test_repro_lint_project_src_is_clean(self, capsys):
+        # The full interprocedural gate: lock-order, taint-determinism and
+        # schema-drift against the checked-in surface, fresh analysis.
+        assert main(["lint", "--project", "--no-cache", "src"]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_shipped_baseline_is_empty_and_stays_empty(self):
+        # The ratchet: PR 8 burned the baseline down to zero entries; any
+        # regrowth means a new violation was grandfathered instead of fixed.
         with open(BASELINE_FILE, encoding="utf-8") as handle:
+            shipped = json.load(handle)
+        assert shipped["entries"] == [], (
+            "lint-baseline.json must stay empty: fix new findings instead "
+            "of re-baselining them")
+        report = run_lint(["src"], baseline=None)
+        assert baseline_payload(report.findings) == shipped
+
+    def test_shipped_surface_matches_a_fresh_analysis(self):
+        analysis = analyze_project(["src"])
+        fresh = surface_payload(analysis)
+        with open(SURFACE_FILE, encoding="utf-8") as handle:
             shipped = json.load(handle)
         assert fresh == shipped, (
-            "lint-baseline.json is out of date; regenerate it with "
-            "`python -m repro lint src/ --write-baseline` after deciding "
-            "whether each change should instead be fixed")
-
-    def test_baseline_entries_are_grandfathered_not_new(self):
-        # Every shipped entry must still match a real finding: a fixed
-        # violation must leave the baseline too.
-        report = run_lint(["src"], baseline=None)
-        live = {finding.baseline_key for finding in report.findings}
-        with open(BASELINE_FILE, encoding="utf-8") as handle:
-            shipped = json.load(handle)
-        for entry in shipped["entries"]:
-            assert (entry["rule"], entry["path"], entry["message"]) in live
+            "api-surface.json is out of date; if the schema change was "
+            "intentional (version bumped), re-record it with "
+            "`python -m repro lint --write-surface src/`")
 
     def test_suppressions_in_src_are_used_and_justified(self):
-        # A full run flags unknown/unjustified/unused markers via the
-        # `suppression` rule; clean-with-baseline implies none exist, and the
-        # counter pins that the runner.py wall-time markers stay live.
-        report = run_lint(["src"], baseline=None)
-        assert report.suppressed >= 2
+        # A project run exercises every rule, so every marker is judged for
+        # staleness; the counter pins that the runner.py wall-time markers
+        # and the serve.py single-flight lock-order marker stay live.
+        report = run_lint(["src"], baseline=None, project_mode=True)
+        assert report.suppressed >= 3
         assert not [f for f in report.findings if f.rule == "suppression"]
+
+    def test_project_envelope_reports_analysis_counters(self, capsys, tmp_path):
+        cache = tmp_path / "lint-cache"
+        assert main(["lint", "--project", "--cache-dir", str(cache),
+                     "src", "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)["result"]["project"]
+        assert cold["analyzed"] == cold["modules"] > 0
+        assert cold["cached"] == 0
+        assert main(["lint", "--project", "--cache-dir", str(cache),
+                     "src", "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)["result"]["project"]
+        assert warm["analyzed"] == 0, "warm run must re-analyze 0 modules"
+        assert warm["cached"] == warm["modules"] == cold["modules"]
+        assert warm["cache_hits"] == warm["modules"]
