@@ -42,6 +42,14 @@ artifact records each model's branches/s, its kernel class
 composite reference kernel's throughput divided by the model's.  That ratio
 is the number the TAGE/Perceptron guarded kernels are closing; ``--check``
 gates on the per-model branches/s exactly like it gates on the grids.
+
+Since format 7 the report also measures the async serving tier
+(:mod:`repro.store.jobs` behind ``repro serve``): a batch of distinct
+scenarios is pushed through a real HTTP server twice — serialized (one job
+worker, the old global-lock behaviour) and concurrent (several workers) —
+and the ``serve`` block records jobs/s for both lanes plus the concurrency
+speedup and an envelope-equality verdict.  ``--check`` gates on both lanes'
+jobs/s.
 """
 
 from __future__ import annotations
@@ -69,7 +77,7 @@ from repro.store import DiskStore
 from repro.trace.workloads import GEM5_SMT_PAIRS
 
 #: Format/sequence number of the artifact this module writes.
-BENCH_SEQUENCE = 6
+BENCH_SEQUENCE = 7
 
 #: Default artifact path.
 DEFAULT_OUTPUT = f"BENCH_{BENCH_SEQUENCE}.json"
@@ -108,6 +116,11 @@ PREDICTOR_REFERENCE_MODEL = "baseline"
 #: records the best run, which damps scheduler noise on the short per-model
 #: replays.
 PREDICTOR_REPS = 3
+
+#: Job-worker count of the concurrent lane in the ``serve`` block (the
+#: serialized lane always runs one worker — the pre-format-7 behaviour of a
+#: global execution lock).
+SERVE_CONCURRENT_WORKERS = 4
 
 
 @dataclass(slots=True)
@@ -187,6 +200,7 @@ class BenchReport:
     trace_cache: dict[str, int] = field(default_factory=dict)
     store: dict = field(default_factory=dict)
     predictors: dict = field(default_factory=dict)
+    serve: dict = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -205,6 +219,7 @@ class BenchReport:
             "store": {self.mode: dict(self.store)} if self.store else {},
             "predictors": (
                 {self.mode: dict(self.predictors)} if self.predictors else {}),
+            "serve": {self.mode: dict(self.serve)} if self.serve else {},
             "benches": {timing.key: timing.to_dict() for timing in self.timings},
         }
 
@@ -336,6 +351,89 @@ def measure_predictors(quick: bool = False) -> dict:
     }
 
 
+def _serve_scenarios(quick: bool = False) -> list[dict]:
+    """Distinct single-cell scenarios for the serving bench (seed-varied so
+    every submission is a genuine miss, never a single-flight dedup)."""
+    count, branch_count, warmup = (6, 2_000, 200) if quick else (12, 8_000, 800)
+    return [
+        {
+            "schema": "repro.scenario/v1",
+            "name": f"bench-serve-{index}",
+            "kind": "trace",
+            "models": ["baseline"],
+            "workloads": ["505.mcf"],
+            "scale": {"branch_count": branch_count,
+                      "warmup_branches": warmup, "seed": 100 + index},
+        }
+        for index in range(count)
+    ]
+
+
+def measure_serve(quick: bool = False) -> dict:
+    """Jobs/s of the async serving tier, concurrent versus serialized.
+
+    The same batch of distinct scenarios is pushed through a real HTTP
+    server (async POSTs via :class:`repro.client.ReproClient`, then polled
+    to terminal) twice: once with a single job worker — equivalent to the
+    pre-format-7 global execution lock — and once with
+    :data:`SERVE_CONCURRENT_WORKERS`.  Traces are prewarmed so the clock
+    measures queueing + execution + serving, not synthetic trace
+    construction; both lanes must produce identical envelopes.
+    """
+    import threading
+
+    from repro.client import ReproClient
+    from repro.engine.scenario import parse_scenario
+    from repro.store.memory import MemoryStore
+    from repro.store.serve import make_server
+
+    scenarios = _serve_scenarios(quick)
+    EngineRunner._prewarm_traces([
+        job for data in scenarios for job in parse_scenario(data).jobs()])
+
+    def lane(workers: int) -> tuple[dict, list, list[str]]:
+        server = make_server(port=0, store=MemoryStore(), workers=workers,
+                             queue_depth=max(32, 2 * len(scenarios)))
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        host, port = server.server_address[:2]
+        client = ReproClient(f"http://{host}:{port}", poll_interval=0.02)
+        try:
+            started = time.perf_counter()
+            submitted = [client.submit(data) for data in scenarios]
+            states = [client.wait(entry.fingerprint, timeout=600)["state"]
+                      for entry in submitted]
+            seconds = time.perf_counter() - started
+            envelopes = [client.result(entry.fingerprint)[0]
+                         for entry in submitted]
+            block = {
+                "workers": workers,
+                "seconds": round(seconds, 4),
+                "jobs_per_second": round(len(scenarios) / seconds, 2)
+                if seconds else 0.0,
+            }
+            return block, envelopes, states
+        finally:
+            server.shutdown()
+            server.server_close()
+            server.service.close()  # type: ignore[attr-defined]
+
+    serialized, serial_envelopes, serial_states = lane(1)
+    concurrent, concurrent_envelopes, concurrent_states = lane(
+        SERVE_CONCURRENT_WORKERS)
+    speedup = (serialized["seconds"] / concurrent["seconds"]
+               if concurrent["seconds"] else None)
+    return {
+        "scenarios": len(scenarios),
+        "serialized": serialized,
+        "concurrent": concurrent,
+        "speedup": round(speedup, 3) if speedup is not None else None,
+        "all_done": (serial_states + concurrent_states).count("done")
+        == 2 * len(scenarios),
+        "concurrent_matches_serialized":
+            concurrent_envelopes == serial_envelopes,
+    }
+
+
 def run_bench(quick: bool = False, workers: int = 1) -> BenchReport:
     """Time every bench grid; optionally cross-check a parallel run.
 
@@ -380,6 +478,7 @@ def run_bench(quick: bool = False, workers: int = 1) -> BenchReport:
     report.trace_cache = trace_cache_stats()
     report.store = measure_store(quick)
     report.predictors = measure_predictors(quick)
+    report.serve = measure_serve(quick)
     return report
 
 
@@ -419,6 +518,14 @@ def write_bench(report: BenchReport, path: str = DEFAULT_OUTPUT) -> None:
                 }
                 merged_predictors.update(payload["predictors"])
                 payload["predictors"] = merged_predictors
+            serve = existing.get("serve")
+            if isinstance(serve, dict):
+                merged_serve = {
+                    mode: block for mode, block in serve.items()
+                    if isinstance(block, dict) and "serialized" in block
+                }
+                merged_serve.update(payload["serve"])
+                payload["serve"] = merged_serve
             # total_seconds stays the total of the *current run's mode* so it
             # always describes one real invocation (the one "mode"/"backend"/
             # "trace_cache" also describe), never a cross-mode sum.
@@ -453,20 +560,22 @@ def check_regression(report: BenchReport, reference: dict | str,
     than ``tolerance`` below the recorded value.  The per-model
     ``predictors`` block is gated the same way: a model recorded under the
     run's mode fails when its vector-backend branches/s falls below the
-    tolerance floor.
+    tolerance floor.  The ``serve`` block gates both lanes' jobs/s, so a
+    serving-tier throughput regression fails CI like a kernel one.
     """
     if isinstance(reference, str):
         reference = load_reference(reference)
     recorded = reference.get("benches", {})
     failures: list[str] = []
 
-    def gate(key: str, measured_bps: float, entry: dict) -> None:
-        recorded_bps = float(entry.get("branches_per_second", 0.0))
-        floor = recorded_bps * (1.0 - tolerance)
-        if recorded_bps and measured_bps < floor:
+    def gate(key: str, measured: float, entry: dict,
+             field: str = "branches_per_second", unit: str = "branches/s") -> None:
+        recorded_value = float(entry.get(field, 0.0))
+        floor = recorded_value * (1.0 - tolerance)
+        if recorded_value and measured < floor:
             failures.append(
-                f"{key}: {measured_bps:,.0f} branches/s is "
-                f">{tolerance:.0%} below the recorded {recorded_bps:,.0f} "
+                f"{key}: {measured:,.0f} {unit} is "
+                f">{tolerance:.0%} below the recorded {recorded_value:,.0f} "
                 f"(floor {floor:,.0f})")
 
     for timing in report.timings:
@@ -480,6 +589,14 @@ def check_regression(report: BenchReport, reference: dict | str,
         if isinstance(recorded_entry, dict):
             gate(f"predictors.{report.mode}.{name}",
                  float(entry.get("branches_per_second", 0.0)), recorded_entry)
+    recorded_serve = reference.get("serve", {}).get(report.mode, {})
+    for lane in ("serialized", "concurrent"):
+        recorded_entry = recorded_serve.get(lane)
+        measured_entry = report.serve.get(lane)
+        if isinstance(recorded_entry, dict) and isinstance(measured_entry, dict):
+            gate(f"serve.{report.mode}.{lane}",
+                 float(measured_entry.get("jobs_per_second", 0.0)),
+                 recorded_entry, field="jobs_per_second", unit="jobs/s")
     return failures
 
 
@@ -569,6 +686,18 @@ def format_bench(report: BenchReport) -> str:
             f"({timing.get('speedup') or 0.0}x, {store.get('hits', 0)} hits / "
             f"{store.get('misses', 0)} misses, "
             f"{store.get('warm_jobs_executed', 0)} jobs executed warm, {verdict})")
+    serve = report.serve
+    if serve:
+        serialized = serve.get("serialized", {})
+        concurrent = serve.get("concurrent", {})
+        verdict = "ok" if serve.get("concurrent_matches_serialized") \
+            and serve.get("all_done") else "DIFF"
+        lines.append(
+            f"serve ({serve.get('scenarios', 0)} scenarios): serialized "
+            f"{serialized.get('jobs_per_second', 0.0):.1f} jobs/s -> "
+            f"{concurrent.get('workers', 0)} workers "
+            f"{concurrent.get('jobs_per_second', 0.0):.1f} jobs/s "
+            f"({serve.get('speedup') or 0.0}x, {verdict})")
     predictors = report.predictors
     if predictors:
         models = predictors.get("models", {})

@@ -199,12 +199,20 @@ def _cmd_store(args: argparse.Namespace) -> None:
 
 def _cmd_serve(args: argparse.Namespace) -> None:
     """``serve`` — run the HTTP front-end over the (incremental) store."""
+    from repro.faults import parse_fault_spec, plan_from_env, wrap_store
+    from repro.store.memory import MemoryStore
     from repro.store.serve import serve_forever
 
     _apply_backend(args)
     store = open_store(path=args.store, enabled=args.use_store)
+    plan = (parse_fault_spec(args.faults) if args.faults
+            else plan_from_env())
+    store, injector = wrap_store(store if store is not None else MemoryStore(),
+                                 plan)
     serve_forever(host=args.host, port=args.port, store=store,
-                  workers=args.workers)
+                  workers=args.workers, engine_workers=args.engine_workers,
+                  queue_depth=args.queue_depth, job_timeout=args.job_timeout,
+                  max_attempts=args.max_attempts, injector=injector)
 
 
 def _add_store_options(parser: argparse.ArgumentParser) -> None:
@@ -298,8 +306,23 @@ def build_parser() -> argparse.ArgumentParser:
                               help="bind address (default: 127.0.0.1)")
     serve_parser.add_argument("--port", type=int, default=8765,
                               help="bind port (default: 8765; 0 = ephemeral)")
-    serve_parser.add_argument("--workers", type=int, default=1,
-                              help="engine worker processes per run")
+    serve_parser.add_argument("--workers", type=int, default=2,
+                              help="concurrent job workers (default: 2)")
+    serve_parser.add_argument("--engine-workers", type=int, default=1,
+                              help="engine worker processes per job")
+    serve_parser.add_argument("--queue-depth", type=int, default=16,
+                              help="bounded job queue depth; a full queue "
+                                   "answers 429 + Retry-After (default: 16)")
+    serve_parser.add_argument("--job-timeout", type=float, default=300.0,
+                              help="per-job deadline in seconds; exceeding "
+                                   "it records state 'timeout' (default: 300)")
+    serve_parser.add_argument("--max-attempts", type=int, default=3,
+                              help="attempts per job across transient "
+                                   "failures, with backoff (default: 3)")
+    serve_parser.add_argument("--faults", metavar="SPEC", default=None,
+                              help="fault injection, e.g. 'error=0.1,"
+                                   "latency=0.05,corrupt=0.1,seed=7' "
+                                   "(default: $REPRO_FAULTS)")
     serve_parser.add_argument("--backend", choices=list(fastpath.BACKENDS),
                               default=None, help="replay backend override")
     _add_store_options(serve_parser)

@@ -464,12 +464,16 @@ class EngineRunner:
         return self.run_jobs(grid.jobs(), progress=progress)
 
     def run_jobs(self, jobs: Sequence[Job],
-                 progress: ProgressCallback | None = None) -> ResultFrame:
+                 progress: ProgressCallback | None = None,
+                 abort_check: Callable[[], None] | None = None) -> ResultFrame:
         """Execute an explicit job list (drivers mixing kinds build these)."""
-        return ResultFrame(self.iter_records(jobs, progress=progress))
+        return ResultFrame(self.iter_records(jobs, progress=progress,
+                                             abort_check=abort_check))
 
     def iter_records(self, jobs: Iterable[Job],
-                     progress: ProgressCallback | None = None) -> Iterator[JobRecord]:
+                     progress: ProgressCallback | None = None,
+                     abort_check: Callable[[], None] | None = None,
+                     ) -> Iterator[JobRecord]:
         """Stream records as jobs finish, reassembled into job order.
 
         Records are yielded in the order of ``jobs`` regardless of which
@@ -483,8 +487,16 @@ class EngineRunner:
         With a store attached, cached jobs complete instantly (their progress
         fires first), only the missing jobs are dispatched, and every fresh
         cacheable record is written back.
+
+        ``abort_check`` is the supervisor hook (``repro.store.jobs``): called
+        before dispatch and between completions, it raises to abandon the
+        run (deadline exceeded, job cancelled).  In-flight pool batches
+        cannot be interrupted — after an abort the caller should ``close()``
+        the runner rather than reuse a pool with stale work queued.
         """
         jobs = list(jobs)
+        if abort_check is not None:
+            abort_check()
         total = len(jobs)
         cached, missing, positions, fingerprints = self._partition(jobs)
         self.last_total = total
@@ -503,6 +515,8 @@ class EngineRunner:
             yield ready.pop(next_position)
             next_position += 1
         for position, record in self._completions(missing, positions):
+            if abort_check is not None:
+                abort_check()
             done += 1
             if progress is not None:
                 progress(done, total, record)

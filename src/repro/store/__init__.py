@@ -27,8 +27,10 @@ import os
 from repro.store.base import (
     ENVELOPE_NAMESPACE,
     JOB_NAMESPACE,
+    JOB_STATE_NAMESPACE,
     ResultStore,
     StoreCounters,
+    StoreWrapper,
 )
 from repro.store.disk import RECORD_SCHEMA, STORE_SCHEMA, DiskStore
 from repro.store.keys import (
@@ -70,6 +72,7 @@ __all__ = [
     "CACHEABLE_KINDS",
     "ENVELOPE_NAMESPACE",
     "JOB_NAMESPACE",
+    "JOB_STATE_NAMESPACE",
     "RECORD_SCHEMA",
     "RESULT_SCHEMA_VERSION",
     "STORE_ENV",
@@ -78,6 +81,7 @@ __all__ = [
     "MemoryStore",
     "ResultStore",
     "StoreCounters",
+    "StoreWrapper",
     "canonical_json",
     "default_store_path",
     "fingerprint_of",

@@ -24,6 +24,11 @@ JOB_NAMESPACE = "job"
 #: Namespace of cached whole-experiment envelopes (``repro serve``).
 ENVELOPE_NAMESPACE = "envelope"
 
+#: Namespace of persisted job state records (``repro.store.jobs``) — written
+#: on every state transition so any replica sharing the store can answer a
+#: ``GET /v1/jobs/<fp>`` for work it did not execute itself.
+JOB_STATE_NAMESPACE = "jobstate"
+
 _HEX_DIGITS = frozenset("0123456789abcdef")
 
 
@@ -51,6 +56,7 @@ class StoreCounters:
     writes: int = 0
     evictions: int = 0
     corrupt: int = 0
+    retried: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False)
 
@@ -69,6 +75,7 @@ class StoreCounters:
                 "writes": self.writes,
                 "evictions": self.evictions,
                 "corrupt": self.corrupt,
+                "retried": self.retried,
             }
 
 
@@ -120,3 +127,34 @@ class ResultStore:
 
     def _write(self, namespace: str, fingerprint: str, payload: Any) -> None:
         raise NotImplementedError
+
+
+class StoreWrapper(ResultStore):
+    """Transparent decorator base: forwards the full store protocol to an
+    inner backend.
+
+    Wrappers share the inner store's :class:`StoreCounters` instance so
+    callers that reclassify counters (e.g. the runner demoting a corrupt hit
+    to a miss) keep working unchanged through any stack of wrappers.
+    Subclasses override the public methods they perturb —
+    :class:`repro.faults.FaultyStore` is the canonical user.
+    """
+
+    def __init__(self, inner: ResultStore) -> None:
+        self.inner = inner
+        self.counters = inner.counters
+
+    def get(self, namespace: str, fingerprint: str) -> Any | None:
+        return self.inner.get(namespace, fingerprint)
+
+    def put(self, namespace: str, fingerprint: str, payload: Any) -> None:
+        self.inner.put(namespace, fingerprint, payload)
+
+    def contains(self, namespace: str, fingerprint: str) -> bool:
+        return self.inner.contains(namespace, fingerprint)
+
+    def stats(self) -> dict[str, Any]:
+        return self.inner.stats()
+
+    def live_stats(self) -> dict[str, Any]:
+        return self.inner.live_stats()

@@ -201,6 +201,24 @@ class DiskStore(ResultStore):
         # mtime=0 keeps the compressed bytes deterministic, so concurrent
         # writers of one fingerprint publish identical files.
         raw = gzip.compress(canonical_json(record).encode("utf-8"), mtime=0)
+        try:
+            self._publish(raw, path, directory, fingerprint)
+        except OSError:
+            # Transient OS errors (EINTR, ENOSPC freed by a concurrent GC,
+            # NFS hiccups) deserve exactly one more attempt before the
+            # caller degrades to uncached serving.
+            self.counters.add(retried=1)
+            self._publish(raw, path, directory, fingerprint)
+        self._index_put(f"{namespace}/{fingerprint}", len(raw))
+        if self.max_bytes is not None and self._index_bytes > self.max_bytes:
+            # Evict with hysteresis (down to 90% of the cap): _evict_to walks
+            # the objects tree for authoritative sizes/recency, so a store
+            # sitting at its cap must not pay that walk on every single put.
+            self._evict_to(max(1, (self.max_bytes * 9) // 10), keep=path)
+
+    def _publish(self, raw: bytes, path: str, directory: str,
+                 fingerprint: str) -> None:
+        """One atomic write attempt: temp file in ``directory``, then rename."""
         descriptor, temp_path = tempfile.mkstemp(
             prefix=fingerprint[:8] + ".", suffix=".tmp", dir=directory)
         try:
@@ -213,12 +231,6 @@ class DiskStore(ResultStore):
             except OSError:
                 pass
             raise
-        self._index_put(f"{namespace}/{fingerprint}", len(raw))
-        if self.max_bytes is not None and self._index_bytes > self.max_bytes:
-            # Evict with hysteresis (down to 90% of the cap): _evict_to walks
-            # the objects tree for authoritative sizes/recency, so a store
-            # sitting at its cap must not pay that walk on every single put.
-            self._evict_to(max(1, (self.max_bytes * 9) // 10), keep=path)
 
     def contains(self, namespace: str, fingerprint: str) -> bool:
         return os.path.exists(self.object_path(namespace, fingerprint))

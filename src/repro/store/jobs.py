@@ -1,0 +1,652 @@
+"""The async job subsystem behind ``repro serve``: queue, workers, deadlines.
+
+PR 5's serving tier executed every POST under one global lock — correct, but
+one slow STBPU rerandomization sweep blocked the whole service.  This module
+replaces the lock with a supervised job pipeline:
+
+* a **bounded FIFO queue** (:class:`QueueFull` carries a ``Retry-After`` hint
+  when depth is exceeded),
+* a **job state machine** ``queued → running → done | failed | timeout |
+  cancelled``, persisted as content-addressed records (namespace
+  ``jobstate``) so any replica sharing the store can answer any GET,
+* **worker threads** each owning a private incremental
+  :class:`~repro.engine.runner.EngineRunner`,
+* a **watchdog** enforcing per-job deadlines (a wedged job is recorded
+  ``timeout``, its worker abandoned and replaced so throughput survives),
+* **bounded exponential-backoff retry** for transient failures (broken
+  pools, store I/O) — jitter comes from a :class:`random.Random` seeded by
+  the job's fingerprint, so chaos runs stay reproducible,
+* **single-flight dedup**: concurrent submits of one scenario fingerprint
+  share a single execution; nothing holds a lock across execution.
+
+Execution is cooperative: the runner's ``abort_check`` hook raises between
+streamed records once the deadline passes or the watchdog fires, so workers
+come back promptly even from injected hangs (:mod:`repro.faults`).
+
+Job *state* transitions are persisted; progress ticks are kept in memory
+only (the SSE stream reads them live) to avoid one store write per cell.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import random
+import threading
+import time
+from collections import deque
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Iterator
+
+from repro.engine.results import ResultFrame
+from repro.engine.runner import EngineRunner
+from repro.engine.scenario import (
+    Scenario,
+    ScenarioResult,
+    scenario_envelope,
+)
+from repro.store.base import (
+    ENVELOPE_NAMESPACE,
+    JOB_STATE_NAMESPACE,
+    ResultStore,
+)
+from repro.store.keys import canonical_json, scenario_fingerprint
+
+logger = logging.getLogger(__name__)
+
+#: Versioned schema tag of persisted job state records.
+JOBS_SCHEMA = "repro.job/v1"
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+TIMEOUT = "timeout"
+CANCELLED = "cancelled"
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({DONE, FAILED, TIMEOUT, CANCELLED})
+
+#: Exception types worth a retry: the failure is in the machinery (store
+#: I/O, a crashed worker pool), not in the scenario itself.
+TRANSIENT_ERRORS = (OSError, BrokenProcessPool)
+
+#: Terminal job entries kept in memory for fast GETs before pruning (their
+#: persisted ``jobstate`` records outlive the pruning).
+_TERMINAL_KEEP = 256
+
+
+class QueueFull(RuntimeError):
+    """The bounded job queue rejected a submit; retry after a beat."""
+
+    def __init__(self, depth: int, retry_after: float) -> None:
+        super().__init__(
+            f"job queue is full ({depth} queued); retry after "
+            f"{retry_after:g}s")
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+class JobConflict(RuntimeError):
+    """The requested transition is invalid for the job's current state."""
+
+    def __init__(self, fingerprint: str, state: str, message: str) -> None:
+        super().__init__(message)
+        self.fingerprint = fingerprint
+        self.state = state
+
+
+class _Expired(Exception):
+    """Internal control flow: the job's deadline passed (or it was aborted)."""
+
+
+class _Job:
+    """Mutable job entry; every mutation happens under the manager's lock."""
+
+    __slots__ = (
+        "fingerprint", "scenario", "cells", "engine_jobs", "state",
+        "attempts", "max_attempts", "timeout", "deadline", "not_before",
+        "error", "progress_done", "progress_total", "version", "abort",
+        "envelope",
+    )
+
+    def __init__(self, fingerprint: str, scenario: Scenario,
+                 timeout: float, max_attempts: int) -> None:
+        self.fingerprint = fingerprint
+        self.scenario = scenario
+        self.engine_jobs = scenario.jobs()
+        self.cells = len(self.engine_jobs)
+        self.state = QUEUED
+        self.attempts = 0
+        self.max_attempts = max_attempts
+        self.timeout = timeout
+        self.deadline = 0.0
+        self.not_before = 0.0
+        self.error: str | None = None
+        self.progress_done = 0
+        self.progress_total = self.cells
+        self.version = 0
+        self.abort = threading.Event()
+        self.envelope: dict[str, Any] | None = None
+
+
+class _WorkerHandle:
+    """Bookkeeping for one worker thread (mutated under the manager lock)."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.thread: threading.Thread | None = None
+        self.fingerprint: str | None = None
+        self.retired = False
+        self.abandoned_at: float | None = None
+
+
+class JobManager:
+    """Bounded queue + supervised worker pool executing scenarios.
+
+    The manager's :class:`threading.Condition` guards all shared state and is
+    *never* held across execution, store I/O or sleeps — workers copy what
+    they need under the lock and run outside it.
+    """
+
+    def __init__(self, store: ResultStore, workers: int = 2,
+                 engine_workers: int = 1, queue_depth: int = 16,
+                 job_timeout: float = 300.0, max_attempts: int = 3,
+                 backoff_base: float = 0.1, backoff_cap: float = 30.0,
+                 retry_after: float = 1.0, tick: float = 0.05,
+                 abandon_grace: float = 1.0, injector: Any | None = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if job_timeout <= 0:
+            raise ValueError("job_timeout must be > 0")
+        self.store = store
+        self.workers = workers
+        self.engine_workers = engine_workers
+        self.queue_depth = queue_depth
+        self.job_timeout = job_timeout
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.retry_after = retry_after
+        self.tick = tick
+        self.abandon_grace = abandon_grace
+        self.injector = injector  # repro.faults.FaultInjector | None
+        self._lock = threading.Condition()
+        self._jobs: dict[str, _Job] = {}
+        self._queue: deque[str] = deque()
+        self._delayed: list[str] = []
+        self._terminal: deque[str] = deque()
+        self._handles: list[_WorkerHandle] = []
+        self._next_worker = 0
+        self._completed = 0
+        self._shutdown = False
+        for _ in range(workers):
+            self._spawn_worker()
+        self._watchdog = threading.Thread(
+            target=self._watchdog_loop, name="repro-job-watchdog", daemon=True)
+        self._watchdog.start()
+
+    # ------------------------------------------------------------ public API
+
+    def submit(self, scenario: Scenario,
+               fingerprint: str | None = None) -> tuple[dict[str, Any], bool]:
+        """Enqueue ``scenario``; returns ``(job payload, newly created)``.
+
+        Single-flight: a fingerprint already queued or running returns the
+        live job instead of enqueueing a duplicate.  A terminal job is
+        re-enqueued (its envelope may have been evicted).  Raises
+        :class:`QueueFull` when the bounded queue is at depth.
+        """
+        if fingerprint is None:
+            fingerprint = scenario_fingerprint(scenario)
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("job manager is shut down")
+            job = self._jobs.get(fingerprint)
+            if job is not None and job.state in (QUEUED, RUNNING):
+                return self._payload(job), False
+            if len(self._queue) + len(self._delayed) >= self.queue_depth:
+                raise QueueFull(len(self._queue) + len(self._delayed),
+                                self.retry_after)
+            job = _Job(fingerprint, scenario, self.job_timeout,
+                       self.max_attempts)
+            self._jobs[fingerprint] = job
+            self._queue.append(fingerprint)
+            self._lock.notify_all()
+            snapshot = self._payload(job)
+        self._persist(snapshot)
+        return snapshot, True
+
+    def get(self, fingerprint: str) -> dict[str, Any] | None:
+        """The job payload — live from memory, else the persisted record
+        (so any replica sharing the store can answer for any job)."""
+        with self._lock:
+            job = self._jobs.get(fingerprint)
+            if job is not None:
+                return self._payload(job)
+        try:
+            payload = self.store.get(JOB_STATE_NAMESPACE, fingerprint)
+        except OSError:
+            logger.warning("job state read failed for %s", fingerprint[:16],
+                           exc_info=True)
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != JOBS_SCHEMA:
+            return None
+        return payload
+
+    def cancel(self, fingerprint: str) -> dict[str, Any]:
+        """Cancel a *queued* job; running/terminal jobs raise
+        :class:`JobConflict` (execution is not preemptible mid-cell)."""
+        with self._lock:
+            job = self._jobs.get(fingerprint)
+            if job is None:
+                raise KeyError(f"unknown job {fingerprint!r}")
+            if job.state != QUEUED:
+                raise JobConflict(
+                    fingerprint, job.state,
+                    f"job is {job.state}; only queued jobs can be cancelled")
+            job.state = CANCELLED
+            job.error = "cancelled by client"
+            job.version += 1
+            if fingerprint in self._queue:
+                self._queue.remove(fingerprint)
+            if fingerprint in self._delayed:
+                self._delayed.remove(fingerprint)
+            self._remember_terminal(job)
+            self._lock.notify_all()
+            snapshot = self._payload(job)
+        self._persist(snapshot)
+        return snapshot
+
+    def wait(self, fingerprint: str,
+             timeout: float | None = None) -> dict[str, Any] | None:
+        """Block until the job reaches a terminal state (or ``timeout``
+        elapses); returns the latest payload either way."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                job = self._jobs.get(fingerprint)
+                if job is None:
+                    break
+                if job.state in TERMINAL_STATES:
+                    return self._payload(job)
+                remaining = self.tick * 10
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return self._payload(job)
+                self._lock.wait(remaining)
+        return self.get(fingerprint)
+
+    def events(self, fingerprint: str,
+               heartbeat: float = 1.0) -> Iterator[dict[str, Any]]:
+        """Yield a payload per observable change (progress tick or state
+        transition), ending with the terminal payload.  The lock is released
+        both while waiting and while the consumer writes to its socket."""
+        last_version = -1
+        while True:
+            with self._lock:
+                job = self._jobs.get(fingerprint)
+                if job is None:
+                    return
+                while job.version == last_version \
+                        and job.state not in TERMINAL_STATES:
+                    self._lock.wait(heartbeat)
+                payload = self._payload(job)
+                last_version = job.version
+            yield payload
+            if payload["state"] in TERMINAL_STATES:
+                return
+
+    def envelope_for(self, fingerprint: str) -> dict[str, Any] | None:
+        """The in-memory envelope of a completed job, if still held —
+        the fallback when the envelope's store write degraded."""
+        with self._lock:
+            job = self._jobs.get(fingerprint)
+            if job is not None:
+                return job.envelope
+        return None
+
+    def stats(self) -> dict[str, Any]:
+        """Queue depth, worker liveness and state counts for ``/healthz``."""
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            alive = sum(
+                1 for handle in self._handles
+                if not handle.retired and handle.thread is not None
+                and handle.thread.is_alive())
+            return {
+                "queue": {
+                    "depth": len(self._queue) + len(self._delayed),
+                    "capacity": self.queue_depth,
+                },
+                "workers": {
+                    "configured": self.workers,
+                    "alive": alive,
+                    "busy": sum(1 for handle in self._handles
+                                if handle.fingerprint is not None
+                                and not handle.retired),
+                },
+                "jobs": states,
+                "completed": self._completed,
+                "healthy": alive > 0 and not self._shutdown,
+            }
+
+    def close(self, join_timeout: float = 2.0) -> None:
+        """Stop accepting work and wind the threads down (best effort —
+        workers and watchdog are daemons, a wedged worker cannot block exit)."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            self._lock.notify_all()
+            threads = [handle.thread for handle in self._handles
+                       if handle.thread is not None]
+            threads.append(self._watchdog)
+        for thread in threads:
+            thread.join(timeout=join_timeout)
+
+    # ---------------------------------------------------------- worker side
+
+    def _spawn_worker(self) -> None:
+        with self._lock:
+            handle = _WorkerHandle(self._next_worker)
+            self._next_worker += 1
+            handle.thread = threading.Thread(
+                target=self._worker_loop, args=(handle,),
+                name=f"repro-job-worker-{handle.index}", daemon=True)
+            # Start before the watchdog can observe the handle, so a
+            # registered-but-unstarted thread is never mistaken for dead.
+            handle.thread.start()
+            self._handles.append(handle)
+
+    def _worker_loop(self, handle: _WorkerHandle) -> None:
+        runner: EngineRunner | None = None
+        try:
+            while True:
+                with self._lock:
+                    while not self._queue and not self._shutdown \
+                            and not handle.retired:
+                        self._lock.wait(self.tick * 10)
+                    if self._shutdown or handle.retired:
+                        return
+                    fingerprint = self._queue.popleft()
+                    job = self._jobs.get(fingerprint)
+                    if job is None or job.state != QUEUED:
+                        continue
+                    job.state = RUNNING
+                    job.attempts += 1
+                    job.deadline = time.monotonic() + job.timeout
+                    job.abort.clear()
+                    job.version += 1
+                    handle.fingerprint = fingerprint
+                    self._lock.notify_all()
+                    snapshot = self._payload(job)
+                self._persist(snapshot)
+                runner, outcome = self._run_job(job, runner)
+                self._finish(handle, job, outcome)
+        finally:
+            if runner is not None:
+                runner.close()
+            snapshot = None
+            respawn = False
+            with self._lock:
+                if not handle.retired and not self._shutdown \
+                        and handle.fingerprint is not None:
+                    # Dying with work still assigned means the thread crashed
+                    # out of execution (clean exits cleared the assignment):
+                    # apply the retry policy and replace ourselves.
+                    crashed = self._jobs.get(handle.fingerprint)
+                    respawn = True
+                    if crashed is not None and crashed.state == RUNNING:
+                        crashed.error = "worker crashed mid-job"
+                        if crashed.attempts < crashed.max_attempts:
+                            crashed.state = QUEUED
+                            crashed.not_before = (time.monotonic()
+                                                  + self._backoff_delay(crashed))
+                            self._delayed.append(crashed.fingerprint)
+                        else:
+                            crashed.state = FAILED
+                            self._remember_terminal(crashed)
+                        crashed.version += 1
+                        snapshot = self._payload(crashed)
+                handle.fingerprint = None
+                handle.retired = True
+                self._lock.notify_all()
+            if snapshot is not None:
+                self._persist(snapshot)
+            if respawn:
+                self._spawn_worker()
+
+    def _run_job(self, job: _Job, runner: EngineRunner | None,
+                 ) -> tuple[EngineRunner | None, tuple[str, Any]]:
+        """Execute one attempt outside any lock; returns the (possibly
+        replaced) worker-local runner and an outcome tag."""
+        try:
+            if self.injector is not None:
+                self.injector.maybe_hang(
+                    job.scenario.name,
+                    should_abort=lambda: job.abort.is_set()
+                    or time.monotonic() >= job.deadline)
+            self._check_deadline(job)
+            if runner is None:
+                runner = EngineRunner(workers=self.engine_workers,
+                                      store=self.store)
+            records = [
+                record for record in runner.iter_records(
+                    job.engine_jobs,
+                    progress=lambda done, total, record:
+                        self._note_progress(job, done, total),
+                    abort_check=lambda: self._check_deadline(job))
+            ]
+            frame = ResultFrame(records)
+            envelope = json.loads(canonical_json(scenario_envelope(
+                ScenarioResult(scenario=job.scenario, frame=frame))))
+            self._publish_envelope(job.fingerprint, envelope)
+            return runner, (DONE, envelope)
+        except _Expired as error:
+            # The runner may still have stale batches in flight; a fresh
+            # pool for the next job is cheaper than reasoning about them.
+            return self._discard_runner(runner), (TIMEOUT, str(error))
+        except TRANSIENT_ERRORS as error:
+            message = f"{type(error).__name__}: {error}"
+            return self._discard_runner(runner), ("transient", message)
+        except Exception as error:  # noqa: BLE001 — job boundary
+            message = f"{type(error).__name__}: {error}"
+            logger.warning("job %s failed: %s", job.fingerprint[:16], message)
+            return self._discard_runner(runner), (FAILED, message)
+
+    def _discard_runner(self, runner: EngineRunner | None) -> None:
+        if runner is not None:
+            try:
+                runner.close()
+            except Exception:  # noqa: BLE001 — already degrading
+                logger.warning("runner close failed", exc_info=True)
+        return None
+
+    def _check_deadline(self, job: _Job) -> None:
+        if job.abort.is_set() or time.monotonic() >= job.deadline:
+            raise _Expired(f"deadline of {job.timeout:g}s exceeded")
+
+    def _note_progress(self, job: _Job, done: int, total: int) -> None:
+        with self._lock:
+            job.progress_done = done
+            job.progress_total = total
+            job.version += 1
+            self._lock.notify_all()
+
+    def _publish_envelope(self, fingerprint: str,
+                          envelope: dict[str, Any]) -> None:
+        try:
+            self.store.put(ENVELOPE_NAMESPACE, fingerprint, envelope)
+        except OSError:
+            # Degrade, don't fail: the envelope stays on the job in memory
+            # and the serving layer falls back to it.
+            logger.warning("envelope write failed for %s; serving from "
+                           "memory", fingerprint[:16], exc_info=True)
+
+    def _finish(self, handle: _WorkerHandle, job: _Job,
+                outcome: tuple[str, Any]) -> None:
+        status, value = outcome
+        with self._lock:
+            handle.fingerprint = None
+            handle.abandoned_at = None
+            if job.state == RUNNING:
+                if status == DONE:
+                    job.state = DONE
+                    job.error = None
+                    job.envelope = value
+                    self._completed += 1
+                elif status == TIMEOUT:
+                    job.state = TIMEOUT
+                    job.error = value
+                elif status == "transient" and job.attempts < job.max_attempts:
+                    job.state = QUEUED
+                    job.error = value
+                    job.not_before = time.monotonic() + self._backoff_delay(job)
+                    self._delayed.append(job.fingerprint)
+                else:
+                    job.state = FAILED
+                    job.error = value
+            elif status == DONE:
+                # Late completion after a watchdog timeout: the verdict
+                # stands, but the envelope is real — keep it reachable.
+                job.envelope = value
+            if job.state in TERMINAL_STATES:
+                self._remember_terminal(job)
+            job.version += 1
+            self._lock.notify_all()
+            snapshot = self._payload(job)
+        self._persist(snapshot)
+
+    def _backoff_delay(self, job: _Job) -> float:
+        """Exponential backoff, jittered by the job's fingerprint-seeded RNG
+        (deterministic given the fingerprint and attempt number)."""
+        rng = random.Random(int(job.fingerprint[:8], 16) + job.attempts)
+        delay = self.backoff_base * (2 ** (job.attempts - 1))
+        return min(self.backoff_cap, delay * (1.0 + rng.random()))
+
+    # ------------------------------------------------------------- watchdog
+
+    def _watchdog_loop(self) -> None:
+        while True:
+            snapshots = self._watchdog_pass()
+            for snapshot in snapshots:
+                self._persist(snapshot)
+            with self._lock:
+                if self._shutdown:
+                    return
+            time.sleep(self.tick)
+
+    def _watchdog_pass(self) -> list[dict[str, Any]]:
+        """One supervision sweep: fire deadlines, replace dead or abandoned
+        workers, release backoff-expired retries.  Returns state snapshots
+        to persist (outside the lock)."""
+        spawn = 0
+        with self._lock:
+            if self._shutdown:
+                return []
+            now = time.monotonic()
+            snapshots: list[dict[str, Any]] = []
+            for handle in self._handles:
+                if handle.retired:
+                    continue
+                job = (self._jobs.get(handle.fingerprint)
+                       if handle.fingerprint else None)
+                if job is not None and job.state == RUNNING \
+                        and now >= job.deadline:
+                    job.state = TIMEOUT
+                    job.error = f"deadline of {job.timeout:g}s exceeded"
+                    job.abort.set()
+                    job.version += 1
+                    self._remember_terminal(job)
+                    handle.abandoned_at = now
+                    snapshots.append(self._payload(job))
+                dead = handle.thread is not None and not handle.thread.is_alive()
+                stuck = (handle.abandoned_at is not None
+                         and now - handle.abandoned_at >= self.abandon_grace)
+                if dead or stuck:
+                    handle.retired = True
+                    spawn += 1
+                    if dead and handle.fingerprint:
+                        crashed = self._jobs.get(handle.fingerprint)
+                        handle.fingerprint = None
+                        if crashed is not None and crashed.state == RUNNING:
+                            crashed.error = "worker crashed mid-job"
+                            if crashed.attempts < crashed.max_attempts:
+                                crashed.state = QUEUED
+                                crashed.not_before = (
+                                    now + self._backoff_delay(crashed))
+                                self._delayed.append(crashed.fingerprint)
+                            else:
+                                crashed.state = FAILED
+                                self._remember_terminal(crashed)
+                            crashed.version += 1
+                            snapshots.append(self._payload(crashed))
+            self._handles[:] = [
+                handle for handle in self._handles
+                if not handle.retired or handle.thread is None
+                or handle.thread.is_alive()]
+            released = False
+            for fingerprint in list(self._delayed):
+                job = self._jobs.get(fingerprint)
+                if job is None or job.state != QUEUED:
+                    self._delayed.remove(fingerprint)
+                    continue
+                if job.not_before <= now:
+                    self._delayed.remove(fingerprint)
+                    self._queue.append(fingerprint)
+                    released = True
+            if released or snapshots:
+                self._lock.notify_all()
+        for _ in range(spawn):
+            self._spawn_worker()
+        return snapshots
+
+    # -------------------------------------------------------------- helpers
+
+    def _payload(self, job: _Job) -> dict[str, Any]:
+        """The job's JSON payload (caller holds the lock)."""
+        return {
+            "schema": JOBS_SCHEMA,
+            "fingerprint": job.fingerprint,
+            "state": job.state,
+            "attempts": job.attempts,
+            "max_attempts": job.max_attempts,
+            "error": job.error,
+            "scenario": job.scenario.name,
+            "kind": job.scenario.kind,
+            "cells": job.cells,
+            "progress": {"done": job.progress_done,
+                         "total": job.progress_total},
+            "version": job.version,
+        }
+
+    def _remember_terminal(self, job: _Job) -> None:
+        """Bound the in-memory registry: keep the most recent terminal jobs,
+        prune the rest — their persisted records keep answering GETs.  The
+        Condition wraps an RLock, so re-acquiring under a holding caller is
+        free."""
+        with self._lock:
+            self._terminal.append(job.fingerprint)
+            while len(self._terminal) > _TERMINAL_KEEP:
+                stale = self._terminal.popleft()
+                old = self._jobs.get(stale)
+                if old is not None and old.state in TERMINAL_STATES:
+                    del self._jobs[stale]
+
+    def _persist(self, snapshot: dict[str, Any]) -> None:
+        """Write one job state record (no lock held — store I/O may be slow
+        or faulty; a failed write only costs cross-replica visibility)."""
+        try:
+            self.store.put(JOB_STATE_NAMESPACE, snapshot["fingerprint"],
+                           snapshot)
+        except OSError:
+            logger.warning("job state write failed for %s",
+                           snapshot["fingerprint"][:16], exc_info=True)

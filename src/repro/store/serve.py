@@ -1,25 +1,35 @@
 """``repro serve`` — a stdlib HTTP front-end over the experiment store.
 
 The server accepts scenario files (the ``repro.scenario/v1`` format) over
-POST, executes them through the incremental runner (so overlapping scenarios
-share job records), caches the resulting ``{"schema","spec","result"}``
-envelope under the scenario's content-addressed fingerprint, and serves
-cached envelopes with strong-ETag / ``304 Not Modified`` semantics.  Being
-pure :mod:`http.server`, it needs no dependency the repository does not
-already have.
+POST and hands them to the async job subsystem (:mod:`repro.store.jobs`):
+a bounded queue feeds supervised worker threads, each running the scenario
+through the incremental runner (so overlapping scenarios share job records)
+under a per-job deadline with bounded retry.  Finished envelopes are cached
+under the scenario's content-addressed fingerprint and served with
+strong-ETag / ``304 Not Modified`` semantics.  Being pure
+:mod:`http.server`, it needs no dependency the repository does not already
+have.
 
 Endpoints (all JSON)::
 
-    GET  /                      service info: version, store stats, endpoints
-    GET  /healthz               liveness probe
-    GET  /v1/store/stats        live store counters and occupancy
-    POST /v1/experiments        body = scenario JSON; runs (or serves) it
-    GET  /v1/experiments/<fp>   cached envelope by fingerprint; ETag/304
+    GET    /                      service info: version, config, endpoints
+    GET    /healthz               liveness: queue depth, worker liveness;
+                                  503 once the worker pool is dead
+    GET    /v1/store/stats        live store counters and occupancy
+    POST   /v1/experiments        body = scenario JSON; 200 on a cache hit,
+                                  202 + job envelope otherwise
+                                  (?wait=1[&timeout=s] blocks synchronously)
+    GET    /v1/experiments/<fp>   cached envelope by fingerprint; ETag/304
+    GET    /v1/jobs/<fp>          job state (any replica sharing the store)
+    DELETE /v1/jobs/<fp>          cancel a queued job (running → 409)
+    GET    /v1/jobs/<fp>/events   SSE-style chunked progress stream
 
-POST responses carry ``X-Repro-Cache: hit|miss`` (whether the envelope was
-served from the store or computed), ``Location`` (the envelope's canonical
-GET URL) and the same ``ETag`` the GET would return, so a client can POST
-once and revalidate cheaply forever after.
+Envelope responses carry ``X-Repro-Cache: hit|miss`` (whether the envelope
+was served from the store or computed for this request), ``Location`` (the
+canonical GET URL) and the same ``ETag`` the GET would return.  Job
+responses carry ``Location: /v1/jobs/<fp>`` and ``X-Repro-Job-State``.
+A full queue answers 429 with a ``Retry-After`` hint.  Every error response
+is a JSON document with an ``error`` field.
 """
 
 from __future__ import annotations
@@ -27,25 +37,34 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
-import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qs, urlparse
 
-from repro.engine.runner import EngineRunner
 from repro.engine.scenario import (
-    ScenarioResult,
+    SCENARIO_SCHEMA,
+    Scenario,
     parse_scenario,
-    scenario_envelope,
 )
 from repro.store.base import ENVELOPE_NAMESPACE, ResultStore, validate_key
-from repro.store.keys import canonical_json, scenario_fingerprint
+from repro.store.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    TIMEOUT,
+    JobConflict,
+    JobManager,
+    QueueFull,
+)
+from repro.store.keys import scenario_fingerprint
 from repro.store.memory import MemoryStore
 from repro.version import __version__
 
 logger = logging.getLogger("repro.store.serve")
 
-#: Schema tag of the service-info and error payloads.
-SERVE_SCHEMA = "repro.serve/v1"
+#: Schema tag of the service-info and error payloads.  v2: async job API —
+#: info gained ``config``/``jobs`` blocks, POST may answer 202.
+SERVE_SCHEMA = "repro.serve/v2"
 
 #: Largest accepted POST body.  Scenario files are a few KB; anything close
 #: to this is not a scenario, and an unbounded read would let one request
@@ -63,116 +82,132 @@ def envelope_etag(body: bytes) -> str:
     return '"' + hashlib.sha256(body).hexdigest() + '"'
 
 
-class ExperimentService:
-    """The store-backed execution core the HTTP handler delegates to.
+def _valid_envelope(payload: Any) -> bool:
+    """Whether a store read actually returned a scenario envelope (injected
+    or on-disk corruption that slips past the backend's checks fails here)."""
+    return (isinstance(payload, dict)
+            and payload.get("schema") == SCENARIO_SCHEMA
+            and payload.get("spec") == "scenario"
+            and "result" in payload)
 
-    Thread-safe: lookups hit the store concurrently, while actual experiment
-    execution is serialized under one lock — the engine is process-parallel
-    already, and one grid at a time keeps worker-pool usage predictable.
+
+class ExperimentService:
+    """The store-backed serving core the HTTP handler delegates to.
+
+    Thread-safe and lock-free at this layer: envelope lookups hit the store
+    concurrently and execution is owned by the :class:`JobManager`'s worker
+    pool — no request ever holds a lock across a simulation.
     """
 
-    def __init__(self, store: ResultStore | None = None, workers: int = 1):
-        if workers < 1:
-            # Fail at startup; deferring to the first EngineRunner would
-            # surface a server config error as a 400 on every valid POST.
-            raise ValueError("workers must be >= 1")
+    def __init__(self, store: ResultStore | None = None, workers: int = 2,
+                 engine_workers: int = 1, queue_depth: int = 16,
+                 job_timeout: float = 300.0, max_attempts: int = 3,
+                 injector: Any | None = None, tick: float = 0.05):
         self.store = store if store is not None else MemoryStore()
-        self.workers = workers
-        self.runs = 0
-        self._lock = threading.Lock()
-        # One long-lived runner: executions are serialized under the lock, so
-        # reusing it is safe and keeps PR 4's pool/shipped-trace reuse instead
-        # of paying process-pool startup per POST.
-        self._runner: EngineRunner | None = None
-
-    def _ensure_runner(self) -> EngineRunner:
-        if self._runner is None:
-            self._runner = EngineRunner(workers=self.workers, store=self.store)
-        return self._runner
+        self.manager = JobManager(
+            store=self.store, workers=workers, engine_workers=engine_workers,
+            queue_depth=queue_depth, job_timeout=job_timeout,
+            max_attempts=max_attempts, tick=tick, injector=injector)
 
     def close(self) -> None:
-        """Shut the pooled runner down (service lifetime, not per request)."""
-        if self._runner is not None:
-            self._runner.close()
-            self._runner = None
+        """Wind down the job manager (service lifetime, not per request)."""
+        self.manager.close()
+
+    # ------------------------------------------------------------ envelopes
+
+    def prepare(self, scenario_data: Any) -> tuple[Scenario, str]:
+        """Validate and fingerprint a scenario (ValueError → handler 400)."""
+        scenario = parse_scenario(scenario_data)
+        return scenario, scenario_fingerprint(scenario)
 
     def cached_envelope(self, fingerprint: str) -> dict[str, Any] | None:
-        """The stored envelope for ``fingerprint``, or ``None``."""
+        """The envelope for ``fingerprint`` — from the store if it holds a
+        valid one, else the job manager's in-memory copy (covers degraded
+        envelope writes), else ``None``."""
         validate_key(ENVELOPE_NAMESPACE, fingerprint)
-        return self.store.get(ENVELOPE_NAMESPACE, fingerprint)
+        try:
+            payload = self.store.get(ENVELOPE_NAMESPACE, fingerprint)
+        except OSError:
+            logger.warning("envelope read failed for %s; degrading",
+                           fingerprint[:16], exc_info=True)
+            payload = None
+        if payload is not None and not _valid_envelope(payload):
+            # The backend counted a hit for bytes that are not this
+            # envelope; reclassify so the counters describe what was served.
+            self.store.counters.add(hits=-1, misses=1)
+            logger.warning("envelope %s is corrupt; degrading to recompute",
+                           fingerprint[:16])
+            payload = None
+        if payload is not None:
+            return payload
+        return self.manager.envelope_for(fingerprint)
 
-    def submit(self, scenario_data: Any) -> tuple[str, dict[str, Any], bool]:
-        """Validate, fingerprint and (if needed) execute a scenario.
+    # ----------------------------------------------------------------- jobs
 
-        Returns ``(fingerprint, envelope, cache_hit)``.  Raises
-        :class:`ValueError` for invalid scenario data — the handler maps that
-        to a 400.
-        """
-        scenario = parse_scenario(scenario_data)
-        fingerprint = scenario_fingerprint(scenario)
-        # Fast path without the lock so cached scenarios serve during a long
-        # run; probe with contains() first to keep the miss counter honest
-        # (one logical lookup, not a pre-lock miss plus an in-lock miss).
-        counted_miss = False
-        if self.store.contains(ENVELOPE_NAMESPACE, fingerprint):
-            envelope = self.store.get(ENVELOPE_NAMESPACE, fingerprint)
-            if envelope is not None:
-                return fingerprint, envelope, True
-            # The probe said present but the read missed (evicted or corrupt
-            # in between): that get() already counted this lookup's miss.
-            counted_miss = True
-        with self._lock:
-            envelope = None
-            if not counted_miss or self.store.contains(
-                    ENVELOPE_NAMESPACE, fingerprint):
-                envelope = self.store.get(ENVELOPE_NAMESPACE, fingerprint)
-            if envelope is not None:
-                return fingerprint, envelope, True
-            try:
-                # Known single-flight bottleneck: the execution lock is held
-                # across the whole run, so concurrent distinct POSTs queue
-                # behind one simulation (ROADMAP: replace with a job queue).
-                frame = self._ensure_runner().run_jobs(scenario.jobs())  # repro-lint: disable=lock-order -- single-flight by design until the job-queue rework; cached scenarios bypass the lock above
-            except Exception:
-                # The pooled runner may now hold a broken ProcessPoolExecutor;
-                # keeping it would 500 every later POST.  Drop it so the next
-                # submission rebuilds a fresh pool.
-                try:
-                    self.close()
-                except Exception:  # pragma: no cover - shutdown best-effort
-                    self._runner = None
-                raise
-            envelope = scenario_envelope(
-                ScenarioResult(scenario=scenario, frame=frame))
-            try:
-                self.store.put(ENVELOPE_NAMESPACE, fingerprint, envelope)
-            except (OSError, TypeError, ValueError):
-                # Disk full / permissions: the computed envelope is still
-                # good — serve it uncached (later GETs will 404 until a
-                # healthy POST can write it back).
-                logger.warning("envelope write failed for %s; serving uncached",
-                               fingerprint[:16], exc_info=True)
-            self.runs += 1
-            # Normalize like a store round-trip (tuples → lists, keys →
-            # strings) so the POST response is byte-identical to every later
-            # GET — without a counted get() that would log a cache hit for
-            # an envelope this request just computed.
-            return fingerprint, json.loads(canonical_json(envelope)), False
+    def submit_async(self, scenario: Scenario,
+                     fingerprint: str) -> tuple[dict[str, Any], bool]:
+        """Enqueue (single-flight); raises :class:`QueueFull` at depth."""
+        return self.manager.submit(scenario, fingerprint)
+
+    def wait(self, fingerprint: str,
+             timeout: float | None = None) -> dict[str, Any] | None:
+        return self.manager.wait(fingerprint, timeout=timeout)
+
+    def job(self, fingerprint: str) -> dict[str, Any] | None:
+        validate_key(ENVELOPE_NAMESPACE, fingerprint)
+        return self.manager.get(fingerprint)
+
+    def cancel(self, fingerprint: str) -> dict[str, Any]:
+        validate_key(ENVELOPE_NAMESPACE, fingerprint)
+        return self.manager.cancel(fingerprint)
+
+    def events(self, fingerprint: str):
+        return self.manager.events(fingerprint)
+
+    # ---------------------------------------------------------------- meta
+
+    def healthz(self) -> tuple[bool, dict[str, Any]]:
+        """``(healthy, payload)`` for the liveness probe: degraded (503)
+        once no worker is alive to drain the queue."""
+        stats = self.manager.stats()
+        healthy = bool(stats["healthy"])
+        return healthy, {
+            "schema": SERVE_SCHEMA,
+            "status": "ok" if healthy else "degraded",
+            "version": __version__,
+            "queue": stats["queue"],
+            "workers": stats["workers"],
+            "jobs": stats["jobs"],
+        }
 
     def info(self) -> dict[str, Any]:
+        stats = self.manager.stats()
         return {
             "schema": SERVE_SCHEMA,
             "service": "repro.serve",
             "version": __version__,
             "endpoints": {
                 "GET /": "this document",
-                "GET /healthz": "liveness probe",
+                "GET /healthz": "liveness probe: queue depth, worker liveness",
                 "GET /v1/store/stats": "store counters and occupancy",
-                "POST /v1/experiments": "run (or serve) a repro.scenario/v1 file",
+                "POST /v1/experiments":
+                    "run a repro.scenario/v1 file: 200 on cache hit, "
+                    "202 + job envelope otherwise (?wait=1 to block)",
                 "GET /v1/experiments/<fingerprint>": "cached envelope; ETag/304",
+                "GET /v1/jobs/<fingerprint>": "job state by fingerprint",
+                "DELETE /v1/jobs/<fingerprint>": "cancel a queued job",
+                "GET /v1/jobs/<fingerprint>/events": "SSE progress stream",
+            },
+            "config": {
+                "workers": self.manager.workers,
+                "engine_workers": self.manager.engine_workers,
+                "queue_depth": self.manager.queue_depth,
+                "job_timeout": self.manager.job_timeout,
+                "max_attempts": self.manager.max_attempts,
             },
             "store": self.store.live_stats(),
-            "runs": self.runs,
+            "jobs": stats["jobs"],
+            "runs": stats["completed"],
         }
 
 
@@ -200,8 +235,10 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json(status, {"schema": SERVE_SCHEMA, "error": message})
+    def _send_error_json(self, status: int, message: str,
+                         extra_headers: dict[str, str] | None = None) -> None:
+        self._send_json(status, {"schema": SERVE_SCHEMA, "error": message},
+                        extra_headers)
 
     def _send_envelope(self, fingerprint: str, envelope: dict[str, Any],
                        extra_headers: dict[str, str] | None = None,
@@ -226,6 +263,20 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_job(self, status: int, payload: dict[str, Any]) -> None:
+        fingerprint = payload["fingerprint"]
+        body = dict(payload)
+        body["links"] = {
+            "self": f"/v1/jobs/{fingerprint}",
+            "result": f"/v1/experiments/{fingerprint}",
+            "events": f"/v1/jobs/{fingerprint}/events",
+        }
+        self._send_json(status, body, {
+            "Location": f"/v1/jobs/{fingerprint}",
+            "X-Repro-Fingerprint": fingerprint,
+            "X-Repro-Job-State": payload["state"],
+        })
+
     def _etag_matches(self, etag: str) -> bool:
         candidates = self.headers.get("If-None-Match")
         if not candidates:
@@ -240,6 +291,9 @@ class _Handler(BaseHTTPRequestHandler):
             etag == (entry[2:] if entry.startswith("W/") else entry)
             for entry in entries
         )
+
+    def _query(self) -> dict[str, list[str]]:
+        return parse_qs(urlparse(self.path).query)
 
     # -------------------------------------------------------------- routing
 
@@ -260,7 +314,8 @@ class _Handler(BaseHTTPRequestHandler):
         if path in ("/", "/v1"):
             self._send_json(200, self.service.info())
         elif path == "/healthz":
-            self._send_json(200, {"status": "ok", "version": __version__})
+            healthy, payload = self.service.healthz()
+            self._send_json(200 if healthy else 503, payload)
         elif path == "/v1/store/stats":
             self._send_json(200, self.service.store.live_stats())
         elif path.startswith("/v1/experiments/"):
@@ -276,8 +331,83 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             self._send_envelope(fingerprint, envelope,
                                 {"X-Repro-Cache": "hit"}, conditional=True)
+        elif path.startswith("/v1/jobs/") and path.endswith("/events"):
+            fingerprint = path[len("/v1/jobs/"):-len("/events")]
+            self._stream_events(fingerprint)
+        elif path.startswith("/v1/jobs/"):
+            fingerprint = path[len("/v1/jobs/"):]
+            try:
+                payload = self.service.job(fingerprint)
+            except ValueError as error:
+                self._send_error_json(400, str(error))
+                return
+            if payload is None:
+                self._send_error_json(404, f"unknown job {fingerprint!r}")
+                return
+            self._send_job(200, payload)
         else:
             self._send_error_json(404, f"unknown path {path!r}")
+
+    def do_DELETE(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            self._route_delete()
+        except Exception:
+            logger.exception("DELETE %s failed", self.path)
+            try:
+                self._send_error_json(500, "internal error; see server log")
+            except OSError:  # pragma: no cover - client already gone
+                pass
+
+    def _route_delete(self) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if not path.startswith("/v1/jobs/"):
+            self._send_error_json(404, f"unknown path {path!r}")
+            return
+        fingerprint = path[len("/v1/jobs/"):]
+        try:
+            payload = self.service.cancel(fingerprint)
+        except ValueError as error:
+            self._send_error_json(400, str(error))
+        except KeyError:
+            self._send_error_json(404, f"unknown job {fingerprint!r}")
+        except JobConflict as error:
+            self._send_error_json(409, str(error))
+        else:
+            self._send_job(200, payload)
+
+    def _stream_events(self, fingerprint: str) -> None:
+        try:
+            known = self.service.job(fingerprint) is not None
+        except ValueError as error:
+            self._send_error_json(400, str(error))
+            return
+        if not known:
+            self._send_error_json(404, f"unknown job {fingerprint!r}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        # The stream ends the response body; close rather than risk a
+        # desynced keep-alive if the client stops reading mid-stream.
+        self.close_connection = True
+        try:
+            for payload in self.service.events(fingerprint):
+                data = ("data: " + json.dumps(payload, sort_keys=True)
+                        + "\n\n").encode("utf-8")
+                self._write_chunk(data)
+            self._write_chunk(b"")
+        except OSError:  # pragma: no cover - client went away mid-stream
+            pass
+
+    def _write_chunk(self, data: bytes) -> None:
+        if data:
+            self.wfile.write(f"{len(data):X}\r\n".encode("ascii")
+                             + data + b"\r\n")
+        else:
+            self.wfile.write(b"0\r\n\r\n")
+        self.wfile.flush()
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         # Drain the declared body before any reply: with keep-alive (the
@@ -308,23 +438,65 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(400, f"request body is not JSON: {error}")
             return
         try:
-            fingerprint, envelope, cache_hit = self.service.submit(data)
+            scenario, fingerprint = self.service.prepare(data)
         except ValueError as error:
             self._send_error_json(400, str(error))
             return
-        except Exception:
-            logger.exception("scenario execution failed")
-            self._send_error_json(500, "scenario execution failed; see server log")
+        envelope = self.service.cached_envelope(fingerprint)
+        if envelope is not None:
+            self._send_envelope(fingerprint, envelope, {
+                "X-Repro-Cache": "hit",
+                "Location": f"/v1/experiments/{fingerprint}",
+            })
             return
-        self._send_envelope(fingerprint, envelope, {
-            "X-Repro-Cache": "hit" if cache_hit else "miss",
-            "Location": f"/v1/experiments/{fingerprint}",
-        })
+        try:
+            payload, _created = self.service.submit_async(scenario, fingerprint)
+        except QueueFull as error:
+            self._send_error_json(429, str(error), {
+                "Retry-After": f"{max(1, round(error.retry_after))}",
+            })
+            return
+        query = self._query()
+        if query.get("wait", ["0"])[0] in ("", "0", "false"):
+            self._send_job(202, payload)
+            return
+        try:
+            wait_timeout = float(query["timeout"][0]) if "timeout" in query \
+                else None
+        except ValueError:
+            self._send_error_json(400, "timeout must be a number of seconds")
+            return
+        payload = self.service.wait(fingerprint, timeout=wait_timeout) or payload
+        state = payload["state"]
+        if state == DONE:
+            envelope = self.service.cached_envelope(fingerprint)
+            if envelope is None:  # pragma: no cover - done implies envelope
+                self._send_error_json(
+                    500, "job completed but its envelope is unavailable")
+                return
+            self._send_envelope(fingerprint, envelope, {
+                "X-Repro-Cache": "miss",
+                "Location": f"/v1/experiments/{fingerprint}",
+            })
+        elif state == FAILED:
+            self._send_error_json(
+                500, f"scenario execution failed: {payload.get('error')}")
+        elif state == TIMEOUT:
+            self._send_error_json(
+                504, f"job exceeded its deadline: {payload.get('error')}")
+        elif state == CANCELLED:
+            self._send_error_json(409, "job was cancelled while waiting")
+        else:
+            # Client-side wait timeout: hand back the live job envelope.
+            self._send_job(202, payload)
 
 
 def make_server(host: str = "127.0.0.1", port: int = 8765,
                 store: ResultStore | None = None,
-                workers: int = 1) -> ThreadingHTTPServer:
+                workers: int = 2, engine_workers: int = 1,
+                queue_depth: int = 16, job_timeout: float = 300.0,
+                max_attempts: int = 3,
+                injector: Any | None = None) -> ThreadingHTTPServer:
     """Build (but do not start) the threaded HTTP server.
 
     ``port=0`` binds an ephemeral port (tests); the bound address is on
@@ -332,18 +504,29 @@ def make_server(host: str = "127.0.0.1", port: int = 8765,
     """
     server = ThreadingHTTPServer((host, port), _Handler)
     server.daemon_threads = True
-    server.service = ExperimentService(store=store, workers=workers)  # type: ignore[attr-defined]
+    server.service = ExperimentService(  # type: ignore[attr-defined]
+        store=store, workers=workers, engine_workers=engine_workers,
+        queue_depth=queue_depth, job_timeout=job_timeout,
+        max_attempts=max_attempts, injector=injector)
     return server
 
 
 def serve_forever(host: str = "127.0.0.1", port: int = 8765,
-                  store: ResultStore | None = None, workers: int = 1) -> None:
+                  store: ResultStore | None = None, workers: int = 2,
+                  engine_workers: int = 1, queue_depth: int = 16,
+                  job_timeout: float = 300.0, max_attempts: int = 3,
+                  injector: Any | None = None) -> None:
     """Run the server until interrupted (the ``repro serve`` entry point)."""
-    server = make_server(host=host, port=port, store=store, workers=workers)
+    server = make_server(host=host, port=port, store=store, workers=workers,
+                         engine_workers=engine_workers,
+                         queue_depth=queue_depth, job_timeout=job_timeout,
+                         max_attempts=max_attempts, injector=injector)
     bound_host, bound_port = server.server_address[:2]
     backend = server.service.store.stats().get("backend")  # type: ignore[attr-defined]
-    print(f"repro serve {__version__} listening on http://{bound_host}:{bound_port} "
-          f"(store backend: {backend}, workers: {workers})")
+    print(f"repro serve {__version__} listening on "
+          f"http://{bound_host}:{bound_port} (store backend: {backend}, "
+          f"workers: {workers}x{engine_workers}, queue: {queue_depth}, "
+          f"job timeout: {job_timeout:g}s)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

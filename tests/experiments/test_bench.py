@@ -73,10 +73,22 @@ class TestBenchRun:
         for entry in models.values():
             assert entry["branches_per_second"] > 0
             assert entry["gap_vs_vector"] > 0
+        # Format 7: the async serving tier is measured twice — one worker
+        # (the old global-lock behaviour) versus a concurrent pool — with
+        # identical envelopes required from both lanes.
+        serve = payload["serve"]["quick"]
+        assert serve["scenarios"] >= 2
+        assert serve["serialized"]["workers"] == 1
+        assert serve["concurrent"]["workers"] > 1
+        assert serve["serialized"]["jobs_per_second"] > 0
+        assert serve["concurrent"]["jobs_per_second"] > 0
+        assert serve["all_done"] is True
+        assert serve["concurrent_matches_serialized"] is True
         # Rendering never fails on a populated report.
         assert "figure3" in format_bench(report)
         assert "result store" in format_bench(report)
         assert "predictors" in format_bench(report)
+        assert "serve" in format_bench(report)
 
     def test_write_bench_merges_modes(self, tmp_path):
         path = tmp_path / "BENCH_merge.json"
@@ -91,6 +103,7 @@ class TestBenchRun:
             payload["benches"]["figure3.quick"], mode="full")
         payload["store"]["full"] = dict(payload["store"]["quick"])
         payload["predictors"]["full"] = dict(payload["predictors"]["quick"])
+        payload["serve"]["full"] = dict(payload["serve"]["quick"])
         path.write_text(json.dumps(payload))
         write_bench(report, str(path))
         merged = json.loads(path.read_text())
@@ -98,6 +111,7 @@ class TestBenchRun:
         assert "figure3.quick" in merged["benches"]
         assert set(merged["store"]) == {"full", "quick"}
         assert set(merged["predictors"]) == {"full", "quick"}
+        assert set(merged["serve"]) == {"full", "quick"}
 
     def test_cli_bench_writes_artifact(self, tmp_path, capsys):
         output = tmp_path / "BENCH_cli.json"
@@ -140,6 +154,17 @@ class TestBenchCheck:
         failures = [failure for failure in check_regression(report, str(path))
                     if failure.startswith("predictors.quick.")]
         assert len(failures) == len(report.predictors["models"])
+
+    def test_check_gates_the_serve_block(self, tmp_path):
+        report, path = self._report_and_artifact(tmp_path)
+        inflated = json.loads(path.read_text())
+        for lane in ("serialized", "concurrent"):
+            inflated["serve"]["quick"][lane]["jobs_per_second"] *= 10
+        path.write_text(json.dumps(inflated))
+        failures = [failure for failure in check_regression(report, str(path))
+                    if failure.startswith("serve.quick.")]
+        assert len(failures) == 2
+        assert "jobs/s" in failures[0]
 
     def test_check_ignores_foreign_modes(self, tmp_path):
         report, path = self._report_and_artifact(tmp_path)
@@ -208,6 +233,8 @@ class TestBenchCheck:
             entry["branches_per_second"] = entry["branches_per_second"] * 0.1
         for entry in deflated["predictors"]["quick"]["models"].values():
             entry["branches_per_second"] = entry["branches_per_second"] * 0.1
+        for lane in ("serialized", "concurrent"):
+            deflated["serve"]["quick"][lane]["jobs_per_second"] *= 0.1
         reference.write_text(json.dumps(deflated))
         assert main(["bench", "--quick", "--output", str(output),
                      "--check", str(reference)]) == 0

@@ -127,6 +127,42 @@ class TestCorruption:
         assert store.counters.corrupt == 1
 
 
+class TestWriteRetry:
+    def test_transient_publish_failure_is_retried_once(self, store):
+        # NFS-style blips (ESTALE, EINTR-adjacent rename races) deserve one
+        # immediate retry before the error propagates.
+        real = store._publish
+        failures = [OSError("stale file handle")]
+
+        def flaky(*args, **kwargs):
+            if failures:
+                raise failures.pop()
+            return real(*args, **kwargs)
+
+        store._publish = flaky
+        store.put("job", FP_A, {"metrics": {"x": 1.0}})
+        assert store.get("job", FP_A) == {"metrics": {"x": 1.0}}
+        assert store.counters.retried == 1
+        assert store.counters.writes == 1
+
+    def test_persistent_publish_failure_raises_after_one_retry(self, store):
+        calls = []
+
+        def broken(*args, **kwargs):
+            calls.append(1)
+            raise OSError("disk full")
+
+        store._publish = broken
+        with pytest.raises(OSError, match="disk full"):
+            store.put("job", FP_A, {"x": 1})
+        assert len(calls) == 2  # the attempt and its single retry
+        assert store.counters.retried == 1
+        assert store.counters.writes == 0
+
+    def test_retried_counter_is_reported_in_stats(self, store):
+        assert store.stats()["retried"] == 0
+
+
 class TestVerify:
     def test_clean_store_verifies_silently(self, store):
         store.put("job", FP_A, {"x": 1})

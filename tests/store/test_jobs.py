@@ -1,0 +1,394 @@
+"""Tests for :mod:`repro.store.jobs`: queue bounds, the job state machine,
+retry/backoff, watchdog supervision and persisted job-state records."""
+
+import threading
+import time
+
+import pytest
+
+import repro.store.jobs as jobs_module
+from repro.engine.scenario import parse_scenario
+from repro.faults import FaultInjector, parse_fault_spec
+from repro.store import JOB_STATE_NAMESPACE, MemoryStore
+from repro.store.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOBS_SCHEMA,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    TIMEOUT,
+    JobConflict,
+    JobManager,
+    QueueFull,
+    _Job,
+)
+
+
+def _scenario(name, seed=1):
+    return parse_scenario({
+        "schema": "repro.scenario/v1",
+        "name": name,
+        "kind": "trace",
+        "models": ["baseline"],
+        "workloads": ["505.mcf"],
+        "scale": {"branch_count": 400, "warmup_branches": 40, "seed": seed},
+    })
+
+
+def _manager(**kwargs):
+    kwargs.setdefault("store", MemoryStore())
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("tick", 0.02)
+    kwargs.setdefault("backoff_base", 0.01)
+    kwargs.setdefault("abandon_grace", 0.1)
+    return JobManager(**kwargs)
+
+
+def _wedge_injector():
+    return FaultInjector(parse_fault_spec("hang=wedge,hang_seconds=60"))
+
+
+class TestLifecycle:
+    def test_submit_runs_to_done(self):
+        manager = _manager()
+        try:
+            payload, created = manager.submit(_scenario("happy"))
+            assert created is True
+            assert payload["schema"] == JOBS_SCHEMA
+            assert payload["state"] == QUEUED
+            fingerprint = payload["fingerprint"]
+            final = manager.wait(fingerprint, timeout=30)
+            assert final["state"] == DONE
+            assert final["attempts"] == 1
+            assert final["error"] is None
+            assert final["progress"] == {"done": 1, "total": 1}
+            # The envelope and the job state record were both persisted.
+            assert manager.store.get("envelope", fingerprint)["result"]
+            record = manager.store.get(JOB_STATE_NAMESPACE, fingerprint)
+            assert record["state"] == DONE
+        finally:
+            manager.close()
+
+    def test_single_flight_dedup(self):
+        manager = _manager(workers=1, injector=_wedge_injector(),
+                           job_timeout=60)
+        try:
+            first, created_first = manager.submit(_scenario("wedge-one"))
+            second, created_second = manager.submit(_scenario("wedge-one"))
+            assert created_first is True and created_second is False
+            assert first["fingerprint"] == second["fingerprint"]
+            assert second["state"] in (QUEUED, RUNNING)
+        finally:
+            manager.close()
+
+    def test_payload_has_no_wallclock_fields(self):
+        # Persisted records must be content-addressable and replica-stable:
+        # a timestamp would make two replicas disagree byte-for-byte.
+        manager = _manager()
+        try:
+            payload, _ = manager.submit(_scenario("payload-shape"))
+            assert set(payload) == {
+                "schema", "fingerprint", "state", "attempts", "max_attempts",
+                "error", "scenario", "kind", "cells", "progress", "version",
+            }
+        finally:
+            manager.close()
+
+    def test_queue_full_raises_with_retry_hint(self):
+        manager = _manager(workers=1, queue_depth=1,
+                           injector=_wedge_injector(), job_timeout=60)
+        try:
+            manager.submit(_scenario("wedge-busy"))
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                if manager.stats()["workers"]["busy"] >= 1:
+                    break
+                time.sleep(0.01)
+            manager.submit(_scenario("sits-in-queue"))
+            with pytest.raises(QueueFull) as info:
+                manager.submit(_scenario("bounced"))
+            assert info.value.retry_after > 0
+            assert "full" in str(info.value)
+        finally:
+            manager.close()
+
+    def test_submit_after_close_raises(self):
+        manager = _manager()
+        manager.close()
+        with pytest.raises(RuntimeError, match="shut down"):
+            manager.submit(_scenario("too-late"))
+
+    def test_constructor_validation(self):
+        store = MemoryStore()
+        with pytest.raises(ValueError, match="workers"):
+            JobManager(store=store, workers=0)
+        with pytest.raises(ValueError, match="queue_depth"):
+            JobManager(store=store, queue_depth=0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            JobManager(store=store, max_attempts=0)
+        with pytest.raises(ValueError, match="job_timeout"):
+            JobManager(store=store, job_timeout=0)
+
+
+class TestCancel:
+    def test_cancel_queued_then_conflict_then_unknown(self):
+        manager = _manager(workers=1, injector=_wedge_injector(),
+                           job_timeout=60)
+        try:
+            manager.submit(_scenario("wedge-head"))
+            victim, _ = manager.submit(_scenario("cancel-me"))
+            fingerprint = victim["fingerprint"]
+            payload = manager.cancel(fingerprint)
+            assert payload["state"] == CANCELLED
+            assert payload["attempts"] == 0
+            # Already terminal: the second cancel is a conflict, not a no-op.
+            with pytest.raises(JobConflict) as info:
+                manager.cancel(fingerprint)
+            assert info.value.state == CANCELLED
+            with pytest.raises(KeyError):
+                manager.cancel("f" * 64)
+            # The cancellation was persisted for replicas.
+            record = manager.store.get(JOB_STATE_NAMESPACE, fingerprint)
+            assert record["state"] == CANCELLED
+        finally:
+            manager.close()
+
+    def test_cancel_running_is_a_conflict(self):
+        manager = _manager(workers=1, injector=_wedge_injector(),
+                           job_timeout=60)
+        try:
+            payload, _ = manager.submit(_scenario("wedge-running"))
+            fingerprint = payload["fingerprint"]
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                if manager.get(fingerprint)["state"] == RUNNING:
+                    break
+                time.sleep(0.01)
+            with pytest.raises(JobConflict, match="running"):
+                manager.cancel(fingerprint)
+        finally:
+            manager.close()
+
+
+class TestRetry:
+    @staticmethod
+    def _scripted_run(manager, outcomes):
+        """Replace ``_run_job`` with a script: each entry is either an
+        outcome tuple to report or an exception to die on (exercising the
+        crash path); ``"real"`` delegates to the genuine implementation."""
+        real = manager._run_job
+        calls = []
+
+        def fake(job, runner):
+            calls.append(job.fingerprint)
+            step = outcomes[min(len(calls), len(outcomes)) - 1]
+            if step == "real":
+                return real(job, runner)
+            if isinstance(step, BaseException):
+                raise step
+            return runner, step
+
+        manager._run_job = fake
+        return calls
+
+    def test_transient_failures_retry_until_success(self):
+        manager = _manager(workers=1)
+        try:
+            calls = self._scripted_run(manager, [
+                ("transient", "OSError: injected"),
+                ("transient", "OSError: injected"),
+                "real",
+            ])
+            payload, _ = manager.submit(_scenario("flaky"))
+            final = manager.wait(payload["fingerprint"], timeout=30)
+            assert final["state"] == DONE
+            assert final["attempts"] == 3
+            assert len(calls) == 3
+        finally:
+            manager.close()
+
+    def test_transient_exhaustion_fails(self):
+        manager = _manager(workers=1, max_attempts=2)
+        try:
+            self._scripted_run(manager, [("transient", "OSError: down")])
+            payload, _ = manager.submit(_scenario("always-flaky"))
+            final = manager.wait(payload["fingerprint"], timeout=30)
+            assert final["state"] == FAILED
+            assert final["attempts"] == 2
+            assert "down" in final["error"]
+        finally:
+            manager.close()
+
+    def test_permanent_failure_does_not_retry(self):
+        manager = _manager(workers=1)
+        try:
+            calls = self._scripted_run(
+                manager, [(FAILED, "ValueError: bad scenario cell")])
+            payload, _ = manager.submit(_scenario("broken"))
+            final = manager.wait(payload["fingerprint"], timeout=30)
+            assert final["state"] == FAILED
+            assert final["attempts"] == 1
+            assert len(calls) == 1
+        finally:
+            manager.close()
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_worker_crash_retries_and_respawns(self):
+        # A BaseException escaping execution kills the worker thread; the
+        # supervisor must both retry the job and replace the worker.
+        manager = _manager(workers=1)
+        try:
+            self._scripted_run(manager, [
+                SystemExit(3), SystemExit(3), "real"])
+            payload, _ = manager.submit(_scenario("crashy"))
+            final = manager.wait(payload["fingerprint"], timeout=30)
+            assert final["state"] == DONE
+            assert final["attempts"] == 3
+            assert manager.stats()["workers"]["alive"] >= 1
+        finally:
+            manager.close()
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_worker_crash_exhaustion_fails(self):
+        manager = _manager(workers=1, max_attempts=2)
+        try:
+            self._scripted_run(manager, [SystemExit(3), SystemExit(3), "real"])
+            payload, _ = manager.submit(_scenario("always-crashy"))
+            final = manager.wait(payload["fingerprint"], timeout=30)
+            assert final["state"] == FAILED
+            assert final["error"] == "worker crashed mid-job"
+            # The pool healed: a fresh job still completes.
+            follow, _ = manager.submit(_scenario("after-the-crash"))
+            assert manager.wait(follow["fingerprint"],
+                                timeout=30)["state"] == DONE
+        finally:
+            manager.close()
+
+    def test_backoff_is_deterministic_exponential_and_capped(self):
+        manager = _manager(backoff_base=0.1, backoff_cap=1.0)
+        other = _manager(backoff_base=0.1, backoff_cap=1.0)
+        try:
+            job = _Job("ab12cd34" + "0" * 56, _scenario("backoff"),
+                       timeout=1.0, max_attempts=10)
+            delays = []
+            for attempt in range(1, 8):
+                job.attempts = attempt
+                delays.append(manager._backoff_delay(job))
+                assert manager._backoff_delay(job) == delays[-1]
+                assert other._backoff_delay(job) == delays[-1]
+            # Jittered exponential: each pre-cap delay sits in
+            # [base * 2^(n-1), 2 * base * 2^(n-1)]; the tail hits the cap.
+            for attempt, delay in enumerate(delays, start=1):
+                floor = 0.1 * (2 ** (attempt - 1))
+                assert min(1.0, floor) <= delay <= min(1.0, 2 * floor)
+            assert delays[-1] == 1.0
+        finally:
+            manager.close()
+            other.close()
+
+
+class TestWatchdog:
+    def test_deadline_fires_and_pool_recovers(self):
+        manager = _manager(workers=1, injector=_wedge_injector(),
+                           job_timeout=0.3)
+        try:
+            payload, _ = manager.submit(_scenario("wedge-deadline"))
+            final = manager.wait(payload["fingerprint"], timeout=30)
+            assert final["state"] == TIMEOUT
+            assert "deadline" in final["error"]
+            # The wedged worker was abandoned and replaced; the replacement
+            # still drains the queue.
+            follow, _ = manager.submit(_scenario("post-recovery"))
+            assert manager.wait(follow["fingerprint"],
+                                timeout=30)["state"] == DONE
+            assert manager.stats()["workers"]["alive"] >= 1
+        finally:
+            manager.close()
+
+    def test_wait_timeout_returns_live_payload(self):
+        manager = _manager(workers=1, injector=_wedge_injector(),
+                           job_timeout=60)
+        try:
+            payload, _ = manager.submit(_scenario("wedge-wait"))
+            live = manager.wait(payload["fingerprint"], timeout=0.1)
+            assert live["state"] in (QUEUED, RUNNING)
+        finally:
+            manager.close()
+
+
+class TestReplication:
+    def test_any_replica_answers_for_a_persisted_job(self):
+        store = MemoryStore()
+        writer = _manager(store=store)
+        try:
+            payload, _ = writer.submit(_scenario("replicated"))
+            fingerprint = payload["fingerprint"]
+            assert writer.wait(fingerprint, timeout=30)["state"] == DONE
+        finally:
+            writer.close()
+        replica = _manager(store=store)
+        try:
+            seen = replica.get(fingerprint)
+            assert seen is not None
+            assert seen["state"] == DONE
+            assert seen["schema"] == JOBS_SCHEMA
+            # Garbage in the jobstate namespace is not a job.
+            store.put(JOB_STATE_NAMESPACE, "e" * 64, {"schema": "other/v1"})
+            assert replica.get("e" * 64) is None
+        finally:
+            replica.close()
+
+    def test_terminal_jobs_are_pruned_but_stay_readable(self, monkeypatch):
+        monkeypatch.setattr(jobs_module, "_TERMINAL_KEEP", 2)
+        manager = _manager(workers=1)
+        try:
+            fingerprints = []
+            for index in range(4):
+                payload, _ = manager.submit(_scenario("prune", seed=index))
+                fingerprints.append(payload["fingerprint"])
+                assert manager.wait(payload["fingerprint"],
+                                    timeout=30)["state"] == DONE
+            with manager._lock:
+                in_memory = set(manager._jobs)
+            assert len(in_memory) <= 2
+            # Pruned jobs still answer via their persisted records.
+            for fingerprint in fingerprints:
+                assert manager.get(fingerprint)["state"] == DONE
+        finally:
+            manager.close()
+
+
+class TestEvents:
+    def test_events_end_with_the_terminal_payload(self):
+        manager = _manager(workers=1)
+        try:
+            payload, _ = manager.submit(_scenario("evented"))
+            events = []
+            done = threading.Event()
+
+            def consume():
+                for event in manager.events(payload["fingerprint"],
+                                            heartbeat=0.05):
+                    events.append(event)
+                done.set()
+
+            threading.Thread(target=consume, daemon=True).start()
+            assert done.wait(timeout=30)
+            assert events
+            assert events[-1]["state"] in TERMINAL_STATES
+            assert events[-1]["state"] == DONE
+            versions = [event["version"] for event in events]
+            assert versions == sorted(versions)
+        finally:
+            manager.close()
+
+    def test_events_for_unknown_job_end_immediately(self):
+        manager = _manager()
+        try:
+            assert list(manager.events("d" * 64)) == []
+        finally:
+            manager.close()

@@ -1,17 +1,21 @@
-"""Tests for the ``repro serve`` HTTP front-end: scenario POSTs, cached
-envelope GETs, ETag/304 revalidation, and error mapping."""
+"""Tests for the ``repro serve`` HTTP front-end: async job submission,
+synchronous ``?wait=1`` POSTs, cached envelope GETs, ETag/304 revalidation,
+fault-injected degradation, and JSON error mapping."""
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
 import pytest
 
-from repro.store import MemoryStore, scenario_fingerprint
 from repro.engine.scenario import parse_scenario
+from repro.faults import FaultInjector, FaultyStore, parse_fault_spec
+from repro.store import MemoryStore, scenario_fingerprint
 from repro.store.serve import (
     MAX_BODY_BYTES,
+    SERVE_SCHEMA,
     ExperimentService,
     envelope_bytes,
     envelope_etag,
@@ -28,14 +32,34 @@ SCENARIO = {
 }
 
 
-@pytest.fixture(scope="module")
-def server():
-    instance = make_server(port=0, store=MemoryStore())
-    thread = threading.Thread(target=instance.serve_forever, daemon=True)
-    thread.start()
-    yield instance
+def _scenario(name, seed, **overrides):
+    data = dict(SCENARIO, name=name)
+    data["scale"] = dict(SCENARIO["scale"], seed=seed)
+    data.update(overrides)
+    return data
+
+
+def _serve(store=None, **kwargs):
+    # Not `store or MemoryStore()`: an empty MemoryStore is falsy (__len__).
+    instance = make_server(port=0,
+                           store=store if store is not None else MemoryStore(),
+                           **kwargs)
+    threading.Thread(target=instance.serve_forever, daemon=True).start()
+    host, port = instance.server_address[:2]
+    return instance, f"http://{host}:{port}"
+
+
+def _shutdown(instance):
     instance.shutdown()
     instance.server_close()
+    instance.service.close()
+
+
+@pytest.fixture(scope="module")
+def server():
+    instance, _ = _serve()
+    yield instance
+    _shutdown(instance)
 
 
 @pytest.fixture(scope="module")
@@ -55,19 +79,99 @@ def _request(base_url, method, path, body=None, headers=None):
         return error.code, dict(error.headers), error.read()
 
 
-class TestEndpoints:
-    def test_info_and_health(self, base_url):
-        status, _, body = _request(base_url, "GET", "/")
-        info = json.loads(body)
-        assert status == 200
-        assert info["schema"] == "repro.serve/v1"
-        assert "POST /v1/experiments" in info["endpoints"]
-        status, _, body = _request(base_url, "GET", "/healthz")
-        assert status == 200 and json.loads(body)["status"] == "ok"
+def _poll_terminal(base_url, fingerprint, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, _, body = _request(base_url, "GET", f"/v1/jobs/{fingerprint}")
+        payload = json.loads(body)
+        if payload.get("state") in ("done", "failed", "timeout", "cancelled"):
+            return payload
+        time.sleep(0.05)
+    raise AssertionError(f"job {fingerprint} never reached a terminal state")
 
-    def test_post_then_get_then_304(self, base_url):
+
+class TestAsyncLifecycle:
+    def test_post_is_202_with_job_envelope(self, base_url):
         status, headers, body = _request(
-            base_url, "POST", "/v1/experiments", SCENARIO)
+            base_url, "POST", "/v1/experiments", _scenario("async-basic", 100))
+        assert status == 202
+        job = json.loads(body)
+        fingerprint = job["fingerprint"]
+        assert headers["Location"] == f"/v1/jobs/{fingerprint}"
+        assert headers["X-Repro-Job-State"] == job["state"]
+        assert job["schema"] == "repro.job/v1"
+        assert job["state"] in ("queued", "running")
+        assert job["links"]["result"] == f"/v1/experiments/{fingerprint}"
+
+        final = _poll_terminal(base_url, fingerprint)
+        assert final["state"] == "done"
+        assert final["progress"] == {"done": 1, "total": 1}
+
+        status, headers, body = _request(
+            base_url, "GET", f"/v1/experiments/{fingerprint}")
+        assert status == 200
+        assert json.loads(body)["result"]["records"]
+
+    def test_second_post_of_done_scenario_is_a_200_hit(self, base_url):
+        scenario = _scenario("async-hit", 101)
+        _, _, body = _request(base_url, "POST", "/v1/experiments", scenario)
+        _poll_terminal(base_url, json.loads(body)["fingerprint"])
+        status, headers, _ = _request(
+            base_url, "POST", "/v1/experiments", scenario)
+        assert status == 200
+        assert headers["X-Repro-Cache"] == "hit"
+
+    def test_concurrent_posts_single_flight_on_one_fingerprint(self, base_url):
+        scenario = _scenario("async-dedup", 102)
+        results = []
+
+        def post():
+            results.append(_request(
+                base_url, "POST", "/v1/experiments", scenario))
+
+        threads = [threading.Thread(target=post) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        fingerprints = set()
+        for status, headers, body in results:
+            assert status in (200, 202)
+            payload = json.loads(body)
+            fingerprints.add(payload.get("fingerprint")
+                             or headers.get("X-Repro-Fingerprint"))
+        assert len(fingerprints) == 1
+        final = _poll_terminal(base_url, fingerprints.pop())
+        assert final["state"] == "done" and final["attempts"] == 1
+
+    def test_sse_events_stream_to_terminal(self, base_url):
+        _, _, body = _request(base_url, "POST", "/v1/experiments",
+                              _scenario("async-events", 103))
+        fingerprint = json.loads(body)["fingerprint"]
+        events = []
+        with urllib.request.urlopen(
+                f"{base_url}/v1/jobs/{fingerprint}/events", timeout=30) as resp:
+            assert resp.headers["Content-Type"] == "text/event-stream"
+            for line in resp:
+                line = line.strip()
+                if line.startswith(b"data: "):
+                    events.append(json.loads(line[len(b"data: "):]))
+        assert events, "stream produced no events"
+        assert events[-1]["state"] == "done"
+        assert events[-1]["progress"]["done"] == events[-1]["progress"]["total"]
+
+    def test_events_for_unknown_job_is_404_json(self, base_url):
+        status, _, body = _request(
+            base_url, "GET", "/v1/jobs/" + "0" * 64 + "/events")
+        assert status == 404
+        assert "error" in json.loads(body)
+
+
+class TestSyncWait:
+    def test_wait_post_matches_old_synchronous_contract(self, base_url):
+        scenario = _scenario("sync-contract", 110)
+        status, headers, body = _request(
+            base_url, "POST", "/v1/experiments?wait=1", scenario)
         assert status == 200
         assert headers["X-Repro-Cache"] == "miss"
         fingerprint = headers["X-Repro-Fingerprint"]
@@ -79,35 +183,76 @@ class TestEndpoints:
 
         # Second POST: envelope-level cache hit, byte-identical body.
         status, headers2, body2 = _request(
-            base_url, "POST", "/v1/experiments", SCENARIO)
+            base_url, "POST", "/v1/experiments?wait=1", scenario)
         assert status == 200
         assert headers2["X-Repro-Cache"] == "hit"
         assert body2 == body and headers2["ETag"] == etag
 
-        # GET by fingerprint: same bytes, same ETag.
+        # GET by fingerprint: same bytes, same ETag; conditional GET → 304.
         status, headers3, body3 = _request(
             base_url, "GET", f"/v1/experiments/{fingerprint}")
         assert status == 200 and body3 == body and headers3["ETag"] == etag
-
-        # Conditional GET revalidates to 304 with an empty body.
         status, headers4, body4 = _request(
             base_url, "GET", f"/v1/experiments/{fingerprint}",
             headers={"If-None-Match": etag})
         assert status == 304 and body4 == b""
         assert headers4["ETag"] == etag
 
-        # A stale ETag still gets the full body.
+        # A stale ETag still gets the full body; W/-weakened revalidates.
         status, _, body5 = _request(
             base_url, "GET", f"/v1/experiments/{fingerprint}",
             headers={"If-None-Match": '"deadbeef"'})
         assert status == 200 and body5 == body
-
-        # RFC 9110: If-None-Match compares weakly — a proxy-weakened
-        # validator (W/ prefix) must still revalidate to 304.
         status, _, body6 = _request(
             base_url, "GET", f"/v1/experiments/{fingerprint}",
             headers={"If-None-Match": f"W/{etag}"})
         assert status == 304 and body6 == b""
+
+    def test_wait_with_short_timeout_returns_202_job(self, base_url):
+        status, _, body = _request(
+            base_url, "POST", "/v1/experiments?wait=1&timeout=0",
+            _scenario("sync-timeout", 111))
+        payload = json.loads(body)
+        # timeout=0 gives the job no time at all: either it was already done
+        # (fast machine) or the client gets the live job envelope back.
+        assert status in (200, 202)
+        if status == 202:
+            assert payload["state"] in ("queued", "running")
+
+    def test_bad_wait_timeout_is_400(self, base_url):
+        status, _, body = _request(
+            base_url, "POST", "/v1/experiments?wait=1&timeout=soon",
+            _scenario("sync-badtimeout", 112))
+        assert status == 400
+        assert "timeout" in json.loads(body)["error"]
+
+    def test_post_never_returns_304(self, base_url):
+        scenario = _scenario("sync-no304", 113)
+        status, headers, _ = _request(
+            base_url, "POST", "/v1/experiments?wait=1", scenario)
+        etag = headers["ETag"]
+        status, headers, body = _request(
+            base_url, "POST", "/v1/experiments?wait=1", scenario,
+            headers={"If-None-Match": etag})
+        # RFC 9110: 304 is defined for conditional GET/HEAD only.
+        assert status == 200
+        assert body and headers["X-Repro-Fingerprint"]
+
+
+class TestEndpoints:
+    def test_info_and_health(self, base_url):
+        status, _, body = _request(base_url, "GET", "/")
+        info = json.loads(body)
+        assert status == 200
+        assert info["schema"] == SERVE_SCHEMA == "repro.serve/v2"
+        assert "POST /v1/experiments" in info["endpoints"]
+        assert "DELETE /v1/jobs/<fingerprint>" in info["endpoints"]
+        assert info["config"]["queue_depth"] >= 1
+        status, _, body = _request(base_url, "GET", "/healthz")
+        health = json.loads(body)
+        assert status == 200 and health["status"] == "ok"
+        assert health["workers"]["alive"] >= 1
+        assert health["queue"]["capacity"] >= 1
 
     def test_unknown_fingerprint_is_404(self, base_url):
         status, _, body = _request(
@@ -115,9 +260,17 @@ class TestEndpoints:
         assert status == 404
         assert "no cached envelope" in json.loads(body)["error"]
 
+    def test_unknown_job_is_404(self, base_url):
+        status, _, body = _request(base_url, "GET", "/v1/jobs/" + "1" * 64)
+        assert status == 404
+        assert "unknown job" in json.loads(body)["error"]
+
     def test_invalid_fingerprint_is_400(self, base_url):
-        status, _, _ = _request(base_url, "GET", "/v1/experiments/not-hex!")
-        assert status == 400
+        for path in ("/v1/experiments/not-hex!", "/v1/jobs/not-hex!",
+                     "/v1/jobs/not-hex!/events"):
+            status, _, body = _request(base_url, "GET", path)
+            assert status == 400
+            assert "error" in json.loads(body)
 
     def test_invalid_scenario_is_400(self, base_url):
         status, _, body = _request(base_url, "POST", "/v1/experiments",
@@ -153,6 +306,7 @@ class TestEndpoints:
     def test_unknown_paths_are_404(self, base_url):
         assert _request(base_url, "GET", "/nope")[0] == 404
         assert _request(base_url, "POST", "/v1/nope")[0] == 404
+        assert _request(base_url, "DELETE", "/v1/nope")[0] == 404
 
     def test_store_failure_on_get_is_a_500(self):
         # A read-only mount / disk-full store must map to a JSON 500 on GET
@@ -160,20 +314,16 @@ class TestEndpoints:
         # connection with no status line.
         class BrokenStore(MemoryStore):
             def get(self, namespace, fingerprint):
-                raise OSError("store root unreadable")
+                raise RuntimeError("store root unreadable")
 
-        instance = make_server(port=0, store=BrokenStore())
-        thread = threading.Thread(target=instance.serve_forever, daemon=True)
-        thread.start()
+        instance, url = _serve(store=BrokenStore())
         try:
-            host, port = instance.server_address[:2]
             status, _, body = _request(
-                f"http://{host}:{port}", "GET", "/v1/experiments/" + "0" * 64)
+                url, "GET", "/v1/experiments/" + "0" * 64)
             assert status == 500
             assert "internal error" in json.loads(body)["error"]
         finally:
-            instance.shutdown()
-            instance.server_close()
+            _shutdown(instance)
 
     def test_store_stats_endpoint(self, base_url):
         status, _, body = _request(base_url, "GET", "/v1/store/stats")
@@ -182,37 +332,235 @@ class TestEndpoints:
         assert stats["backend"] == "memory"
         assert stats["entries"] >= 1
 
+    def test_every_http_error_carries_a_json_body(self, base_url):
+        # The ISSUE's contract: no error path may answer with a bare body.
+        cases = [
+            ("GET", "/nope", None),                            # 404 route
+            ("GET", "/v1/experiments/zz!", None),              # 400 key
+            ("GET", "/v1/experiments/" + "2" * 64, None),      # 404 envelope
+            ("GET", "/v1/jobs/" + "2" * 64, None),             # 404 job
+            ("DELETE", "/v1/jobs/" + "2" * 64, None),          # 404 cancel
+            ("POST", "/v1/experiments", {"kind": "nope"}),     # 400 scenario
+        ]
+        for method, path, body in cases:
+            status, headers, raw = _request(base_url, method, path, body)
+            assert status >= 400, (method, path)
+            assert headers["Content-Type"] == "application/json"
+            payload = json.loads(raw)
+            assert payload["schema"] == SERVE_SCHEMA
+            assert payload["error"], (method, path)
+
+
+class TestSupervision:
+    def test_queue_full_is_429_with_retry_after(self):
+        injector = FaultInjector(parse_fault_spec("hang=wedge,hang_seconds=60"))
+        instance, url = _serve(workers=1, queue_depth=1, job_timeout=60,
+                               injector=injector)
+        try:
+            # Wedge the only worker, fill the depth-1 queue, then overflow.
+            _request(url, "POST", "/v1/experiments", _scenario("wedge-a", 120))
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                _, _, body = _request(url, "GET", "/healthz")
+                if json.loads(body)["workers"]["busy"] >= 1:
+                    break
+                time.sleep(0.02)
+            _request(url, "POST", "/v1/experiments", _scenario("queued-b", 121))
+            status, headers, body = _request(
+                url, "POST", "/v1/experiments", _scenario("rejected-c", 122))
+            assert status == 429
+            assert int(headers["Retry-After"]) >= 1
+            assert "full" in json.loads(body)["error"]
+        finally:
+            _shutdown(instance)
+
+    def test_hung_job_times_out_without_blocking_others(self):
+        injector = FaultInjector(parse_fault_spec("hang=wedge,hang_seconds=60"))
+        instance, url = _serve(workers=2, job_timeout=0.5, injector=injector)
+        instance.service.manager.tick = 0.02
+        try:
+            _, _, body = _request(url, "POST", "/v1/experiments",
+                                  _scenario("wedge-hung", 130))
+            hung_fp = json.loads(body)["fingerprint"]
+            start = time.monotonic()
+            _, _, body = _request(url, "POST", "/v1/experiments",
+                                  _scenario("free-lane", 131))
+            other_fp = json.loads(body)["fingerprint"]
+            other = _poll_terminal(url, other_fp, timeout=20)
+            elapsed = time.monotonic() - start
+            assert other["state"] == "done"
+            hung = _poll_terminal(url, hung_fp, timeout=20)
+            assert hung["state"] == "timeout"
+            assert "deadline" in hung["error"]
+            # The free job finished while the wedged one was still hanging
+            # (or at worst just after its 0.5s deadline) — no global lock.
+            assert elapsed < 5.0
+            # Supervision replaced/reclaimed workers: the pool still serves.
+            follow_up = _poll_terminal(
+                url, json.loads(_request(
+                    url, "POST", "/v1/experiments",
+                    _scenario("after-timeout", 132))[2])["fingerprint"],
+                timeout=20)
+            assert follow_up["state"] == "done"
+        finally:
+            _shutdown(instance)
+
+    def test_wait_post_on_hung_job_is_504_json(self):
+        injector = FaultInjector(parse_fault_spec("hang=wedge,hang_seconds=60"))
+        instance, url = _serve(workers=1, job_timeout=0.3, injector=injector)
+        instance.service.manager.tick = 0.02
+        try:
+            status, _, body = _request(
+                url, "POST", "/v1/experiments?wait=1",
+                _scenario("wedge-wait", 133))
+            assert status == 504
+            payload = json.loads(body)
+            assert payload["schema"] == SERVE_SCHEMA
+            assert "deadline" in payload["error"]
+        finally:
+            _shutdown(instance)
+
+    def test_cancel_queued_job_and_cancel_races(self):
+        injector = FaultInjector(parse_fault_spec("hang=wedge,hang_seconds=60"))
+        instance, url = _serve(workers=1, queue_depth=8, job_timeout=60,
+                               injector=injector)
+        try:
+            _request(url, "POST", "/v1/experiments", _scenario("wedge-d", 140))
+            _, _, body = _request(url, "POST", "/v1/experiments",
+                                  _scenario("victim", 141))
+            victim = json.loads(body)["fingerprint"]
+            status, _, body = _request(url, "DELETE", f"/v1/jobs/{victim}")
+            assert status == 200
+            assert json.loads(body)["state"] == "cancelled"
+            # Cancelling again races a terminal job: 409 with a JSON body.
+            status, _, body = _request(url, "DELETE", f"/v1/jobs/{victim}")
+            assert status == 409
+            assert "cancelled" in json.loads(body)["error"]
+            # A cancelled job never runs.
+            payload = json.loads(
+                _request(url, "GET", f"/v1/jobs/{victim}")[2])
+            assert payload["state"] == "cancelled" and payload["attempts"] == 0
+        finally:
+            _shutdown(instance)
+
+    def test_cancel_running_job_is_409(self):
+        injector = FaultInjector(parse_fault_spec("hang=wedge,hang_seconds=60"))
+        instance, url = _serve(workers=1, job_timeout=60, injector=injector)
+        try:
+            _, _, body = _request(url, "POST", "/v1/experiments",
+                                  _scenario("wedge-running", 142))
+            fingerprint = json.loads(body)["fingerprint"]
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                payload = json.loads(
+                    _request(url, "GET", f"/v1/jobs/{fingerprint}")[2])
+                if payload["state"] == "running":
+                    break
+                time.sleep(0.02)
+            status, _, body = _request(
+                url, "DELETE", f"/v1/jobs/{fingerprint}")
+            assert status == 409
+            assert "running" in json.loads(body)["error"]
+        finally:
+            _shutdown(instance)
+
+    def test_healthz_degrades_to_503_when_pool_is_dead(self):
+        instance, url = _serve(workers=1)
+        service = instance.service
+        try:
+            # Simulate a dead pool: retire every worker handle.
+            with service.manager._lock:
+                for handle in service.manager._handles:
+                    handle.retired = True
+            status, _, body = _request(url, "GET", "/healthz")
+            payload = json.loads(body)
+            assert status == 503
+            assert payload["status"] == "degraded"
+            assert payload["workers"]["alive"] == 0
+        finally:
+            _shutdown(instance)
+
+
+class TestUnderFaults:
+    def test_faulty_store_degrades_to_2xx_and_identical_bytes(self):
+        # Nonzero error/latency/corruption on every store round-trip: the
+        # serving tier must still answer 2xx with an envelope byte-identical
+        # to a fault-free run (the engine is deterministic; faults only cost
+        # recomputes).
+        scenario = _scenario("chaos", 150)
+        clean_instance, clean_url = _serve()
+        try:
+            _, _, clean_body = _request(
+                clean_url, "POST", "/v1/experiments?wait=1", scenario)
+        finally:
+            _shutdown(clean_instance)
+
+        plan = parse_fault_spec(
+            "error=0.25,latency=0.25,latency_seconds=0.002,corrupt=0.25,seed=9")
+        store = FaultyStore(MemoryStore(), plan)
+        instance, url = _serve(store=store, injector=store.injector,
+                               job_timeout=60)
+        try:
+            for attempt in range(10):
+                status, _, body = _request(
+                    url, "POST", "/v1/experiments?wait=1", scenario)
+                assert status == 200, body
+                assert body == clean_body
+            counters = store.injector.counters()
+            assert counters["injected_errors"] + counters["injected_latency"] \
+                + counters["injected_corruption"] > 0, \
+                "fault plan injected nothing; the test proves nothing"
+        finally:
+            _shutdown(instance)
+
+    def test_corrupt_envelope_read_recomputes(self):
+        # Deterministic corruption of exactly the envelope read: the POST
+        # must treat it as a miss and recompute, not serve garbage.
+        scenario = _scenario("corrupt-read", 151)
+        store = MemoryStore()
+        instance, url = _serve(store=store)
+        try:
+            status, _, body = _request(
+                url, "POST", "/v1/experiments?wait=1", scenario)
+            assert status == 200
+            fingerprint = scenario_fingerprint(parse_scenario(scenario))
+            store.put("envelope", fingerprint,
+                      {"schema": "repro.fault/corrupt", "injected": True})
+            status, headers, body2 = _request(
+                url, "POST", "/v1/experiments?wait=1", scenario)
+            assert status == 200
+            assert body2 == body
+        finally:
+            _shutdown(instance)
+
 
 class TestService:
     def test_submit_reuses_job_records_across_scenarios(self):
         # Two scenarios sharing cells: the second runs only its new cells.
-        service = ExperimentService(store=MemoryStore())
-        _, _, hit = service.submit(SCENARIO)
-        assert not hit
-        wider = dict(SCENARIO, name="serve-test-wider",
-                     models=["baseline", "ST_SKLCond"])
-        fingerprint, envelope, hit = service.submit(wider)
-        assert not hit  # new envelope...
-        assert len(envelope["result"]["records"]) == 2
-        # ...but the baseline cell was merged from the job-record cache.
-        assert service.store.counters.hits >= 1
-        assert service.runs == 2
-
-    def test_cold_submit_counts_one_envelope_miss(self):
-        # The pre-lock fast path probes with contains(): a cold scenario is
-        # one envelope miss plus one per missing job, not a pre-lock miss
-        # plus an in-lock miss for the same envelope.
-        service = ExperimentService(store=MemoryStore())
-        service.submit(SCENARIO)  # one job (1 model x 1 workload)
-        assert service.store.counters.misses == 2
-        # Nothing was served from cache: the post-put normalization must not
-        # count a hit for an envelope this very request computed.
-        assert service.store.counters.hits == 0
+        service = ExperimentService(store=MemoryStore(), tick=0.02)
+        try:
+            scenario, fingerprint = service.prepare(SCENARIO)
+            service.submit_async(scenario, fingerprint)
+            assert service.wait(fingerprint, timeout=30)["state"] == "done"
+            wider = dict(SCENARIO, name="serve-test-wider",
+                         models=["baseline", "ST_SKLCond"])
+            scenario2, fingerprint2 = service.prepare(wider)
+            service.submit_async(scenario2, fingerprint2)
+            assert service.wait(fingerprint2, timeout=30)["state"] == "done"
+            envelope = service.cached_envelope(fingerprint2)
+            assert len(envelope["result"]["records"]) == 2
+            # The baseline cell was merged from the job-record cache.
+            assert service.store.counters.hits >= 1
+        finally:
+            service.close()
 
     def test_fingerprint_matches_keys_module(self):
         service = ExperimentService(store=MemoryStore())
-        fingerprint, _, _ = service.submit(SCENARIO)
-        assert fingerprint == scenario_fingerprint(parse_scenario(SCENARIO))
+        try:
+            _, fingerprint = service.prepare(SCENARIO)
+            assert fingerprint == scenario_fingerprint(parse_scenario(SCENARIO))
+        finally:
+            service.close()
 
     def test_etag_is_stable_for_equal_envelopes(self):
         envelope = {"schema": "repro.scenario/v1", "spec": "scenario",
@@ -220,46 +568,30 @@ class TestService:
         assert envelope_etag(envelope_bytes(envelope)) == \
             envelope_etag(envelope_bytes(json.loads(json.dumps(envelope))))
 
-    def test_envelope_write_failure_still_serves_the_result(self, monkeypatch):
-        # Disk-full on the envelope put must degrade to an uncached response,
-        # not discard a successfully computed scenario as a 500.
-        service = ExperimentService(store=MemoryStore())
-        monkeypatch.setattr(
-            service.store, "put",
-            lambda *args, **kwargs: (_ for _ in ()).throw(OSError("disk full")))
-        fingerprint, envelope, hit = service.submit(SCENARIO)
-        assert not hit and envelope["result"]["records"]
-        assert service.store.get("envelope", fingerprint) is None
+    def test_envelope_write_failure_still_serves_the_result(self):
+        # Disk-full on the envelope put must degrade to serving the job
+        # manager's in-memory copy, not discard a computed scenario.
+        class WriteFailingStore(MemoryStore):
+            def put(self, namespace, fingerprint, payload):
+                if namespace == "envelope":
+                    raise OSError("disk full")
+                super().put(namespace, fingerprint, payload)
+
+        service = ExperimentService(store=WriteFailingStore(), tick=0.02)
+        try:
+            scenario, fingerprint = service.prepare(
+                dict(SCENARIO, name="degraded-write"))
+            service.submit_async(scenario, fingerprint)
+            assert service.wait(fingerprint, timeout=30)["state"] == "done"
+            envelope = service.cached_envelope(fingerprint)
+            assert envelope is not None and envelope["result"]["records"]
+            assert service.store.get("envelope", fingerprint) is None
+        finally:
+            service.close()
 
     def test_invalid_workers_fail_at_construction(self):
         with pytest.raises(ValueError, match="workers"):
             ExperimentService(store=MemoryStore(), workers=0)
-
-    def test_failed_execution_drops_the_pooled_runner(self, monkeypatch):
-        # A worker crash mid-run leaves the pooled runner (and its process
-        # pool) suspect; keeping it would 500 every later POST.
-        service = ExperimentService(store=MemoryStore())
-        service.submit(SCENARIO)
-        runner = service._runner
-        monkeypatch.setattr(
-            runner, "run_jobs",
-            lambda jobs: (_ for _ in ()).throw(RuntimeError("pool died")))
-        broken = dict(SCENARIO, name="serve-test-broken")
-        with pytest.raises(RuntimeError):
-            service.submit(broken)
-        assert service._runner is None
-        fingerprint, envelope, hit = service.submit(broken)
-        assert not hit and envelope["result"]["records"]
-
-    def test_service_reuses_one_runner_across_submits(self):
-        service = ExperimentService(store=MemoryStore())
-        service.submit(SCENARIO)
-        runner = service._runner
-        assert runner is not None
-        service.submit(dict(SCENARIO, name="again"))
-        assert service._runner is runner
-        service.close()
-        assert service._runner is None
 
 
 class TestKeepAlive:
@@ -282,14 +614,3 @@ class TestKeepAlive:
             assert json.loads(response.read())["status"] == "ok"
         finally:
             connection.close()
-
-    def test_post_never_returns_304(self, base_url):
-        status, headers, _ = _request(base_url, "POST", "/v1/experiments",
-                                      SCENARIO)
-        etag = headers["ETag"]
-        status, headers, body = _request(
-            base_url, "POST", "/v1/experiments", SCENARIO,
-            headers={"If-None-Match": etag})
-        # RFC 9110: 304 is defined for conditional GET/HEAD only.
-        assert status == 200
-        assert body and headers["X-Repro-Fingerprint"]

@@ -1,0 +1,170 @@
+"""Tests for :mod:`repro.client` against a live in-process server."""
+
+import email.message
+import threading
+import urllib.error
+
+import pytest
+
+from repro.client import RETRYABLE_STATUSES, ReproClient, ServeError, Submitted
+from repro.faults import FaultInjector, parse_fault_spec
+from repro.store import MemoryStore
+from repro.store.serve import make_server
+
+SCENARIO = {
+    "schema": "repro.scenario/v1",
+    "name": "client-test",
+    "kind": "trace",
+    "models": ["baseline"],
+    "workloads": ["505.mcf"],
+    "scale": {"branch_count": 500, "warmup_branches": 50, "seed": 13},
+}
+
+
+def _scenario(name, seed):
+    data = dict(SCENARIO, name=name)
+    data["scale"] = dict(SCENARIO["scale"], seed=seed)
+    return data
+
+
+def _serve(**kwargs):
+    instance = make_server(port=0, store=MemoryStore(), **kwargs)
+    threading.Thread(target=instance.serve_forever, daemon=True).start()
+    host, port = instance.server_address[:2]
+    return instance, f"http://{host}:{port}"
+
+
+@pytest.fixture(scope="module")
+def server():
+    instance, url = _serve()
+    yield instance, url
+    instance.shutdown()
+    instance.server_close()
+    instance.service.close()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ReproClient(server[1], poll_interval=0.05)
+
+
+class TestLifecycle:
+    def test_async_submit_wait_result(self, client):
+        submitted = client.submit(_scenario("cli-async", 200))
+        assert isinstance(submitted, Submitted)
+        assert not submitted.completed
+        assert submitted.job["state"] in ("queued", "running")
+        final = client.wait(submitted.fingerprint, timeout=30)
+        assert final["state"] == "done"
+        envelope, etag = client.result(submitted.fingerprint)
+        assert envelope["result"]["records"]
+        assert etag
+        # Conditional refetch: 304 comes back as (None, etag).
+        assert client.result(submitted.fingerprint, etag=etag) == (None, etag)
+
+    def test_sync_submit_is_complete_on_return(self, client):
+        scenario = _scenario("cli-sync", 201)
+        submitted = client.submit(scenario, wait=True)
+        assert submitted.completed
+        assert submitted.cache == "miss"
+        assert submitted.envelope["result"]["records"]
+        again = client.submit(scenario, wait=True)
+        assert again.cache == "hit"
+        assert again.etag == submitted.etag
+
+    def test_stream_ends_terminal(self, client):
+        submitted = client.submit(_scenario("cli-stream", 202))
+        events = list(client.stream(submitted.fingerprint))
+        assert events
+        assert events[-1]["state"] == "done"
+
+    def test_job_and_info_and_health(self, client):
+        submitted = client.submit(_scenario("cli-meta", 203), wait=True)
+        assert client.job(submitted.fingerprint)["state"] == "done"
+        assert client.info()["schema"] == "repro.serve/v2"
+        assert client.health()["status"] == "ok"
+
+    def test_wait_times_out_client_side(self):
+        injector = FaultInjector(parse_fault_spec("hang=wedge,hang_seconds=60"))
+        instance, url = _serve(workers=1, job_timeout=60, injector=injector)
+        try:
+            client = ReproClient(url, poll_interval=0.02)
+            submitted = client.submit(_scenario("wedge-client", 204))
+            with pytest.raises(TimeoutError, match="still"):
+                client.wait(submitted.fingerprint, timeout=0.2)
+        finally:
+            instance.shutdown()
+            instance.server_close()
+            instance.service.close()
+
+
+class TestErrors:
+    def test_invalid_scenario_raises_serve_error_with_payload(self, client):
+        with pytest.raises(ServeError) as info:
+            client.submit({"kind": "nope"})
+        assert info.value.status == 400
+        assert "invalid scenario" in str(info.value)
+        assert info.value.payload["schema"] == "repro.serve/v2"
+
+    def test_cancel_terminal_job_is_a_409(self, client):
+        submitted = client.submit(_scenario("cli-cancel", 205), wait=True)
+        with pytest.raises(ServeError) as info:
+            client.cancel(submitted.fingerprint)
+        assert info.value.status == 409
+
+    def test_unknown_job_is_a_404(self, client):
+        with pytest.raises(ServeError) as info:
+            client.job("9" * 64)
+        assert info.value.status == 404
+
+    def test_connection_refused_exhausts_retries(self):
+        client = ReproClient("http://127.0.0.1:9", retries=1, backoff=0.0,
+                             timeout=1.0)
+        with pytest.raises(ServeError) as info:
+            client.health()  # health is no-retry: one shot, then ServeError
+        assert info.value.status == 0
+        with pytest.raises(ServeError, match="transport"):
+            client.info()  # retried path: same terminal error after budget
+
+    def test_constructor_rejects_negative_retries(self):
+        with pytest.raises(ValueError, match="retries"):
+            ReproClient("http://localhost", retries=-1)
+
+
+class TestRetryPolicy:
+    def test_retryable_statuses_cover_queue_and_gateway_pressure(self):
+        assert {429, 503, 504} <= RETRYABLE_STATUSES
+        assert 400 not in RETRYABLE_STATUSES and 404 not in RETRYABLE_STATUSES
+
+    def test_delay_honours_retry_after(self):
+        client = ReproClient("http://localhost", backoff=0.1)
+        headers = email.message.Message()
+        headers["Retry-After"] = "3"
+        error = urllib.error.HTTPError("http://x", 429, "busy", headers, None)
+        assert client._delay(1, error) == 3.0
+        headers.replace_header("Retry-After", "bogus")
+        assert client._delay(2, error) == pytest.approx(0.2)
+        assert client._delay(2, None) == pytest.approx(0.2)
+
+    def test_retries_recover_from_a_transient_503(self, server, monkeypatch):
+        # Flip the service unhealthy for exactly the first probe of a
+        # retried GET: the client must retry and return the healthy answer.
+        instance, url = server
+        service = instance.service
+        real = type(service).healthz
+        calls = []
+
+        def flaky(self):
+            calls.append(1)
+            if len(calls) == 1:
+                return False, {"schema": "repro.serve/v2",
+                               "status": "degraded"}
+            return real(self)
+
+        monkeypatch.setattr(type(service), "healthz", flaky)
+        client = ReproClient(url, retries=2, backoff=0.0)
+        # /healthz is no-retry by design, so drive the retry loop directly.
+        status, _headers, payload = client._request("GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert len(calls) == 2
