@@ -50,6 +50,12 @@ worker, the old global-lock behaviour) and concurrent (several workers) —
 and the ``serve`` block records jobs/s for both lanes plus the concurrency
 speedup and an envelope-equality verdict.  ``--check`` gates on both lanes'
 jobs/s.
+
+Each grid entry additionally carries a ``phases`` block — per-phase seconds
+(partition/dispatch/execute/merge, from :mod:`repro.obs` span tracing of the
+timed serial run) — so a perf regression names the phase, not just the grid.
+The tracer never feeds the result frame: ``result_sha256`` is unchanged by
+tracing.
 """
 
 from __future__ import annotations
@@ -72,6 +78,7 @@ from repro.engine import (
     trace_cache_stats,
 )
 from repro.experiments.figure3 import figure3_grid
+from repro.obs.spans import SpanTracer, phase_seconds
 from repro.sim import fastpath
 from repro.store import DiskStore
 from repro.trace.workloads import GEM5_SMT_PAIRS
@@ -138,6 +145,7 @@ class BenchTiming:
     parallel_seconds: float | None = None
     parallel_matches_serial: bool | None = None
     parallel_workers: int | None = None
+    phases: dict[str, float] | None = None
 
     @property
     def key(self) -> str:
@@ -187,6 +195,11 @@ class BenchTiming:
             payload["parallel_matches_serial"] = self.parallel_matches_serial
             payload["parallel_workers"] = self.parallel_workers
             payload["parallel_speedup"] = round(self.parallel_speedup, 3)
+        if self.phases is not None:
+            payload["phases"] = {
+                name: round(seconds, 4)
+                for name, seconds in self.phases.items()
+            }
         return payload
 
 
@@ -450,10 +463,15 @@ def run_bench(quick: bool = False, workers: int = 1) -> BenchReport:
         jobs = grid.jobs()
         branches = EngineRunner._prewarm_traces(jobs)
         runner = EngineRunner(workers=1)
-        started = time.perf_counter()
-        frame = runner.run_jobs(jobs)
-        seconds = time.perf_counter() - started
         key = f"{name}.{mode}"
+        # The tracer rides along on the timed run: its per-phase seconds
+        # (partition/dispatch/execute/merge) land in the artifact so a perf
+        # regression names the phase, not just the grid.  Span overhead is a
+        # handful of clock reads per grid — noise at these run lengths.
+        tracer = SpanTracer(key, name="bench")
+        started = time.perf_counter()
+        frame = runner.run_jobs(jobs, tracer=tracer)
+        seconds = time.perf_counter() - started
         timing = BenchTiming(
             name=name,
             mode=mode,
@@ -463,6 +481,7 @@ def run_bench(quick: bool = False, workers: int = 1) -> BenchReport:
             result_sha256=_frame_sha256(frame),
             baseline_seconds=PR1_BASELINE_SECONDS.get(key),
             fast_path_branches_per_second=PR2_BASELINE_BRANCHES_PER_SECOND.get(key),
+            phases=phase_seconds(tracer.payload()),
         )
         if parallel_runner is not None:
             started = time.perf_counter()
@@ -573,10 +592,11 @@ def check_regression(report: BenchReport, reference: dict | str,
         recorded_value = float(entry.get(field, 0.0))
         floor = recorded_value * (1.0 - tolerance)
         if recorded_value and measured < floor:
+            drop = 1.0 - measured / recorded_value
             failures.append(
-                f"{key}: {measured:,.0f} {unit} is "
-                f">{tolerance:.0%} below the recorded {recorded_value:,.0f} "
-                f"(floor {floor:,.0f})")
+                f"{key}: {measured:,.0f} {unit} is {drop:.1%} "
+                f"(tolerance {tolerance:.0%}) below the recorded "
+                f"{recorded_value:,.0f} (floor {floor:,.0f})")
 
     for timing in report.timings:
         entry = recorded.get(timing.key)
@@ -670,6 +690,12 @@ def format_bench(report: BenchReport) -> str:
         )
     lines.append("-" * len(header))
     lines.append(f"{'total':10s}{'':6s}{'':12s}{report.total_seconds:10.3f}")
+    for timing in report.timings:
+        if timing.phases:
+            breakdown = "  ".join(f"{phase} {seconds:.3f}s"
+                                  for phase, seconds in timing.phases.items()
+                                  if phase != "job")
+            lines.append(f"phases ({timing.name}): {breakdown}")
     cache = report.trace_cache
     if cache:
         lines.append(

@@ -45,6 +45,7 @@ from repro.engine import (
     scenario_envelope,
 )
 from repro.lint.cli import add_lint_parser
+from repro.obs.cli import add_obs_parser
 from repro.sim import fastpath
 from repro.store import DiskStore, default_store_path, open_store
 from repro.version import __version__
@@ -329,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.set_defaults(handler=_cmd_serve)
 
     add_lint_parser(subparsers)
+    add_obs_parser(subparsers)
 
     for spec in list_experiments():
         sub = subparsers.add_parser(spec.name, help=spec.description)

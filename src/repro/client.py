@@ -218,6 +218,25 @@ class ReproClient:
                 if line.startswith(b"data: "):
                     yield json.loads(line[len(b"data: "):].decode("utf-8"))
 
+    def trace(self, fingerprint: str) -> dict[str, Any]:
+        """GET the completed job's span tree (``repro.obstrace/v1``)."""
+        _status, _headers, payload = self._request(
+            "GET", f"/v1/jobs/{fingerprint}/trace")
+        return payload
+
+    def metrics(self) -> str:
+        """GET ``/v1/metrics`` as raw Prometheus text (not JSON)."""
+        request = urllib.request.Request(self.base_url + "/v1/metrics")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ServeError(error.code, str(error.reason)) from error
+        except urllib.error.URLError as error:
+            raise ServeError(0, f"transport failure: {error.reason}") \
+                from error
+
     def health(self) -> dict[str, Any]:
         """GET ``/healthz`` (no retry — a probe should see degradation)."""
         try:

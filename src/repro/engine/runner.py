@@ -43,6 +43,8 @@ from repro.engine.grid import Job, SimulationGrid
 from repro.engine.registry import build_model
 from repro.engine.results import JobRecord, ResultFrame
 from repro.engine.workloads import trace_for
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import NULL_TRACER
 from repro.sim.bpu_sim import TraceSimulator
 from repro.sim.config import SimulationLengths
 from repro.sim.cpu import CycleApproximateCPU
@@ -465,15 +467,17 @@ class EngineRunner:
 
     def run_jobs(self, jobs: Sequence[Job],
                  progress: ProgressCallback | None = None,
-                 abort_check: Callable[[], None] | None = None) -> ResultFrame:
+                 abort_check: Callable[[], None] | None = None,
+                 tracer=None) -> ResultFrame:
         """Execute an explicit job list (drivers mixing kinds build these)."""
         return ResultFrame(self.iter_records(jobs, progress=progress,
-                                             abort_check=abort_check))
+                                             abort_check=abort_check,
+                                             tracer=tracer))
 
     def iter_records(self, jobs: Iterable[Job],
                      progress: ProgressCallback | None = None,
                      abort_check: Callable[[], None] | None = None,
-                     ) -> Iterator[JobRecord]:
+                     tracer=None) -> Iterator[JobRecord]:
         """Stream records as jobs finish, reassembled into job order.
 
         Records are yielded in the order of ``jobs`` regardless of which
@@ -493,12 +497,25 @@ class EngineRunner:
         run (deadline exceeded, job cancelled).  In-flight pool batches
         cannot be interrupted — after an abort the caller should ``close()``
         the runner rather than reuse a pool with stale work queued.
+
+        ``tracer`` (a :class:`repro.obs.spans.SpanTracer`) records the
+        phase spans partition → dispatch → execute → merge plus one leaf
+        per record; all clock reads happen inside the tracer, so this
+        module stays free of timing calls.  Span structure is a function of
+        the job list and the store state, never of completion order: the
+        per-record leaves are added under ``merge`` in job order.
         """
         jobs = list(jobs)
         if abort_check is not None:
             abort_check()
+        tracer = tracer or NULL_TRACER
         total = len(jobs)
-        cached, missing, positions, fingerprints = self._partition(jobs)
+        with tracer.span("partition") as partition_span:
+            cached, missing, positions, fingerprints = self._partition(jobs)
+            partition_span.attrs.update(
+                jobs=total, cached=len(cached), missing=len(missing))
+        obs_metrics.inc("repro_engine_jobs_cached_total", len(cached))
+        obs_metrics.inc("repro_engine_jobs_executed_total", len(missing))
         self.last_total = total
         self.last_cached = len(cached)
         self.last_executed = len(missing)
@@ -506,72 +523,98 @@ class EngineRunner:
         self.total_executed += len(missing)
         done = 0
         ready: dict[int, JobRecord] = dict(cached)
+        merged: list[tuple[int, JobRecord, str]] = []
         next_position = 0
         for position in sorted(ready):
             done += 1
+            merged.append((position, ready[position], "store"))
             if progress is not None:
                 progress(done, total, ready[position])
         while next_position in ready:
             yield ready.pop(next_position)
             next_position += 1
-        for position, record in self._completions(missing, positions):
-            if abort_check is not None:
-                abort_check()
-            done += 1
-            if progress is not None:
-                progress(done, total, record)
-            fingerprint = fingerprints.get(position)
-            if fingerprint is not None:
-                self._write_back(fingerprint, record)
-            ready[position] = record
-            while next_position in ready:
-                yield ready.pop(next_position)
-                next_position += 1
+        completions = self._completions(missing, positions, tracer=tracer)
+        with tracer.span("execute") as execute_span:
+            for position, record in completions:
+                if abort_check is not None:
+                    abort_check()
+                done += 1
+                if progress is not None:
+                    progress(done, total, record)
+                fingerprint = fingerprints.get(position)
+                if fingerprint is not None:
+                    self._write_back(fingerprint, record)
+                merged.append((position, record, "executed"))
+                ready[position] = record
+                while next_position in ready:
+                    yield ready.pop(next_position)
+                    next_position += 1
+            execute_span.attrs.update(jobs=len(missing))
+        with tracer.span("merge") as merge_span:
+            merged.sort(key=lambda item: item[0])
+            for position, record, source in merged:
+                tracer.add("job", seconds=record.seconds,
+                           position=position, model=record.model,
+                           workload=record.workload, source=source)
+            merge_span.attrs.update(records=total)
 
     def _completions(self, jobs: Sequence[Job], positions: Sequence[int],
-                     ) -> Iterator[tuple[int, JobRecord]]:
-        """Execute ``jobs``, yielding ``(original position, record)`` pairs in
-        completion order (serial: list order; parallel: batch completion)."""
+                     tracer=NULL_TRACER) -> Iterator[tuple[int, JobRecord]]:
+        """Execute ``jobs``, returning an iterator of ``(original position,
+        record)`` pairs in completion order (serial: list order; parallel:
+        batch completion).  Dispatch — pool creation, trace shipping, batch
+        submission — happens eagerly in this call, under the ``dispatch``
+        span; the returned iterator only consumes completions."""
         total = len(jobs)
         if total == 0:
-            return
+            return iter(())
         if self.workers <= 1 or total <= 1:
-            for position, job in zip(positions, jobs):
-                yield position, execute_job(job)
-            return
-        context = self._context()
-        pool = self._ensure_pool(context)
-        if context.get_start_method() == "fork":
-            # Workers fork at first submit and inherit the parent's trace
-            # cache as of that moment; generate this run's traces first so
-            # a fresh pool inherits them all.  Runs on an *existing* pool
-            # instead ship any new traces through shared memory — the
-            # workers' inherited caches predate them.
-            self._prewarm_traces(jobs)
-            if self._pool_used:
-                shipments = self._ensure_shipments(jobs)
+            tracer.add("dispatch", mode="serial", workers=1, batches=0)
+            return ((position, execute_job(job))
+                    for position, job in zip(positions, jobs))
+        with tracer.span("dispatch") as dispatch_span:
+            context = self._context()
+            pool = self._ensure_pool(context)
+            if context.get_start_method() == "fork":
+                # Workers fork at first submit and inherit the parent's trace
+                # cache as of that moment; generate this run's traces first so
+                # a fresh pool inherits them all.  Runs on an *existing* pool
+                # instead ship any new traces through shared memory — the
+                # workers' inherited caches predate them.
+                self._prewarm_traces(jobs)
+                if self._pool_used:
+                    shipments = self._ensure_shipments(jobs)
+                else:
+                    self._shipped_keys.update(_distinct_trace_keys(jobs))
+                    shipments = tuple(s.descriptor for s in self._shipments)
             else:
-                self._shipped_keys.update(_distinct_trace_keys(jobs))
-                shipments = tuple(s.descriptor for s in self._shipments)
-        else:
-            shipments = self._ensure_shipments(jobs)
-        # Probe for kernel-less models while the parent still owns the log:
-        # one fallback notice total, workers silenced via the snapshot.
-        quiet_fallbacks = _vector_fallback_suppressions(jobs)
-        self._pool_used = True
-        batches = job_batches(jobs, min(self.workers, total))
-        position_batches: list[Sequence[int]] = []
-        offset = 0
-        for batch in batches:
-            position_batches.append(positions[offset:offset + len(batch)])
-            offset += len(batch)
-        futures = {
-            pool.submit(execute_job_batch, batch, shipments, quiet_fallbacks): index
-            for index, batch in enumerate(batches)
-        }
-        for future in as_completed(futures):
-            index = futures[future]
-            yield from zip(position_batches[index], future.result())
+                shipments = self._ensure_shipments(jobs)
+            # Probe for kernel-less models while the parent still owns the
+            # log: one fallback notice total, workers silenced via the
+            # snapshot.
+            quiet_fallbacks = _vector_fallback_suppressions(jobs)
+            self._pool_used = True
+            batches = job_batches(jobs, min(self.workers, total))
+            position_batches: list[Sequence[int]] = []
+            offset = 0
+            for batch in batches:
+                position_batches.append(positions[offset:offset + len(batch)])
+                offset += len(batch)
+            futures = {
+                pool.submit(execute_job_batch, batch, shipments,
+                            quiet_fallbacks): index
+                for index, batch in enumerate(batches)
+            }
+            dispatch_span.attrs.update(
+                mode="pool", workers=min(self.workers, total),
+                batches=len(batches))
+
+        def stream() -> Iterator[tuple[int, JobRecord]]:
+            for future in as_completed(futures):
+                index = futures[future]
+                yield from zip(position_batches[index], future.result())
+
+        return stream()
 
     # ----------------------------------------------------------- store layer
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable, Sequence
 
+from repro.obs import metrics as obs_metrics
 from repro.trace.branch import Trace
 from repro.trace.synthetic import generate_trace
 from repro.trace.workloads import (
@@ -87,6 +88,21 @@ class TraceCache:
 
 
 _TRACE_CACHE = TraceCache()
+
+
+def _bridge_trace_cache() -> None:
+    """Refresh the registry's trace-cache series from the LRU's counters;
+    registered below so every ``/v1/metrics`` scrape reads live values."""
+    stats = _TRACE_CACHE.stats()
+    obs_metrics.set_counter("repro_trace_cache_hits_total", stats["hits"])
+    obs_metrics.set_counter("repro_trace_cache_misses_total",
+                            stats["misses"])
+    obs_metrics.set_counter("repro_trace_cache_evictions_total",
+                            stats["evictions"])
+    obs_metrics.set_gauge("repro_trace_cache_entries", stats["size"])
+
+
+obs_metrics.register_callback(_bridge_trace_cache)
 
 #: Cache-miss resolvers consulted before falling back to synthetic
 #: generation.  Shared-memory shipments register one so traces evicted from

@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.obs import metrics as obs_metrics
 from repro.store.base import ResultStore, StoreWrapper
 
 #: Environment variable carrying a fault spec (same syntax as ``--faults``).
@@ -136,6 +137,9 @@ class FaultInjector:
     def _count(self, name: str) -> None:
         with self._lock:
             setattr(self, name, getattr(self, name) + 1)
+        # Bridge into the process-wide registry outside our lock (the
+        # registry lock stays a leaf).
+        obs_metrics.inc("repro_faults_injected_total", kind=name)
 
     # -- store-facing perturbations -----------------------------------------
 

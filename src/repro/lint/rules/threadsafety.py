@@ -37,8 +37,10 @@ from repro.lint.framework import (
 )
 from repro.lint.rules._ast import dotted_name, finding_at, self_attribute_chain
 
-#: Modules reachable from the threaded serve tier.
-SCOPE = ("repro.store", "repro.store.")
+#: Modules reachable from the threaded serve tier.  The metrics registry
+#: (``repro.obs``) is mutated from every request handler and job worker, so
+#: it carries the same lock discipline as the store.
+SCOPE = ("repro.store", "repro.store.", "repro.obs", "repro.obs.")
 
 #: Callables whose result is shared mutable module state when assigned at
 #: module level.

@@ -1,0 +1,59 @@
+"""``repro.obs`` — unified observability: metrics, span tracing, profiling.
+
+Two halves, both dependency-free so every layer of the stack can use them:
+
+* :mod:`repro.obs.metrics` — a process-wide thread-safe registry of
+  counters, gauges and histograms that the store, job tier, engine and
+  fault injector bridge their private counters into; rendered as
+  Prometheus text by serve's ``GET /v1/metrics``.
+* :mod:`repro.obs.spans` — span trees with deterministic identities
+  (fingerprint + tree path) and wall-clock durations that stay out of
+  fingerprints and result frames; persisted as content-addressed
+  ``obstrace`` store records and served by ``GET /v1/jobs/<fp>/trace``.
+
+The ``repro obs`` CLI (:mod:`repro.obs.cli`) renders both.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    inc,
+    observe,
+    register_callback,
+    registry,
+    render_prometheus,
+    set_counter,
+    set_gauge,
+)
+from repro.obs.spans import (
+    NULL_TRACER,
+    OBSTRACE_SCHEMA,
+    NullTracer,
+    Span,
+    SpanTracer,
+    format_tree,
+    phase_seconds,
+    span_id,
+    strip_durations,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "OBSTRACE_SCHEMA",
+    "Span",
+    "SpanTracer",
+    "format_tree",
+    "inc",
+    "observe",
+    "phase_seconds",
+    "register_callback",
+    "registry",
+    "render_prometheus",
+    "set_counter",
+    "set_gauge",
+    "span_id",
+    "strip_durations",
+]

@@ -1,0 +1,176 @@
+"""Span-based structured tracing with deterministic span identities.
+
+A :class:`SpanTracer` records one tree of timed spans per traced run.  The
+*structure* of the tree — span names, nesting, order, attributes — is a
+pure function of the work performed: span ids are derived from the traced
+job/scenario fingerprint plus the span's path in the tree, never from
+clocks, thread ids or memory addresses.  Wall-clock durations are recorded
+in each node's ``seconds`` field and **nowhere else** — exactly like
+``JobRecord.seconds``, they ride along for humans but stay out of
+fingerprints and result frames, so :func:`strip_durations` of two traces of
+the same work against equivalent store state is byte-identical (the
+``obstrace`` determinism gate).
+
+All clock access lives here: instrumented modules (the engine runner is in
+the determinism lint's scope) call ``tracer.span(...)`` and never touch
+``time.perf_counter`` themselves.
+
+Tracers are single-threaded by design — one tracer follows one job through
+the runner's streaming loop on the worker thread that drives it.  The
+process-wide metrics registry (:mod:`repro.obs.metrics`) is the
+multi-threaded half of the package.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+#: Schema tag of persisted span trees (the ``obstrace`` store namespace).
+OBSTRACE_SCHEMA = "repro.obstrace/v1"
+
+
+class Span:
+    """One node: a name, JSON-scalar attributes, seconds, and children."""
+
+    __slots__ = ("name", "attrs", "seconds", "children")
+
+    def __init__(self, name: str, attrs: dict[str, Any] | None = None,
+                 seconds: float = 0.0):
+        self.name = name
+        self.attrs: dict[str, Any] = dict(attrs or {})
+        self.seconds = seconds
+        self.children: list[Span] = []
+
+
+class SpanTracer:
+    """Collects one span tree for the run addressed by ``fingerprint``.
+
+    Use :meth:`span` as a context manager around a timed phase (the yielded
+    :class:`Span` accepts late attributes, e.g. counts known only after the
+    phase ran) and :meth:`add` for pre-timed leaves such as per-job records
+    whose ``seconds`` the engine already measured.
+    """
+
+    def __init__(self, fingerprint: str, name: str = "run",
+                 attrs: dict[str, Any] | None = None):
+        self.fingerprint = fingerprint
+        self._root = Span(name, attrs)
+        self._stack = [self._root]
+        self._started = time.perf_counter()
+        self._finished: float | None = None
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        node = Span(name, attrs)
+        self._stack[-1].children.append(node)
+        self._stack.append(node)
+        started = time.perf_counter()
+        try:
+            yield node
+        finally:
+            node.seconds = time.perf_counter() - started
+            self._stack.pop()
+
+    def add(self, name: str, seconds: float = 0.0, **attrs: Any) -> None:
+        """Append a pre-timed leaf under the currently open span."""
+        self._stack[-1].children.append(Span(name, attrs, seconds))
+
+    def payload(self) -> dict[str, Any]:
+        """The serializable span tree; the first call closes the root."""
+        if self._finished is None:
+            self._finished = time.perf_counter()
+        self._root.seconds = self._finished - self._started
+        return {
+            "schema": OBSTRACE_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "root": self._node_payload(self._root, self._root.name),
+        }
+
+    def _node_payload(self, node: Span, path: str) -> dict[str, Any]:
+        return {
+            "id": span_id(self.fingerprint, path),
+            "name": node.name,
+            "attrs": dict(sorted(node.attrs.items())),
+            "seconds": node.seconds,
+            "children": [
+                self._node_payload(child, f"{path}/{index}:{child.name}")
+                for index, child in enumerate(node.children)
+            ],
+        }
+
+
+class NullTracer:
+    """No-op tracer: untraced runs pay zero clock reads and no bookkeeping
+    beyond one throwaway :class:`Span` per ``with`` block."""
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        yield Span(name, attrs)
+
+    def add(self, name: str, seconds: float = 0.0, **attrs: Any) -> None:
+        pass
+
+
+#: Shared no-op tracer; ``tracer or NULL_TRACER`` is the instrumentation
+#: idiom everywhere a tracer parameter is optional.
+NULL_TRACER = NullTracer()
+
+
+def span_id(fingerprint: str, path: str) -> str:
+    """Deterministic span identity: fingerprint plus tree path, hashed."""
+    digest = hashlib.sha256(f"{fingerprint}/{path}".encode()).hexdigest()
+    return digest[:16]
+
+
+def strip_durations(payload: Any) -> Any:
+    """A deep copy of a span payload/node with every ``seconds`` removed —
+    the byte-identity comparison form of a trace."""
+    if isinstance(payload, dict):
+        return {key: strip_durations(value)
+                for key, value in payload.items() if key != "seconds"}
+    if isinstance(payload, list):
+        return [strip_durations(item) for item in payload]
+    return payload
+
+
+def phase_seconds(payload: dict[str, Any]) -> dict[str, float]:
+    """Total seconds per span name across the whole tree (root excluded) —
+    the per-phase breakdown bench and ``repro obs top`` report."""
+    totals: dict[str, float] = {}
+
+    def walk(node: dict[str, Any]) -> None:
+        for child in node.get("children", ()):
+            name = child["name"]
+            totals[name] = totals.get(name, 0.0) + float(
+                child.get("seconds", 0.0))
+            walk(child)
+
+    walk(payload.get("root", {}))
+    return dict(sorted(totals.items()))
+
+
+def format_tree(payload: dict[str, Any]) -> str:
+    """Human-readable indented rendering of a span payload, with seconds
+    and percent-of-root per node."""
+    root = payload.get("root", {})
+    total = float(root.get("seconds", 0.0)) or 0.0
+    lines = [f"trace {payload.get('fingerprint', '?')} "
+             f"({total:.3f}s total)"]
+
+    def walk(node: dict[str, Any], depth: int) -> None:
+        seconds = float(node.get("seconds", 0.0))
+        share = f" {seconds / total * 100:5.1f}%" if total > 0 else ""
+        attrs = node.get("attrs") or {}
+        detail = "".join(f" {key}={value}"
+                         for key, value in sorted(attrs.items()))
+        lines.append(f"{'  ' * depth}{node.get('name', '?')} "
+                     f"[{node.get('id', '')}] {seconds:.4f}s{share}{detail}")
+        for child in node.get("children", ()):
+            walk(child, depth + 1)
+
+    if root:
+        walk(root, 1)
+    return "\n".join(lines)

@@ -15,8 +15,11 @@ backends (:class:`~repro.store.memory.MemoryStore`,
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
+
+from repro.obs import metrics as obs_metrics
 
 #: Namespace of cached engine job records.
 JOB_NAMESPACE = "job"
@@ -28,6 +31,10 @@ ENVELOPE_NAMESPACE = "envelope"
 #: on every state transition so any replica sharing the store can answer a
 #: ``GET /v1/jobs/<fp>`` for work it did not execute itself.
 JOB_STATE_NAMESPACE = "jobstate"
+
+#: Namespace of persisted span trees (``repro.obs.spans``) — one per
+#: completed job, so ``GET /v1/jobs/<fp>/trace`` works from any replica.
+OBSTRACE_NAMESPACE = "obstrace"
 
 _HEX_DIGITS = frozenset("0123456789abcdef")
 
@@ -66,6 +73,14 @@ class StoreCounters:
         with self._lock:
             for name, delta in deltas.items():
                 setattr(self, name, getattr(self, name) + delta)
+        # Bridge into the process-wide registry, outside our lock (the
+        # registry lock is a leaf; never nest it inside counter updates).
+        # Deltas mirror verbatim, including the rare negative ones from a
+        # hit reclassified as a miss — the registry aggregates every store
+        # instance in the process into one series per counter.
+        for name, delta in deltas.items():
+            if delta:
+                obs_metrics.inc(f"repro_store_{name}_total", delta)
 
     def to_dict(self) -> dict[str, int]:
         with self._lock:
@@ -94,7 +109,10 @@ class ResultStore:
     def get(self, namespace: str, fingerprint: str) -> Any | None:
         """The stored payload, or ``None`` on a miss (absence or corruption)."""
         validate_key(namespace, fingerprint)
+        started = time.perf_counter()
         payload = self._read(namespace, fingerprint)
+        obs_metrics.observe("repro_store_op_seconds",
+                            time.perf_counter() - started, op="get")
         if payload is None:
             self.counters.add(misses=1)
             return None
@@ -104,11 +122,22 @@ class ResultStore:
     def put(self, namespace: str, fingerprint: str, payload: Any) -> None:
         """Store ``payload`` under the key (atomic; last identical write wins)."""
         validate_key(namespace, fingerprint)
+        started = time.perf_counter()
         self._write(namespace, fingerprint, payload)
+        obs_metrics.observe("repro_store_op_seconds",
+                            time.perf_counter() - started, op="put")
         self.counters.add(writes=1)
 
     def contains(self, namespace: str, fingerprint: str) -> bool:
         """Whether the key currently resolves (without counting a hit/miss)."""
+        raise NotImplementedError
+
+    def keys(self, namespace: str) -> Iterator[str]:
+        """Iterate the fingerprints stored under ``namespace`` (sorted).
+
+        Listing is an offline/CLI affordance (``repro obs top``), not a hot
+        path — backends may scan storage to answer it.
+        """
         raise NotImplementedError
 
     def stats(self) -> dict[str, Any]:
@@ -152,6 +181,9 @@ class StoreWrapper(ResultStore):
 
     def contains(self, namespace: str, fingerprint: str) -> bool:
         return self.inner.contains(namespace, fingerprint)
+
+    def keys(self, namespace: str) -> Iterator[str]:
+        return self.inner.keys(namespace)
 
     def stats(self) -> dict[str, Any]:
         return self.inner.stats()

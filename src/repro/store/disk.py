@@ -462,6 +462,13 @@ class DiskStore(ResultStore):
         self._index_replace(survivors)
         return issues
 
+    def keys(self, namespace: str):
+        """Sorted fingerprints under ``namespace`` from a disk scan — the
+        listing backend of ``repro obs top`` (offline use, not a hot path)."""
+        return iter(sorted(
+            fingerprint for found_namespace, fingerprint, _
+            in self._scan_objects() if found_namespace == namespace))
+
     # ----------------------------------------------------------------- stats
 
     def _index_occupancy(self) -> dict[str, Any]:

@@ -45,9 +45,12 @@ from repro.engine.scenario import (
     ScenarioResult,
     scenario_envelope,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import OBSTRACE_SCHEMA, SpanTracer
 from repro.store.base import (
     ENVELOPE_NAMESPACE,
     JOB_STATE_NAMESPACE,
+    OBSTRACE_NAMESPACE,
     ResultStore,
 )
 from repro.store.keys import canonical_json, scenario_fingerprint
@@ -107,7 +110,7 @@ class _Job:
         "fingerprint", "scenario", "cells", "engine_jobs", "state",
         "attempts", "max_attempts", "timeout", "deadline", "not_before",
         "error", "progress_done", "progress_total", "version", "abort",
-        "envelope",
+        "envelope", "trace",
     )
 
     def __init__(self, fingerprint: str, scenario: Scenario,
@@ -128,6 +131,7 @@ class _Job:
         self.version = 0
         self.abort = threading.Event()
         self.envelope: dict[str, Any] | None = None
+        self.trace: dict[str, Any] | None = None
 
 
 class _WorkerHandle:
@@ -218,6 +222,7 @@ class JobManager:
             self._queue.append(fingerprint)
             self._lock.notify_all()
             snapshot = self._payload(job)
+        obs_metrics.inc("repro_jobs_submitted_total")
         self._persist(snapshot)
         return snapshot, True
 
@@ -282,11 +287,19 @@ class JobManager:
                 self._lock.wait(remaining)
         return self.get(fingerprint)
 
-    def events(self, fingerprint: str,
-               heartbeat: float = 1.0) -> Iterator[dict[str, Any]]:
+    def events(self, fingerprint: str, heartbeat: float = 1.0,
+               yield_heartbeats: bool = False,
+               ) -> Iterator[dict[str, Any] | None]:
         """Yield a payload per observable change (progress tick or state
         transition), ending with the terminal payload.  The lock is released
-        both while waiting and while the consumer writes to its socket."""
+        both while waiting and while the consumer writes to its socket.
+
+        With ``yield_heartbeats``, an idle wait additionally yields ``None``
+        every ``heartbeat`` seconds.  A socket-writing consumer (the SSE
+        handler) turns those into comment frames, so a disconnected client
+        is detected within one heartbeat instead of at the job's next
+        version bump — no handler thread parked on a dead socket.
+        """
         last_version = -1
         while True:
             with self._lock:
@@ -296,8 +309,17 @@ class JobManager:
                 while job.version == last_version \
                         and job.state not in TERMINAL_STATES:
                     self._lock.wait(heartbeat)
-                payload = self._payload(job)
-                last_version = job.version
+                    if yield_heartbeats:
+                        break
+                if job.version == last_version \
+                        and job.state not in TERMINAL_STATES:
+                    payload = None
+                else:
+                    payload = self._payload(job)
+                    last_version = job.version
+            if payload is None:
+                yield None
+                continue
             yield payload
             if payload["state"] in TERMINAL_STATES:
                 return
@@ -310,6 +332,25 @@ class JobManager:
             if job is not None:
                 return job.envelope
         return None
+
+    def trace_for(self, fingerprint: str) -> dict[str, Any] | None:
+        """The completed job's span tree — live from memory, else the
+        persisted ``obstrace`` record (so any replica sharing the store can
+        answer ``GET /v1/jobs/<fp>/trace`` for work it did not execute)."""
+        with self._lock:
+            job = self._jobs.get(fingerprint)
+            if job is not None and job.trace is not None:
+                return job.trace
+        try:
+            payload = self.store.get(OBSTRACE_NAMESPACE, fingerprint)
+        except OSError:
+            logger.warning("trace read failed for %s", fingerprint[:16],
+                           exc_info=True)
+            return None
+        if not isinstance(payload, dict) \
+                or payload.get("schema") != OBSTRACE_SCHEMA:
+            return None
+        return payload
 
     def stats(self) -> dict[str, Any]:
         """Queue depth, worker liveness and state counts for ``/healthz``."""
@@ -438,18 +479,29 @@ class JobManager:
             if runner is None:
                 runner = EngineRunner(workers=self.engine_workers,
                                       store=self.store)
+            # Span identity comes from the scenario fingerprint plus
+            # structural attributes only — attempts, timestamps and worker
+            # identity stay out, so a retried or replayed job produces the
+            # same tree (durations aside).
+            tracer = SpanTracer(job.fingerprint, name="scenario",
+                                attrs={"scenario": job.scenario.name,
+                                       "kind": job.scenario.kind,
+                                       "cells": job.cells})
             records = [
                 record for record in runner.iter_records(
                     job.engine_jobs,
                     progress=lambda done, total, record:
                         self._note_progress(job, done, total),
-                    abort_check=lambda: self._check_deadline(job))
+                    abort_check=lambda: self._check_deadline(job),
+                    tracer=tracer)
             ]
             frame = ResultFrame(records)
             envelope = json.loads(canonical_json(scenario_envelope(
                 ScenarioResult(scenario=job.scenario, frame=frame))))
+            trace = json.loads(canonical_json(tracer.payload()))
             self._publish_envelope(job.fingerprint, envelope)
-            return runner, (DONE, envelope)
+            self._publish_trace(job.fingerprint, trace)
+            return runner, (DONE, (envelope, trace))
         except _Expired as error:
             # The runner may still have stale batches in flight; a fresh
             # pool for the next job is cheaper than reasoning about them.
@@ -491,17 +543,28 @@ class JobManager:
             logger.warning("envelope write failed for %s; serving from "
                            "memory", fingerprint[:16], exc_info=True)
 
+    def _publish_trace(self, fingerprint: str,
+                       trace: dict[str, Any]) -> None:
+        try:
+            self.store.put(OBSTRACE_NAMESPACE, fingerprint, trace)
+        except OSError:
+            # Same degradation as the envelope: the trace stays on the job
+            # in memory and ``trace_for`` serves it from there.
+            logger.warning("trace write failed for %s; serving from memory",
+                           fingerprint[:16], exc_info=True)
+
     def _finish(self, handle: _WorkerHandle, job: _Job,
                 outcome: tuple[str, Any]) -> None:
         status, value = outcome
         with self._lock:
             handle.fingerprint = None
             handle.abandoned_at = None
+            elapsed = time.monotonic() - (job.deadline - job.timeout)
             if job.state == RUNNING:
                 if status == DONE:
                     job.state = DONE
                     job.error = None
-                    job.envelope = value
+                    job.envelope, job.trace = value
                     self._completed += 1
                 elif status == TIMEOUT:
                     job.state = TIMEOUT
@@ -517,12 +580,14 @@ class JobManager:
             elif status == DONE:
                 # Late completion after a watchdog timeout: the verdict
                 # stands, but the envelope is real — keep it reachable.
-                job.envelope = value
+                job.envelope, job.trace = value
             if job.state in TERMINAL_STATES:
                 self._remember_terminal(job)
             job.version += 1
             self._lock.notify_all()
             snapshot = self._payload(job)
+        obs_metrics.observe("repro_jobs_seconds", elapsed,
+                            state=snapshot["state"])
         self._persist(snapshot)
 
     def _backoff_delay(self, job: _Job) -> float:
@@ -644,6 +709,14 @@ class JobManager:
     def _persist(self, snapshot: dict[str, Any]) -> None:
         """Write one job state record (no lock held — store I/O may be slow
         or faulty; a failed write only costs cross-replica visibility)."""
+        # Every persisted snapshot is a state transition (progress ticks are
+        # never persisted), so this is the one bridge point for the
+        # transition counters; a re-queue with attempts on the clock is by
+        # definition a retry.
+        obs_metrics.inc("repro_jobs_transitions_total",
+                        state=snapshot["state"])
+        if snapshot["state"] == QUEUED and snapshot["attempts"] > 0:
+            obs_metrics.inc("repro_jobs_retries_total")
         try:
             self.store.put(JOB_STATE_NAMESPACE, snapshot["fingerprint"],
                            snapshot)

@@ -58,6 +58,11 @@ class MemoryStore(ResultStore):
         with self._entries_lock:
             return (namespace, fingerprint) in self._entries
 
+    def keys(self, namespace: str):
+        with self._entries_lock:
+            found = [fp for (ns, fp) in self._entries if ns == namespace]
+        return iter(sorted(found))
+
     def clear(self) -> None:
         with self._entries_lock:
             self._entries.clear()

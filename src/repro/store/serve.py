@@ -23,6 +23,8 @@ Endpoints (all JSON)::
     GET    /v1/jobs/<fp>          job state (any replica sharing the store)
     DELETE /v1/jobs/<fp>          cancel a queued job (running → 409)
     GET    /v1/jobs/<fp>/events   SSE-style chunked progress stream
+    GET    /v1/jobs/<fp>/trace    completed job's span tree (obstrace)
+    GET    /v1/metrics            Prometheus text: the process-wide registry
 
 Envelope responses carry ``X-Repro-Cache: hit|miss`` (whether the envelope
 was served from the store or computed for this request), ``Location`` (the
@@ -37,8 +39,10 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
+import time
+from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import Any, Iterator
 from urllib.parse import parse_qs, urlparse
 
 from repro.engine.scenario import (
@@ -46,6 +50,7 @@ from repro.engine.scenario import (
     Scenario,
     parse_scenario,
 )
+from repro.obs import metrics as obs_metrics
 from repro.store.base import ENVELOPE_NAMESPACE, ResultStore, validate_key
 from repro.store.jobs import (
     CANCELLED,
@@ -62,9 +67,10 @@ from repro.version import __version__
 
 logger = logging.getLogger("repro.store.serve")
 
-#: Schema tag of the service-info and error payloads.  v2: async job API —
-#: info gained ``config``/``jobs`` blocks, POST may answer 202.
-SERVE_SCHEMA = "repro.serve/v2"
+#: Schema tag of the service-info and error payloads.  v3: observability —
+#: ``/v1/metrics`` + ``/v1/jobs/<fp>/trace`` endpoints, healthz gained a
+#: ``store`` occupancy block.  (v2 added the async job API.)
+SERVE_SCHEMA = "repro.serve/v3"
 
 #: Largest accepted POST body.  Scenario files are a few KB; anything close
 #: to this is not a scenario, and an unbounded read would let one request
@@ -162,14 +168,51 @@ class ExperimentService:
         return self.manager.cancel(fingerprint)
 
     def events(self, fingerprint: str):
-        return self.manager.events(fingerprint)
+        # Heartbeats on: the SSE writer turns them into comment frames so a
+        # dead client socket is detected within one heartbeat interval even
+        # when the job emits no progress.
+        return self.manager.events(fingerprint, yield_heartbeats=True)
+
+    def trace(self, fingerprint: str) -> dict[str, Any] | None:
+        """The completed job's span tree, or ``None`` when unavailable."""
+        validate_key(ENVELOPE_NAMESPACE, fingerprint)
+        return self.manager.trace_for(fingerprint)
 
     # ---------------------------------------------------------------- meta
+
+    def refresh_gauges(self,
+                       stats: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Push queue/worker/occupancy gauges into the metrics registry.
+
+        Counters stream in as events happen; these few point-in-time values
+        are instead sampled on every scrape and health probe so the registry
+        never serves a stale depth.  Returns the store occupancy block.
+        """
+        stats = stats if stats is not None else self.manager.stats()
+        live = self.store.live_stats()
+        occupancy = {
+            "entries": int(live.get("entries", 0)),
+            "bytes": int(live.get("bytes", 0)),
+        }
+        obs_metrics.set_gauge("repro_jobs_queue_depth",
+                              stats["queue"]["depth"])
+        obs_metrics.set_gauge("repro_jobs_workers_alive",
+                              stats["workers"]["alive"])
+        obs_metrics.set_gauge("repro_jobs_running", stats["workers"]["busy"])
+        obs_metrics.set_gauge("repro_store_entries", occupancy["entries"])
+        obs_metrics.set_gauge("repro_store_bytes", occupancy["bytes"])
+        return occupancy
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the process-wide registry."""
+        self.refresh_gauges()
+        return obs_metrics.render_prometheus()
 
     def healthz(self) -> tuple[bool, dict[str, Any]]:
         """``(healthy, payload)`` for the liveness probe: degraded (503)
         once no worker is alive to drain the queue."""
         stats = self.manager.stats()
+        occupancy = self.refresh_gauges(stats)
         healthy = bool(stats["healthy"])
         return healthy, {
             "schema": SERVE_SCHEMA,
@@ -178,6 +221,7 @@ class ExperimentService:
             "queue": stats["queue"],
             "workers": stats["workers"],
             "jobs": stats["jobs"],
+            "store": occupancy,
         }
 
     def info(self) -> dict[str, Any]:
@@ -197,6 +241,9 @@ class ExperimentService:
                 "GET /v1/jobs/<fingerprint>": "job state by fingerprint",
                 "DELETE /v1/jobs/<fingerprint>": "cancel a queued job",
                 "GET /v1/jobs/<fingerprint>/events": "SSE progress stream",
+                "GET /v1/jobs/<fingerprint>/trace":
+                    "completed job's span tree (repro.obstrace/v1)",
+                "GET /v1/metrics": "Prometheus text exposition (0.0.4)",
             },
             "config": {
                 "workers": self.manager.workers,
@@ -211,6 +258,27 @@ class ExperimentService:
         }
 
 
+def _route_template(path: str) -> str:
+    """Collapse a request path to its route template for metric labels.
+
+    Fingerprints are unbounded, so labelling by raw path would grow the
+    registry without limit; unknown paths all share one ``<other>`` label
+    for the same reason.
+    """
+    path = path.split("?", 1)[0].rstrip("/") or "/"
+    if path.startswith("/v1/experiments/"):
+        return "/v1/experiments/<fp>"
+    if path.startswith("/v1/jobs/"):
+        if path.endswith("/events"):
+            return "/v1/jobs/<fp>/events"
+        if path.endswith("/trace"):
+            return "/v1/jobs/<fp>/trace"
+        return "/v1/jobs/<fp>"
+    known = ("/", "/v1", "/healthz", "/v1/store/stats", "/v1/metrics",
+             "/v1/experiments")
+    return path if path in known else "<other>"
+
+
 class _Handler(BaseHTTPRequestHandler):
     server_version = f"repro-serve/{__version__}"
     protocol_version = "HTTP/1.1"
@@ -223,6 +291,28 @@ class _Handler(BaseHTTPRequestHandler):
         logger.info("%s %s", self.address_string(), format % args)
 
     # ------------------------------------------------------------- plumbing
+
+    def send_response(self, code: int, message: str | None = None) -> None:
+        # Remember the status for the request-metrics label; multiplexing
+        # through send_response covers every reply path (JSON, envelope,
+        # 304, SSE) without touching each one.
+        self._obs_status = code
+        super().send_response(code, message)
+
+    @contextmanager
+    def _observed(self, method: str) -> Iterator[None]:
+        """Time one request and record it in the metrics registry."""
+        self._obs_status = 0
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            route = _route_template(self.path)
+            obs_metrics.observe("repro_http_request_seconds",
+                                time.perf_counter() - started, route=route)
+            obs_metrics.inc("repro_http_requests_total", method=method,
+                            route=route,
+                            status=str(getattr(self, "_obs_status", 0) or 0))
 
     def _send_json(self, status: int, payload: Any,
                    extra_headers: dict[str, str] | None = None) -> None:
@@ -300,14 +390,16 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         # Same catch-all as do_POST: a store-layer failure (read-only mount,
         # disk full) must come back as a JSON 500, not a dropped connection.
-        try:
-            self._route_get()
-        except Exception:
-            logger.exception("GET %s failed", self.path)
+        with self._observed("GET"):
             try:
-                self._send_error_json(500, "internal error; see server log")
-            except OSError:  # pragma: no cover - client already gone
-                pass
+                self._route_get()
+            except Exception:
+                logger.exception("GET %s failed", self.path)
+                try:
+                    self._send_error_json(500,
+                                          "internal error; see server log")
+                except OSError:  # pragma: no cover - client already gone
+                    pass
 
     def _route_get(self) -> None:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
@@ -318,6 +410,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200 if healthy else 503, payload)
         elif path == "/v1/store/stats":
             self._send_json(200, self.service.store.live_stats())
+        elif path == "/v1/metrics":
+            body = self.service.metrics_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         elif path.startswith("/v1/experiments/"):
             fingerprint = path[len("/v1/experiments/"):]
             try:
@@ -334,6 +434,19 @@ class _Handler(BaseHTTPRequestHandler):
         elif path.startswith("/v1/jobs/") and path.endswith("/events"):
             fingerprint = path[len("/v1/jobs/"):-len("/events")]
             self._stream_events(fingerprint)
+        elif path.startswith("/v1/jobs/") and path.endswith("/trace"):
+            fingerprint = path[len("/v1/jobs/"):-len("/trace")]
+            try:
+                payload = self.service.trace(fingerprint)
+            except ValueError as error:
+                self._send_error_json(400, str(error))
+                return
+            if payload is None:
+                self._send_error_json(
+                    404, f"no trace for job {fingerprint!r}")
+                return
+            self._send_json(200, payload,
+                            {"X-Repro-Fingerprint": fingerprint})
         elif path.startswith("/v1/jobs/"):
             fingerprint = path[len("/v1/jobs/"):]
             try:
@@ -349,14 +462,16 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(404, f"unknown path {path!r}")
 
     def do_DELETE(self) -> None:  # noqa: N802 (http.server API)
-        try:
-            self._route_delete()
-        except Exception:
-            logger.exception("DELETE %s failed", self.path)
+        with self._observed("DELETE"):
             try:
-                self._send_error_json(500, "internal error; see server log")
-            except OSError:  # pragma: no cover - client already gone
-                pass
+                self._route_delete()
+            except Exception:
+                logger.exception("DELETE %s failed", self.path)
+                try:
+                    self._send_error_json(500,
+                                          "internal error; see server log")
+                except OSError:  # pragma: no cover - client already gone
+                    pass
 
     def _route_delete(self) -> None:
         path = self.path.split("?", 1)[0].rstrip("/")
@@ -394,6 +509,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.close_connection = True
         try:
             for payload in self.service.events(fingerprint):
+                if payload is None:
+                    # Heartbeat: an SSE comment frame.  Clients ignore it;
+                    # writing it raises OSError once the client is gone, so
+                    # an abandoned stream releases this handler thread
+                    # within one heartbeat instead of idling until the job
+                    # finishes.
+                    self._write_chunk(b": heartbeat\n\n")
+                    continue
                 data = ("data: " + json.dumps(payload, sort_keys=True)
                         + "\n\n").encode("utf-8")
                 self._write_chunk(data)
@@ -410,6 +533,18 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.flush()
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        with self._observed("POST"):
+            try:
+                self._route_post()
+            except Exception:
+                logger.exception("POST %s failed", self.path)
+                try:
+                    self._send_error_json(500,
+                                          "internal error; see server log")
+                except OSError:  # pragma: no cover - client already gone
+                    pass
+
+    def _route_post(self) -> None:
         # Drain the declared body before any reply: with keep-alive (the
         # HTTP/1.1 default) unread body bytes would be parsed as the next
         # request line, desyncing the connection on every error response.

@@ -84,6 +84,11 @@ class TestBenchRun:
         assert serve["concurrent"]["jobs_per_second"] > 0
         assert serve["all_done"] is True
         assert serve["concurrent_matches_serialized"] is True
+        # The obs tracer's per-phase breakdown rides along in each entry.
+        phases = figure3["phases"]
+        assert set(phases) >= {"partition", "dispatch", "execute", "merge"}
+        assert all(seconds >= 0 for seconds in phases.values())
+        assert "phases (figure3)" in format_bench(report)
         # Rendering never fails on a populated report.
         assert "figure3" in format_bench(report)
         assert "result store" in format_bench(report)
@@ -144,6 +149,10 @@ class TestBenchCheck:
                     if not failure.startswith("predictors.")]
         assert len(failures) == len(report.timings)
         assert "below the recorded" in failures[0]
+        # The message names the regressed entry and the measured drop: a
+        # 10x-inflated recording makes the run read as a 90% drop.
+        assert failures[0].startswith(report.timings[0].key + ":")
+        assert "90.0% (tolerance 20%)" in failures[0]
 
     def test_check_gates_the_predictors_block(self, tmp_path):
         report, path = self._report_and_artifact(tmp_path)

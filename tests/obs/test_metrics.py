@@ -1,0 +1,176 @@
+"""Tests for the metrics registry: instrument semantics, label handling,
+thread safety, gauge callbacks, and deterministic Prometheus rendering."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates_per_label_set(self):
+        registry = MetricsRegistry()
+        registry.inc("hits_total")
+        registry.inc("hits_total", 2)
+        registry.inc("hits_total", op="get")
+        snapshot = registry.snapshot()
+        samples = {tuple(sorted(s["labels"].items())): s["value"]
+                   for s in snapshot["hits_total"]["samples"]}
+        assert samples[()] == 3.0
+        assert samples[(("op", "get"),)] == 1.0
+
+    def test_negative_counter_delta_is_mirrored_verbatim(self):
+        # The store bridge forwards hit→miss reclassification (-1/+1)
+        # exactly; the registry must not clamp it.
+        registry = MetricsRegistry()
+        registry.inc("hits_total", 5)
+        registry.inc("hits_total", -1)
+        assert registry.snapshot()["hits_total"]["samples"][0]["value"] == 4.0
+
+    def test_gauge_overwrites(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("depth", 7)
+        registry.set_gauge("depth", 3)
+        assert registry.snapshot()["depth"]["samples"][0]["value"] == 3.0
+
+    def test_set_counter_is_absolute(self):
+        registry = MetricsRegistry()
+        registry.set_counter("cache_hits_total", 10)
+        registry.set_counter("cache_hits_total", 12)
+        family = registry.snapshot()["cache_hits_total"]
+        assert family["type"] == "counter"
+        assert family["samples"][0]["value"] == 12.0
+
+    def test_histogram_buckets_and_sum(self):
+        registry = MetricsRegistry()
+        registry.observe("seconds", 0.001)   # bucket 0 (<= 0.005)
+        registry.observe("seconds", 0.05)    # bucket 2 (<= 0.1)
+        registry.observe("seconds", 99.0)    # overflow
+        family = registry.snapshot()["seconds"]
+        assert family["buckets"] == list(DEFAULT_BUCKETS)
+        sample = family["samples"][0]["value"]
+        assert sample["counts"][0] == 1
+        assert sample["counts"][2] == 1
+        assert sample["counts"][-1] == 1
+        assert sample["sum"] == pytest.approx(99.051)
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.inc("thing_total")
+        with pytest.raises(ValueError, match="counter"):
+            registry.set_gauge("thing_total", 1)
+        with pytest.raises(ValueError, match="counter"):
+            registry.observe("thing_total", 1.0)
+
+    def test_reset_clears_samples_but_keeps_callbacks(self):
+        registry = MetricsRegistry()
+        registry.register_callback(lambda: registry.set_gauge("live", 1))
+        registry.inc("stale_total")
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert "stale_total" not in snapshot
+        assert snapshot["live"]["samples"][0]["value"] == 1.0
+
+
+class TestCallbacks:
+    def test_callbacks_refresh_before_every_snapshot(self):
+        registry = MetricsRegistry()
+        state = {"value": 0}
+        registry.register_callback(
+            lambda: registry.set_gauge("depth", state["value"]))
+        state["value"] = 5
+        assert registry.snapshot()["depth"]["samples"][0]["value"] == 5.0
+        state["value"] = 9
+        assert registry.snapshot()["depth"]["samples"][0]["value"] == 9.0
+
+    def test_raising_callback_is_counted_not_fatal(self):
+        registry = MetricsRegistry()
+
+        def broken():
+            raise RuntimeError("gauge source gone")
+
+        registry.register_callback(broken)
+        registry.inc("ok_total")
+        snapshot = registry.snapshot()
+        assert snapshot["ok_total"]["samples"][0]["value"] == 1.0
+        errors = snapshot["repro_obs_callback_errors_total"]
+        assert errors["samples"][0]["value"] == 1.0
+
+    def test_callback_may_mutate_the_registry(self):
+        # The lock is a leaf: callbacks run outside it and may call the
+        # public mutators without deadlocking.
+        registry = MetricsRegistry()
+        registry.register_callback(lambda: registry.inc("scrapes_total"))
+        registry.snapshot()
+        registry.snapshot()
+        assert registry.snapshot()["scrapes_total"]["samples"][0]["value"] \
+            == 3.0
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_exact(self):
+        registry = MetricsRegistry()
+        threads, per_thread = 8, 500
+
+        def hammer(index):
+            for _ in range(per_thread):
+                registry.inc("hammer_total")
+                registry.observe("hammer_seconds", 0.01,
+                                 worker=str(index))
+
+        pool = [threading.Thread(target=hammer, args=(i,))
+                for i in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        snapshot = registry.snapshot()
+        assert snapshot["hammer_total"]["samples"][0]["value"] \
+            == threads * per_thread
+        total = sum(sum(s["value"]["counts"])
+                    for s in snapshot["hammer_seconds"]["samples"])
+        assert total == threads * per_thread
+
+
+class TestRendering:
+    def test_two_renders_of_identical_state_are_byte_identical(self):
+        registry = MetricsRegistry()
+        registry.inc("b_total", route="/x", method="GET")
+        registry.inc("a_total")
+        registry.observe("lat_seconds", 0.3)
+        assert registry.render_prometheus() == registry.render_prometheus()
+
+    def test_prometheus_text_shape(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_store_hits_total", 4)
+        registry.set_gauge("repro_jobs_queue_depth", 2)
+        registry.observe("op_seconds", 0.05)
+        text = registry.render_prometheus()
+        assert "# HELP repro_store_hits_total Store reads resolved from " \
+            "cache." in text
+        assert "# TYPE repro_store_hits_total counter" in text
+        assert "repro_store_hits_total 4" in text
+        assert "# TYPE repro_jobs_queue_depth gauge" in text
+        assert "repro_jobs_queue_depth 2" in text
+        # Histogram: cumulative buckets, +Inf, _sum and _count.
+        assert 'op_seconds_bucket{le="0.1"} 1' in text
+        assert 'op_seconds_bucket{le="+Inf"} 1' in text
+        assert "op_seconds_sum 0.05" in text
+        assert "op_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.inc("odd_total", detail='say "hi"\nplease\\now')
+        text = registry.render_prometheus()
+        assert r'detail="say \"hi\"\nplease\\now"' in text
+
+    def test_families_and_samples_sort_deterministically(self):
+        registry = MetricsRegistry()
+        registry.inc("z_total", which="b")
+        registry.inc("z_total", which="a")
+        registry.inc("a_total")
+        text = registry.render_prometheus()
+        assert text.index("a_total") < text.index("z_total")
+        assert text.index('which="a"') < text.index('which="b"')

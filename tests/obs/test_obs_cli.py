@@ -1,0 +1,79 @@
+"""Tests for the ``repro obs`` CLI: metrics snapshots, trace rendering from
+a store directory, and the cross-trace ``top`` profile."""
+
+import hashlib
+
+from repro.cli import main
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import SpanTracer
+from repro.store.base import OBSTRACE_NAMESPACE
+from repro.store.disk import DiskStore
+
+
+def _fingerprint(seed: str) -> str:
+    return hashlib.sha256(seed.encode()).hexdigest()
+
+
+def _store_with_traces(tmp_path, count=2):
+    store = DiskStore(str(tmp_path / "store"))
+    for index in range(count):
+        fingerprint = _fingerprint(f"trace-{index}")
+        tracer = SpanTracer(fingerprint, name="scenario",
+                            attrs={"scenario": f"scn-{index}"})
+        with tracer.span("execute"):
+            tracer.add("job", seconds=0.1 * (index + 1))
+        store.put(OBSTRACE_NAMESPACE, fingerprint, tracer.payload())
+    return store
+
+
+class TestObsMetrics:
+    def test_local_registry_snapshot(self, capsys):
+        obs_metrics.inc("repro_store_hits_total", 0)  # ensure one family
+        assert main(["obs", "metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_store_hits_total counter" in out
+
+
+class TestObsTrace:
+    def test_renders_tree_and_phases_from_store(self, tmp_path, capsys):
+        store = _store_with_traces(tmp_path, count=1)
+        fingerprint = next(iter(store.keys(OBSTRACE_NAMESPACE)))
+        assert main(["obs", "trace", fingerprint,
+                     "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert f"trace {fingerprint}" in out
+        assert "execute" in out and "job" in out
+        assert "phases:" in out
+
+    def test_json_mode_emits_raw_payload(self, tmp_path, capsys):
+        store = _store_with_traces(tmp_path, count=1)
+        fingerprint = next(iter(store.keys(OBSTRACE_NAMESPACE)))
+        assert main(["obs", "trace", fingerprint, "--json",
+                     "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert '"schema": "repro.obstrace/v1"' in out
+        assert f'"fingerprint": "{fingerprint}"' in out
+
+    def test_missing_trace_fails_with_message(self, tmp_path, capsys):
+        _store_with_traces(tmp_path, count=1)
+        assert main(["obs", "trace", _fingerprint("absent"),
+                     "--store", str(tmp_path / "store")]) != 0
+        assert "no trace" in capsys.readouterr().err
+
+
+class TestObsTop:
+    def test_profiles_across_all_stored_traces(self, tmp_path, capsys):
+        _store_with_traces(tmp_path, count=3)
+        assert main(["obs", "top", "--store", str(tmp_path / "store"),
+                     "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "3 trace(s)" in out
+        assert "per-phase totals:" in out
+        assert "job" in out and "execute" in out
+        # --limit bounds the slowest-traces listing, not the totals.
+        assert out.count("scn-") == 2
+
+    def test_empty_store_reports_no_traces(self, tmp_path, capsys):
+        DiskStore(str(tmp_path / "store"))
+        assert main(["obs", "top", "--store", str(tmp_path / "store")]) == 0
+        assert "no traces" in capsys.readouterr().out

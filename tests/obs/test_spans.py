@@ -1,0 +1,134 @@
+"""Tests for span tracing: tree structure, deterministic identities, the
+durations-stripped byte-identity guarantee, and the phase/format helpers."""
+
+import json
+
+from repro.engine import EngineRunner, ExperimentScale, SimulationGrid
+from repro.obs.spans import (
+    NULL_TRACER,
+    OBSTRACE_SCHEMA,
+    SpanTracer,
+    format_tree,
+    phase_seconds,
+    span_id,
+    strip_durations,
+)
+from repro.store.memory import MemoryStore
+
+FINGERPRINT = "ab" * 32
+
+
+def _jobs():
+    scale = ExperimentScale(branch_count=600, warmup_branches=60, seed=7)
+    return SimulationGrid(kind="trace", models=("baseline",),
+                          workloads=("505.mcf",), scale=scale).jobs()
+
+
+class TestSpanTracer:
+    def test_nesting_order_and_attrs(self):
+        tracer = SpanTracer(FINGERPRINT, name="run", attrs={"kind": "test"})
+        with tracer.span("outer", label="a") as outer:
+            with tracer.span("inner"):
+                pass
+            outer.attrs.update(late=True)
+        tracer.add("leaf", seconds=0.25, position=0)
+        payload = tracer.payload()
+        assert payload["schema"] == OBSTRACE_SCHEMA
+        assert payload["fingerprint"] == FINGERPRINT
+        root = payload["root"]
+        assert root["name"] == "run" and root["attrs"] == {"kind": "test"}
+        outer_node, leaf = root["children"]
+        assert outer_node["name"] == "outer"
+        assert outer_node["attrs"] == {"label": "a", "late": True}
+        assert outer_node["children"][0]["name"] == "inner"
+        assert leaf["name"] == "leaf" and leaf["seconds"] == 0.25
+
+    def test_span_ids_are_deterministic_functions_of_structure(self):
+        def build():
+            tracer = SpanTracer(FINGERPRINT)
+            with tracer.span("phase"):
+                tracer.add("step")
+            return tracer.payload()
+
+        first, second = build(), build()
+        assert first["root"]["id"] == second["root"]["id"]
+        assert first["root"]["children"][0]["id"] \
+            == second["root"]["children"][0]["id"]
+        # Identity = sha256(fingerprint + "/" + tree path), truncated.
+        assert first["root"]["id"] == span_id(FINGERPRINT, "run")
+        assert first["root"]["children"][0]["id"] \
+            == span_id(FINGERPRINT, "run/0:phase")
+
+    def test_different_fingerprints_give_different_ids(self):
+        assert span_id("aa" * 32, "run") != span_id("bb" * 32, "run")
+
+    def test_strip_durations_removes_every_seconds_field(self):
+        tracer = SpanTracer(FINGERPRINT)
+        with tracer.span("phase"):
+            tracer.add("step", seconds=1.5)
+        stripped = json.dumps(strip_durations(tracer.payload()))
+        assert "seconds" not in stripped
+
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("anything", attr=1) as node:
+            node.attrs.update(more=2)
+        NULL_TRACER.add("leaf", seconds=9.0)
+
+
+class TestEngineTraces:
+    def test_runner_span_tree_shape(self):
+        tracer = SpanTracer(FINGERPRINT, name="scenario")
+        EngineRunner(store=MemoryStore()).run_jobs(_jobs(), tracer=tracer)
+        payload = tracer.payload()
+        names = [child["name"] for child in payload["root"]["children"]]
+        assert names == ["partition", "dispatch", "execute", "merge"]
+        partition = payload["root"]["children"][0]
+        assert partition["attrs"] == {"cached": 0, "jobs": 1, "missing": 1}
+        merge = payload["root"]["children"][-1]
+        job_leaves = [c for c in merge["children"] if c["name"] == "job"]
+        assert len(job_leaves) == 1
+        assert job_leaves[0]["attrs"]["source"] == "executed"
+
+    def test_replays_are_byte_identical_once_durations_stripped(self):
+        # Same jobs against equivalent (fresh) store state: structure,
+        # attrs and ids must match exactly; only the seconds may differ.
+        def traced_run():
+            tracer = SpanTracer(FINGERPRINT, name="scenario")
+            EngineRunner(store=MemoryStore()).run_jobs(_jobs(),
+                                                       tracer=tracer)
+            return json.dumps(strip_durations(tracer.payload()),
+                              sort_keys=True)
+
+        assert traced_run() == traced_run()
+
+    def test_warm_run_traces_cached_partition(self):
+        store = MemoryStore()
+        EngineRunner(store=store).run_jobs(_jobs())
+        tracer = SpanTracer(FINGERPRINT, name="scenario")
+        EngineRunner(store=store).run_jobs(_jobs(), tracer=tracer)
+        payload = tracer.payload()
+        partition = payload["root"]["children"][0]
+        assert partition["attrs"] == {"cached": 1, "jobs": 1, "missing": 0}
+        merge = payload["root"]["children"][-1]
+        job_leaves = [c for c in merge["children"] if c["name"] == "job"]
+        assert job_leaves[0]["attrs"]["source"] == "store"
+
+
+class TestHelpers:
+    def _payload(self):
+        tracer = SpanTracer(FINGERPRINT, name="run")
+        with tracer.span("execute"):
+            tracer.add("job", seconds=0.5)
+            tracer.add("job", seconds=0.25)
+        return tracer.payload()
+
+    def test_phase_seconds_totals_by_name(self):
+        phases = phase_seconds(self._payload())
+        assert phases["job"] == 0.75
+        assert phases["execute"] >= 0.0
+        assert "run" not in phases  # root excluded
+
+    def test_format_tree_renders_every_node(self):
+        text = format_tree(self._payload())
+        assert f"trace {FINGERPRINT}" in text
+        assert "execute" in text and text.count("job [") == 2

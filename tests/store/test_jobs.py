@@ -392,3 +392,67 @@ class TestEvents:
             assert list(manager.events("d" * 64)) == []
         finally:
             manager.close()
+
+    def test_opt_in_heartbeats_yield_none_between_versions(self):
+        # The SSE writer turns None into comment frames to detect dead
+        # clients; raw consumers (above) never see them by default.
+        manager = _manager(workers=1, injector=_wedge_injector(),
+                           job_timeout=60)
+        try:
+            payload, _ = manager.submit(_scenario("wedge-beat"))
+            stream = manager.events(payload["fingerprint"], heartbeat=0.05,
+                                    yield_heartbeats=True)
+            seen = []
+            for event in stream:
+                seen.append(event)
+                if seen.count(None) >= 2:
+                    break
+            assert None in seen
+            assert all(event is None or "state" in event for event in seen)
+        finally:
+            manager.close()
+
+
+class TestTraces:
+    def test_done_job_persists_a_deterministic_span_tree(self):
+        store = MemoryStore()
+        manager = _manager(store=store, workers=1)
+        try:
+            payload, _ = manager.submit(_scenario("traced"))
+            fingerprint = payload["fingerprint"]
+            assert manager.wait(fingerprint, timeout=30)["state"] == DONE
+            trace = manager.trace_for(fingerprint)
+            assert trace is not None
+            assert trace["schema"] == "repro.obstrace/v1"
+            assert trace["fingerprint"] == fingerprint
+            assert trace["root"]["name"] == "scenario"
+            assert trace["root"]["attrs"]["scenario"] == "traced"
+            # The tree was persisted content-addressed, so any replica
+            # sharing the store answers identically from disk.
+            assert store.get("obstrace", fingerprint) == trace
+        finally:
+            manager.close()
+
+    def test_trace_for_unknown_job_is_none(self):
+        manager = _manager()
+        try:
+            assert manager.trace_for("e" * 64) is None
+        finally:
+            manager.close()
+
+    def test_trace_write_failure_degrades_silently(self):
+        class TraceFailingStore(MemoryStore):
+            def put(self, namespace, fingerprint, payload):
+                if namespace == "obstrace":
+                    raise OSError("disk full")
+                super().put(namespace, fingerprint, payload)
+
+        manager = _manager(store=TraceFailingStore(), workers=1)
+        try:
+            payload, _ = manager.submit(_scenario("trace-degraded"))
+            fingerprint = payload["fingerprint"]
+            assert manager.wait(fingerprint, timeout=30)["state"] == DONE
+            # The in-memory copy still serves; the job itself succeeded.
+            assert manager.trace_for(fingerprint) is not None
+        finally:
+            manager.close()

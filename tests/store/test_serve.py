@@ -244,15 +244,20 @@ class TestEndpoints:
         status, _, body = _request(base_url, "GET", "/")
         info = json.loads(body)
         assert status == 200
-        assert info["schema"] == SERVE_SCHEMA == "repro.serve/v2"
+        assert info["schema"] == SERVE_SCHEMA == "repro.serve/v3"
         assert "POST /v1/experiments" in info["endpoints"]
         assert "DELETE /v1/jobs/<fingerprint>" in info["endpoints"]
+        assert "GET /v1/metrics" in info["endpoints"]
+        assert "GET /v1/jobs/<fingerprint>/trace" in info["endpoints"]
         assert info["config"]["queue_depth"] >= 1
         status, _, body = _request(base_url, "GET", "/healthz")
         health = json.loads(body)
         assert status == 200 and health["status"] == "ok"
         assert health["workers"]["alive"] >= 1
         assert health["queue"]["capacity"] >= 1
+        # v3: store occupancy rides along in the liveness payload.
+        assert health["store"]["entries"] >= 0
+        assert health["store"]["bytes"] >= 0
 
     def test_unknown_fingerprint_is_404(self, base_url):
         status, _, body = _request(
@@ -349,6 +354,96 @@ class TestEndpoints:
             payload = json.loads(raw)
             assert payload["schema"] == SERVE_SCHEMA
             assert payload["error"], (method, path)
+
+
+class TestObservability:
+    def test_metrics_endpoint_exposes_all_tiers(self, base_url):
+        # Drive one scenario end to end so every tier has something to
+        # report, then scrape.
+        _request(base_url, "POST", "/v1/experiments?wait=1",
+                 _scenario("obs-metrics", 160))
+        status, headers, body = _request(base_url, "GET", "/v1/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["Content-Type"]
+        text = body.decode("utf-8")
+        # One registry, all tiers: store, job tier, engine, HTTP, plus the
+        # scrape-time gauges.
+        for series in ("repro_store_writes_total", "repro_store_entries",
+                       "repro_store_op_seconds_bucket",
+                       "repro_jobs_submitted_total", "repro_jobs_queue_depth",
+                       "repro_engine_jobs_executed_total",
+                       "repro_http_requests_total"):
+            assert series in text, f"{series} missing from /v1/metrics"
+        assert "# HELP repro_jobs_submitted_total" in text
+        assert "# TYPE repro_store_op_seconds histogram" in text
+        assert 'le="+Inf"' in text
+
+    def test_trace_endpoint_returns_span_tree(self, base_url):
+        status, _, body = _request(base_url, "POST", "/v1/experiments?wait=1",
+                                   _scenario("obs-trace", 161))
+        assert status == 200
+        fingerprint = scenario_fingerprint(
+            parse_scenario(_scenario("obs-trace", 161)))
+        status, _, body = _request(
+            base_url, "GET", f"/v1/jobs/{fingerprint}/trace")
+        assert status == 200
+        trace = json.loads(body)
+        assert trace["schema"] == "repro.obstrace/v1"
+        assert trace["fingerprint"] == fingerprint
+        root = trace["root"]
+        assert root["name"] == "scenario"
+        phases = [child["name"] for child in root["children"]]
+        assert phases == ["partition", "dispatch", "execute", "merge"]
+        merge = root["children"][-1]
+        jobs = [child for child in merge["children"]
+                if child["name"] == "job"]
+        assert len(jobs) == 1
+        assert jobs[0]["attrs"]["model"] == "baseline"
+        # Every span carries its deterministic identity.
+        assert all(len(node["id"]) == 16
+                   for node in [root] + root["children"])
+
+    def test_trace_for_unknown_job_is_404(self, base_url):
+        status, _, body = _request(
+            base_url, "GET", "/v1/jobs/" + "3" * 64 + "/trace")
+        assert status == 404
+        assert "no trace" in json.loads(body)["error"]
+
+    def test_sse_client_disconnect_releases_handler(self):
+        # A client that walks away mid-stream must not park the handler
+        # thread until the job ends: the heartbeat write hits the dead
+        # socket within ~1s and the handler exits.
+        import http.client
+
+        injector = FaultInjector(parse_fault_spec("hang=wedge,hang_seconds=60"))
+        instance, url = _serve(workers=1, job_timeout=60, injector=injector)
+        try:
+            _, _, body = _request(url, "POST", "/v1/experiments",
+                                  _scenario("wedge-sse", 162))
+            fingerprint = json.loads(body)["fingerprint"]
+            baseline = threading.active_count()
+            host, port = instance.server_address[:2]
+            connection = http.client.HTTPConnection(host, port, timeout=30)
+            connection.request("GET", f"/v1/jobs/{fingerprint}/events")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.readline()  # the stream is live
+            # Hang up mid-stream; the job itself stays wedged for 60s.
+            connection.close()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if threading.active_count() <= baseline:
+                    break
+                time.sleep(0.05)
+            assert threading.active_count() <= baseline, \
+                "SSE handler thread leaked after client disconnect"
+            # The server is still fully alive behind the wedged job.
+            status, _, body = _request(url, "GET", "/healthz")
+            assert status == 200
+            assert json.loads(body)["workers"]["alive"] >= 1
+        finally:
+            _shutdown(instance)
 
 
 class TestSupervision:

@@ -81,8 +81,19 @@ class TestLifecycle:
     def test_job_and_info_and_health(self, client):
         submitted = client.submit(_scenario("cli-meta", 203), wait=True)
         assert client.job(submitted.fingerprint)["state"] == "done"
-        assert client.info()["schema"] == "repro.serve/v2"
-        assert client.health()["status"] == "ok"
+        assert client.info()["schema"] == "repro.serve/v3"
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["store"]["entries"] >= 1
+
+    def test_metrics_and_trace(self, client):
+        submitted = client.submit(_scenario("cli-obs", 205), wait=True)
+        text = client.metrics()
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "repro_jobs_submitted_total" in text
+        trace = client.trace(submitted.fingerprint)
+        assert trace["schema"] == "repro.obstrace/v1"
+        assert trace["fingerprint"] == submitted.fingerprint
 
     def test_wait_times_out_client_side(self):
         injector = FaultInjector(parse_fault_spec("hang=wedge,hang_seconds=60"))
@@ -104,7 +115,7 @@ class TestErrors:
             client.submit({"kind": "nope"})
         assert info.value.status == 400
         assert "invalid scenario" in str(info.value)
-        assert info.value.payload["schema"] == "repro.serve/v2"
+        assert info.value.payload["schema"] == "repro.serve/v3"
 
     def test_cancel_terminal_job_is_a_409(self, client):
         submitted = client.submit(_scenario("cli-cancel", 205), wait=True)
@@ -157,7 +168,7 @@ class TestRetryPolicy:
         def flaky(self):
             calls.append(1)
             if len(calls) == 1:
-                return False, {"schema": "repro.serve/v2",
+                return False, {"schema": "repro.serve/v3",
                                "status": "degraded"}
             return real(self)
 
